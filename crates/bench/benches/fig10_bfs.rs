@@ -1,0 +1,22 @@
+//! Regenerates Figures 10/11 and Table VII (BFS: elapsed times, PTX
+//! stubs, transfer schedules).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paccport_core::experiments::{fig10_bfs, fig11_bfs_ptx, tab7_bfs};
+use paccport_core::study::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", paccport_core::report::render_elapsed(&fig10_bfs(&scale)));
+    println!("{}", paccport_core::report::render_ptx(&fig11_bfs_ptx(&scale)));
+    println!("{}", paccport_core::report::render_tab7(&tab7_bfs(&scale)));
+    let mut g = c.benchmark_group("fig10_bfs");
+    g.sample_size(10);
+    g.bench_function("fig10_quick", |b| {
+        b.iter(|| std::hint::black_box(fig10_bfs(&scale)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

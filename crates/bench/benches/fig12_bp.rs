@@ -1,0 +1,21 @@
+//! Regenerates Figures 12 and 14 (Back Propagation: elapsed times and
+//! PTX composition incl. the reduction's shared-memory instructions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paccport_core::experiments::{fig12_bp, fig14_bp_ptx};
+use paccport_core::study::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", paccport_core::report::render_elapsed(&fig12_bp(&scale)));
+    println!("{}", paccport_core::report::render_ptx(&fig14_bp_ptx(&scale)));
+    let mut g = c.benchmark_group("fig12_bp");
+    g.sample_size(10);
+    g.bench_function("fig12_quick", |b| {
+        b.iter(|| std::hint::black_box(fig12_bp(&scale)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Figure 15 (Hydro: OpenCL vs CAPS OpenACC on GPU/MIC
+//! with GCC/ICC hosts) and benchmarks both the timing pipeline and the
+//! functional interpreter on a small Sod problem.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paccport_compilers::{compile, CompileOptions, CompilerId};
+use paccport_core::experiments::fig15_hydro;
+use paccport_core::study::Scale;
+use paccport_devsim::run;
+use paccport_hydro as hydro;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", paccport_core::report::render_elapsed(&fig15_hydro(&scale)));
+    let mut g = c.benchmark_group("fig15_hydro");
+    g.sample_size(10);
+    g.bench_function("fig15_quick", |b| {
+        b.iter(|| std::hint::black_box(fig15_hydro(&scale)))
+    });
+    // Functional interpreter throughput on the full 19-kernel pipeline.
+    let p = hydro::program(hydro::HydroVariant::Optimized);
+    let compiled = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+    let cfg = hydro::sod_run_config(32, 8, 3);
+    g.bench_function("functional_sod_32x8x3", |b| {
+        b.iter(|| std::hint::black_box(run(&compiled, &cfg).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Figure 16 (the PPR comparison, Eq. 1) across GE, BFS,
+//! BP and Hydro.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paccport_core::experiments::fig16_ppr;
+use paccport_core::study::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", paccport_core::report::render_ppr(&fig16_ppr(&scale)));
+    let mut g = c.benchmark_group("fig16_ppr");
+    g.sample_size(10);
+    g.bench_function("four_benchmarks_quick", |b| {
+        b.iter(|| std::hint::black_box(fig16_ppr(&scale)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates Figure 3 (LUD elapsed times per optimization step) and
+//! benchmarks the pipeline that produces it: IR build → CAPS/PGI
+//! compile → timing-model run for every variant × device.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paccport_core::experiments::fig3_lud;
+use paccport_core::study::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    // Print the regenerated figure once, so `cargo bench` output
+    // doubles as the reproduction artifact.
+    let fig = fig3_lud(&scale);
+    println!("{}", paccport_core::report::render_elapsed(&fig));
+    let mut g = c.benchmark_group("fig3_lud");
+    g.sample_size(10);
+    g.bench_function("regenerate_quick", |b| {
+        b.iter(|| std::hint::black_box(fig3_lud(&scale)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates the Figure 4 heat maps (thread-distribution sweeps for
+//! LUD on CAPS-K40, PGI-K40 and CAPS-MIC) and benchmarks the
+//! rayon-parallel sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paccport_core::experiments::fig4_heatmaps;
+use paccport_core::study::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    for hm in fig4_heatmaps(&scale) {
+        println!("{}", hm.render());
+    }
+    let mut g = c.benchmark_group("fig4_heatmap");
+    g.sample_size(10);
+    g.bench_function("three_sweeps_quick", |b| {
+        b.iter(|| std::hint::black_box(fig4_heatmaps(&scale)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

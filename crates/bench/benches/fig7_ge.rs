@@ -1,0 +1,24 @@
+//! Regenerates Figures 7 and 9 (Gaussian elimination: elapsed times
+//! and PTX composition incl. the 3N/2N kernel-launch counts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paccport_core::experiments::{fig7_ge, fig9_ge_ptx};
+use paccport_core::study::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", paccport_core::report::render_elapsed(&fig7_ge(&scale)));
+    println!("{}", paccport_core::report::render_ptx(&fig9_ge_ptx(&scale)));
+    let mut g = c.benchmark_group("fig7_ge");
+    g.sample_size(10);
+    g.bench_function("fig7_quick", |b| {
+        b.iter(|| std::hint::black_box(fig7_ge(&scale)))
+    });
+    g.bench_function("fig9_quick", |b| {
+        b.iter(|| std::hint::black_box(fig9_ge_ptx(&scale)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

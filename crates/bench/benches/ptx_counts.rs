@@ -1,0 +1,37 @@
+//! Regenerates Figure 6 (LUD PTX composition) and benchmarks the
+//! compiler lowerings themselves: per-kernel lowering and whole-module
+//! compilation for both personalities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paccport_compilers::{compile, CompileOptions, CompilerId, LoweringStyle};
+use paccport_core::experiments::fig6_lud_ptx;
+use paccport_core::study::Scale;
+use paccport_kernels::{lud, VariantCfg};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", paccport_core::report::render_ptx(&fig6_lud_ptx(&scale)));
+    let p = lud::program(&VariantCfg::thread_dist(256, 16));
+    let mut g = c.benchmark_group("ptx_counts");
+    g.bench_function("caps_compile_lud", |b| {
+        b.iter(|| std::hint::black_box(compile(CompilerId::Caps, &p, &CompileOptions::gpu())))
+    });
+    g.bench_function("pgi_compile_lud", |b| {
+        b.iter(|| std::hint::black_box(compile(CompilerId::Pgi, &p, &CompileOptions::gpu())))
+    });
+    let k = p.kernel("lud_row").unwrap().clone();
+    g.bench_function("lower_single_kernel", |b| {
+        b.iter(|| {
+            std::hint::black_box(paccport_compilers::lower_kernel(
+                &p,
+                &k,
+                1,
+                &LoweringStyle::caps(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

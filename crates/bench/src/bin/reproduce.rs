@@ -1,0 +1,169 @@
+//! Regenerate every table and figure of the paper's evaluation on the
+//! simulated test bed.
+//!
+//! ```text
+//! reproduce [--quick] [--exp <id>]...
+//! ```
+//!
+//! With no `--exp`, all experiments run. `--quick` uses CI-scale
+//! inputs instead of Table IV's paper-scale ones. Recognized ids:
+//! tab1 tab2 tab3 tab4 tab5 tab6 tab7, fig1 fig3 fig4 fig6 fig7 fig8
+//! fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16, plus the future-work
+//! extensions ext1 (OpenARC auto-tuning) and ext2 (data-region
+//! insertion).
+
+use paccport_core::experiments as exp;
+use paccport_core::report;
+use paccport_core::study::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--exp" {
+            if let Some(id) = it.next() {
+                wanted.push(id.clone());
+            }
+        }
+    }
+    let all = wanted.is_empty();
+    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let want = |id: &str| all || wanted.iter().any(|w| w == id);
+
+    println!("paccport `reproduce` — Understanding Performance Portability of OpenACC");
+    println!(
+        "scale: {} (LUD {}, GE {}, BFS {}, BP {}x{}, Hydro {})\n",
+        if quick { "quick" } else { "paper (Table IV)" },
+        scale.lud_n,
+        scale.ge_n,
+        scale.bfs_n,
+        scale.bp_in,
+        scale.bp_hid,
+        scale.hydro_n
+    );
+
+    // ---------------- Static tables ----------------
+    if want("tab1") {
+        println!("{}", report::render_tab1());
+    }
+    if want("tab2") {
+        let (dep, indep) = exp::tab2_dependence_demo();
+        println!("== Table II: The dependency in loops ==");
+        println!("dependent loop   (A[i] = A[i-1] + 1): carried dependence found = {dep}");
+        println!("independent loop (A[i] = A[i]   + 1): safely parallel          = {indep}\n");
+    }
+    if want("tab3") {
+        println!("{}", report::render_tab3());
+    }
+    if want("tab4") {
+        println!("{}", report::render_tab4());
+    }
+    if want("tab5") {
+        println!("{}", report::render_tab5());
+    }
+    if want("tab6") {
+        println!("{}", report::render_tab6(scale.lud_n as u64));
+    }
+
+    // ---------------- Demonstrations ----------------
+    if want("fig1") {
+        let (cuda, acc) = exp::fig1_tiling_shared_ops();
+        println!("== Fig. 1: Tiling in CUDA vs OpenACC ==");
+        println!("CUDA/OpenCL-style tiling (BP forward, __local staging): {cuda} shared-memory instructions");
+        println!("OpenACC tile clause (GE fan1 under CAPS):               {acc} shared-memory instructions");
+        println!("-> OpenACC tiling still reads global memory only, as the paper observes.\n");
+    }
+    if want("fig8") {
+        println!("== Fig. 8: Advanced thread distribution configuration ==");
+        println!("{}\n", exp::fig8_advanced_config());
+    }
+    if want("fig13") {
+        println!("== Fig. 13: The reduction directive's shared-memory tree (lowered IR) ==");
+        println!("{}", exp::fig13_reduction_listing());
+    }
+
+    // ---------------- LUD ----------------
+    if want("fig3") {
+        println!("{}", report::render_elapsed(&exp::fig3_lud(&scale)));
+    }
+    if want("fig4") {
+        println!("== Fig. 4: Elapsed time of different thread distributions (LUD) ==");
+        for hm in exp::fig4_heatmaps(&scale) {
+            println!("{}", hm.render());
+            let (g, w, t) = hm.best();
+            println!("best: gang {g}, worker {w} ({})\n", report::fmt_secs(t));
+        }
+    }
+    if want("fig6") {
+        println!("{}", report::render_ptx(&exp::fig6_lud_ptx(&scale)));
+    }
+
+    // ---------------- GE ----------------
+    if want("fig7") {
+        println!("{}", report::render_elapsed(&exp::fig7_ge(&scale)));
+    }
+    if want("fig9") {
+        println!("{}", report::render_ptx(&exp::fig9_ge_ptx(&scale)));
+    }
+
+    // ---------------- BFS ----------------
+    if want("fig10") {
+        println!("{}", report::render_elapsed(&exp::fig10_bfs(&scale)));
+    }
+    if want("fig11") {
+        println!("{}", report::render_ptx(&exp::fig11_bfs_ptx(&scale)));
+    }
+    if want("tab7") {
+        println!("{}", report::render_tab7(&exp::tab7_bfs(&scale)));
+    }
+
+    // ---------------- BP ----------------
+    if want("fig12") {
+        println!("{}", report::render_elapsed(&exp::fig12_bp(&scale)));
+    }
+    if want("fig14") {
+        println!("{}", report::render_ptx(&exp::fig14_bp_ptx(&scale)));
+    }
+
+    // ---------------- Hydro ----------------
+    if want("fig15") {
+        println!("{}", report::render_elapsed(&exp::fig15_hydro(&scale)));
+    }
+
+    // ---------------- PPR ----------------
+    if want("fig16") {
+        println!("{}", report::render_ppr(&exp::fig16_ppr(&scale)));
+    }
+
+    // ---------------- Extensions (the paper's future work) ----------
+    if want("ext1") {
+        println!("== Extension 1: OpenARC-style auto-tuning vs the hand method (LUD) ==");
+        for row in exp::ext1_autotune_vs_hand(&scale) {
+            println!(
+                "  {}: hand (256,16) {}  |  auto-tuned {}  ({} tuning runs)",
+                row.device,
+                report::fmt_secs(row.hand_seconds),
+                report::fmt_secs(row.tuned_seconds),
+                row.tuning_runs
+            );
+            for (k, g, w) in &row.tuned_configs {
+                println!("      {k}: gang {g}, worker {w}");
+            }
+        }
+        println!();
+    }
+    if want("ext2") {
+        println!("== Extension 2: Step 5 — automatic data-region insertion (LUD) ==");
+        for row in exp::ext2_data_regions(&scale) {
+            println!(
+                "  {:<32} {:>10} transfers   {}",
+                row.label,
+                row.transfers,
+                report::fmt_secs(row.seconds)
+            );
+        }
+        println!();
+    }
+}

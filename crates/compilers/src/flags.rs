@@ -1,0 +1,134 @@
+//! The compiler-flag registry of Table I.
+
+use crate::options::Flag;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagRow {
+    pub flag: &'static str,
+    pub compiler: &'static str,
+    pub usage: &'static str,
+}
+
+/// Table I: "Compiler flags used in the method".
+pub fn table1() -> Vec<FlagRow> {
+    vec![
+        FlagRow {
+            flag: "-O4",
+            compiler: "PGI",
+            usage: "Specifying optimization level",
+        },
+        FlagRow {
+            flag: "-fast",
+            compiler: "PGI",
+            usage: "Using fast math library",
+        },
+        FlagRow {
+            flag: "-Mvect",
+            compiler: "PGI",
+            usage: "Using vectorization",
+        },
+        FlagRow {
+            flag: "-Munroll",
+            compiler: "PGI",
+            usage: "Using ILP unrolling optimization",
+        },
+        FlagRow {
+            flag: "-Msafeptr",
+            compiler: "PGI",
+            usage: "Specifying no pointer aliasing",
+        },
+        FlagRow {
+            flag: "-fastmath",
+            compiler: "CUDA C",
+            usage: "Using fast math library",
+        },
+        FlagRow {
+            flag: "-prec-div=false",
+            compiler: "CUDA C",
+            usage: "Using fast math library",
+        },
+        FlagRow {
+            flag: "-code=sm_35",
+            compiler: "CUDA C",
+            usage: "Specifying architecture",
+        },
+        FlagRow {
+            flag: "-arch=compute_35",
+            compiler: "CUDA C",
+            usage: "Specifying architecture",
+        },
+        FlagRow {
+            flag: "-Xhmppcg -grid-block-size,32x4",
+            compiler: "CAPS",
+            usage: "Changing numbers of gridify mode",
+        },
+    ]
+}
+
+/// Parse a Table-I command-line spelling into a [`Flag`].
+pub fn parse_flag(s: &str) -> Option<Flag> {
+    match s {
+        "-O4" => Some(Flag::O4),
+        "-fast" => Some(Flag::Fast),
+        "-Mvect" => Some(Flag::Mvect),
+        "-Munroll" => Some(Flag::Munroll),
+        "-Msafeptr" => Some(Flag::Msafeptr),
+        "-fastmath" => Some(Flag::FastMath),
+        "-prec-div=false" => Some(Flag::PrecDivFalse),
+        "-code=sm_35" => Some(Flag::CodeSm35),
+        "-arch=compute_35" => Some(Flag::ArchCompute35),
+        _ => {
+            // -Xhmppcg -grid-block-size,BXxBY
+            let rest = s.strip_prefix("-Xhmppcg -grid-block-size,")?;
+            let (bx, by) = rest.split_once('x')?;
+            Some(Flag::GridBlockSize(
+                bx.parse().ok()?,
+                by.parse().ok()?,
+            ))
+        }
+    }
+}
+
+/// Render a [`Flag`] back to its Table-I spelling.
+pub fn flag_spelling(f: &Flag) -> String {
+    match f {
+        Flag::O4 => "-O4".into(),
+        Flag::Fast => "-fast".into(),
+        Flag::Mvect => "-Mvect".into(),
+        Flag::Munroll => "-Munroll".into(),
+        Flag::Msafeptr => "-Msafeptr".into(),
+        Flag::FastMath => "-fastmath".into(),
+        Flag::PrecDivFalse => "-prec-div=false".into(),
+        Flag::CodeSm35 => "-code=sm_35".into(),
+        Flag::ArchCompute35 => "-arch=compute_35".into(),
+        Flag::GridBlockSize(x, y) => format!("-Xhmppcg -grid-block-size,{x}x{y}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_ten_rows() {
+        assert_eq!(table1().len(), 10);
+    }
+
+    #[test]
+    fn flags_round_trip_through_spelling() {
+        for row in table1() {
+            let f = parse_flag(row.flag).expect(row.flag);
+            assert_eq!(flag_spelling(&f), row.flag);
+        }
+    }
+
+    #[test]
+    fn grid_block_size_parses_shapes() {
+        assert_eq!(
+            parse_flag("-Xhmppcg -grid-block-size,64x2"),
+            Some(Flag::GridBlockSize(64, 2))
+        );
+        assert_eq!(parse_flag("-bogus"), None);
+    }
+}

@@ -1,0 +1,72 @@
+//! # paccport-compilers — simulated OpenACC toolchains
+//!
+//! The paper's findings are, to a large extent, findings *about
+//! compilers*: how CAPS 3.4.1 and PGI 14.9 translate the same OpenACC
+//! source differently, which of their optimizations are real and which
+//! silently no-op, and which outright bugs shape the measured
+//! performance. None of those toolchains can run today (CAPS went
+//! bankrupt in July 2014), so this crate reconstructs them as
+//! *personalities*: deterministic translators from the directive IR
+//! (`paccport-ir`) to a PTX-like ISA (`paccport-ptx`), with every
+//! documented quirk modeled as a togglable switch
+//! ([`options::QuirkSet`]).
+//!
+//! The third personality is not a compiler at all: it stands for the
+//! hand-written OpenCL versions the paper compares against.
+//!
+//! ```
+//! use paccport_compilers::{compile, CompilerId, CompileOptions};
+//! use paccport_ir::{ProgramBuilder, Kernel, ParallelLoop, Expr, Block, st, ld, Intent, Scalar, HostStmt, E};
+//!
+//! let mut b = ProgramBuilder::new("saxpy");
+//! let n = b.iparam("n");
+//! let x = b.array("x", Scalar::F32, n, Intent::In);
+//! let y = b.array("y", Scalar::F32, n, Intent::InOut);
+//! let i = b.var("i");
+//! let k = Kernel::simple(
+//!     "saxpy",
+//!     vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+//!     Block::new(vec![st(y, i, E::from(2.0) * ld(x, i) + ld(y, i))]),
+//! );
+//! let program = b.finish(vec![HostStmt::Launch(k)]);
+//!
+//! let compiled = compile(CompilerId::Caps, &program, &CompileOptions::gpu()).unwrap();
+//! assert_eq!(compiled.module.kernels.len(), 1);
+//! ```
+
+pub mod artifact;
+pub mod caps;
+pub mod common;
+pub mod flags;
+pub mod lower;
+pub mod mapping;
+pub mod openarc;
+pub mod opencl;
+pub mod options;
+pub mod pgi;
+pub mod transforms;
+
+pub use artifact::{
+    CompileError, CompiledProgram, Correctness, CostNode, CostTree, Diagnostic, DistSpec,
+    ExecStrategy, KernelPlan, LaunchDims, TransferPolicy,
+};
+pub use lower::{lower_kernel, lower_stub, LoweredKernel, LoweringStyle};
+pub use options::{
+    Backend, CompileOptions, CompilerId, DeviceKind, Flag, HostCompiler, QuirkSet,
+};
+
+use paccport_ir::Program;
+
+/// Compile `program` with the chosen personality.
+pub fn compile(
+    id: CompilerId,
+    program: &Program,
+    options: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    match id {
+        CompilerId::Caps => caps::compile(program, options),
+        CompilerId::Pgi => pgi::compile(program, options),
+        CompilerId::OpenClHand => opencl::compile(program, options),
+        CompilerId::OpenArc => openarc::compile(program, options),
+    }
+}

@@ -1,0 +1,115 @@
+//! Table III: the parallelism vocabulary across programming models.
+
+/// One row of Table III ("Parallelism defined in OpenACC and
+/// implemented by the compilers").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelismRow {
+    pub openacc: &'static str,
+    pub caps: &'static str,
+    pub pgi: &'static str,
+    pub cuda: &'static str,
+    pub opencl: &'static str,
+}
+
+/// Table III.
+pub fn table3() -> Vec<ParallelismRow> {
+    vec![
+        ParallelismRow {
+            openacc: "Gang",
+            caps: "Gang",
+            pgi: "Gang",
+            cuda: "Thread block",
+            opencl: "Global work",
+        },
+        ParallelismRow {
+            openacc: "Worker",
+            caps: "Worker",
+            pgi: "-",
+            cuda: "Thread",
+            opencl: "Local work",
+        },
+        ParallelismRow {
+            openacc: "Vector",
+            caps: "-",
+            pgi: "Vector",
+            cuda: "-",
+            opencl: "-",
+        },
+    ]
+}
+
+/// One row of Table VI ("Default thread distributions of the different
+/// compilers"), parameterized on the input size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefaultDistRow {
+    pub compiler: &'static str,
+    pub mode: &'static str,
+    pub grid: String,
+    pub block: String,
+}
+
+/// Table VI, with the symbolic sizes substituted for `input_size`.
+pub fn table6(input_size: u64) -> Vec<DefaultDistRow> {
+    let n = input_size;
+    vec![
+        DefaultDistRow {
+            compiler: "CAPS",
+            mode: "Gang mode",
+            grid: "[192,1,1]".into(),
+            block: "[1,256,1]".into(),
+        },
+        DefaultDistRow {
+            compiler: "CAPS",
+            mode: "Gridify 1D",
+            grid: format!("[{},1,1]", n.div_ceil(32 * 4)),
+            block: "[32,4,1]".into(),
+        },
+        DefaultDistRow {
+            compiler: "CAPS",
+            mode: "Gridify 2D",
+            grid: format!("[{},{},1]", n.div_ceil(32), n.div_ceil(4)),
+            block: "[32,4,1]".into(),
+        },
+        DefaultDistRow {
+            compiler: "PGI",
+            mode: "Gang mode",
+            grid: "[depending on the loop,1,1]".into(),
+            block: "[128,1,1]".into(),
+        },
+        DefaultDistRow {
+            compiler: "PGI",
+            mode: "Parallel 1D",
+            grid: format!("[1..{},1,1]", n.div_ceil(128)),
+            block: "[128,1,1]".into(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::DistSpec;
+
+    #[test]
+    fn table3_matches_the_paper() {
+        let t = table3();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].cuda, "Thread block");
+        assert_eq!(t[1].opencl, "Local work");
+        assert_eq!(t[2].pgi, "Vector");
+    }
+
+    #[test]
+    fn table6_rows_agree_with_dist_spec_math() {
+        let n = 4096u64;
+        let rows = table6(n);
+        // Gridify 1D row must equal DistSpec's computation.
+        let d = DistSpec::Gridify1D { bx: 32, by: 4 };
+        let l = d.launch_dims(&[n]);
+        assert_eq!(rows[1].grid, format!("[{},1,1]", l.grid[0]));
+        // Gridify 2D row.
+        let d = DistSpec::Gridify2D { bx: 32, by: 4 };
+        let l = d.launch_dims(&[n, n]);
+        assert_eq!(rows[2].grid, format!("[{},{},1]", l.grid[0], l.grid[1]));
+    }
+}

@@ -1,0 +1,87 @@
+//! The OpenARC personality — the paper's planned *future* research
+//! vehicle (Section VII: "We plan to explore the possibility of
+//! adopting the OpenARC compiler … since the CAPS compiler had been
+//! stopped developing").
+//!
+//! OpenARC (Oak Ridge) is a C-based source-to-source framework on the
+//! Cetus infrastructure supporting NVIDIA GPUs, AMD GPUs and Intel
+//! MIC. Two properties distinguish it from the 2014 commercial
+//! compilers in this reproduction:
+//!
+//! * it carries **none of the CAPS/PGI quirks** (it was a research
+//!   compiler in closed beta — we model its intended behaviour);
+//! * it is the vehicle for **auto-tuning** (Sabne et al., LCPC 2014;
+//!   the contrast the paper draws against its own hand-written
+//!   method). The search itself lives in `paccport-core::autotune`,
+//!   which measures candidate distributions through the device model;
+//!   this personality accepts the chosen configuration like CAPS's
+//!   gang mode and gridifies by default.
+
+use crate::artifact::{CompileError, CompiledProgram};
+use crate::caps;
+use crate::options::{CompileOptions, CompilerId, QuirkSet};
+use paccport_ir::Program;
+
+/// Compile with the OpenARC personality: CAPS-compatible directive
+/// handling (gang mode, gridify, tile, reduction) minus every modeled
+/// bug.
+pub fn compile(program: &Program, options: &CompileOptions) -> Result<CompiledProgram, CompileError> {
+    let mut opts = options.clone();
+    opts.quirks = QuirkSet::none();
+    let mut out = caps::compile(program, &opts)?;
+    out.compiler = CompilerId::OpenArc;
+    out.module.producer = format!(
+        "OpenARC (beta) ({:?} -> {})",
+        options.backend,
+        options.target.label()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{DistSpec, ExecStrategy};
+    use paccport_ir::{ld, st, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar};
+
+    fn simple(independent: bool) -> Program {
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let a = b.array("a", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        let mut lp = ParallelLoop::new(i, Expr::iconst(0), Expr::param(n));
+        lp.clauses.independent = independent;
+        let k = Kernel::simple(
+            "k",
+            vec![lp],
+            paccport_ir::Block::new(vec![st(a, i, ld(a, i) + 1.0)]),
+        );
+        b.finish(vec![HostStmt::Launch(k)])
+    }
+
+    #[test]
+    fn no_gang1_bug() {
+        // The CAPS default-distribution bug does not exist here: the
+        // baseline parallelizes with the advertised 192×256.
+        let c = compile(&simple(false), &CompileOptions::gpu()).unwrap();
+        let plan = c.plan("k").unwrap();
+        assert_eq!(plan.exec, ExecStrategy::DeviceParallel);
+        assert_eq!(
+            plan.dist,
+            DistSpec::GangWorker {
+                gang: 192,
+                worker: 256
+            }
+        );
+        assert_eq!(c.compiler, CompilerId::OpenArc);
+        assert!(c.module.producer.contains("OpenARC"));
+    }
+
+    #[test]
+    fn gridify_with_independent_and_mic_support() {
+        let c = compile(&simple(true), &CompileOptions::gpu()).unwrap();
+        assert_eq!(c.plan("k").unwrap().dist, DistSpec::Gridify1D { bx: 32, by: 4 });
+        // Unlike PGI, OpenARC targets the MIC.
+        assert!(compile(&simple(true), &CompileOptions::mic()).is_ok());
+    }
+}

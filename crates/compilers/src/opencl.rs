@@ -1,0 +1,149 @@
+//! The hand-written OpenCL personality.
+//!
+//! The paper's comparison baseline is not a compiler but the Rodinia /
+//! Hydro OpenCL sources themselves: explicit NDRange launches, fixed
+//! local work sizes, and `__local` memory staging where the original
+//! authors used it. We route those kernels through the same lowering
+//! machinery so their PTX is directly comparable with the OpenACC
+//! output (Figures 9 and 11 do exactly this comparison).
+
+use crate::artifact::{
+    CompileError, CompiledProgram, Correctness, DistSpec, ExecStrategy, TransferPolicy,
+};
+use crate::common::{assemble, KernelDecision};
+use crate::lower::LoweringStyle;
+use crate::options::{CompileOptions, CompilerId};
+use paccport_ir::kernel::KernelBody;
+use paccport_ir::Program;
+
+/// "Compile" a hand-written OpenCL program: honour its explicit launch
+/// configuration, no transformations, buffers managed explicitly
+/// (resident).
+pub fn compile(program: &Program, options: &CompileOptions) -> Result<CompiledProgram, CompileError> {
+    let prog = program.clone();
+    let style = LoweringStyle {
+        fastmath: options.has_flag(&crate::options::Flag::FastMath),
+        ..LoweringStyle::opencl()
+    };
+    let decide = |k: &paccport_ir::Kernel| -> KernelDecision {
+        let dist = match (&k.body, k.launch_hint) {
+            (KernelBody::Grouped(g), Some(h)) if h.group_per_iter => DistSpec::GroupedPerIter {
+                group_size: g.group_size,
+            },
+            (KernelBody::Grouped(g), _) => DistSpec::Grouped {
+                group_size: g.group_size,
+            },
+            (_, Some(h)) => DistSpec::NdRange {
+                lx: h.local.0,
+                ly: h.local.1,
+                two_d: h.two_d,
+            },
+            // Rodinia's common defaults: 256×1 work-groups for 1-D
+            // kernels, 16×16 for 2-D ones.
+            (_, None) => {
+                if k.rank() >= 2 {
+                    DistSpec::NdRange {
+                        lx: 16,
+                        ly: 16,
+                        two_d: true,
+                    }
+                } else {
+                    DistSpec::NdRange {
+                        lx: 256,
+                        ly: 1,
+                        two_d: false,
+                    }
+                }
+            }
+        };
+        KernelDecision {
+            dist,
+            exec: ExecStrategy::DeviceParallel,
+            correctness: Correctness::Correct,
+            perf_penalty: 1.0,
+            diagnostics: vec![format!("NDRange kernel: {}", crate::common::config_label(&dist))],
+        }
+    };
+    Ok(assemble(
+        CompilerId::OpenClHand,
+        options,
+        prog,
+        &style,
+        decide,
+        TransferPolicy::Resident,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paccport_ir::{
+        ld, st, Expr, HostStmt, Intent, Kernel, LaunchHint, ParallelLoop, ProgramBuilder, Scalar,
+    };
+
+    #[test]
+    fn launch_hint_is_honoured() {
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let a = b.array("a", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        let mut k = Kernel::simple(
+            "k",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            paccport_ir::Block::new(vec![st(a, i, ld(a, i) + 1.0)]),
+        );
+        k.launch_hint = Some(LaunchHint {
+            local: (32, 4),
+            two_d: false,
+            group_per_iter: false,
+        });
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let c = compile(&p, &CompileOptions::gpu()).unwrap();
+        let plan = c.plan("k").unwrap();
+        assert_eq!(
+            plan.dist,
+            DistSpec::NdRange {
+                lx: 32,
+                ly: 4,
+                two_d: false
+            }
+        );
+        assert_eq!(plan.exec, ExecStrategy::DeviceParallel);
+    }
+
+    #[test]
+    fn defaults_choose_by_rank() {
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let a = b.array("a", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        let j = b.var("j");
+        let k1 = Kernel::simple(
+            "k1",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            paccport_ir::Block::new(vec![st(a, i, 0.0)]),
+        );
+        let k2 = Kernel::simple(
+            "k2",
+            vec![
+                ParallelLoop::new(i, Expr::iconst(0), Expr::param(n)),
+                ParallelLoop::new(j, Expr::iconst(0), Expr::param(n)),
+            ],
+            paccport_ir::Block::new(vec![st(a, i, 0.0)]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k1), HostStmt::Launch(k2)]);
+        let c = compile(&p, &CompileOptions::gpu()).unwrap();
+        assert!(matches!(
+            c.plan("k1").unwrap().dist,
+            DistSpec::NdRange { lx: 256, .. }
+        ));
+        assert!(matches!(
+            c.plan("k2").unwrap().dist,
+            DistSpec::NdRange {
+                lx: 16,
+                ly: 16,
+                two_d: true
+            }
+        ));
+    }
+}

@@ -1,0 +1,888 @@
+//! Generators for every table and figure of the paper's evaluation.
+//!
+//! Each `figN_*` / `tabN_*` function reruns the corresponding
+//! experiment on the simulated test bed and returns structured data;
+//! `crate::report` renders them, the `reproduce` binary prints them,
+//! and the integration tests assert their shapes against the paper's
+//! findings.
+
+use crate::ppr::{PprComparison, PprEntry};
+use crate::ptxcmp::{PtxBar, PtxFigure};
+use crate::study::{measure, ElapsedFigure, Measured, Scale};
+use paccport_compilers::{CompileOptions, CompilerId, Flag, HostCompiler};
+use paccport_devsim::{sweep, CostHints, HeatMap, RunConfig};
+use paccport_hydro as hydro;
+use paccport_kernels::{backprop, bfs, gaussian, lud, VariantCfg};
+
+fn gpu() -> CompileOptions {
+    CompileOptions::gpu()
+}
+
+fn mic() -> CompileOptions {
+    CompileOptions::mic()
+}
+
+fn bar_from(m: &Measured) -> PtxBar {
+    PtxBar {
+        label: format!("{} / {}", m.series, m.variant),
+        config: m.config.clone(),
+        counts: m.counts,
+        memcpy_h2d: m.h2d,
+        memcpy_d2h: m.d2h,
+        launches: m.launches,
+    }
+}
+
+// ===================================================================
+// LUD (Figures 3, 4, 6)
+// ===================================================================
+
+/// The Fig.-3 variant ladder for LUD.
+pub fn lud_variants() -> Vec<(String, VariantCfg)> {
+    let dist = VariantCfg::thread_dist(256, 16);
+    let mut unroll = dist;
+    unroll.unroll = Some(8);
+    let mut tile = dist;
+    tile.tile = Some(32);
+    vec![
+        ("Base".into(), VariantCfg::baseline()),
+        ("ThreadDist".into(), dist),
+        ("Unroll".into(), unroll),
+        ("Tile".into(), tile),
+    ]
+}
+
+/// Figure 3: elapsed time of LUD on GPU and MIC per optimization step.
+pub fn fig3_lud(scale: &Scale) -> ElapsedFigure {
+    let cfg = RunConfig::timing(vec![("n".into(), scale.lud_n as f64)], 1);
+    let mut points = Vec::new();
+    for (variant, vc) in lud_variants() {
+        let p = lud::program(&vc);
+        for (series, compiler, opts) in [
+            ("CAPS-CUDA-K40", CompilerId::Caps, gpu()),
+            ("CAPS-OCL-5110P", CompilerId::Caps, mic()),
+            ("PGI-K40", CompilerId::Pgi, gpu()),
+        ] {
+            if let Ok(m) = measure(series, &variant, compiler, &opts, &p, &cfg) {
+                points.push(m);
+            }
+        }
+    }
+    ElapsedFigure {
+        id: "fig3".into(),
+        title: "Elapsed time of LUD OpenACC on GPU and MIC".into(),
+        points,
+    }
+}
+
+/// Figure 4: the three thread-distribution heat maps for LUD.
+pub fn fig4_heatmaps(scale: &Scale) -> Vec<HeatMap> {
+    let gangs: Vec<u32> = vec![1, 32, 64, 128, 240, 256, 512, 1024];
+    let workers: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64];
+    let p = lud::program(&VariantCfg::baseline());
+    let cfg = RunConfig::timing(vec![("n".into(), scale.lud_n as f64)], 1);
+    let configure = |p: &mut paccport_ir::Program, g: u32, w: u32| {
+        p.map_kernels(|k| {
+            for lp in &mut k.loops {
+                lp.clauses.gang = Some(g);
+                lp.clauses.worker = Some(w);
+            }
+        });
+    };
+    let mut out = Vec::new();
+    for (title, compiler, opts) in [
+        ("CAPS-K40", CompilerId::Caps, gpu()),
+        ("PGI-K40", CompilerId::Pgi, gpu()),
+        ("CAPS-MIC (5110P)", CompilerId::Caps, mic()),
+    ] {
+        if let Ok(hm) = sweep(title, &p, compiler, &opts, &cfg, &gangs, &workers, configure) {
+            out.push(hm);
+        }
+    }
+    out
+}
+
+/// Figure 6: PTX instruction composition of LUD per step, CAPS vs PGI.
+pub fn fig6_lud_ptx(scale: &Scale) -> PtxFigure {
+    let cfg = RunConfig::timing(vec![("n".into(), scale.lud_n.min(512) as f64)], 1);
+    let mut bars = Vec::new();
+    for (series, compiler, opts) in [
+        ("CAPS-CUDA-K40", CompilerId::Caps, gpu()),
+        ("PGI-K40", CompilerId::Pgi, gpu()),
+    ] {
+        for (variant, vc) in lud_variants() {
+            // PGI's unroll knob is the -Munroll flag, not a directive.
+            let (p, opts) = if compiler == CompilerId::Pgi && variant == "Unroll" {
+                let mut base = lud_variants()[1].1;
+                base.unroll = None;
+                (lud::program(&base), opts.clone().with_flag(Flag::Munroll))
+            } else if compiler == CompilerId::Pgi && variant == "Tile" {
+                // PGI does not support tiling (Section V-A1) — skip.
+                continue;
+            } else {
+                (lud::program(&vc), opts.clone())
+            };
+            if let Ok(m) = measure(series, &variant, compiler, &opts, &p, &cfg) {
+                bars.push(bar_from(&m));
+            }
+        }
+    }
+    PtxFigure {
+        id: "fig6".into(),
+        title: "PTX instructions of LUD for CAPS and PGI".into(),
+        bars,
+    }
+}
+
+// ===================================================================
+// Gaussian Elimination (Figures 7, 8, 9)
+// ===================================================================
+
+/// The Fig.-7 variant ladder for GE.
+pub fn ge_variants() -> Vec<(String, VariantCfg)> {
+    let indep = VariantCfg::independent();
+    let mut reorg = indep;
+    reorg.reorganized = true;
+    let mut unroll = reorg;
+    unroll.unroll = Some(8);
+    let mut tile = reorg;
+    tile.tile = Some(32);
+    vec![
+        ("Base".into(), VariantCfg::baseline()),
+        ("Indep".into(), indep),
+        ("Reorg".into(), reorg),
+        ("Unroll".into(), unroll),
+        ("Tile".into(), tile),
+    ]
+}
+
+/// Figure 7: elapsed time of GE, including the OpenCL versions.
+pub fn fig7_ge(scale: &Scale) -> ElapsedFigure {
+    let cfg = RunConfig::timing(vec![("n".into(), scale.ge_n as f64)], 1);
+    let mut points = Vec::new();
+    for (variant, vc) in ge_variants() {
+        let p = gaussian::program(&vc);
+        for (series, compiler, opts) in [
+            ("CAPS-CUDA-K40", CompilerId::Caps, gpu()),
+            ("CAPS-OCL-5110P", CompilerId::Caps, mic()),
+            ("PGI-K40", CompilerId::Pgi, gpu()),
+        ] {
+            // PGI unroll = -Munroll on the reorganized version.
+            let (p2, opts) = if compiler == CompilerId::Pgi && variant == "Unroll" {
+                let mut reorg = VariantCfg::independent();
+                reorg.reorganized = true;
+                (
+                    gaussian::program(&reorg),
+                    opts.clone().with_flag(Flag::Munroll),
+                )
+            } else {
+                (p.clone(), opts.clone())
+            };
+            if let Ok(m) = measure(series, &variant, compiler, &opts, &p2, &cfg) {
+                points.push(m);
+            }
+        }
+    }
+    // The hand-written OpenCL versions (baseline + Fig. 8 advanced).
+    for (variant, adv) in [("OCL-Base", false), ("OCL-Advanced", true)] {
+        let p = gaussian::opencl_program(adv);
+        for (series, opts) in [("OCL-K40", gpu()), ("OCL-5110P", mic())] {
+            if let Ok(m) = measure(series, variant, CompilerId::OpenClHand, &opts, &p, &cfg) {
+                points.push(m);
+            }
+        }
+    }
+    ElapsedFigure {
+        id: "fig7".into(),
+        title: "Elapsed time of GE OpenACC on GPU and MIC".into(),
+        points,
+    }
+}
+
+/// Figure 8: the advanced thread-distribution configuration lifted
+/// from CAPS's generated HMPP codelets, rendered as the paper shows.
+pub fn fig8_advanced_config() -> String {
+    [
+        "// i is the loop iteration of outer loop.",
+        "hmppcg_call.setSizeX((Size - i - 1) / 32 + 1);  // global work group size, X",
+        "hmppcg_call.setSizeY((Size - 1 - i - 1) / 4 + 1); // global work group size, Y",
+        "hmppcg_call.setBlockSizeX(32);                  // local work group size",
+        "hmppcg_call.setBlockSizeY(4);                   // local work group size",
+        "hmppcg_call.setWorkDim(2);",
+    ]
+    .join("\n")
+}
+
+/// Figure 9: GE PTX composition with memcpy and kernel-launch rows.
+pub fn fig9_ge_ptx(scale: &Scale) -> PtxFigure {
+    let n = scale.ge_n.min(512) as f64;
+    let cfg = RunConfig::timing(vec![("n".into(), n)], 1);
+    let mut bars = Vec::new();
+    // OpenCL first (the paper's left bars).
+    if let Ok(m) = measure(
+        "OCL-K40",
+        "Base",
+        CompilerId::OpenClHand,
+        &gpu(),
+        &gaussian::opencl_program(false),
+        &cfg,
+    ) {
+        bars.push(bar_from(&m));
+    }
+    for (series, compiler) in [
+        ("CAPS-CUDA-K40", CompilerId::Caps),
+        ("PGI-K40", CompilerId::Pgi),
+    ] {
+        for (variant, vc) in ge_variants() {
+            let (p, opts) = if compiler == CompilerId::Pgi && variant == "Unroll" {
+                let mut reorg = VariantCfg::independent();
+                reorg.reorganized = true;
+                (
+                    gaussian::program(&reorg),
+                    gpu().with_flag(Flag::Munroll),
+                )
+            } else if compiler == CompilerId::Pgi && variant == "Tile" {
+                continue;
+            } else {
+                (gaussian::program(&vc), gpu())
+            };
+            if let Ok(m) = measure(series, &variant, compiler, &opts, &p, &cfg) {
+                bars.push(bar_from(&m));
+            }
+        }
+    }
+    PtxFigure {
+        id: "fig9".into(),
+        title: "PTX instructions of GE for CAPS and PGI".into(),
+        bars,
+    }
+}
+
+// ===================================================================
+// BFS (Figures 10, 11; Table VII)
+// ===================================================================
+
+fn bfs_cfg(scale: &Scale) -> RunConfig {
+    RunConfig::timing(
+        vec![
+            ("n".into(), scale.bfs_n as f64),
+            (
+                "nedges".into(),
+                (scale.bfs_n * (scale.bfs_avg_degree + 1)) as f64,
+            ),
+            ("source".into(), 0.0),
+        ],
+        scale.bfs_levels,
+    )
+    .with_hints(bfs_hints(scale))
+}
+
+fn bfs_hints(scale: &Scale) -> CostHints {
+    bfs::hints(
+        scale.bfs_avg_degree as f64 + 1.0,
+        1.0 / scale.bfs_levels as f64,
+    )
+}
+
+/// Figure 10: elapsed time of BFS.
+pub fn fig10_bfs(scale: &Scale) -> ElapsedFigure {
+    let cfg = bfs_cfg(scale);
+    let mut points = Vec::new();
+    for (variant, vc) in [
+        ("Base", VariantCfg::baseline()),
+        ("Indep", VariantCfg::independent()),
+    ] {
+        let p = bfs::program(&vc);
+        for (series, compiler, opts) in [
+            ("CAPS-CUDA-K40", CompilerId::Caps, gpu()),
+            ("CAPS-OCL-5110P", CompilerId::Caps, mic()),
+            ("PGI-K40", CompilerId::Pgi, gpu()),
+        ] {
+            if let Ok(m) = measure(series, variant, compiler, &opts, &p, &cfg) {
+                points.push(m);
+            }
+        }
+    }
+    let p = bfs::opencl_program();
+    for (series, opts) in [("OCL-K40", gpu()), ("OCL-5110P", mic())] {
+        if let Ok(m) = measure(series, "OCL", CompilerId::OpenClHand, &opts, &p, &cfg) {
+            points.push(m);
+        }
+    }
+    ElapsedFigure {
+        id: "fig10".into(),
+        title: "Elapsed time of BFS on GPU and MIC".into(),
+        points,
+    }
+}
+
+/// Figure 11: BFS PTX composition (incl. the PGI stub discovery).
+pub fn fig11_bfs_ptx(scale: &Scale) -> PtxFigure {
+    let cfg = bfs_cfg(scale);
+    let mut bars = Vec::new();
+    if let Ok(m) = measure(
+        "OCL-K40",
+        "OCL",
+        CompilerId::OpenClHand,
+        &gpu(),
+        &bfs::opencl_program(),
+        &cfg,
+    ) {
+        bars.push(bar_from(&m));
+    }
+    for (series, compiler) in [
+        ("CAPS-CUDA-K40", CompilerId::Caps),
+        ("PGI-K40", CompilerId::Pgi),
+    ] {
+        for (variant, vc) in [
+            ("Base", VariantCfg::baseline()),
+            ("Indep", VariantCfg::independent()),
+        ] {
+            if let Ok(m) = measure(series, variant, compiler, &gpu(), &bfs::program(&vc), &cfg) {
+                bars.push(bar_from(&m));
+            }
+        }
+    }
+    PtxFigure {
+        id: "fig11".into(),
+        title: "PTX instructions of BFS for CAPS and PGI".into(),
+        bars,
+    }
+}
+
+/// One row of Table VII.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table7Row {
+    pub compiler: String,
+    pub default_mode: String,
+    pub with_independent_mode: String,
+    pub data_transfers: String,
+}
+
+/// Table VII: BFS execution modes and data transfers.
+pub fn tab7_bfs(scale: &Scale) -> Vec<Table7Row> {
+    let cfg = bfs_cfg(scale);
+    let mut rows = Vec::new();
+    for (name, compiler) in [("CAPS", CompilerId::Caps), ("PGI", CompilerId::Pgi)] {
+        let base = measure(
+            name,
+            "Base",
+            compiler,
+            &gpu(),
+            &bfs::program(&VariantCfg::baseline()),
+            &cfg,
+        )
+        .expect("bfs base");
+        let indep = measure(
+            name,
+            "Indep",
+            compiler,
+            &gpu(),
+            &bfs::program(&VariantCfg::independent()),
+            &cfg,
+        )
+        .expect("bfs indep");
+        let transfers = if indep.transfers_per_while_iter >= 1.0 {
+            format!(
+                "{:.0} times in each iteration",
+                indep.transfers_per_while_iter
+            )
+        } else {
+            format!("{} times in total", indep.h2d + indep.d2h)
+        };
+        rows.push(Table7Row {
+            compiler: name.into(),
+            default_mode: base.exec_mode().into(),
+            with_independent_mode: indep.exec_mode().into(),
+            data_transfers: transfers,
+        });
+    }
+    rows
+}
+
+// ===================================================================
+// Back Propagation (Figures 12, 13, 14)
+// ===================================================================
+
+fn bp_cfg(scale: &Scale) -> RunConfig {
+    RunConfig::timing(
+        vec![
+            ("n_in".into(), scale.bp_in as f64),
+            ("n_hid".into(), scale.bp_hid as f64),
+        ],
+        1,
+    )
+}
+
+/// The Fig.-12/14 variant ladder for BP.
+pub fn bp_variants() -> Vec<(String, VariantCfg)> {
+    let indep = VariantCfg::independent();
+    let mut red = indep;
+    red.reduction = true;
+    let mut unroll = red;
+    unroll.unroll = Some(8);
+    vec![
+        ("Base".into(), VariantCfg::baseline()),
+        ("Indep".into(), indep),
+        ("Reduction".into(), red),
+        ("Unroll".into(), unroll),
+    ]
+}
+
+/// Figure 12: elapsed time of BP.
+pub fn fig12_bp(scale: &Scale) -> ElapsedFigure {
+    let cfg = bp_cfg(scale);
+    let mut points = Vec::new();
+    for (variant, vc) in bp_variants() {
+        let p = backprop::program(&vc);
+        for (series, compiler, opts) in [
+            ("CAPS-CUDA-K40", CompilerId::Caps, gpu()),
+            ("CAPS-OCL-5110P", CompilerId::Caps, mic()),
+            ("PGI-K40", CompilerId::Pgi, gpu()),
+        ] {
+            if let Ok(m) = measure(series, &variant, compiler, &opts, &p, &cfg) {
+                points.push(m);
+            }
+        }
+    }
+    let p = backprop::opencl_program(128);
+    for (series, opts) in [("OCL-K40", gpu()), ("OCL-5110P", mic())] {
+        if let Ok(m) = measure(series, "OCL", CompilerId::OpenClHand, &opts, &p, &cfg) {
+            points.push(m);
+        }
+    }
+    ElapsedFigure {
+        id: "fig12".into(),
+        title: "Elapsed time of BP on GPU and MIC".into(),
+        points,
+    }
+}
+
+/// Figure 13: the shared-memory tree reduction, as lowered by the
+/// compilers for the `reduction` directive (rendered IR).
+pub fn fig13_reduction_listing() -> String {
+    let mut vc = VariantCfg::independent();
+    vc.reduction = true;
+    let p = backprop::program(&vc);
+    let c = paccport_compilers::compile(CompilerId::Caps, &p, &gpu()).expect("compile");
+    let k = c
+        .program
+        .kernel("layer_forward")
+        .expect("forward kernel");
+    paccport_ir::kernel_to_string(&c.program, k)
+}
+
+/// Figure 14: BP PTX composition.
+pub fn fig14_bp_ptx(scale: &Scale) -> PtxFigure {
+    let cfg = bp_cfg(scale);
+    let mut bars = Vec::new();
+    if let Ok(m) = measure(
+        "OCL-K40",
+        "OCL",
+        CompilerId::OpenClHand,
+        &gpu(),
+        &backprop::opencl_program(128),
+        &cfg,
+    ) {
+        bars.push(bar_from(&m));
+    }
+    for (series, compiler) in [
+        ("CAPS-CUDA-K40", CompilerId::Caps),
+        ("PGI-K40", CompilerId::Pgi),
+    ] {
+        for (variant, vc) in bp_variants() {
+            if let Ok(m) = measure(
+                series,
+                &variant,
+                compiler,
+                &gpu(),
+                &backprop::program(&vc),
+                &cfg,
+            ) {
+                bars.push(bar_from(&m));
+            }
+        }
+    }
+    PtxFigure {
+        id: "fig14".into(),
+        title: "PTX instructions of BP for CAPS and PGI".into(),
+        bars,
+    }
+}
+
+// ===================================================================
+// Hydro (Figure 15)
+// ===================================================================
+
+/// Figure 15: Hydro elapsed times — OpenCL vs CAPS OpenACC, GPU vs
+/// MIC, GCC vs Intel host compiler.
+pub fn fig15_hydro(scale: &Scale) -> ElapsedFigure {
+    let cfg = hydro::timing_run_config(scale.hydro_n, scale.hydro_n, scale.hydro_steps);
+    let mut points = Vec::new();
+    let variants = [
+        ("Base", hydro::HydroVariant::Baseline),
+        ("Indep+Dist", hydro::HydroVariant::Optimized),
+    ];
+    for (variant, hv) in variants {
+        let p = hydro::program(hv);
+        for (series, opts) in [
+            ("ACC-K40 (GCC)", gpu()),
+            (
+                "ACC-K40 (ICC)",
+                gpu().with_host_compiler(HostCompiler::Intel),
+            ),
+            ("ACC-5110P (GCC)", mic()),
+            (
+                "ACC-5110P (ICC)",
+                mic().with_host_compiler(HostCompiler::Intel),
+            ),
+        ] {
+            if let Ok(m) = measure(series, variant, CompilerId::Caps, &opts, &p, &cfg) {
+                points.push(m);
+            }
+        }
+    }
+    let p = hydro::program(hydro::HydroVariant::OpenCl);
+    for (series, opts) in [("OCL-K40", gpu()), ("OCL-5110P", mic())] {
+        if let Ok(m) = measure(series, "OCL", CompilerId::OpenClHand, &opts, &p, &cfg) {
+            points.push(m);
+        }
+    }
+    ElapsedFigure {
+        id: "fig15".into(),
+        title: "Elapsed time of Hydro: OpenCL vs CAPS OpenACC".into(),
+        points,
+    }
+}
+
+// ===================================================================
+// PPR (Figure 16)
+// ===================================================================
+
+/// Figure 16: PPR of the optimized CAPS OpenACC versions vs the
+/// OpenCL versions across GPU and MIC, for GE, BFS, BP and Hydro
+/// (LUD is excluded, as in the paper: its OpenCL version uses a
+/// different algorithm).
+pub fn fig16_ppr(scale: &Scale) -> Vec<PprComparison> {
+    let mut out = Vec::new();
+
+    let compare = |bench: &str,
+                   acc_prog: &paccport_ir::Program,
+                   ocl_prog: &paccport_ir::Program,
+                   cfg: &RunConfig|
+     -> Option<PprComparison> {
+        let t = |id: CompilerId, p: &paccport_ir::Program, o: &CompileOptions| -> Option<f64> {
+            measure("x", "x", id, o, p, cfg).ok().map(|m| m.seconds)
+        };
+        Some(PprComparison {
+            openacc: PprEntry {
+                benchmark: bench.into(),
+                version: "OpenACC (CAPS)".into(),
+                gpu_seconds: t(CompilerId::Caps, acc_prog, &gpu())?,
+                mic_seconds: t(CompilerId::Caps, acc_prog, &mic())?,
+            },
+            opencl: PprEntry {
+                benchmark: bench.into(),
+                version: "OpenCL".into(),
+                gpu_seconds: t(CompilerId::OpenClHand, ocl_prog, &gpu())?,
+                mic_seconds: t(CompilerId::OpenClHand, ocl_prog, &mic())?,
+            },
+        })
+    };
+
+    // GE: optimized (reorganized + independent) vs OpenCL baseline.
+    {
+        let mut vc = VariantCfg::independent();
+        vc.reorganized = true;
+        let cfg = RunConfig::timing(vec![("n".into(), scale.ge_n as f64)], 1);
+        if let Some(c) = compare(
+            "GE",
+            &gaussian::program(&vc),
+            &gaussian::opencl_program(false),
+            &cfg,
+        ) {
+            out.push(c);
+        }
+    }
+    // BFS.
+    {
+        let cfg = bfs_cfg(scale);
+        if let Some(c) = compare(
+            "BFS",
+            &bfs::program(&VariantCfg::independent()),
+            &bfs::opencl_program(),
+            &cfg,
+        ) {
+            out.push(c);
+        }
+    }
+    // BP: optimized = independent (the reduction is wrong on MIC, so
+    // the paper's portable version stops at independent).
+    {
+        let cfg = bp_cfg(scale);
+        if let Some(c) = compare(
+            "BP",
+            &backprop::program(&VariantCfg::independent()),
+            &backprop::opencl_program(128),
+            &cfg,
+        ) {
+            out.push(c);
+        }
+    }
+    // Hydro.
+    {
+        let cfg = hydro::timing_run_config(scale.hydro_n, scale.hydro_n, scale.hydro_steps);
+        if let Some(c) = compare(
+            "Hydro",
+            &hydro::program(hydro::HydroVariant::Optimized),
+            &hydro::program(hydro::HydroVariant::OpenCl),
+            &cfg,
+        ) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ===================================================================
+// Extensions: the paper's future work, implemented
+// ===================================================================
+
+/// Extension 1 (Section VII: adopting OpenARC + auto-tuning): compare
+/// the hand-written method's LUD distribution against an
+/// OpenARC-style per-kernel auto-tune, on both devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtAutotuneRow {
+    pub device: String,
+    pub hand_seconds: f64,
+    pub tuned_seconds: f64,
+    pub tuned_configs: Vec<(String, u32, u32)>,
+    pub tuning_runs: usize,
+}
+
+/// Run extension 1 on LUD.
+pub fn ext1_autotune_vs_hand(scale: &Scale) -> Vec<ExtAutotuneRow> {
+    use crate::autotune::{autotune_distribution, default_candidates};
+    let cfg = RunConfig::timing(vec![("n".into(), scale.lud_n as f64)], 1);
+    let hand = lud::program(&VariantCfg::thread_dist(256, 16));
+    let base = lud::program(&VariantCfg::baseline());
+    let mut out = Vec::new();
+    for (device, opts) in [("K40", gpu()), ("5110P", mic())] {
+        let t_hand = measure("x", "hand", CompilerId::OpenArc, &opts, &hand, &cfg)
+            .map(|m| m.seconds)
+            .unwrap_or(f64::NAN);
+        let Ok(tuned) = autotune_distribution(
+            &base,
+            CompilerId::OpenArc,
+            &opts,
+            &cfg,
+            &default_candidates(),
+        ) else {
+            continue;
+        };
+        let t_tuned = measure("x", "tuned", CompilerId::OpenArc, &opts, &tuned.program, &cfg)
+            .map(|m| m.seconds)
+            .unwrap_or(f64::NAN);
+        out.push(ExtAutotuneRow {
+            device: device.into(),
+            hand_seconds: t_hand,
+            tuned_seconds: t_tuned,
+            tuned_configs: tuned
+                .per_kernel
+                .iter()
+                .map(|t| (t.kernel.clone(), t.chosen.gang, t.chosen.worker))
+                .collect(),
+            tuning_runs: tuned.total_runs,
+        });
+    }
+    out
+}
+
+/// Extension 2 (Section VII: "inserting the data region directives"):
+/// transfers and elapsed time for LUD without any data region, and
+/// after Step 5 inserts one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtDataRegionRow {
+    pub label: String,
+    pub transfers: u64,
+    pub seconds: f64,
+}
+
+/// Run extension 2 on LUD.
+pub fn ext2_data_regions(scale: &Scale) -> Vec<ExtDataRegionRow> {
+    let n = scale.lud_n.min(1024);
+    let cfg = RunConfig::timing(vec![("n".into(), n as f64)], 1);
+    let optimized = lud::program(&VariantCfg::thread_dist(256, 16));
+    let stripped = crate::step5::strip_data_regions(&optimized);
+    let mut restored = stripped.clone();
+    crate::step5::insert_data_regions(&mut restored);
+    let mut out = Vec::new();
+    for (label, p) in [
+        ("no data region (naive port)", &stripped),
+        ("after Step 5 (region inserted)", &restored),
+    ] {
+        if let Ok(m) = measure("x", label, CompilerId::Caps, &gpu(), p, &cfg) {
+            out.push(ExtDataRegionRow {
+                label: label.into(),
+                transfers: m.h2d + m.d2h,
+                seconds: m.seconds,
+            });
+        }
+    }
+    out
+}
+
+// ===================================================================
+// Figure 1 & Table II demos
+// ===================================================================
+
+/// Figure 1: shared-memory tiling (CUDA/OpenCL style) vs OpenACC
+/// tiling — returns `(shared_memory_ops_cuda_style, shared_memory_ops_openacc_tile)`.
+/// The paper's point: the OpenACC pair is always 0.
+pub fn fig1_tiling_shared_ops() -> (u64, u64) {
+    // CUDA-style: BP's hand-written OpenCL forward kernel stages
+    // through __local memory.
+    let ocl = backprop::opencl_program(128);
+    let c_ocl =
+        paccport_compilers::compile(CompilerId::OpenClHand, &ocl, &gpu()).expect("ocl compile");
+    let cuda_style = c_ocl
+        .module
+        .counts()
+        .get(paccport_ptx::Category::SharedMemory);
+    // OpenACC tile: GE's fan1 with tile(32) under CAPS.
+    let mut vc = VariantCfg::independent();
+    vc.tile = Some(32);
+    let acc = gaussian::program(&vc);
+    let c_acc = paccport_compilers::compile(CompilerId::Caps, &acc, &gpu()).expect("acc compile");
+    let acc_tile = c_acc
+        .module
+        .counts()
+        .get(paccport_ptx::Category::SharedMemory);
+    (cuda_style, acc_tile)
+}
+
+/// Table II: the dependent/independent loop pair, as judged by the
+/// dependence analysis. Returns `(dependent_loop_refused,
+/// independent_loop_accepted)`.
+pub fn tab2_dependence_demo() -> (bool, bool) {
+    use paccport_ir::{analyze_block, Block, Expr, Stmt};
+    let a = paccport_ir::ArrayId(0);
+    let i = paccport_ir::VarId(0);
+    // A[i] = A[i-1] + 1
+    let dependent = Block::new(vec![Stmt::Store {
+        space: paccport_ir::MemSpace::Global,
+        array: a,
+        index: Expr::var(i),
+        value: Expr::bin(
+            paccport_ir::BinOp::Add,
+            Expr::load(
+                a,
+                Expr::bin(paccport_ir::BinOp::Sub, Expr::var(i), Expr::iconst(1)),
+            ),
+            Expr::fconst(1.0),
+        ),
+    }]);
+    // A[i] = A[i] + 1
+    let independent = Block::new(vec![Stmt::Store {
+        space: paccport_ir::MemSpace::Global,
+        array: a,
+        index: Expr::var(i),
+        value: Expr::bin(
+            paccport_ir::BinOp::Add,
+            Expr::load(a, Expr::var(i)),
+            Expr::fconst(1.0),
+        ),
+    }]);
+    (
+        !analyze_block(i, &dependent).is_independent(),
+        analyze_block(i, &independent).is_independent(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Scale {
+        Scale::quick()
+    }
+
+    #[test]
+    fn fig3_shape() {
+        let f = fig3_lud(&s());
+        // 4 variants × 3 series.
+        assert_eq!(f.points.len(), 12);
+        let base = f.get("CAPS-CUDA-K40", "Base").unwrap();
+        let dist = f.get("CAPS-CUDA-K40", "ThreadDist").unwrap();
+        let pgi = f.get("PGI-K40", "Base").unwrap();
+        assert!(base.seconds / pgi.seconds > 50.0, "the ~1000x gap");
+        assert!(dist.seconds < base.seconds / 50.0, "dist closes it");
+        // Unroll and tile do not help further (Fig. 3).
+        let unroll = f.get("CAPS-CUDA-K40", "Unroll").unwrap();
+        assert!(unroll.seconds > dist.seconds * 0.7);
+    }
+
+    #[test]
+    fn fig6_shape() {
+        let f = fig6_lud_ptx(&s());
+        // PGI emits more PTX than CAPS for the same source (V-A3).
+        let caps = f
+            .bars
+            .iter()
+            .find(|b| b.label == "CAPS-CUDA-K40 / Base")
+            .unwrap();
+        let pgi = f.bars.iter().find(|b| b.label == "PGI-K40 / Base").unwrap();
+        assert!(pgi.counts.total() > caps.counts.total());
+        // ThreadDist does not change the PTX; Tile is silent (each
+        // step is applied on top of ThreadDist, so Tile is compared
+        // against ThreadDist, not against Unroll).
+        let v = f.verdicts("CAPS-CUDA-K40");
+        use crate::ptxcmp::{compare_steps, StepVerdict};
+        assert_eq!(v[0].1, StepVerdict::Unchanged, "Base -> ThreadDist");
+        assert!(matches!(v[1].1, StepVerdict::Changed(_)), "unroll grows");
+        let dist = f
+            .bars
+            .iter()
+            .find(|b| b.label == "CAPS-CUDA-K40 / ThreadDist")
+            .unwrap();
+        let tile = f
+            .bars
+            .iter()
+            .find(|b| b.label == "CAPS-CUDA-K40 / Tile")
+            .unwrap();
+        assert_eq!(
+            compare_steps(&dist.counts, &tile.counts),
+            StepVerdict::Unchanged,
+            "ThreadDist -> Tile silent"
+        );
+        assert!(!f.any_shared_memory("CAPS"), "no shared memory ever");
+    }
+
+    #[test]
+    fn tab2_and_fig1() {
+        assert_eq!(tab2_dependence_demo(), (true, true));
+        let (cuda, acc) = fig1_tiling_shared_ops();
+        assert!(cuda > 0);
+        assert_eq!(acc, 0);
+    }
+
+    #[test]
+    fn fig16_shape() {
+        let ppr = fig16_ppr(&s());
+        assert_eq!(ppr.len(), 4);
+        for c in &ppr {
+            assert!(
+                c.both_favor_gpu(),
+                "{}: PPRs {} / {}",
+                c.openacc.benchmark,
+                c.openacc.ppr(),
+                c.opencl.ppr()
+            );
+        }
+        // At least one benchmark where OpenACC is more portable.
+        assert!(
+            ppr.iter().any(|c| c.openacc_is_more_portable()),
+            "paper: better PPR 'in some cases'"
+        );
+    }
+}

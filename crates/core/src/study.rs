@@ -1,0 +1,233 @@
+//! Study orchestration: scales, measurement points and the helpers
+//! every figure generator shares.
+
+use paccport_compilers::{compile, CompileOptions, CompilerId};
+use paccport_devsim::{run, RunConfig};
+use paccport_ptx::CategoryCounts;
+use serde::{Deserialize, Serialize};
+
+/// Input sizes for the whole study.
+///
+/// `paper()` uses Table IV's sizes (evaluated through the timing
+/// model); `quick()` is small enough for functional validation and CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    pub lud_n: usize,
+    pub ge_n: usize,
+    pub bfs_n: usize,
+    pub bfs_avg_degree: usize,
+    pub bfs_levels: u32,
+    pub bp_in: usize,
+    pub bp_hid: usize,
+    pub hydro_n: usize,
+    pub hydro_steps: usize,
+}
+
+impl Scale {
+    /// Table IV: 4K matrix, 8K matrix, 32M nodes, 20M-unit layer.
+    pub fn paper() -> Self {
+        Scale {
+            lud_n: 4096,
+            ge_n: 8192,
+            bfs_n: 32_000_000,
+            bfs_avg_degree: 4,
+            bfs_levels: 14,
+            bp_in: 20_000_000,
+            bp_hid: 16,
+            hydro_n: 1024,
+            hydro_steps: 4,
+        }
+    }
+
+    /// CI-friendly sizes with the same qualitative behaviour.
+    pub fn quick() -> Self {
+        Scale {
+            lud_n: 512,
+            ge_n: 512,
+            bfs_n: 500_000,
+            bfs_avg_degree: 4,
+            bfs_levels: 10,
+            bp_in: 200_000,
+            bp_hid: 16,
+            hydro_n: 128,
+            hydro_steps: 2,
+        }
+    }
+}
+
+/// One measured configuration of one benchmark version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measured {
+    /// e.g. "CAPS-CUDA-K40", "OCL-5110P".
+    pub series: String,
+    /// e.g. "Base", "Indep", "Dist(256,16)".
+    pub variant: String,
+    pub seconds: f64,
+    pub kernel_seconds: f64,
+    pub transfer_seconds: f64,
+    /// Thread-configuration label of the dominant kernel.
+    pub config: String,
+    /// Static PTX counts summed over the module.
+    pub counts: CategoryCounts,
+    pub h2d: u64,
+    pub d2h: u64,
+    pub launches: u64,
+    /// Whether every kernel actually ran on the accelerator.
+    pub on_device: bool,
+    /// Frontier-loop iterations (BFS; 0 elsewhere).
+    pub while_iterations: u64,
+    /// Average transfers per frontier iteration (Table VII).
+    pub transfers_per_while_iter: f64,
+    /// Transfers outside the frontier loop (Table VII's "in total").
+    pub transfers_outside_while: u64,
+}
+
+impl Measured {
+    /// Table VII-style execution-mode label.
+    pub fn exec_mode(&self) -> &'static str {
+        if !self.on_device {
+            "Host (sequential)"
+        } else if self.config == "1x1" {
+            "Sequential mode"
+        } else {
+            "Parallel mode"
+        }
+    }
+}
+
+/// Compile and run one program, collecting a [`Measured`] point.
+pub fn measure(
+    series: &str,
+    variant: &str,
+    compiler: CompilerId,
+    options: &CompileOptions,
+    program: &paccport_ir::Program,
+    cfg: &RunConfig,
+) -> Result<Measured, String> {
+    let c = compile(compiler, program, options).map_err(|e| e.to_string())?;
+    let r = run(&c, cfg)?;
+    // Dominant kernel: the one with the most device time.
+    let dominant = r
+        .kernel_stats
+        .iter()
+        .max_by(|a, b| a.device_time.total_cmp(&b.device_time));
+    Ok(Measured {
+        series: series.into(),
+        variant: variant.into(),
+        seconds: r.elapsed,
+        kernel_seconds: r.kernel_time,
+        transfer_seconds: r.transfer_time_s,
+        config: dominant.map(|d| d.config_label.clone()).unwrap_or_default(),
+        counts: c.module.counts(),
+        h2d: r.transfers.h2d_count,
+        d2h: r.transfers.d2h_count,
+        launches: r.kernel_stats.iter().map(|s| s.launches).sum(),
+        on_device: r.kernel_stats.iter().all(|s| s.ran_on_device),
+        while_iterations: r.while_iterations,
+        transfers_per_while_iter: r.transfers_per_while_iter,
+        transfers_outside_while: r.transfers_outside_while,
+    })
+}
+
+/// A figure of elapsed-time bars: series × variants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElapsedFigure {
+    pub id: String,
+    pub title: String,
+    pub points: Vec<Measured>,
+}
+
+impl ElapsedFigure {
+    pub fn get(&self, series: &str, variant: &str) -> Option<&Measured> {
+        self.points
+            .iter()
+            .find(|m| m.series == series && m.variant == variant)
+    }
+
+    /// All distinct series labels in insertion order.
+    pub fn series(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.series) {
+                out.push(p.series.clone());
+            }
+        }
+        out
+    }
+
+    /// All distinct variant labels in insertion order.
+    pub fn variants(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.variant) {
+                out.push(p.variant.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paccport_kernels::{lud, VariantCfg};
+
+    #[test]
+    fn measure_produces_complete_points() {
+        let p = lud::program(&VariantCfg::thread_dist(256, 16));
+        let cfg = RunConfig::timing(vec![("n".into(), 256.0)], 1);
+        let m = measure(
+            "CAPS-CUDA-K40",
+            "Dist(256,16)",
+            CompilerId::Caps,
+            &CompileOptions::gpu(),
+            &p,
+            &cfg,
+        )
+        .unwrap();
+        assert!(m.seconds > 0.0);
+        assert_eq!(m.config, "256x16");
+        assert!(m.counts.total() > 0);
+        assert_eq!(m.launches, 2 * 256);
+        assert!(m.on_device);
+    }
+
+    #[test]
+    fn figure_lookup() {
+        let mk = |s: &str, v: &str| Measured {
+            series: s.into(),
+            variant: v.into(),
+            seconds: 1.0,
+            kernel_seconds: 1.0,
+            transfer_seconds: 0.0,
+            config: "1x1".into(),
+            counts: CategoryCounts::default(),
+            h2d: 0,
+            d2h: 0,
+            launches: 0,
+            on_device: true,
+            while_iterations: 0,
+            transfers_per_while_iter: 0.0,
+            transfers_outside_while: 0,
+        };
+        let f = ElapsedFigure {
+            id: "fig3".into(),
+            title: "t".into(),
+            points: vec![mk("A", "Base"), mk("A", "Opt"), mk("B", "Base")],
+        };
+        assert!(f.get("A", "Opt").is_some());
+        assert!(f.get("B", "Opt").is_none());
+        assert_eq!(f.series(), vec!["A", "B"]);
+        assert_eq!(f.variants(), vec!["Base", "Opt"]);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let p = Scale::paper();
+        let q = Scale::quick();
+        assert!(p.lud_n > q.lud_n);
+        assert_eq!(p.lud_n, 4096);
+        assert_eq!(p.ge_n, 8192);
+        assert_eq!(p.bfs_n, 32_000_000);
+    }
+}

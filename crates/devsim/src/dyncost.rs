@@ -1,0 +1,445 @@
+//! Dynamic cost estimation: evaluating a compiled kernel's
+//! [`CostTree`] against concrete loop bounds.
+//!
+//! The tree was built by the same emission pass that produced the
+//! static PTX, so "dynamic instructions per parallel iteration" is the
+//! static per-category mix weighted by trip counts — the quantity the
+//! paper's static analysis cannot measure ("the analysis only
+//! considers a static count … and cannot actually count the number of
+//! actually executed instructions") but that the timing model needs.
+//!
+//! Loop bounds may reference program parameters, host loop variables
+//! and outer *parallel* variables (triangular nests); parallel
+//! variables are sampled at `{lo, mid, hi-1}` and averaged. Bounds
+//! that cannot be evaluated at all (BFS's data-dependent edge ranges)
+//! fall back to a per-kernel trip hint.
+
+use paccport_compilers::{CostNode, CostTree, KernelPlan};
+use paccport_ir::expr::{BinOp, CmpOp, Expr, UnOp};
+use paccport_ir::{Kernel, Program, VarId};
+use paccport_ptx::{Category, CATEGORIES};
+use std::collections::BTreeMap;
+
+use crate::interp::V;
+
+/// Averaged dynamic instruction mix (per parallel iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DynCost {
+    pub cats: [f64; CATEGORIES.len()],
+    /// Global-memory transactions (4 bytes each).
+    pub ldst: f64,
+}
+
+impl DynCost {
+    pub fn from_counts(c: &paccport_ptx::CategoryCounts, ldst: u64) -> Self {
+        DynCost {
+            cats: c.as_f64(),
+            ldst: ldst as f64,
+        }
+    }
+
+    pub fn add_scaled(&mut self, other: &DynCost, w: f64) {
+        for (a, b) in self.cats.iter_mut().zip(other.cats.iter()) {
+            *a += b * w;
+        }
+        self.ldst += other.ldst * w;
+    }
+
+    /// Total issue slots (all categories; sync barely matters).
+    pub fn issue_slots(&self) -> f64 {
+        self.cats.iter().sum()
+    }
+
+    /// Bytes of global-memory traffic (4-byte transactions).
+    pub fn mem_bytes(&self) -> f64 {
+        self.ldst * 4.0
+    }
+
+    pub fn get(&self, c: Category) -> f64 {
+        self.cats[c.index()]
+    }
+}
+
+/// Workload-supplied estimation hints.
+#[derive(Debug, Clone, Default)]
+pub struct CostHints {
+    /// Probability of taking the `then` arm, per `(kernel, branch
+    /// DFS index)`. Default 0.5.
+    pub branch_weights: BTreeMap<(String, usize), f64>,
+    /// Fallback trip count for loops whose bounds are data-dependent,
+    /// per kernel (BFS's average out-degree). Default 8.
+    pub trip_fallbacks: BTreeMap<String, f64>,
+}
+
+impl CostHints {
+    pub fn branch_weight(&self, kernel: &str, idx: usize) -> f64 {
+        self.branch_weights
+            .get(&(kernel.to_string(), idx))
+            .copied()
+            .unwrap_or(0.5)
+    }
+
+    pub fn trip_fallback(&self, kernel: &str) -> f64 {
+        self.trip_fallbacks.get(kernel).copied().unwrap_or(8.0)
+    }
+
+    pub fn with_branch(mut self, kernel: &str, idx: usize, w: f64) -> Self {
+        self.branch_weights.insert((kernel.into(), idx), w);
+        self
+    }
+
+    pub fn with_trips(mut self, kernel: &str, t: f64) -> Self {
+        self.trip_fallbacks.insert(kernel.into(), t);
+        self
+    }
+}
+
+/// Public wrapper over [`try_eval`] for other modules (the runner's
+/// timing-only host evaluation).
+pub fn try_eval_pub(e: &Expr, params: &[V], vars: &BTreeMap<VarId, f64>) -> Option<f64> {
+    try_eval(e, params, vars)
+}
+
+/// Best-effort scalar evaluation of a bound expression: `None` when it
+/// touches memory or an unbound variable.
+fn try_eval(e: &Expr, params: &[V], vars: &BTreeMap<VarId, f64>) -> Option<f64> {
+    try_eval_mode(e, params, vars, false)
+}
+
+/// Lenient evaluation: unbound variables and work-group builtins read
+/// as 0 (a lower-corner estimate — correct for strided reduction
+/// loops whose start is `lo + tid`), but memory loads still fail.
+fn try_eval_lenient(e: &Expr, params: &[V], vars: &BTreeMap<VarId, f64>) -> Option<f64> {
+    try_eval_mode(e, params, vars, true)
+}
+
+fn try_eval_mode(e: &Expr, params: &[V], vars: &BTreeMap<VarId, f64>, lenient: bool) -> Option<f64> {
+    match e {
+        Expr::FConst(v) => Some(*v),
+        Expr::IConst(v) => Some(*v as f64),
+        Expr::BConst(v) => Some(*v as i64 as f64),
+        Expr::Param(id) => Some(params[id.0 as usize].as_f()),
+        Expr::Var(id) => vars
+            .get(id)
+            .copied()
+            .or(if lenient { Some(0.0) } else { None }),
+        Expr::Special(_) => {
+            if lenient {
+                Some(0.0)
+            } else {
+                None
+            }
+        }
+        Expr::Load { .. } => None,
+        Expr::Un(op, a) => {
+            let a = try_eval_mode(a, params, vars, lenient)?;
+            Some(match op {
+                UnOp::Neg => -a,
+                UnOp::Abs => a.abs(),
+                UnOp::Rcp => 1.0 / a,
+                UnOp::Sqrt => a.sqrt(),
+                UnOp::Not => (a == 0.0) as i64 as f64,
+                UnOp::Exp => a.exp(),
+            })
+        }
+        Expr::Bin(op, a, b) => {
+            let a = try_eval_mode(a, params, vars, lenient)?;
+            let b = try_eval_mode(b, params, vars, lenient)?;
+            Some(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if (a.fract() == 0.0) && (b.fract() == 0.0) && b != 0.0 {
+                        ((a as i64) / (b as i64)) as f64
+                    } else {
+                        a / b
+                    }
+                }
+                BinOp::Rem => {
+                    if b == 0.0 {
+                        return None;
+                    }
+                    ((a as i64) % (b as i64)) as f64
+                }
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                BinOp::And => ((a != 0.0) && (b != 0.0)) as i64 as f64,
+                BinOp::Or => ((a != 0.0) || (b != 0.0)) as i64 as f64,
+                BinOp::Shl => ((a as i64) << (b as i64)) as f64,
+                BinOp::Shr => ((a as i64) >> (b as i64)) as f64,
+            })
+        }
+        Expr::Cmp(op, a, b) => {
+            let a = try_eval_mode(a, params, vars, lenient)?;
+            let b = try_eval_mode(b, params, vars, lenient)?;
+            let r = match op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            };
+            Some(r as i64 as f64)
+        }
+        Expr::Fma(a, b, c) => {
+            Some(try_eval_mode(a, params, vars, lenient)? * try_eval_mode(b, params, vars, lenient)? + try_eval_mode(c, params, vars, lenient)?)
+        }
+        Expr::Select(c, a, b) => {
+            if try_eval_mode(c, params, vars, lenient)? != 0.0 {
+                try_eval_mode(a, params, vars, lenient)
+            } else {
+                try_eval_mode(b, params, vars, lenient)
+            }
+        }
+        Expr::Cast(_, a) => try_eval_mode(a, params, vars, lenient),
+    }
+}
+
+struct TreeEval<'a> {
+    kernel: &'a str,
+    params: &'a [V],
+    hints: &'a CostHints,
+    branch_idx: usize,
+}
+
+impl TreeEval<'_> {
+    fn eval(&mut self, t: &CostTree, vars: &mut BTreeMap<VarId, f64>) -> DynCost {
+        let mut out = DynCost::from_counts(&t.flat, t.flat_ldst);
+        for kid in &t.kids {
+            match kid {
+                CostNode::Loop {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    overhead,
+                    body,
+                } => {
+                    let lo_v = try_eval(lo, self.params, vars)
+                        .or_else(|| try_eval_lenient(lo, self.params, vars));
+                    let hi_v = try_eval(hi, self.params, vars)
+                        .or_else(|| try_eval_lenient(hi, self.params, vars));
+                    let trips = match (lo_v, hi_v) {
+                        (Some(l), Some(h)) => {
+                            ((h - l) / *step as f64).ceil().max(0.0)
+                        }
+                        _ => self.hints.trip_fallback(self.kernel),
+                    };
+                    // Bind the loop var to its midpoint for the body.
+                    let mid = match (lo_v, hi_v) {
+                        (Some(l), Some(h)) => (l + h) / 2.0,
+                        _ => self.hints.trip_fallback(self.kernel) / 2.0,
+                    };
+                    let saved = vars.insert(*var, mid);
+                    let body_cost = self.eval(body, vars);
+                    match saved {
+                        Some(v) => {
+                            vars.insert(*var, v);
+                        }
+                        None => {
+                            vars.remove(var);
+                        }
+                    }
+                    let mut per_iter = body_cost;
+                    per_iter.add_scaled(&DynCost::from_counts(overhead, 0), 1.0);
+                    out.add_scaled(&per_iter, trips);
+                }
+                CostNode::Branch { then, els } => {
+                    let w = self.hints.branch_weight(self.kernel, self.branch_idx);
+                    self.branch_idx += 1;
+                    let t_cost = self.eval(then, vars);
+                    let e_cost = self.eval(els, vars);
+                    out.add_scaled(&t_cost, w);
+                    out.add_scaled(&e_cost, 1.0 - w);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Average per-parallel-iteration dynamic cost of a kernel launch.
+///
+/// `host_vars` binds host loop variables currently in scope;
+/// `dist_rank` says how many parallel loops are distributed (their
+/// variables are sampled when the cost depends on them).
+pub fn kernel_dyn_cost(
+    _program: &Program,
+    kernel: &Kernel,
+    plan: &KernelPlan,
+    dist_rank: usize,
+    params: &[V],
+    host_vars: &BTreeMap<VarId, f64>,
+    hints: &CostHints,
+) -> DynCost {
+    // Sample points for distributed parallel variables whose value the
+    // cost may depend on (triangular serialized loops).
+    let mut samples: Vec<BTreeMap<VarId, f64>> = vec![host_vars.clone()];
+    for lp in kernel.loops.iter().take(dist_rank) {
+        let mut next = Vec::new();
+        for s in &samples {
+            let lo = try_eval(&lp.lo, params, s).unwrap_or(0.0);
+            let hi = try_eval(&lp.hi, params, s).unwrap_or(lo + 1.0);
+            let mut points = vec![lo, (lo + hi) / 2.0, (hi - 1.0).max(lo)];
+            points.dedup_by(|a, b| a == b);
+            for pt in points {
+                let mut m = s.clone();
+                m.insert(lp.var, pt);
+                next.push(m);
+            }
+        }
+        // Cap combinatorial growth.
+        next.truncate(9);
+        samples = next;
+    }
+    let mut acc = DynCost::default();
+    let n = samples.len().max(1) as f64;
+    for mut s in samples {
+        let mut ev = TreeEval {
+            kernel: &plan.kernel,
+            params,
+            hints,
+            branch_idx: 0,
+        };
+        let c = ev.eval(&plan.cost, &mut s);
+        acc.add_scaled(&c, 1.0 / n);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paccport_compilers::{compile, CompileOptions, CompilerId};
+    use paccport_ir::{
+        assign, for_, ld, let_, st, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder,
+        Scalar, E,
+    };
+
+    /// Build `out[i] = sum_{k<n} x[k]` and check the dynamic cost
+    /// scales linearly with n.
+    #[test]
+    fn dynamic_cost_scales_with_trip_count() {
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let x = b.array("x", Scalar::F32, n, Intent::In);
+        let out = b.array("out", Scalar::F32, n, Intent::Out);
+        let i = b.var("i");
+        let kv = b.var("k");
+        let s = b.var("s");
+        let mut lp = ParallelLoop::new(i, Expr::iconst(0), Expr::param(n));
+        lp.clauses.independent = true;
+        let k = Kernel::simple(
+            "sum",
+            vec![lp],
+            paccport_ir::Block::new(vec![
+                let_(s, Scalar::F32, 0.0),
+                for_(kv, 0i64, E::from(n), vec![assign(s, E::from(s) + ld(x, kv))]),
+                st(out, i, E::from(s)),
+            ]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+        let plan = c.plan("sum").unwrap();
+        let kernel = c.program.kernel("sum").unwrap();
+
+        let cost_at = |nv: i64| {
+            kernel_dyn_cost(
+                &c.program,
+                kernel,
+                plan,
+                1,
+                &[V::I(nv)],
+                &BTreeMap::new(),
+                &CostHints::default(),
+            )
+        };
+        let c64 = cost_at(64);
+        let c128 = cost_at(128);
+        let ratio = c128.issue_slots() / c64.issue_slots();
+        assert!(
+            (ratio - 2.0).abs() < 0.2,
+            "expected ~2x scaling, got {ratio}"
+        );
+        // One global load per inner iteration + one store.
+        assert!((c64.ldst - 65.0).abs() < 2.0, "ldst {}", c64.ldst);
+    }
+
+    #[test]
+    fn branch_weight_hint_changes_cost() {
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let x = b.array("x", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        let mut lp = ParallelLoop::new(i, Expr::iconst(0), Expr::param(n));
+        lp.clauses.independent = true;
+        let k = Kernel::simple(
+            "guarded",
+            vec![lp],
+            paccport_ir::Block::new(vec![paccport_ir::if_(
+                ld(x, i).gt(0.0),
+                vec![st(x, i, ld(x, i) * 2.0), st(x, i, ld(x, i) * 3.0)],
+            )]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+        let plan = c.plan("guarded").unwrap();
+        let kernel = c.program.kernel("guarded").unwrap();
+        let cost_with = |h: CostHints| {
+            kernel_dyn_cost(
+                &c.program,
+                kernel,
+                plan,
+                1,
+                &[V::I(64)],
+                &BTreeMap::new(),
+                &h,
+            )
+        };
+        let dflt = cost_with(CostHints::default());
+        let rare = cost_with(CostHints::default().with_branch("guarded", 0, 0.01));
+        assert!(dflt.issue_slots() > rare.issue_slots());
+    }
+
+    #[test]
+    fn data_dependent_bounds_use_trip_fallback() {
+        // for e in nodes[i]..nodes[i]+deg — unanalyzable bounds.
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let nodes = b.array("nodes", Scalar::I32, n, Intent::In);
+        let out = b.array("out", Scalar::F32, n, Intent::Out);
+        let i = b.var("i");
+        let e = b.var("e");
+        let mut lp = ParallelLoop::new(i, Expr::iconst(0), Expr::param(n));
+        lp.clauses.independent = true;
+        let k = Kernel::simple(
+            "edges",
+            vec![lp],
+            paccport_ir::Block::new(vec![for_(
+                e,
+                ld(nodes, i),
+                ld(nodes, i) + 4i64,
+                vec![st(out, i, 1.0)],
+            )]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+        let plan = c.plan("edges").unwrap();
+        let kernel = c.program.kernel("edges").unwrap();
+        let cost_with = |t: f64| {
+            kernel_dyn_cost(
+                &c.program,
+                kernel,
+                plan,
+                1,
+                &[V::I(64)],
+                &BTreeMap::new(),
+                &CostHints::default().with_trips("edges", t),
+            )
+            .issue_slots()
+        };
+        assert!(cost_with(100.0) > cost_with(2.0) * 3.0);
+    }
+}

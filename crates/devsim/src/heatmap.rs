@@ -1,0 +1,166 @@
+//! The Figure-4 machinery: sweep gang × worker (or the equivalent)
+//! thread-distribution configurations, recording modeled elapsed time
+//! for each cell. Cells are independent, so the sweep is parallelized
+//! with rayon.
+
+use crate::runner::{run, RunConfig};
+use paccport_compilers::{compile, CompileError, CompileOptions, CompilerId};
+use paccport_ir::Program;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One heat map: rows = gang counts, columns = worker counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeatMap {
+    pub title: String,
+    pub gangs: Vec<u32>,
+    pub workers: Vec<u32>,
+    /// `cells[gi][wi]` = elapsed seconds (NaN for failed cells).
+    pub cells: Vec<Vec<f64>>,
+}
+
+impl HeatMap {
+    /// Coordinates and value of the fastest cell.
+    pub fn best(&self) -> (u32, u32, f64) {
+        let mut best = (self.gangs[0], self.workers[0], f64::INFINITY);
+        for (gi, g) in self.gangs.iter().enumerate() {
+            for (wi, w) in self.workers.iter().enumerate() {
+                let v = self.cells[gi][wi];
+                if v.is_finite() && v < best.2 {
+                    best = (*g, *w, v);
+                }
+            }
+        }
+        best
+    }
+
+    /// Elapsed time at a specific configuration.
+    pub fn at(&self, gang: u32, worker: u32) -> Option<f64> {
+        let gi = self.gangs.iter().position(|g| *g == gang)?;
+        let wi = self.workers.iter().position(|w| *w == worker)?;
+        Some(self.cells[gi][wi])
+    }
+
+    /// ASCII rendering, brightest (fastest) to darkest, like Fig. 4.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}  (elapsed seconds; * = best)", self.title);
+        let (bg, bw, _) = self.best();
+        let _ = write!(out, "{:>8}", "gang\\wkr");
+        for w in &self.workers {
+            let _ = write!(out, "{w:>10}");
+        }
+        out.push('\n');
+        for (gi, g) in self.gangs.iter().enumerate() {
+            let _ = write!(out, "{g:>8}");
+            for (wi, w) in self.workers.iter().enumerate() {
+                let v = self.cells[gi][wi];
+                let marker = if *g == bg && *w == bw { "*" } else { "" };
+                let _ = write!(out, "{:>10}", format!("{v:.3}{marker}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Sweep a program over gang × worker configurations.
+///
+/// `configure` receives a fresh clone of the program plus the (gang,
+/// worker) pair and must set the appropriate clauses; each configured
+/// program is compiled with `compiler`/`options` and run with `cfg`.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep(
+    title: &str,
+    program: &Program,
+    compiler: CompilerId,
+    options: &CompileOptions,
+    cfg: &RunConfig,
+    gangs: &[u32],
+    workers: &[u32],
+    configure: impl Fn(&mut Program, u32, u32) + Sync,
+) -> Result<HeatMap, CompileError> {
+    let cells: Vec<Vec<f64>> = gangs
+        .par_iter()
+        .map(|g| {
+            workers
+                .iter()
+                .map(|w| {
+                    let mut p = program.clone();
+                    configure(&mut p, *g, *w);
+                    match compile(compiler, &p, options) {
+                        Ok(c) => match run(&c, cfg) {
+                            Ok(r) => r.elapsed,
+                            Err(_) => f64::NAN,
+                        },
+                        Err(_) => f64::NAN,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Ok(HeatMap {
+        title: title.into(),
+        gangs: gangs.to_vec(),
+        workers: workers.to_vec(),
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paccport_ir::{ld, st, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar};
+
+    fn memory_bound_program() -> Program {
+        let mut b = ProgramBuilder::new("memtouch");
+        let n = b.iparam("n");
+        let a = b.array("a", Scalar::F32, n, Intent::InOut);
+        let x = b.array("x", Scalar::F32, n, Intent::In);
+        let i = b.var("i");
+        let k = Kernel::simple(
+            "touch",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            paccport_ir::Block::new(vec![st(a, i, ld(a, i) + ld(x, i))]),
+        );
+        b.finish(vec![HostStmt::Launch(k)])
+    }
+
+    #[test]
+    fn sweep_produces_full_grid_and_sane_best() {
+        let p = memory_bound_program();
+        let cfg = RunConfig::timing(vec![("n".into(), 4096.0 * 4096.0)], 1);
+        let gangs = [1u32, 64, 256, 1024];
+        let workers = [1u32, 8, 16, 32, 64];
+        let hm = sweep(
+            "CAPS-K40",
+            &p,
+            CompilerId::Caps,
+            &CompileOptions::gpu(),
+            &cfg,
+            &gangs,
+            &workers,
+            |p, g, w| {
+                p.map_kernels(|k| {
+                    k.loops[0].clauses.gang = Some(g);
+                    k.loops[0].clauses.worker = Some(w);
+                });
+            },
+        )
+        .unwrap();
+        assert_eq!(hm.cells.len(), 4);
+        assert_eq!(hm.cells[0].len(), 5);
+        let (bg, bw, bt) = hm.best();
+        assert!(bt.is_finite());
+        // 1x1 must be the worst corner by a wide margin.
+        let worst = hm.at(1, 1).unwrap();
+        // Host↔device copy time is constant across cells and
+        // compresses the ratio for this tiny kernel.
+        assert!(worst / bt > 20.0, "1x1 {worst} vs best {bt}");
+        // The best cell should be a saturating configuration.
+        assert!(bg as u64 * bw as u64 >= 2048, "best ({bg},{bw})");
+        // Render does not panic and marks the best.
+        assert!(hm.render().contains('*'));
+    }
+}

@@ -1,0 +1,137 @@
+//! `nvprof`-style run profiles — the instrumentation view the paper's
+//! authors used to discover that PGI's BFS kernels never reached the
+//! GPU (`PGI_ACC_TIME=1` + nvprof, Section V-C1).
+
+use crate::runner::RunResult;
+use std::fmt::Write;
+
+/// Render a per-kernel profile table for a finished run.
+pub fn render_profile(r: &RunResult) -> String {
+    let mut out = String::new();
+    let total: f64 = r
+        .kernel_stats
+        .iter()
+        .map(|s| s.device_time)
+        .sum::<f64>()
+        .max(1e-30);
+    let _ = writeln!(
+        out,
+        "{:<22}{:>9}{:>13}{:>8}{:>10}  executed on",
+        "kernel", "launches", "time", "%", "threads"
+    );
+    for _ in 0..76 {
+        out.push('-');
+    }
+    out.push('\n');
+    for s in &r.kernel_stats {
+        let _ = writeln!(
+            out,
+            "{:<22}{:>9}{:>13}{:>7.1}%{:>10}  {}",
+            s.name,
+            s.launches,
+            format_time(s.device_time),
+            100.0 * s.device_time / total,
+            s.config_label,
+            if s.ran_on_device {
+                "device"
+            } else {
+                "HOST (never launched)"
+            }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nmemcpy: {} HtoD ({:.1} MB), {} DtoH ({:.1} MB), {} of wall time",
+        r.transfers.h2d_count,
+        r.transfers.h2d_bytes as f64 / 1e6,
+        r.transfers.d2h_count,
+        r.transfers.d2h_bytes as f64 / 1e6,
+        format_time(r.transfer_time_s),
+    );
+    let _ = writeln!(
+        out,
+        "wall: {} (kernels {}, transfers {}, host {})",
+        format_time(r.elapsed),
+        format_time(r.kernel_time),
+        format_time(r.transfer_time_s),
+        format_time(r.host_time),
+    );
+    out
+}
+
+fn format_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paccport_compilers::{compile, CompileOptions, CompilerId};
+    use paccport_ir::{ld, st, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar, E};
+
+    #[test]
+    fn profile_shows_host_fallback_prominently() {
+        // A PGI-refused kernel must be flagged, as nvprof's silence
+        // flagged it for the paper's authors.
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let idx = b.array("idx", Scalar::I32, n, Intent::In);
+        let out_arr = b.array("out", Scalar::F32, n, Intent::Out);
+        let i = b.var("i");
+        let mut lp = ParallelLoop::new(i, Expr::iconst(0), Expr::param(n));
+        lp.clauses.independent = true;
+        let k = Kernel::simple(
+            "scatter",
+            vec![lp],
+            paccport_ir::Block::new(vec![st(out_arr, ld(idx, i), 1.0)]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let c = compile(CompilerId::Pgi, &p, &CompileOptions::gpu()).unwrap();
+        let r = crate::runner::run(&c, &crate::runner::RunConfig::timing(vec![("n".into(), 1000.0)], 1))
+            .unwrap();
+        let text = render_profile(&r);
+        assert!(text.contains("HOST (never launched)"), "{text}");
+        assert!(text.contains("scatter"));
+        assert!(text.contains("memcpy"));
+    }
+
+    #[test]
+    fn profile_percentages_sum_to_one_hundred_ish() {
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let a = b.array("a", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        let j = b.var("j");
+        let mut l1 = ParallelLoop::new(i, Expr::iconst(0), Expr::param(n));
+        l1.clauses.independent = true;
+        let mut l2 = ParallelLoop::new(j, Expr::iconst(0), Expr::param(n));
+        l2.clauses.independent = true;
+        let k1 = Kernel::simple("k1", vec![l1], paccport_ir::Block::new(vec![st(a, i, 1.0)]));
+        let k2 = Kernel::simple(
+            "k2",
+            vec![l2],
+            paccport_ir::Block::new(vec![st(a, j, ld(a, E::from(j)) + 1.0)]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k1), HostStmt::Launch(k2)]);
+        let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+        let r = crate::runner::run(&c, &crate::runner::RunConfig::timing(vec![("n".into(), 1e6)], 1))
+            .unwrap();
+        let text = render_profile(&r);
+        let total: f64 = text
+            .lines()
+            .filter(|l| l.contains('%'))
+            .filter_map(|l| {
+                l.split_whitespace()
+                    .find(|t| t.ends_with('%'))
+                    .and_then(|t| t.trim_end_matches('%').parse::<f64>().ok())
+            })
+            .sum();
+        assert!((total - 100.0).abs() < 1.0, "{total} — {text}");
+    }
+}

@@ -1,0 +1,879 @@
+//! End-to-end execution of a compiled program on a simulated device:
+//! host control flow, transfer accounting (the evidence behind
+//! Table VII), modeled kernel times, and — in functional mode — real
+//! execution of every kernel so results can be validated.
+
+use crate::device::{host_cpu, spec_for, DeviceSpec};
+use crate::dyncost::{kernel_dyn_cost, CostHints, DynCost};
+use crate::interp::{exec_kernel, fresh_vars, KernelFidelity, V};
+use crate::memory::{Buffer, TransferLedger};
+use crate::timing::{kernel_launch_time, transfer_time};
+use paccport_compilers::common::dist_rank_of;
+use paccport_compilers::lower::used_arrays;
+use paccport_compilers::{
+    CompiledProgram, Correctness, DistSpec, ExecStrategy, TransferPolicy,
+};
+use paccport_ir::stmt::Stmt;
+use paccport_ir::types::MemSpace;
+use paccport_ir::{ArrayId, Dir, HostStmt, Intent, Kernel, KernelBody, Scalar, VarId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How faithfully to run the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Allocate buffers, execute every kernel, produce checkable
+    /// results. Use for validation-scale inputs.
+    Functional,
+    /// Model time only: no buffers, no execution. Flag-controlled
+    /// loops run `while_iters` iterations. Use for paper-scale inputs.
+    TimingOnly { while_iters: u32 },
+}
+
+/// Run configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Parameter values by name (converted per the declared type).
+    pub params: Vec<(String, f64)>,
+    /// Initial host contents by array name (missing arrays start
+    /// zeroed).
+    pub inputs: Vec<(String, Buffer)>,
+    pub fidelity: Fidelity,
+    pub hints: CostHints,
+}
+
+impl RunConfig {
+    pub fn functional(params: Vec<(String, f64)>) -> Self {
+        RunConfig {
+            params,
+            inputs: Vec::new(),
+            fidelity: Fidelity::Functional,
+            hints: CostHints::default(),
+        }
+    }
+
+    pub fn timing(params: Vec<(String, f64)>, while_iters: u32) -> Self {
+        RunConfig {
+            params,
+            inputs: Vec::new(),
+            fidelity: Fidelity::TimingOnly { while_iters },
+            hints: CostHints::default(),
+        }
+    }
+
+    pub fn with_input(mut self, name: &str, buf: Buffer) -> Self {
+        self.inputs.push((name.into(), buf));
+        self
+    }
+
+    pub fn with_hints(mut self, hints: CostHints) -> Self {
+        self.hints = hints;
+        self
+    }
+}
+
+/// Per-kernel execution statistics (what `nvprof` / `PGI_ACC_TIME`
+/// showed the authors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStat {
+    pub name: String,
+    pub launches: u64,
+    pub device_time: f64,
+    /// `false` reproduces the paper's BFS discovery: the kernel never
+    /// ran on the accelerator.
+    pub ran_on_device: bool,
+    pub config_label: String,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total modeled wall time (kernels + transfers + host work).
+    pub elapsed: f64,
+    pub kernel_time: f64,
+    pub transfer_time_s: f64,
+    pub host_time: f64,
+    pub kernel_stats: Vec<KernelStat>,
+    pub transfers: TransferLedger,
+    /// Iterations the flag-controlled loop executed (0 if none).
+    pub while_iterations: u64,
+    /// Average transfers per while-loop iteration (Table VII).
+    pub transfers_per_while_iter: f64,
+    /// Transfers outside the while loop (Table VII's "in total" row).
+    pub transfers_outside_while: u64,
+    /// Final host buffers (functional mode; empty in timing mode).
+    pub host: Vec<Buffer>,
+    /// A kernel with a known-wrong plan executed (validation is
+    /// expected to fail).
+    pub any_known_wrong: bool,
+}
+
+impl RunResult {
+    /// Host buffer by array name.
+    pub fn buffer<'a>(&'a self, c: &CompiledProgram, name: &str) -> Option<&'a Buffer> {
+        let id = c.program.array_id(name)?;
+        self.host.get(id.0 as usize)
+    }
+}
+
+/// Execute a compiled program.
+pub fn run(c: &CompiledProgram, cfg: &RunConfig) -> Result<RunResult, String> {
+    let spec = spec_for(c.options.target, c.options.host_compiler);
+    let host_spec = host_cpu(c.options.host_compiler);
+    let mut r = Runner::new(c, cfg, spec, host_spec)?;
+    let body = c.program.body.clone();
+    for s in &body {
+        r.host_stmt(s)?;
+    }
+    r.finish()
+}
+
+struct Runner<'a> {
+    c: &'a CompiledProgram,
+    cfg: &'a RunConfig,
+    spec: DeviceSpec,
+    host_spec: DeviceSpec,
+    functional: bool,
+    params: Vec<V>,
+    lens: Vec<usize>,
+    host: Vec<Buffer>,
+    dev: Vec<Buffer>,
+    vars: Vec<Option<V>>,
+    host_vars_f: BTreeMap<VarId, f64>,
+    resident: Vec<bool>,
+    host_valid: Vec<bool>,
+    ledger: TransferLedger,
+    kernel_time: f64,
+    transfer_time_s: f64,
+    host_time: f64,
+    stats: BTreeMap<String, KernelStat>,
+    launch_order: Vec<String>,
+    any_known_wrong: bool,
+    while_iterations: u64,
+    transfers_in_while: u64,
+    in_while: bool,
+    written_in_iter: BTreeSet<ArrayId>,
+    /// Arrays touched by at least one device-executed kernel (PGI's
+    /// runtime elides `update`s for arrays with no device activity).
+    device_active: Vec<bool>,
+    /// Data-region nesting count per array. Kernels touching arrays
+    /// *outside* any data region pay per-launch synchronization — the
+    /// OpenACC semantics a 2014 compiler implements when the
+    /// programmer omits `#pragma acc data` (the motivation for the
+    /// paper's future-work Step 5).
+    region_cover: Vec<u32>,
+}
+
+impl<'a> Runner<'a> {
+    fn new(
+        c: &'a CompiledProgram,
+        cfg: &'a RunConfig,
+        spec: DeviceSpec,
+        host_spec: DeviceSpec,
+    ) -> Result<Self, String> {
+        let p = &c.program;
+        // Bind parameters in declaration order.
+        let mut params = Vec::with_capacity(p.params.len());
+        for d in &p.params {
+            let v = cfg
+                .params
+                .iter()
+                .find(|(n, _)| *n == d.name)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| format!("missing parameter `{}`", d.name))?;
+            params.push(match d.ty {
+                Scalar::F32 | Scalar::F64 => V::F(v),
+                _ => V::I(v as i64),
+            });
+        }
+        // Array lengths.
+        let empty_vars = fresh_vars(p);
+        let mut lens = Vec::with_capacity(p.arrays.len());
+        {
+            let mut no_bufs: [Buffer; 0] = [];
+            let mut scratch = empty_vars.clone();
+            for a in &p.arrays {
+                let scope = crate::interp::Scope {
+                    vars: &mut scratch,
+                    bufs: &mut no_bufs,
+                    locals: None,
+                    group: Default::default(),
+                };
+                let l = crate::interp::eval(p, &params, &a.len, &scope).as_i();
+                if l < 0 {
+                    return Err(format!("array `{}` has negative length {l}", a.name));
+                }
+                lens.push(l as usize);
+            }
+        }
+        let functional = matches!(cfg.fidelity, Fidelity::Functional);
+        let (host, dev) = if functional {
+            let mut host: Vec<Buffer> = p
+                .arrays
+                .iter()
+                .zip(&lens)
+                .map(|(a, l)| Buffer::zeroed(a.elem, *l))
+                .collect();
+            for (name, buf) in &cfg.inputs {
+                let id = p
+                    .array_id(name)
+                    .ok_or_else(|| format!("unknown input array `{name}`"))?;
+                if buf.len() != lens[id.0 as usize] {
+                    return Err(format!(
+                        "input `{name}` has length {} but the program expects {}",
+                        buf.len(),
+                        lens[id.0 as usize]
+                    ));
+                }
+                host[id.0 as usize] = buf.clone();
+            }
+            let dev = host
+                .iter()
+                .map(|b| Buffer::zeroed(b.elem(), b.len()))
+                .collect();
+            (host, dev)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        // Which arrays any device-executed kernel touches.
+        let mut device_active = vec![false; p.arrays.len()];
+        for k in p.kernels() {
+            if let Some(plan) = c.plan(&k.name) {
+                if plan.exec != ExecStrategy::HostSequential {
+                    for a in used_arrays(k) {
+                        device_active[a.0 as usize] = true;
+                    }
+                }
+            }
+        }
+        Ok(Runner {
+            c,
+            cfg,
+            spec,
+            host_spec,
+            functional,
+            params,
+            lens,
+            host,
+            dev,
+            vars: empty_vars,
+            host_vars_f: BTreeMap::new(),
+            resident: vec![false; p.arrays.len()],
+            host_valid: vec![true; p.arrays.len()],
+            ledger: TransferLedger::default(),
+            kernel_time: 0.0,
+            transfer_time_s: 0.0,
+            host_time: 0.0,
+            stats: BTreeMap::new(),
+            launch_order: Vec::new(),
+            any_known_wrong: false,
+            while_iterations: 0,
+            transfers_in_while: 0,
+            in_while: false,
+            written_in_iter: BTreeSet::new(),
+            device_active,
+            region_cover: vec![0; p.arrays.len()],
+        })
+    }
+
+    fn bytes_of(&self, a: ArrayId) -> u64 {
+        (self.lens[a.0 as usize] * self.c.program.array(a).elem.size_bytes()) as u64
+    }
+
+    fn note_transfer(&mut self) {
+        if self.in_while {
+            self.transfers_in_while += 1;
+        }
+    }
+
+    fn h2d(&mut self, a: ArrayId) {
+        let bytes = self.bytes_of(a);
+        self.ledger.record_h2d(bytes);
+        self.transfer_time_s += transfer_time(&self.spec, bytes);
+        self.note_transfer();
+        if self.functional {
+            self.dev[a.0 as usize] = self.host[a.0 as usize].clone();
+        }
+        self.resident[a.0 as usize] = true;
+    }
+
+    fn d2h(&mut self, a: ArrayId) {
+        let bytes = self.bytes_of(a);
+        self.ledger.record_d2h(bytes);
+        self.transfer_time_s += transfer_time(&self.spec, bytes);
+        self.note_transfer();
+        if self.functional {
+            self.host[a.0 as usize] = self.dev[a.0 as usize].clone();
+        }
+        self.host_valid[a.0 as usize] = true;
+    }
+
+    /// Region-exit copy-out: always counted, but the data copy is
+    /// skipped when the host copy is already the authoritative one.
+    fn d2h_region_exit(&mut self, a: ArrayId) {
+        if self.host_valid[a.0 as usize] {
+            let bytes = self.bytes_of(a);
+            self.ledger.record_d2h(bytes);
+            self.transfer_time_s += transfer_time(&self.spec, bytes);
+            self.note_transfer();
+        } else {
+            self.d2h(a);
+        }
+    }
+
+    fn ensure_on_device(&mut self, a: ArrayId) {
+        if !self.resident[a.0 as usize] {
+            self.h2d(a);
+        }
+    }
+
+    fn ensure_on_host(&mut self, a: ArrayId) {
+        if !self.host_valid[a.0 as usize] {
+            self.d2h(a);
+        }
+    }
+
+    fn host_stmt(&mut self, s: &HostStmt) -> Result<(), String> {
+        match s {
+            HostStmt::DataRegion { arrays, body } => {
+                for a in arrays {
+                    self.region_cover[a.0 as usize] += 1;
+                    let intent = self.c.program.array(*a).intent;
+                    if intent.copies_in() {
+                        self.h2d(*a);
+                    } else {
+                        // `create` / copyout-only: allocate, no copy.
+                        self.resident[a.0 as usize] = true;
+                        if self.functional {
+                            let d = self.c.program.array(*a);
+                            self.dev[a.0 as usize] =
+                                Buffer::zeroed(d.elem, self.lens[a.0 as usize]);
+                        }
+                    }
+                }
+                for s in body {
+                    self.host_stmt(s)?;
+                }
+                for a in arrays {
+                    self.region_cover[a.0 as usize] -= 1;
+                    let intent = self.c.program.array(*a).intent;
+                    if intent.copies_out() {
+                        // The runtime performs the copy-out regardless
+                        // (it is counted and timed), but coherent host
+                        // data is never clobbered by a stale device
+                        // copy (host-fallback kernels wrote the host
+                        // arrays directly).
+                        self.d2h_region_exit(*a);
+                    }
+                    self.resident[a.0 as usize] = false;
+                }
+                Ok(())
+            }
+            HostStmt::Launch(k) => self.launch(k),
+            HostStmt::HostLoop { var, lo, hi, body } => {
+                let lo = self.eval_host(lo).as_i();
+                let hi = self.eval_host(hi).as_i();
+                for i in lo..hi {
+                    self.vars[var.0 as usize] = Some(V::I(i));
+                    self.host_vars_f.insert(*var, i as f64);
+                    for s in body {
+                        self.host_stmt(s)?;
+                    }
+                }
+                self.host_vars_f.remove(var);
+                Ok(())
+            }
+            HostStmt::WhileFlag {
+                flag,
+                max_iters,
+                body,
+            } => {
+                let was_in_while = self.in_while;
+                self.in_while = true;
+                let mut iters: u64 = 0;
+                loop {
+                    self.written_in_iter.clear();
+                    for s in body {
+                        self.host_stmt(s)?;
+                    }
+                    // CAPS's conservative refresh of copyin arrays
+                    // modified on the device (Table VII's third
+                    // per-iteration transfer).
+                    if self.c.transfers == TransferPolicy::PerIteration {
+                        let refresh: Vec<ArrayId> = self
+                            .written_in_iter
+                            .iter()
+                            .copied()
+                            .filter(|a| {
+                                self.c.program.array(*a).intent == Intent::In
+                                    && self.resident[a.0 as usize]
+                            })
+                            .collect();
+                        for a in refresh {
+                            self.d2h(a);
+                        }
+                    }
+                    iters += 1;
+                    let continue_ = match self.cfg.fidelity {
+                        Fidelity::Functional => {
+                            let b = &self.host[flag.0 as usize];
+                            b.get(0) != 0.0
+                        }
+                        Fidelity::TimingOnly { while_iters } => iters < while_iters as u64,
+                    };
+                    if !continue_ || iters >= *max_iters as u64 {
+                        break;
+                    }
+                }
+                self.while_iterations += iters;
+                self.in_while = was_in_while;
+                Ok(())
+            }
+            HostStmt::HostAssign { var, value, .. } => {
+                if self.functional {
+                    let v = self.eval_host(value);
+                    self.vars[var.0 as usize] = Some(v);
+                    self.host_vars_f.insert(*var, v.as_f());
+                }
+                Ok(())
+            }
+            HostStmt::HostStore {
+                array,
+                index,
+                value,
+            } => {
+                if self.functional {
+                    let i = self.eval_host(index).as_i() as usize;
+                    let v = self.eval_host(value).as_f();
+                    self.host[array.0 as usize].set(i, v);
+                }
+                self.host_valid[array.0 as usize] = true;
+                self.resident[array.0 as usize] = false;
+                Ok(())
+            }
+            HostStmt::Update { array, dir } => {
+                // PGI elides updates of arrays no device kernel
+                // touches (its BFS ran entirely on the host).
+                if !self.device_active[array.0 as usize] {
+                    return Ok(());
+                }
+                match dir {
+                    Dir::ToDevice => self.h2d(*array),
+                    Dir::ToHost => self.d2h(*array),
+                }
+                Ok(())
+            }
+            HostStmt::HostCompute { instr, .. } => {
+                let n = self.try_eval_host_f(instr).unwrap_or(0.0);
+                self.host_time += n / self.host_spec.single_thread_ips;
+                Ok(())
+            }
+            HostStmt::EnterData { arrays } => {
+                for a in arrays {
+                    self.region_cover[a.0 as usize] += 1;
+                    let intent = self.c.program.array(*a).intent;
+                    if intent.copies_in() {
+                        self.h2d(*a);
+                    } else {
+                        self.resident[a.0 as usize] = true;
+                        if self.functional {
+                            let d = self.c.program.array(*a);
+                            self.dev[a.0 as usize] =
+                                Buffer::zeroed(d.elem, self.lens[a.0 as usize]);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            HostStmt::ExitData { arrays } => {
+                for a in arrays {
+                    if self.region_cover[a.0 as usize] == 0 {
+                        return Err(format!(
+                            "exit data for `{}` without a matching enter data",
+                            self.c.program.array(*a).name
+                        ));
+                    }
+                    self.region_cover[a.0 as usize] -= 1;
+                    let intent = self.c.program.array(*a).intent;
+                    if intent.copies_out() {
+                        self.d2h_region_exit(*a);
+                    }
+                    self.resident[a.0 as usize] = false;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn eval_host(&mut self, e: &paccport_ir::Expr) -> V {
+        let scope = crate::interp::Scope {
+            vars: &mut self.vars,
+            bufs: &mut self.host,
+            locals: None,
+            group: Default::default(),
+        };
+        crate::interp::eval(&self.c.program, &self.params, e, &scope)
+    }
+
+    /// Host evaluation that tolerates timing-only mode (no buffers).
+    fn try_eval_host_f(&mut self, e: &paccport_ir::Expr) -> Option<f64> {
+        if self.functional {
+            Some(self.eval_host(e).as_f())
+        } else {
+            crate::dyncost::try_eval_pub(e, &self.params, &self.host_vars_f)
+        }
+    }
+
+    fn launch(&mut self, k: &Kernel) -> Result<(), String> {
+        let plan = self
+            .c
+            .plan(&k.name)
+            .ok_or_else(|| format!("no plan for kernel `{}`", k.name))?
+            .clone();
+        // Evaluate loop extents with host variables.
+        let mut extents: Vec<u64> = Vec::with_capacity(k.loops.len());
+        for lp in &k.loops {
+            let lo = self.try_eval_host_scalar(&lp.lo).unwrap_or(0.0);
+            let hi = self.try_eval_host_scalar(&lp.hi).unwrap_or(lo);
+            extents.push((hi - lo).max(0.0) as u64);
+        }
+        let dist_rank = dist_rank_of(&plan.dist, k.rank());
+        let dims = plan.dist.launch_dims(&extents);
+        // Serialized executions carry a cost tree that already covers
+        // the whole nest (rank-0 lowering), so the multiplier is 1.
+        let serialized = matches!(
+            plan.exec,
+            ExecStrategy::DeviceSequential | ExecStrategy::HostSequential
+        );
+        let n_par: u64 = if serialized {
+            1
+        } else {
+            match plan.dist {
+                DistSpec::GroupedPerIter { group_size } => {
+                    extents.first().copied().unwrap_or(0) * group_size as u64
+                }
+                DistSpec::Grouped { .. } => dims.total_threads(),
+                _ => {
+                    if dist_rank == 0 {
+                        1
+                    } else {
+                        extents.iter().take(dist_rank).product()
+                    }
+                }
+            }
+        };
+        let per_iter: DynCost = kernel_dyn_cost(
+            &self.c.program,
+            k,
+            &plan,
+            dist_rank,
+            &self.params,
+            &self.host_vars_f,
+            &self.cfg.hints,
+        );
+        let t = kernel_launch_time(&self.spec, &self.host_spec, &plan, &dims, n_par, &per_iter);
+        let on_device = plan.exec != ExecStrategy::HostSequential;
+        if on_device {
+            self.kernel_time += t;
+        } else {
+            self.host_time += t;
+        }
+
+        // Data movement.
+        let (reads, writes) = kernel_reads_writes(k);
+        if on_device {
+            for a in reads.union(&writes) {
+                // Uncovered arrays are re-synchronized around every
+                // launch (no enclosing data region to keep them
+                // resident); covered arrays move at most once.
+                if self.region_cover[a.0 as usize] == 0 && reads.contains(a) {
+                    self.h2d(*a);
+                } else {
+                    self.ensure_on_device(*a);
+                }
+            }
+            for a in &writes {
+                self.host_valid[a.0 as usize] = false;
+                self.written_in_iter.insert(*a);
+            }
+        } else {
+            for a in reads.iter().chain(writes.iter()) {
+                self.ensure_on_host(*a);
+            }
+            for a in &writes {
+                self.resident[a.0 as usize] = false;
+            }
+        }
+
+        // Functional execution.
+        if self.functional {
+            let fidelity = match plan.correctness {
+                Correctness::Correct => KernelFidelity::Exact,
+                Correctness::Wrong { .. } => KernelFidelity::DropTreePhases,
+            };
+            let p = &self.c.program;
+            let bufs: &mut [Buffer] = if on_device {
+                &mut self.dev
+            } else {
+                &mut self.host
+            };
+            exec_kernel(p, &self.params, k, &mut self.vars, bufs, fidelity);
+        }
+        if matches!(plan.correctness, Correctness::Wrong { .. }) {
+            self.any_known_wrong = true;
+        }
+        // Uncovered written arrays are copied back after every launch
+        // (per-launch synchronization without a data region).
+        if on_device {
+            let uncovered: Vec<ArrayId> = writes
+                .iter()
+                .copied()
+                .filter(|a| self.region_cover[a.0 as usize] == 0)
+                .collect();
+            for a in uncovered {
+                self.d2h(a);
+            }
+        }
+
+        // Stats.
+        if !self.stats.contains_key(&k.name) {
+            self.launch_order.push(k.name.clone());
+            self.stats.insert(
+                k.name.clone(),
+                KernelStat {
+                    name: k.name.clone(),
+                    launches: 0,
+                    device_time: 0.0,
+                    ran_on_device: on_device,
+                    config_label: plan.config_label.clone(),
+                },
+            );
+        }
+        let stat = self.stats.get_mut(&k.name).expect("just inserted");
+        stat.launches += 1;
+        stat.device_time += t;
+        Ok(())
+    }
+
+    fn try_eval_host_scalar(&mut self, e: &paccport_ir::Expr) -> Option<f64> {
+        self.try_eval_host_f(e)
+    }
+
+    fn finish(mut self) -> Result<RunResult, String> {
+        // Final copy-out of dirty output arrays not already synced.
+        for i in 0..self.c.program.arrays.len() {
+            let a = ArrayId(i as u32);
+            let intent = self.c.program.array(a).intent;
+            if intent.copies_out() && !self.host_valid[i] && self.resident[i] {
+                self.d2h(a);
+            }
+        }
+        let transfers_per_while_iter = if self.while_iterations > 0 {
+            self.transfers_in_while as f64 / self.while_iterations as f64
+        } else {
+            0.0
+        };
+        let elapsed = self.kernel_time + self.transfer_time_s + self.host_time;
+        let stats = self
+            .launch_order
+            .iter()
+            .map(|n| self.stats[n].clone())
+            .collect();
+        Ok(RunResult {
+            elapsed,
+            kernel_time: self.kernel_time,
+            transfer_time_s: self.transfer_time_s,
+            host_time: self.host_time,
+            kernel_stats: stats,
+            transfers: self.ledger,
+            while_iterations: self.while_iterations,
+            transfers_per_while_iter,
+            transfers_outside_while: self.ledger.total_count() - self.transfers_in_while,
+            host: self.host,
+            any_known_wrong: self.any_known_wrong,
+        })
+    }
+}
+
+/// Arrays a kernel reads and writes (global space only).
+pub fn kernel_reads_writes(k: &Kernel) -> (BTreeSet<ArrayId>, BTreeSet<ArrayId>) {
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    let mut scan = |b: &paccport_ir::Block| {
+        b.walk(&mut |s| {
+            match s {
+                Stmt::Store {
+                    space: MemSpace::Global,
+                    array,
+                    ..
+                }
+                | Stmt::Atomic { array, .. } => {
+                    writes.insert(*array);
+                }
+                _ => {}
+            }
+            s.for_each_expr(&mut |e| {
+                e.walk(&mut |e| {
+                    if let paccport_ir::Expr::Load {
+                        space: MemSpace::Global,
+                        array,
+                        ..
+                    } = e
+                    {
+                        reads.insert(*array);
+                    }
+                })
+            });
+        });
+    };
+    match &k.body {
+        KernelBody::Simple(b) => scan(b),
+        KernelBody::Grouped(g) => {
+            for p in &g.phases {
+                scan(p);
+            }
+        }
+    }
+    for lp in &k.loops {
+        for e in [&lp.lo, &lp.hi] {
+            e.walk(&mut |e| {
+                if let paccport_ir::Expr::Load {
+                    space: MemSpace::Global,
+                    array,
+                    ..
+                } = e
+                {
+                    reads.insert(*array);
+                }
+            });
+        }
+    }
+    if let Some(rr) = &k.region_reduction {
+        writes.insert(rr.dest);
+        rr.value.walk(&mut |e| {
+            if let paccport_ir::Expr::Load {
+                space: MemSpace::Global,
+                array,
+                ..
+            } = e
+            {
+                reads.insert(*array);
+            }
+        });
+    }
+    (reads, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paccport_compilers::{compile, CompileOptions, CompilerId};
+    use paccport_ir::{ld, st, Expr, Intent, Kernel, ParallelLoop, ProgramBuilder, E};
+
+    fn saxpy_program(independent: bool) -> paccport_ir::Program {
+        let mut b = ProgramBuilder::new("saxpy");
+        let n = b.iparam("n");
+        let x = b.array("x", Scalar::F32, n, Intent::In);
+        let y = b.array("y", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        let mut lp = ParallelLoop::new(i, Expr::iconst(0), Expr::param(n));
+        lp.clauses.independent = independent;
+        let k = Kernel::simple(
+            "saxpy",
+            vec![lp],
+            paccport_ir::Block::new(vec![st(y, i, E::from(2.0) * ld(x, i) + ld(y, i))]),
+        );
+        b.finish(vec![HostStmt::Launch(k)])
+    }
+
+    #[test]
+    fn functional_run_produces_correct_results() {
+        let p = saxpy_program(true);
+        let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+        let cfg = RunConfig::functional(vec![("n".into(), 64.0)])
+            .with_input("x", Buffer::F32((0..64).map(|v| v as f32).collect()))
+            .with_input("y", Buffer::F32(vec![1.0; 64]));
+        let r = run(&c, &cfg).unwrap();
+        let y = r.buffer(&c, "y").unwrap().as_f32();
+        for (i, v) in y.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32 + 1.0);
+        }
+        // x copied in, y copied in and out.
+        assert_eq!(r.transfers.h2d_count, 2);
+        assert_eq!(r.transfers.d2h_count, 1);
+        assert!(r.elapsed > 0.0);
+        assert!(r.kernel_stats[0].ran_on_device);
+    }
+
+    #[test]
+    fn sequential_baseline_is_much_slower_than_gridify() {
+        let base = saxpy_program(false); // CAPS gang(1) bug
+        let opt = saxpy_program(true); // gridify
+        let cb = compile(CompilerId::Caps, &base, &CompileOptions::gpu()).unwrap();
+        let co = compile(CompilerId::Caps, &opt, &CompileOptions::gpu()).unwrap();
+        let cfg = RunConfig::timing(vec![("n".into(), 4_000_000.0)], 1);
+        let tb = run(&cb, &cfg).unwrap().kernel_time;
+        let to = run(&co, &cfg).unwrap().kernel_time;
+        assert!(
+            tb / to > 100.0,
+            "sequential {tb} vs parallel {to}: ratio {}",
+            tb / to
+        );
+    }
+
+    #[test]
+    fn timing_only_mode_needs_no_buffers() {
+        let p = saxpy_program(true);
+        let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+        // A size that would be ~64 GB if allocated.
+        let cfg = RunConfig::timing(vec![("n".into(), 8e9)], 1);
+        let r = run(&c, &cfg).unwrap();
+        assert!(r.host.is_empty());
+        assert!(r.elapsed > 0.0);
+        assert!(r.transfers.total_bytes() > 8_000_000_000);
+    }
+
+    #[test]
+    fn host_fallback_runs_but_not_on_device() {
+        // Indirect store → PGI keeps it on the host.
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let idx = b.array("idx", Scalar::I32, n, Intent::In);
+        let out = b.array("out", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        let mut lp = ParallelLoop::new(i, Expr::iconst(0), Expr::param(n));
+        lp.clauses.independent = true;
+        let k = Kernel::simple(
+            "scatter",
+            vec![lp],
+            paccport_ir::Block::new(vec![st(out, ld(idx, i), 1.0)]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let c = compile(CompilerId::Pgi, &p, &CompileOptions::gpu()).unwrap();
+        let perm: Vec<i32> = (0..16).rev().collect();
+        let cfg = RunConfig::functional(vec![("n".into(), 16.0)])
+            .with_input("idx", Buffer::I32(perm));
+        let r = run(&c, &cfg).unwrap();
+        assert!(!r.kernel_stats[0].ran_on_device);
+        // Results still correct — computed on the host.
+        assert!(r.buffer(&c, "out").unwrap().as_f32().iter().all(|v| *v == 1.0));
+        // No kernel-driven transfers.
+        assert_eq!(r.transfers.total_count(), 0);
+    }
+
+    #[test]
+    fn missing_param_is_an_error() {
+        let p = saxpy_program(true);
+        let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+        let cfg = RunConfig::functional(vec![]);
+        assert!(run(&c, &cfg).is_err());
+    }
+
+    #[test]
+    fn wrong_input_length_is_an_error() {
+        let p = saxpy_program(true);
+        let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+        let cfg = RunConfig::functional(vec![("n".into(), 64.0)])
+            .with_input("x", Buffer::F32(vec![0.0; 3]));
+        assert!(run(&c, &cfg).is_err());
+    }
+}

@@ -1,0 +1,752 @@
+//! The directive-annotated (OpenACC) version of Hydro: the same
+//! pipeline as [`crate::solver`], expressed as IR kernels — 9 nests
+//! per sweep direction plus the Courant reduction, launched from a
+//! host time loop inside one data region. This mirrors the structure
+//! the paper describes ("22 nested loops distributed into 22 OpenCL
+//! or CUDA kernels"); our reconstruction has 19 nests (one boundary
+//! kernel per direction instead of Hydro's four, and `constoprim`
+//! fused per sweep), which is recorded in EXPERIMENTS.md.
+
+use crate::solver::{CFL, GAMMA, NG, SMALLP, SMALLR};
+use paccport_ir::{
+    ld, let_, st, Block, Expr, HostStmt, Intent, Kernel, LaunchHint, ParallelLoop,
+    ProgramBuilder, ReduceOp, RegionReduction, Scalar, Stmt, VarId, E,
+};
+
+/// Which build of the Hydro source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HydroVariant {
+    /// Unoptimized directives: no `independent`, default distribution
+    /// (hits CAPS's gang(1) default bug).
+    Baseline,
+    /// The paper's optimization: `independent` everywhere + gridify
+    /// thread distribution.
+    Optimized,
+    /// The hand-written OpenCL version (explicit 16×16 / 256×1
+    /// NDRanges).
+    OpenCl,
+}
+
+/// Per-direction index arithmetic.
+struct Dim {
+    /// Flattened index `j·nxt + i` (loop vars bound at build time).
+    suffix: &'static str,
+    stride_is_x: bool,
+}
+
+/// All arrays of the Hydro program.
+#[allow(clippy::struct_field_names)]
+struct Arrays {
+    rho: paccport_ir::ArrayId,
+    rhou: paccport_ir::ArrayId,
+    rhov: paccport_ir::ArrayId,
+    e: paccport_ir::ArrayId,
+    prho: paccport_ir::ArrayId,
+    pu: paccport_ir::ArrayId,
+    pv: paccport_ir::ArrayId,
+    peint: paccport_ir::ArrayId,
+    pp: paccport_ir::ArrayId,
+    pc: paccport_ir::ArrayId,
+    drho: paccport_ir::ArrayId,
+    dun: paccport_ir::ArrayId,
+    dut: paccport_ir::ArrayId,
+    dp: paccport_ir::ArrayId,
+    qm: [paccport_ir::ArrayId; 4],
+    qp: [paccport_ir::ArrayId; 4],
+    ql: [paccport_ir::ArrayId; 4],
+    qr: [paccport_ir::ArrayId; 4],
+    sl: paccport_ir::ArrayId,
+    flux: [paccport_ir::ArrayId; 4],
+    courant_out: paccport_ir::ArrayId,
+}
+
+/// Build the Hydro program (`nsteps` full x+y steps).
+pub fn program(variant: HydroVariant) -> paccport_ir::Program {
+    let mut b = ProgramBuilder::new(match variant {
+        HydroVariant::Baseline => "hydro",
+        HydroVariant::Optimized => "hydro_opt",
+        HydroVariant::OpenCl => "hydro_ocl",
+    });
+    // PGI cannot compile Hydro (pointer-heavy headers) — Section V-E.
+    b.tag("pointer-heavy-headers");
+
+    let nx = b.iparam("nx");
+    let ny = b.iparam("ny");
+    let dx = b.param("dx", Scalar::F32);
+    let nsteps = b.iparam("nsteps");
+    let nxt = || E::from(nx) + (2 * NG) as i64;
+    let nyt = || E::from(ny) + (2 * NG) as i64;
+    let total = nxt() * nyt();
+
+    let mk = |b: &mut ProgramBuilder, name: &str, intent| {
+        b.array(name, Scalar::F32, nxt() * nyt(), intent)
+    };
+    let arr = Arrays {
+        rho: mk(&mut b, "rho", Intent::InOut),
+        rhou: mk(&mut b, "rhou", Intent::InOut),
+        rhov: mk(&mut b, "rhov", Intent::InOut),
+        e: mk(&mut b, "e", Intent::InOut),
+        prho: mk(&mut b, "prho", Intent::Scratch),
+        pu: mk(&mut b, "pu", Intent::Scratch),
+        pv: mk(&mut b, "pv", Intent::Scratch),
+        peint: mk(&mut b, "peint", Intent::Scratch),
+        pp: mk(&mut b, "pp", Intent::Scratch),
+        pc: mk(&mut b, "pc", Intent::Scratch),
+        drho: mk(&mut b, "drho", Intent::Scratch),
+        dun: mk(&mut b, "dun", Intent::Scratch),
+        dut: mk(&mut b, "dut", Intent::Scratch),
+        dp: mk(&mut b, "dp", Intent::Scratch),
+        qm: [
+            mk(&mut b, "qm_rho", Intent::Scratch),
+            mk(&mut b, "qm_un", Intent::Scratch),
+            mk(&mut b, "qm_ut", Intent::Scratch),
+            mk(&mut b, "qm_p", Intent::Scratch),
+        ],
+        qp: [
+            mk(&mut b, "qp_rho", Intent::Scratch),
+            mk(&mut b, "qp_un", Intent::Scratch),
+            mk(&mut b, "qp_ut", Intent::Scratch),
+            mk(&mut b, "qp_p", Intent::Scratch),
+        ],
+        ql: [
+            mk(&mut b, "ql_rho", Intent::Scratch),
+            mk(&mut b, "ql_un", Intent::Scratch),
+            mk(&mut b, "ql_ut", Intent::Scratch),
+            mk(&mut b, "ql_p", Intent::Scratch),
+        ],
+        qr: [
+            mk(&mut b, "qr_rho", Intent::Scratch),
+            mk(&mut b, "qr_un", Intent::Scratch),
+            mk(&mut b, "qr_ut", Intent::Scratch),
+            mk(&mut b, "qr_p", Intent::Scratch),
+        ],
+        sl: mk(&mut b, "sl", Intent::Scratch),
+        flux: [
+            mk(&mut b, "f_rho", Intent::Scratch),
+            mk(&mut b, "f_un", Intent::Scratch),
+            mk(&mut b, "f_ut", Intent::Scratch),
+            mk(&mut b, "f_e", Intent::Scratch),
+        ],
+        courant_out: b.array("courant_out", Scalar::F32, 1i64, Intent::Out),
+    };
+    let _ = total;
+
+    let step = b.var("step");
+    let cmax = b.var("cmax");
+    let dt = b.var("dt");
+    let dtdx = b.var("dtdx");
+
+    let mut kernels_per_step: Vec<HostStmt> = Vec::new();
+
+    // ---------------- Courant reduction ----------------
+    {
+        let j = b.var("cr_j");
+        let i = b.var("cr_i");
+        let r = b.var("cr_rho");
+        let u = b.var("cr_u");
+        let v = b.var("cr_v");
+        let eint = b.var("cr_eint");
+        let pr = b.var("cr_p");
+        let c = b.var("cr_c");
+        let k = idx_expr(nx, &E::from(i), &E::from(j));
+        let mut kern = Kernel::simple(
+            "courant",
+            vec![
+                ParallelLoop::new(j, Expr::iconst(NG as i64), (E::from(ny) + NG as i64).expr()),
+                ParallelLoop::new(i, Expr::iconst(NG as i64), (E::from(nx) + NG as i64).expr()),
+            ],
+            Block::new(vec![
+                let_(r, Scalar::F32, ld(arr.rho, k.clone()).max(SMALLR as f64)),
+                let_(u, Scalar::F32, ld(arr.rhou, k.clone()) / E::from(r)),
+                let_(v, Scalar::F32, ld(arr.rhov, k.clone()) / E::from(r)),
+                let_(
+                    eint,
+                    Scalar::F32,
+                    ld(arr.e, k.clone()) / E::from(r)
+                        - E::from(0.5) * (E::from(u) * u + E::from(v) * v),
+                ),
+                let_(
+                    pr,
+                    Scalar::F32,
+                    (E::from((GAMMA - 1.0) as f64) * E::from(r) * eint).max(SMALLP as f64),
+                ),
+                let_(c, Scalar::F32, (E::from(GAMMA as f64) * pr / E::from(r)).sqrt()),
+            ]),
+        );
+        kern.region_reduction = Some(RegionReduction {
+            op: ReduceOp::Max,
+            value: (E::from(u).abs() + c).max(E::from(v).abs() + E::from(c)).expr(),
+            dest: arr.courant_out,
+        });
+        apply_variant(&mut kern, variant);
+        kernels_per_step.push(HostStmt::Launch(kern));
+    }
+    kernels_per_step.push(HostStmt::Update {
+        array: arr.courant_out,
+        dir: paccport_ir::Dir::ToHost,
+    });
+    kernels_per_step.push(HostStmt::HostAssign {
+        var: cmax,
+        ty: Scalar::F32,
+        value: ld(arr.courant_out, 0i64).max(1e-20).expr(),
+    });
+    kernels_per_step.push(HostStmt::HostAssign {
+        var: dt,
+        ty: Scalar::F32,
+        value: (E::from(CFL as f64) * E::from(dx) / E::from(cmax)).expr(),
+    });
+    kernels_per_step.push(HostStmt::HostAssign {
+        var: dtdx,
+        ty: Scalar::F32,
+        value: (E::from(dt) / E::from(dx)).expr(),
+    });
+
+    // ---------------- Per-direction sweeps ----------------
+    for dir in [0usize, 1] {
+        let dim = Dim {
+            suffix: if dir == 0 { "x" } else { "y" },
+            stride_is_x: dir == 0,
+        };
+        build_sweep(&mut b, &arr, nx, ny, dtdx, &dim, variant, &mut kernels_per_step);
+    }
+
+    // Host bookkeeping per step (the GCC vs ICC lever of Fig. 15).
+    kernels_per_step.push(HostStmt::HostCompute {
+        label: "host boundary bookkeeping".into(),
+        instr: ((nxt() + nyt()) * 400i64).expr(),
+    });
+
+    let mut region_arrays = vec![arr.rho, arr.rhou, arr.rhov, arr.e, arr.courant_out];
+    region_arrays.extend([
+        arr.prho, arr.pu, arr.pv, arr.peint, arr.pp, arr.pc, arr.drho, arr.dun, arr.dut, arr.dp,
+        arr.sl,
+    ]);
+    region_arrays.extend(arr.qm);
+    region_arrays.extend(arr.qp);
+    region_arrays.extend(arr.ql);
+    region_arrays.extend(arr.qr);
+    region_arrays.extend(arr.flux);
+
+    b.finish(vec![HostStmt::DataRegion {
+        arrays: region_arrays,
+        body: vec![HostStmt::HostLoop {
+            var: step,
+            lo: Expr::iconst(0),
+            hi: Expr::param(nsteps),
+            body: kernels_per_step,
+        }],
+    }])
+}
+
+/// `j·nxt + i` with `nxt = nx + 2·NG`.
+fn idx_expr(nx: paccport_ir::ParamId, i: &E, j: &E) -> E {
+    j.clone() * (E::from(nx) + (2 * NG) as i64) + i.clone()
+}
+
+fn apply_variant(k: &mut Kernel, variant: HydroVariant) {
+    match variant {
+        HydroVariant::Baseline => {}
+        HydroVariant::Optimized => {
+            for lp in &mut k.loops {
+                lp.clauses.independent = true;
+            }
+        }
+        HydroVariant::OpenCl => {
+            for lp in &mut k.loops {
+                lp.clauses.independent = true;
+            }
+            k.launch_hint = Some(if k.rank() >= 2 {
+                LaunchHint {
+                    local: (16, 16),
+                    two_d: true,
+                    group_per_iter: false,
+                }
+            } else {
+                LaunchHint {
+                    local: (256, 1),
+                    two_d: false,
+                    group_per_iter: false,
+                }
+            });
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_sweep(
+    b: &mut ProgramBuilder,
+    arr: &Arrays,
+    nx: paccport_ir::ParamId,
+    ny: paccport_ir::ParamId,
+    dtdx: VarId,
+    dim: &Dim,
+    variant: HydroVariant,
+    out: &mut Vec<HostStmt>,
+) {
+    let sfx = dim.suffix;
+    let nxt = || E::from(nx) + (2 * NG) as i64;
+    let nyt = || E::from(ny) + (2 * NG) as i64;
+    // Normal / transverse momentum arrays for this direction.
+    let (m_un, m_ut) = if dim.stride_is_x {
+        (arr.rhou, arr.rhov)
+    } else {
+        (arr.rhov, arr.rhou)
+    };
+    // Primitive normal / transverse velocity.
+    let (p_un, p_ut) = if dim.stride_is_x {
+        (arr.pu, arr.pv)
+    } else {
+        (arr.pv, arr.pu)
+    };
+    // ±1 cell along the sweep direction.
+    let shift = |i: &E, j: &E, d: i64| -> E {
+        if dim.stride_is_x {
+            idx_expr(nx, &(i.clone() + d), j)
+        } else {
+            idx_expr(nx, i, &(j.clone() + d))
+        }
+    };
+    let gamma = || E::from(GAMMA as f64);
+    let g1 = || E::from((GAMMA - 1.0) as f64);
+
+    let mut push = |mut k: Kernel| {
+        apply_variant(&mut k, variant);
+        out.push(HostStmt::Launch(k));
+    };
+
+    // -------- boundary: reflective ghosts, rank-1 over the
+    // perpendicular axis, both sides unrolled (flat body). --------
+    {
+        let jv = b.var(&format!("bd_{sfx}_j"));
+        let (lim_perp, lim_par) = if dim.stride_is_x {
+            (nyt(), nxt())
+        } else {
+            (nxt(), nyt())
+        };
+        let mut stmts: Vec<Stmt> = Vec::new();
+        // Cell coordinate helpers: `pos` along sweep axis, jv across.
+        let cell = |pos: E, jv: VarId| -> E {
+            if dim.stride_is_x {
+                idx_expr(nx, &pos, &E::from(jv))
+            } else {
+                idx_expr(nx, &E::from(jv), &pos)
+            }
+        };
+        for g in 0..NG as i64 {
+            // Low side: ghost g mirrors cell 2·NG-1-g.
+            let pairs = [
+                (E::from(g), E::from(2 * NG as i64 - 1 - g)),
+                (
+                    lim_par.clone() - 1i64 - g,
+                    lim_par.clone() - (2 * NG as i64) + g,
+                ),
+            ];
+            for (dst, src) in pairs {
+                let d = cell(dst, jv);
+                let s = cell(src, jv);
+                stmts.push(st(arr.rho, d.clone(), ld(arr.rho, s.clone())));
+                stmts.push(st(arr.e, d.clone(), ld(arr.e, s.clone())));
+                stmts.push(st(m_un, d.clone(), -ld(m_un, s.clone())));
+                stmts.push(st(m_ut, d, ld(m_ut, s)));
+            }
+        }
+        push(Kernel::simple(
+            format!("boundary_{sfx}"),
+            vec![ParallelLoop::new(jv, Expr::iconst(0), lim_perp.expr())],
+            Block::new(stmts),
+        ));
+    }
+
+    // -------- constoprim --------
+    {
+        let j = b.var(&format!("cp_{sfx}_j"));
+        let i = b.var(&format!("cp_{sfx}_i"));
+        let r = b.var(&format!("cp_{sfx}_r"));
+        let u = b.var(&format!("cp_{sfx}_u"));
+        let v = b.var(&format!("cp_{sfx}_v"));
+        let k = idx_expr(nx, &E::from(i), &E::from(j));
+        push(Kernel::simple(
+            format!("constoprim_{sfx}"),
+            vec![
+                ParallelLoop::new(j, Expr::iconst(0), nyt().expr()),
+                ParallelLoop::new(i, Expr::iconst(0), nxt().expr()),
+            ],
+            Block::new(vec![
+                let_(r, Scalar::F32, ld(arr.rho, k.clone()).max(SMALLR as f64)),
+                let_(u, Scalar::F32, ld(arr.rhou, k.clone()) / E::from(r)),
+                let_(v, Scalar::F32, ld(arr.rhov, k.clone()) / E::from(r)),
+                st(arr.prho, k.clone(), E::from(r)),
+                st(arr.pu, k.clone(), E::from(u)),
+                st(arr.pv, k.clone(), E::from(v)),
+                st(
+                    arr.peint,
+                    k.clone(),
+                    ld(arr.e, k.clone()) / E::from(r)
+                        - E::from(0.5) * (E::from(u) * u + E::from(v) * v),
+                ),
+            ]),
+        ));
+    }
+
+    // -------- eos --------
+    {
+        let j = b.var(&format!("eos_{sfx}_j"));
+        let i = b.var(&format!("eos_{sfx}_i"));
+        let p = b.var(&format!("eos_{sfx}_p"));
+        let k = idx_expr(nx, &E::from(i), &E::from(j));
+        push(Kernel::simple(
+            format!("eos_{sfx}"),
+            vec![
+                ParallelLoop::new(j, Expr::iconst(0), nyt().expr()),
+                ParallelLoop::new(i, Expr::iconst(0), nxt().expr()),
+            ],
+            Block::new(vec![
+                let_(
+                    p,
+                    Scalar::F32,
+                    (g1() * ld(arr.prho, k.clone()) * ld(arr.peint, k.clone()))
+                        .max(SMALLP as f64),
+                ),
+                st(arr.pp, k.clone(), E::from(p)),
+                st(
+                    arr.pc,
+                    k.clone(),
+                    (gamma() * E::from(p) / ld(arr.prho, k.clone())).sqrt(),
+                ),
+            ]),
+        ));
+    }
+
+    // Minmod as a select chain (identical to solver::minmod).
+    let minmod = |a: E, b: E| -> E {
+        (a.clone() * b.clone())
+            .gt(0.0)
+            .select(
+                a.clone().abs().lt(b.clone().abs()).select(a, b),
+                0.0,
+            )
+    };
+
+    // -------- slope --------
+    {
+        let j = b.var(&format!("sl_{sfx}_j"));
+        let i = b.var(&format!("sl_{sfx}_i"));
+        let (jr, ir): (E, E) = if dim.stride_is_x {
+            (E::from(j), E::from(i))
+        } else {
+            (E::from(i), E::from(j))
+        };
+        // Loop ranges: sweep axis 1..lim-1, perpendicular full.
+        let (outer_hi, inner_lo, inner_hi) = if dim.stride_is_x {
+            (nyt(), 1i64, nxt() - 1i64)
+        } else {
+            (nxt(), 1, nyt() - 1i64)
+        };
+        let k = idx_expr(nx, &ir, &jr);
+        let km = shift(&ir, &jr, -1);
+        let kp = shift(&ir, &jr, 1);
+        let d = |arr_q: paccport_ir::ArrayId| -> E {
+            minmod(
+                ld(arr_q, k.clone()) - ld(arr_q, km.clone()),
+                ld(arr_q, kp.clone()) - ld(arr_q, k.clone()),
+            )
+        };
+        push(Kernel::simple(
+            format!("slope_{sfx}"),
+            vec![
+                ParallelLoop::new(j, Expr::iconst(0), outer_hi.expr()),
+                ParallelLoop::new(i, Expr::iconst(inner_lo), inner_hi.expr()),
+            ],
+            Block::new(vec![
+                st(arr.drho, k.clone(), d(arr.prho)),
+                st(arr.dun, k.clone(), d(p_un)),
+                st(arr.dut, k.clone(), d(p_ut)),
+                st(arr.dp, k.clone(), d(arr.pp)),
+            ]),
+        ));
+    }
+
+    // -------- trace --------
+    {
+        let j = b.var(&format!("tr_{sfx}_j"));
+        let i = b.var(&format!("tr_{sfx}_i"));
+        let (jr, ir): (E, E) = if dim.stride_is_x {
+            (E::from(j), E::from(i))
+        } else {
+            (E::from(i), E::from(j))
+        };
+        let (outer_hi, inner_lo, inner_hi) = if dim.stride_is_x {
+            (nyt(), 1i64, nxt() - 1i64)
+        } else {
+            (nxt(), 1, nyt() - 1i64)
+        };
+        let k = idx_expr(nx, &ir, &jr);
+        let mut stmts = Vec::new();
+        let srcs = [arr.prho, p_un, p_ut, arr.pp];
+        let dqs = [arr.drho, arr.dun, arr.dut, arr.dp];
+        for m in 0..4 {
+            stmts.push(st(
+                arr.qm[m],
+                k.clone(),
+                ld(srcs[m], k.clone()) - E::from(0.5) * ld(dqs[m], k.clone()),
+            ));
+            stmts.push(st(
+                arr.qp[m],
+                k.clone(),
+                ld(srcs[m], k.clone()) + E::from(0.5) * ld(dqs[m], k.clone()),
+            ));
+        }
+        push(Kernel::simple(
+            format!("trace_{sfx}"),
+            vec![
+                ParallelLoop::new(j, Expr::iconst(0), outer_hi.expr()),
+                ParallelLoop::new(i, Expr::iconst(inner_lo), inner_hi.expr()),
+            ],
+            Block::new(stmts),
+        ));
+    }
+
+    // Interface ranges: sweep axis 1..lim-2, perpendicular full.
+    let iface_loops = |b: &mut ProgramBuilder, tag: &str| -> (VarId, VarId, Vec<ParallelLoop>) {
+        let j = b.var(&format!("{tag}_{sfx}_j"));
+        let i = b.var(&format!("{tag}_{sfx}_i"));
+        let (outer_hi, inner_lo, inner_hi) = if dim.stride_is_x {
+            (nyt(), 1i64, nxt() - 2i64)
+        } else {
+            (nxt(), 1, nyt() - 2i64)
+        };
+        (
+            j,
+            i,
+            vec![
+                ParallelLoop::new(j, Expr::iconst(0), outer_hi.expr()),
+                ParallelLoop::new(i, Expr::iconst(inner_lo), inner_hi.expr()),
+            ],
+        )
+    };
+    let coords = |i: VarId, j: VarId| -> (E, E) {
+        if dim.stride_is_x {
+            (E::from(i), E::from(j))
+        } else {
+            (E::from(j), E::from(i))
+        }
+    };
+
+    // -------- qleftright --------
+    {
+        let (j, i, loops) = iface_loops(b, "qlr");
+        let (ir, jr) = coords(i, j);
+        let k = idx_expr(nx, &ir, &jr);
+        let kp = shift(&ir, &jr, 1);
+        let mut stmts = Vec::new();
+        for m in 0..4 {
+            stmts.push(st(arr.ql[m], k.clone(), ld(arr.qp[m], k.clone())));
+            stmts.push(st(arr.qr[m], k.clone(), ld(arr.qm[m], kp.clone())));
+        }
+        push(Kernel::simple(
+            format!("qleftright_{sfx}"),
+            loops,
+            Block::new(stmts),
+        ));
+    }
+
+    // -------- riemann: interface wave speed --------
+    {
+        let (j, i, loops) = iface_loops(b, "rm");
+        let (ir, jr) = coords(i, j);
+        let k = idx_expr(nx, &ir, &jr);
+        let cl = b.var(&format!("rm_{sfx}_cl"));
+        let cr = b.var(&format!("rm_{sfx}_cr"));
+        let sound = |rho: E, p: E| -> E {
+            (gamma() * p.max(SMALLP as f64) / rho.max(SMALLR as f64)).sqrt()
+        };
+        push(Kernel::simple(
+            format!("riemann_{sfx}"),
+            loops,
+            Block::new(vec![
+                let_(
+                    cl,
+                    Scalar::F32,
+                    sound(ld(arr.ql[0], k.clone()), ld(arr.ql[3], k.clone())),
+                ),
+                let_(
+                    cr,
+                    Scalar::F32,
+                    sound(ld(arr.qr[0], k.clone()), ld(arr.qr[3], k.clone())),
+                ),
+                st(
+                    arr.sl,
+                    k.clone(),
+                    (ld(arr.ql[1], k.clone()).abs() + cl)
+                        .max(ld(arr.qr[1], k.clone()).abs() + E::from(cr)),
+                ),
+            ]),
+        ));
+    }
+
+    // -------- cmpflx: Rusanov fluxes --------
+    {
+        let (j, i, loops) = iface_loops(b, "fx");
+        let (ir, jr) = coords(i, j);
+        let k = idx_expr(nx, &ir, &jr);
+        // Per-side locals.
+        let mut stmts = Vec::new();
+        let mut side = |tag: &str, q: &[paccport_ir::ArrayId; 4]| -> ([VarId; 4], [VarId; 4]) {
+            // cons = (rho, rho·un, rho·ut, E); f = fluxes.
+            let rho = b.var(&format!("fx_{sfx}_{tag}_rho"));
+            let un = b.var(&format!("fx_{sfx}_{tag}_un"));
+            let ut = b.var(&format!("fx_{sfx}_{tag}_ut"));
+            let p = b.var(&format!("fx_{sfx}_{tag}_p"));
+            let en = b.var(&format!("fx_{sfx}_{tag}_e"));
+            let f0 = b.var(&format!("fx_{sfx}_{tag}_f0"));
+            let f1 = b.var(&format!("fx_{sfx}_{tag}_f1"));
+            let f2 = b.var(&format!("fx_{sfx}_{tag}_f2"));
+            let f3 = b.var(&format!("fx_{sfx}_{tag}_f3"));
+            stmts.push(let_(rho, Scalar::F32, ld(q[0], k.clone()).max(SMALLR as f64)));
+            stmts.push(let_(un, Scalar::F32, ld(q[1], k.clone())));
+            stmts.push(let_(ut, Scalar::F32, ld(q[2], k.clone())));
+            stmts.push(let_(p, Scalar::F32, ld(q[3], k.clone()).max(SMALLP as f64)));
+            stmts.push(let_(
+                en,
+                Scalar::F32,
+                E::from(rho)
+                    * (E::from(0.5) * (E::from(un) * un + E::from(ut) * ut))
+                    + E::from(p) / g1(),
+            ));
+            stmts.push(let_(f0, Scalar::F32, E::from(rho) * un));
+            stmts.push(let_(
+                f1,
+                Scalar::F32,
+                E::from(rho) * un * un + E::from(p),
+            ));
+            stmts.push(let_(f2, Scalar::F32, E::from(rho) * un * ut));
+            stmts.push(let_(
+                f3,
+                Scalar::F32,
+                (E::from(en) + p) * un,
+            ));
+            ([rho, un, ut, p], [f0, f1, f2, f3])
+            // cons components are (rho, rho·un, rho·ut, en) — rebuilt
+            // below from the locals to avoid yet more variables.
+        };
+        let (l_prim, l_f) = side("l", &arr.ql);
+        let (r_prim, r_f) = side("r", &arr.qr);
+        let cons = |p: &[VarId; 4], tag: &str, stmts: &mut Vec<Stmt>, b: &mut ProgramBuilder| -> [VarId; 4] {
+            let c1 = b.var(&format!("fx_{sfx}_{tag}_c1"));
+            let c2 = b.var(&format!("fx_{sfx}_{tag}_c2"));
+            let c3 = b.var(&format!("fx_{sfx}_{tag}_c3"));
+            stmts.push(let_(c1, Scalar::F32, E::from(p[0]) * p[1]));
+            stmts.push(let_(c2, Scalar::F32, E::from(p[0]) * p[2]));
+            stmts.push(let_(
+                c3,
+                Scalar::F32,
+                E::from(p[0]) * (E::from(0.5) * (E::from(p[1]) * p[1] + E::from(p[2]) * p[2]))
+                    + E::from(p[3]) / g1(),
+            ));
+            [p[0], c1, c2, c3]
+        };
+        let l_c = cons(&l_prim, "l", &mut stmts, b);
+        let r_c = cons(&r_prim, "r", &mut stmts, b);
+        let smax = b.var(&format!("fx_{sfx}_smax"));
+        stmts.push(let_(smax, Scalar::F32, ld(arr.sl, k.clone())));
+        for m in 0..4 {
+            stmts.push(st(
+                arr.flux[m],
+                k.clone(),
+                E::from(0.5) * (E::from(l_f[m]) + r_f[m])
+                    - E::from(0.5) * E::from(smax) * (E::from(r_c[m]) - l_c[m]),
+            ));
+        }
+        push(Kernel::simple(format!("cmpflx_{sfx}"), loops, Block::new(stmts)));
+    }
+
+    // -------- update --------
+    {
+        let j = b.var(&format!("up_{sfx}_j"));
+        let i = b.var(&format!("up_{sfx}_i"));
+        let k = idx_expr(nx, &E::from(i), &E::from(j));
+        let (ir, jr): (E, E) = (E::from(i), E::from(j));
+        let km = if dim.stride_is_x {
+            idx_expr(nx, &(ir.clone() - 1i64), &jr)
+        } else {
+            idx_expr(nx, &ir, &(jr.clone() - 1i64))
+        };
+        let upd = |dst: paccport_ir::ArrayId, m: usize| -> Stmt {
+            st(
+                dst,
+                k.clone(),
+                ld(dst, k.clone())
+                    + E::from(dtdx) * (ld(arr.flux[m], km.clone()) - ld(arr.flux[m], k.clone())),
+            )
+        };
+        push(Kernel::simple(
+            format!("update_{sfx}"),
+            vec![
+                ParallelLoop::new(
+                    j,
+                    Expr::iconst(NG as i64),
+                    (E::from(ny) + NG as i64).expr(),
+                ),
+                ParallelLoop::new(
+                    i,
+                    Expr::iconst(NG as i64),
+                    (E::from(nx) + NG as i64).expr(),
+                ),
+            ],
+            Block::new(vec![
+                upd(arr.rho, 0),
+                upd(m_un, 1),
+                upd(m_ut, 2),
+                upd(arr.e, 3),
+            ]),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paccport_ir::validate;
+
+    #[test]
+    fn all_variants_are_well_formed() {
+        for v in [
+            HydroVariant::Baseline,
+            HydroVariant::Optimized,
+            HydroVariant::OpenCl,
+        ] {
+            let p = program(v);
+            validate(&p).unwrap_or_else(|e| panic!("{v:?}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn kernel_inventory() {
+        let p = program(HydroVariant::Optimized);
+        // courant + 9 per direction = 19 nests.
+        assert_eq!(p.kernel_count(), 19);
+        for name in [
+            "courant",
+            "boundary_x",
+            "constoprim_x",
+            "eos_x",
+            "slope_x",
+            "trace_x",
+            "qleftright_x",
+            "riemann_x",
+            "cmpflx_x",
+            "update_x",
+            "update_y",
+        ] {
+            assert!(p.kernel(name).is_some(), "missing kernel {name}");
+        }
+    }
+
+    #[test]
+    fn pgi_rejects_hydro() {
+        use paccport_compilers::{compile, CompileOptions, CompilerId};
+        let p = program(HydroVariant::Optimized);
+        let err = compile(CompilerId::Pgi, &p, &CompileOptions::gpu()).unwrap_err();
+        assert!(err.message.contains("pointer"));
+    }
+}

@@ -1,0 +1,386 @@
+//! Ergonomic construction of programs and expressions.
+//!
+//! The benchmark crates build sizeable kernels; the [`E`] expression
+//! wrapper gives them infix arithmetic (`a * b + c`), comparison
+//! methods and array-access helpers, while [`ProgramBuilder`] manages
+//! identifier allocation.
+
+use crate::expr::{BinOp, CmpOp, Expr, UnOp};
+use crate::program::{HostStmt, Program};
+use crate::stmt::{Block, Stmt};
+use crate::types::{ArrayDecl, ArrayId, Intent, MemSpace, ParamDecl, ParamId, Scalar, VarId};
+use std::ops::{Add, Div, Mul, Neg, Rem, Sub};
+
+/// Expression wrapper with operator overloading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E(pub Expr);
+
+impl E {
+    pub fn expr(self) -> Expr {
+        self.0
+    }
+
+    pub fn lt(self, other: impl Into<E>) -> E {
+        E(Expr::cmp(CmpOp::Lt, self.0, other.into().0))
+    }
+    pub fn le(self, other: impl Into<E>) -> E {
+        E(Expr::cmp(CmpOp::Le, self.0, other.into().0))
+    }
+    pub fn gt(self, other: impl Into<E>) -> E {
+        E(Expr::cmp(CmpOp::Gt, self.0, other.into().0))
+    }
+    pub fn ge(self, other: impl Into<E>) -> E {
+        E(Expr::cmp(CmpOp::Ge, self.0, other.into().0))
+    }
+    pub fn eq_(self, other: impl Into<E>) -> E {
+        E(Expr::cmp(CmpOp::Eq, self.0, other.into().0))
+    }
+    pub fn ne_(self, other: impl Into<E>) -> E {
+        E(Expr::cmp(CmpOp::Ne, self.0, other.into().0))
+    }
+    pub fn min(self, other: impl Into<E>) -> E {
+        E(Expr::bin(BinOp::Min, self.0, other.into().0))
+    }
+    pub fn max(self, other: impl Into<E>) -> E {
+        E(Expr::bin(BinOp::Max, self.0, other.into().0))
+    }
+    pub fn and(self, other: impl Into<E>) -> E {
+        E(Expr::bin(BinOp::And, self.0, other.into().0))
+    }
+    pub fn or(self, other: impl Into<E>) -> E {
+        E(Expr::bin(BinOp::Or, self.0, other.into().0))
+    }
+    pub fn sqrt(self) -> E {
+        E(Expr::un(UnOp::Sqrt, self.0))
+    }
+    pub fn abs(self) -> E {
+        E(Expr::un(UnOp::Abs, self.0))
+    }
+    pub fn rcp(self) -> E {
+        E(Expr::un(UnOp::Rcp, self.0))
+    }
+    pub fn exp(self) -> E {
+        E(Expr::un(UnOp::Exp, self.0))
+    }
+    /// Logical negation (also available as the `!` operator).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> E {
+        E(Expr::un(UnOp::Not, self.0))
+    }
+    /// `self ? t : f`.
+    pub fn select(self, t: impl Into<E>, f: impl Into<E>) -> E {
+        E(Expr::select(self.0, t.into().0, f.into().0))
+    }
+    pub fn cast(self, to: Scalar) -> E {
+        E(Expr::cast(to, self.0))
+    }
+    /// Fused multiply-add `self * b + c`.
+    pub fn fma(self, b: impl Into<E>, c: impl Into<E>) -> E {
+        E(Expr::fma(self.0, b.into().0, c.into().0))
+    }
+}
+
+impl From<Expr> for E {
+    fn from(e: Expr) -> Self {
+        E(e)
+    }
+}
+impl From<i64> for E {
+    fn from(v: i64) -> Self {
+        E(Expr::iconst(v))
+    }
+}
+impl From<i32> for E {
+    fn from(v: i32) -> Self {
+        E(Expr::iconst(v as i64))
+    }
+}
+impl From<f64> for E {
+    fn from(v: f64) -> Self {
+        E(Expr::fconst(v))
+    }
+}
+impl From<VarId> for E {
+    fn from(v: VarId) -> Self {
+        E(Expr::var(v))
+    }
+}
+impl From<ParamId> for E {
+    fn from(p: ParamId) -> Self {
+        E(Expr::param(p))
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl<T: Into<E>> $trait<T> for E {
+            type Output = E;
+            fn $method(self, rhs: T) -> E {
+                E(Expr::bin($op, self.0, rhs.into().0))
+            }
+        }
+    };
+}
+impl_binop!(Add, add, BinOp::Add);
+impl_binop!(Sub, sub, BinOp::Sub);
+impl_binop!(Mul, mul, BinOp::Mul);
+impl_binop!(Div, div, BinOp::Div);
+impl_binop!(Rem, rem, BinOp::Rem);
+
+impl Neg for E {
+    type Output = E;
+    fn neg(self) -> E {
+        E(Expr::un(UnOp::Neg, self.0))
+    }
+}
+
+impl std::ops::Not for E {
+    type Output = E;
+    fn not(self) -> E {
+        E(Expr::un(UnOp::Not, self.0))
+    }
+}
+
+/// `array[index]` load from global memory.
+pub fn ld(array: ArrayId, index: impl Into<E>) -> E {
+    E(Expr::load(array, index.into().0))
+}
+
+/// `array[index]` load from work-group local memory.
+pub fn ld_local(array: ArrayId, index: impl Into<E>) -> E {
+    E(Expr::load_local(array, index.into().0))
+}
+
+/// `array[index] = value` store to global memory.
+pub fn st(array: ArrayId, index: impl Into<E>, value: impl Into<E>) -> Stmt {
+    Stmt::Store {
+        space: MemSpace::Global,
+        array,
+        index: index.into().0,
+        value: value.into().0,
+    }
+}
+
+/// `array[index] = value` store to local memory.
+pub fn st_local(array: ArrayId, index: impl Into<E>, value: impl Into<E>) -> Stmt {
+    Stmt::Store {
+        space: MemSpace::Local,
+        array,
+        index: index.into().0,
+        value: value.into().0,
+    }
+}
+
+/// Declare-and-initialize a local scalar.
+pub fn let_(var: VarId, ty: Scalar, init: impl Into<E>) -> Stmt {
+    Stmt::Let {
+        var,
+        ty,
+        init: init.into().0,
+    }
+}
+
+/// Re-assign a local scalar.
+pub fn assign(var: VarId, value: impl Into<E>) -> Stmt {
+    Stmt::Assign {
+        var,
+        value: value.into().0,
+    }
+}
+
+/// One-armed conditional.
+pub fn if_(cond: impl Into<E>, then_blk: Vec<Stmt>) -> Stmt {
+    Stmt::If {
+        cond: cond.into().0,
+        then_blk: Block::new(then_blk),
+        else_blk: Block::default(),
+    }
+}
+
+/// Two-armed conditional.
+pub fn if_else(cond: impl Into<E>, then_blk: Vec<Stmt>, else_blk: Vec<Stmt>) -> Stmt {
+    Stmt::If {
+        cond: cond.into().0,
+        then_blk: Block::new(then_blk),
+        else_blk: Block::new(else_blk),
+    }
+}
+
+/// Sequential inner loop with unit step.
+pub fn for_(var: VarId, lo: impl Into<E>, hi: impl Into<E>, body: Vec<Stmt>) -> Stmt {
+    Stmt::For {
+        var,
+        lo: lo.into().0,
+        hi: hi.into().0,
+        step: 1,
+        body: Block::new(body),
+    }
+}
+
+/// Builder for [`Program`]s.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    params: Vec<ParamDecl>,
+    arrays: Vec<ArrayDecl>,
+    var_names: Vec<String>,
+    tags: Vec<String>,
+}
+
+impl ProgramBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Declare a scalar program parameter.
+    pub fn param(&mut self, name: &str, ty: Scalar) -> ParamId {
+        assert!(
+            !self.params.iter().any(|p| p.name == name),
+            "duplicate parameter `{name}`"
+        );
+        self.params.push(ParamDecl {
+            name: name.into(),
+            ty,
+        });
+        ParamId(self.params.len() as u32 - 1)
+    }
+
+    /// Declare an integer parameter (the common case).
+    pub fn iparam(&mut self, name: &str) -> ParamId {
+        self.param(name, Scalar::I32)
+    }
+
+    /// Declare a device array with the given element type, length
+    /// expression (over parameters) and transfer intent.
+    pub fn array(
+        &mut self,
+        name: &str,
+        elem: Scalar,
+        len: impl Into<E>,
+        intent: Intent,
+    ) -> ArrayId {
+        assert!(
+            !self.arrays.iter().any(|a| a.name == name),
+            "duplicate array `{name}`"
+        );
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            elem,
+            len: len.into().0,
+            intent,
+        });
+        ArrayId(self.arrays.len() as u32 - 1)
+    }
+
+    /// Allocate a fresh variable id with a display name.
+    pub fn var(&mut self, name: &str) -> VarId {
+        self.var_names.push(name.into());
+        VarId(self.var_names.len() as u32 - 1)
+    }
+
+    /// Finish the program with the given host body.
+    pub fn finish(self, body: Vec<HostStmt>) -> Program {
+        Program {
+            name: self.name,
+            params: self.params,
+            arrays: self.arrays,
+            body,
+            var_names: self.var_names,
+            tags: self.tags,
+        }
+    }
+
+    /// Attach a free-form source marker (see [`Program::tags`]).
+    pub fn tag(&mut self, t: &str) {
+        self.tags.push(t.into());
+    }
+}
+
+/// Back-compat alias used in early revisions of the crate docs.
+pub type ExprCtx = E;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infix_arithmetic_builds_expected_tree() {
+        let i = VarId(0);
+        let n = ParamId(0);
+        let e = (E::from(i) * E::from(n) + 3i64).expr();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::var(i), Expr::param(n)),
+                Expr::iconst(3)
+            )
+        );
+    }
+
+    #[test]
+    fn comparison_and_select_chain() {
+        let x = VarId(1);
+        let e = E::from(x).lt(10i64).select(1.0, 0.0).expr();
+        assert!(matches!(e, Expr::Select(..)));
+    }
+
+    #[test]
+    fn builder_allocates_sequential_ids() {
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let a = b.array("a", Scalar::F32, n, Intent::InOut);
+        let v0 = b.var("i");
+        let v1 = b.var("j");
+        assert_eq!(n, ParamId(0));
+        assert_eq!(a, ArrayId(0));
+        assert_eq!(v0, VarId(0));
+        assert_eq!(v1, VarId(1));
+        let p = b.finish(vec![]);
+        assert_eq!(p.var_name(v1), "j");
+        assert_eq!(p.var_name(VarId(99)), "v99");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_param_panics() {
+        let mut b = ProgramBuilder::new("p");
+        b.iparam("n");
+        b.iparam("n");
+    }
+
+    #[test]
+    fn statement_helpers_produce_expected_shapes() {
+        let a = ArrayId(0);
+        let i = VarId(0);
+        let s = st(a, E::from(i) + 1i64, 2.0);
+        assert!(matches!(
+            s,
+            Stmt::Store {
+                space: MemSpace::Global,
+                ..
+            }
+        ));
+        let f = for_(i, 0i64, 8i64, vec![st(a, i, 0.0)]);
+        if let Stmt::For { step, body, .. } = f {
+            assert_eq!(step, 1);
+            assert_eq!(body.0.len(), 1);
+        } else {
+            panic!("expected For");
+        }
+    }
+
+    #[test]
+    fn neg_and_unary_helpers() {
+        let x = VarId(0);
+        assert!(matches!((-E::from(x)).expr(), Expr::Un(UnOp::Neg, _)));
+        assert!(matches!(E::from(x).sqrt().expr(), Expr::Un(UnOp::Sqrt, _)));
+        assert!(matches!(
+            E::from(2.0).fma(3.0, 4.0).expr(),
+            Expr::Fma(..)
+        ));
+    }
+}

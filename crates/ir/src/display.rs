@@ -1,0 +1,488 @@
+//! Pretty-printing of the IR as pseudo-C with `#pragma acc` lines.
+//!
+//! The printed form is what the `ptx_inspector` example and the
+//! study reports show next to PTX listings, mirroring the code
+//! listings in the paper (Figures 5, 8 and 13).
+
+use crate::expr::{BinOp, CmpOp, Expr, SpecialVar, UnOp};
+use crate::kernel::{Kernel, KernelBody, LoopClauses};
+use crate::program::{Dir, HostStmt, Program};
+use crate::stmt::{Block, Stmt};
+use crate::types::MemSpace;
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// program {}", p.name);
+    let params: Vec<String> = p
+        .params
+        .iter()
+        .map(|d| format!("{} {}", d.ty, d.name))
+        .collect();
+    let _ = writeln!(out, "void {}({}) {{", p.name, params.join(", "));
+    for a in &p.arrays {
+        let _ = writeln!(
+            out,
+            "  {} {}[{}];  // intent: {:?}",
+            a.elem,
+            a.name,
+            expr_to_string(p, &a.len),
+            a.intent
+        );
+    }
+    for s in &p.body {
+        host_stmt(p, s, 1, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn host_stmt(p: &Program, s: &HostStmt, depth: usize, out: &mut String) {
+    match s {
+        HostStmt::DataRegion { arrays, body } => {
+            indent(depth, out);
+            let names: Vec<&str> = arrays
+                .iter()
+                .map(|a| p.array(*a).name.as_str())
+                .collect();
+            let _ = writeln!(out, "#pragma acc data copy({})", names.join(", "));
+            indent(depth, out);
+            out.push_str("{\n");
+            for s in body {
+                host_stmt(p, s, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        HostStmt::Launch(k) => kernel_to_string_at(p, k, depth, out),
+        HostStmt::HostLoop { var, lo, hi, body } => {
+            indent(depth, out);
+            let v = p.var_name(*var);
+            let _ = writeln!(
+                out,
+                "for ({v} = {}; {v} < {}; {v}++) {{",
+                expr_to_string(p, lo),
+                expr_to_string(p, hi)
+            );
+            for s in body {
+                host_stmt(p, s, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        HostStmt::WhileFlag {
+            flag,
+            max_iters,
+            body,
+        } => {
+            indent(depth, out);
+            let _ = writeln!(out, "do {{  // at most {max_iters} iterations");
+            for s in body {
+                host_stmt(p, s, depth + 1, out);
+            }
+            indent(depth, out);
+            let _ = writeln!(out, "}} while ({}[0]);", p.array(*flag).name);
+        }
+        HostStmt::HostAssign { var, value, .. } => {
+            indent(depth, out);
+            let _ = writeln!(
+                out,
+                "{} = {};  // host",
+                p.var_name(*var),
+                expr_to_string(p, value)
+            );
+        }
+        HostStmt::HostStore {
+            array,
+            index,
+            value,
+        } => {
+            indent(depth, out);
+            let _ = writeln!(
+                out,
+                "{}[{}] = {};  // host",
+                p.array(*array).name,
+                expr_to_string(p, index),
+                expr_to_string(p, value)
+            );
+        }
+        HostStmt::HostCompute { label, instr } => {
+            indent(depth, out);
+            let _ = writeln!(
+                out,
+                "/* host work: {label}, ~{} instructions */",
+                expr_to_string(p, instr)
+            );
+        }
+        HostStmt::EnterData { arrays } => {
+            indent(depth, out);
+            let names: Vec<&str> = arrays.iter().map(|a| p.array(*a).name.as_str()).collect();
+            let _ = writeln!(out, "#pragma acc enter data copyin({})", names.join(", "));
+        }
+        HostStmt::ExitData { arrays } => {
+            indent(depth, out);
+            let names: Vec<&str> = arrays.iter().map(|a| p.array(*a).name.as_str()).collect();
+            let _ = writeln!(out, "#pragma acc exit data copyout({})", names.join(", "));
+        }
+        HostStmt::Update { array, dir } => {
+            indent(depth, out);
+            let d = match dir {
+                Dir::ToDevice => "device",
+                Dir::ToHost => "host",
+            };
+            let _ = writeln!(out, "#pragma acc update {d}({})", p.array(*array).name);
+        }
+    }
+}
+
+fn clause_string(c: &LoopClauses) -> String {
+    let mut parts = Vec::new();
+    if c.independent {
+        parts.push("independent".to_string());
+    }
+    if let Some(g) = c.gang {
+        parts.push(format!("gang({g})"));
+    }
+    if let Some(w) = c.worker {
+        parts.push(format!("worker({w})"));
+    }
+    if let Some(v) = c.vector {
+        parts.push(format!("vector({v})"));
+    }
+    if let Some(t) = c.tile {
+        parts.push(format!("tile({t})"));
+    }
+    for o in &c.device_overrides {
+        let mut sub = Vec::new();
+        if let Some(g) = o.gang {
+            sub.push(format!("gang({g})"));
+        }
+        if let Some(w) = o.worker {
+            sub.push(format!("worker({w})"));
+        }
+        if let Some(v) = o.vector {
+            sub.push(format!("vector({v})"));
+        }
+        parts.push(format!("device_type({}) {}", o.device.spelling(), sub.join(" ")));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!(" {}", parts.join(" "))
+    }
+}
+
+/// Render one kernel (compute region).
+pub fn kernel_to_string(p: &Program, k: &Kernel) -> String {
+    let mut out = String::new();
+    kernel_to_string_at(p, k, 0, &mut out);
+    out
+}
+
+fn kernel_to_string_at(p: &Program, k: &Kernel, depth: usize, out: &mut String) {
+    indent(depth, out);
+    let _ = writeln!(out, "// kernel {}", k.name);
+    indent(depth, out);
+    out.push_str("#pragma acc parallel\n");
+    let mut d = depth;
+    for lp in &k.loops {
+        indent(d, out);
+        let _ = writeln!(out, "#pragma acc loop{}", clause_string(&lp.clauses));
+        if let Some(u) = lp.clauses.unroll_jam {
+            indent(d, out);
+            let _ = writeln!(out, "#pragma hmppcg unroll({u}), jam");
+        }
+        indent(d, out);
+        let v = p.var_name(lp.var);
+        let _ = writeln!(
+            out,
+            "for ({v} = {}; {v} < {}; {v}++) {{",
+            expr_to_string(p, &lp.lo),
+            expr_to_string(p, &lp.hi)
+        );
+        d += 1;
+    }
+    match &k.body {
+        KernelBody::Simple(b) => block_to_string(p, b, d, out),
+        KernelBody::Grouped(g) => {
+            indent(d, out);
+            let _ = writeln!(out, "// work-group body, group_size = {}", g.group_size);
+            for l in &g.locals {
+                indent(d, out);
+                let _ = writeln!(out, "__local {} {}[{}];", l.elem, l.name, l.len);
+            }
+            for (i, phase) in g.phases.iter().enumerate() {
+                if i > 0 {
+                    indent(d, out);
+                    out.push_str("barrier(CLK_LOCAL_MEM_FENCE);\n");
+                }
+                block_to_string(p, phase, d, out);
+            }
+        }
+    }
+    if let Some(rr) = &k.region_reduction {
+        indent(d, out);
+        let _ = writeln!(
+            out,
+            "// reduction({:?}) -> {}[0] of {}",
+            rr.op,
+            p.array(rr.dest).name,
+            expr_to_string(p, &rr.value)
+        );
+    }
+    for i in (depth..d).rev() {
+        indent(i, out);
+        out.push_str("}\n");
+    }
+}
+
+fn block_to_string(p: &Program, b: &Block, depth: usize, out: &mut String) {
+    for s in &b.0 {
+        stmt_to_string(p, s, depth, out);
+    }
+}
+
+fn stmt_to_string(p: &Program, s: &Stmt, depth: usize, out: &mut String) {
+    match s {
+        Stmt::Let { var, ty, init } => {
+            indent(depth, out);
+            let _ = writeln!(
+                out,
+                "{ty} {} = {};",
+                p.var_name(*var),
+                expr_to_string(p, init)
+            );
+        }
+        Stmt::Assign { var, value } => {
+            indent(depth, out);
+            let _ = writeln!(out, "{} = {};", p.var_name(*var), expr_to_string(p, value));
+        }
+        Stmt::Store {
+            space,
+            array,
+            index,
+            value,
+        } => {
+            indent(depth, out);
+            let prefix = match space {
+                MemSpace::Global => "",
+                MemSpace::Local => "/*local*/ ",
+            };
+            let name = local_or_global_name(p, *space, *array);
+            let _ = writeln!(
+                out,
+                "{prefix}{}[{}] = {};",
+                name,
+                expr_to_string(p, index),
+                expr_to_string(p, value)
+            );
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            indent(depth, out);
+            let _ = writeln!(out, "if ({}) {{", expr_to_string(p, cond));
+            block_to_string(p, then_blk, depth + 1, out);
+            if !else_blk.is_empty() {
+                indent(depth, out);
+                out.push_str("} else {\n");
+                block_to_string(p, else_blk, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
+            indent(depth, out);
+            let v = p.var_name(*var);
+            let inc = if *step == 1 {
+                format!("{v}++")
+            } else {
+                format!("{v} += {step}")
+            };
+            let _ = writeln!(
+                out,
+                "for ({v} = {}; {v} < {}; {inc}) {{",
+                expr_to_string(p, lo),
+                expr_to_string(p, hi)
+            );
+            block_to_string(p, body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::Barrier => {
+            indent(depth, out);
+            out.push_str("barrier(CLK_LOCAL_MEM_FENCE);\n");
+        }
+        Stmt::Atomic {
+            op,
+            array,
+            index,
+            value,
+        } => {
+            indent(depth, out);
+            out.push_str("#pragma acc atomic\n");
+            indent(depth, out);
+            let sym = match op {
+                crate::kernel::ReduceOp::Add => "+=",
+                crate::kernel::ReduceOp::Max => "= max of",
+                crate::kernel::ReduceOp::Min => "= min of",
+            };
+            let _ = writeln!(
+                out,
+                "{}[{}] {sym} {};",
+                p.array(*array).name,
+                expr_to_string(p, index),
+                expr_to_string(p, value)
+            );
+        }
+    }
+}
+
+fn local_or_global_name(p: &Program, space: MemSpace, array: crate::types::ArrayId) -> String {
+    match space {
+        MemSpace::Global => p.array(array).name.clone(),
+        // Local arrays are numbered within the kernel's own table;
+        // the program-level table does not know their names.
+        MemSpace::Local => format!("local{}", array.0),
+    }
+}
+
+/// Render one expression.
+pub fn expr_to_string(p: &Program, e: &Expr) -> String {
+    match e {
+        Expr::FConst(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{v:.1}f")
+            } else {
+                format!("{v}f")
+            }
+        }
+        Expr::IConst(v) => v.to_string(),
+        Expr::BConst(v) => v.to_string(),
+        Expr::Param(id) => p.param(*id).name.clone(),
+        Expr::Var(id) => p.var_name(*id),
+        Expr::Special(sv) => match sv {
+            SpecialVar::LocalId(d) => format!("get_local_id({d})"),
+            SpecialVar::GroupId(d) => format!("get_group_id({d})"),
+            SpecialVar::LocalSize(d) => format!("get_local_size({d})"),
+            SpecialVar::NumGroups(d) => format!("get_num_groups({d})"),
+        },
+        Expr::Load {
+            space,
+            array,
+            index,
+        } => format!(
+            "{}[{}]",
+            local_or_global_name(p, *space, *array),
+            expr_to_string(p, index)
+        ),
+        Expr::Un(op, a) => {
+            let a = expr_to_string(p, a);
+            match op {
+                UnOp::Neg => format!("(-{a})"),
+                UnOp::Abs => format!("fabs({a})"),
+                UnOp::Rcp => format!("(1.0f/{a})"),
+                UnOp::Sqrt => format!("sqrt({a})"),
+                UnOp::Not => format!("(!{a})"),
+                UnOp::Exp => format!("exp({a})"),
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let a = expr_to_string(p, a);
+            let b = expr_to_string(p, b);
+            match op {
+                BinOp::Add => format!("({a} + {b})"),
+                BinOp::Sub => format!("({a} - {b})"),
+                BinOp::Mul => format!("({a} * {b})"),
+                BinOp::Div => format!("({a} / {b})"),
+                BinOp::Rem => format!("({a} % {b})"),
+                BinOp::Min => format!("min({a}, {b})"),
+                BinOp::Max => format!("max({a}, {b})"),
+                BinOp::And => format!("({a} && {b})"),
+                BinOp::Or => format!("({a} || {b})"),
+                BinOp::Shl => format!("({a} << {b})"),
+                BinOp::Shr => format!("({a} >> {b})"),
+            }
+        }
+        Expr::Cmp(op, a, b) => {
+            let a = expr_to_string(p, a);
+            let b = expr_to_string(p, b);
+            let sym = match op {
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("({a} {sym} {b})")
+        }
+        Expr::Fma(a, b, c) => format!(
+            "fmaf({}, {}, {})",
+            expr_to_string(p, a),
+            expr_to_string(p, b),
+            expr_to_string(p, c)
+        ),
+        Expr::Select(c, a, b) => format!(
+            "({} ? {} : {})",
+            expr_to_string(p, c),
+            expr_to_string(p, a),
+            expr_to_string(p, b)
+        ),
+        Expr::Cast(t, a) => format!("({t})({})", expr_to_string(p, a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ld, st, ProgramBuilder, E};
+    use crate::kernel::{Kernel, ParallelLoop};
+    use crate::types::{Intent, Scalar};
+
+    #[test]
+    fn renders_pragmas_and_loops() {
+        let mut b = ProgramBuilder::new("saxpy");
+        let n = b.iparam("n");
+        let x = b.array("x", Scalar::F32, n, Intent::In);
+        let y = b.array("y", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        let mut lp = ParallelLoop::new(i, Expr::iconst(0), Expr::param(n));
+        lp.clauses.independent = true;
+        lp.clauses.gang = Some(256);
+        lp.clauses.worker = Some(16);
+        let k = Kernel::simple(
+            "saxpy",
+            vec![lp],
+            Block::new(vec![st(y, i, E::from(2.0) * ld(x, i) + ld(y, i))]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let s = program_to_string(&p);
+        assert!(s.contains("#pragma acc loop independent gang(256) worker(16)"));
+        assert!(s.contains("y[i] = ((2.0f * x[i]) + y[i]);"));
+        assert!(s.contains("for (i = 0; i < n; i++)"));
+    }
+
+    #[test]
+    fn renders_special_vars_and_barrier() {
+        let b = ProgramBuilder::new("g");
+        let p = b.finish(vec![]);
+        let e = Expr::Special(SpecialVar::LocalId(0));
+        assert_eq!(expr_to_string(&p, &e), "get_local_id(0)");
+    }
+}

@@ -1,0 +1,327 @@
+//! Expression simplification: constant folding and algebraic
+//! identities.
+//!
+//! The loop transformations (unroll, strip-mine, tiling) synthesize
+//! expressions like `i + 0`, `(n - 0 + 0) / 1 * 1` or `0 * t + j`;
+//! real source-to-source compilers fold these before code generation,
+//! and so do we — otherwise the static PTX counts would charge the
+//! transforms for arithmetic no hardware ever executes.
+//!
+//! The pass is semantics-preserving over the interpreter's evaluation
+//! rules: integer folding uses the same wrapping-free i64 arithmetic,
+//! and floating-point expressions are *not* reassociated (only exact
+//! identities like `x + 0.0` and `x * 1.0` apply).
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::kernel::{Kernel, KernelBody};
+use crate::stmt::{Block, Stmt};
+
+/// Simplify an expression tree bottom-up.
+pub fn simplify(e: &Expr) -> Expr {
+    match e {
+        Expr::Un(op, a) => {
+            let a = simplify(a);
+            match (op, &a) {
+                (UnOp::Neg, Expr::IConst(v)) => Expr::IConst(-v),
+                (UnOp::Neg, Expr::FConst(v)) => Expr::FConst(-v),
+                (UnOp::Abs, Expr::IConst(v)) => Expr::IConst(v.abs()),
+                (UnOp::Abs, Expr::FConst(v)) => Expr::FConst(v.abs()),
+                (UnOp::Not, Expr::BConst(v)) => Expr::BConst(!v),
+                // --x = x
+                (UnOp::Neg, Expr::Un(UnOp::Neg, inner)) => (**inner).clone(),
+                _ => Expr::un(*op, a),
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let a = simplify(a);
+            let b = simplify(b);
+            simplify_bin(*op, a, b)
+        }
+        Expr::Cmp(op, a, b) => Expr::cmp(*op, simplify(a), simplify(b)),
+        Expr::Fma(a, b, c) => Expr::fma(simplify(a), simplify(b), simplify(c)),
+        Expr::Select(c, a, b) => {
+            let c = simplify(c);
+            match c {
+                Expr::BConst(true) => simplify(a),
+                Expr::BConst(false) => simplify(b),
+                c => Expr::select(c, simplify(a), simplify(b)),
+            }
+        }
+        Expr::Cast(t, a) => {
+            let a = simplify(a);
+            match (&a, t) {
+                (Expr::IConst(v), crate::types::Scalar::F32) => Expr::FConst(*v as f32 as f64),
+                (Expr::IConst(v), crate::types::Scalar::I32) => Expr::IConst(*v as i32 as i64),
+                _ => Expr::cast(*t, a),
+            }
+        }
+        Expr::Load {
+            space,
+            array,
+            index,
+        } => Expr::Load {
+            space: *space,
+            array: *array,
+            index: Box::new(simplify(index)),
+        },
+        leaf => leaf.clone(),
+    }
+}
+
+fn simplify_bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    use BinOp::*;
+    // Integer constant folding (i64, matching the interpreter).
+    if let (Expr::IConst(x), Expr::IConst(y)) = (&a, &b) {
+        let v = match op {
+            Add => Some(x + y),
+            Sub => Some(x - y),
+            Mul => Some(x * y),
+            Div if *y != 0 => Some(x / y),
+            Rem if *y != 0 => Some(x % y),
+            Min => Some(*x.min(y)),
+            Max => Some(*x.max(y)),
+            Shl => Some(x << y),
+            Shr => Some(x >> y),
+            _ => None,
+        };
+        if let Some(v) = v {
+            return Expr::IConst(v);
+        }
+    }
+    match (op, &a, &b) {
+        // x + 0, 0 + x, x - 0
+        (Add, x, Expr::IConst(0)) | (Sub, x, Expr::IConst(0)) => x.clone(),
+        (Add, Expr::IConst(0), x) => x.clone(),
+        (Add, x, Expr::FConst(z)) | (Sub, x, Expr::FConst(z)) if *z == 0.0 => x.clone(),
+        // x * 1, 1 * x, x / 1
+        (Mul, x, Expr::IConst(1)) | (Div, x, Expr::IConst(1)) => x.clone(),
+        (Mul, Expr::IConst(1), x) => x.clone(),
+        (Mul, x, Expr::FConst(o)) | (Div, x, Expr::FConst(o)) if *o == 1.0 => x.clone(),
+        (Mul, Expr::FConst(o), x) if *o == 1.0 => x.clone(),
+        // x * 0, 0 * x (integers only: 0.0 * NaN must stay NaN)
+        (Mul, _, Expr::IConst(0)) | (Mul, Expr::IConst(0), _) => Expr::IConst(0),
+        // (a + c1) + c2 → a + (c1+c2)
+        (Add, Expr::Bin(BinOp::Add, x, c1), Expr::IConst(c2)) => {
+            if let Expr::IConst(c1) = **c1 {
+                return simplify_bin(Add, (**x).clone(), Expr::IConst(c1 + c2));
+            }
+            Expr::bin(op, a.clone(), b.clone())
+        }
+        // (a - c1) + c2 / (a + c1) - c2
+        (Add, Expr::Bin(BinOp::Sub, x, c1), Expr::IConst(c2)) => {
+            if let Expr::IConst(c1) = **c1 {
+                return simplify_bin(Sub, (**x).clone(), Expr::IConst(c1 - c2));
+            }
+            Expr::bin(op, a.clone(), b.clone())
+        }
+        (Sub, Expr::Bin(BinOp::Add, x, c1), Expr::IConst(c2)) => {
+            if let Expr::IConst(c1) = **c1 {
+                return simplify_bin(Add, (**x).clone(), Expr::IConst(c1 - c2));
+            }
+            Expr::bin(op, a.clone(), b.clone())
+        }
+        _ => Expr::bin(op, a, b),
+    }
+}
+
+/// Simplify every expression in a block.
+pub fn simplify_block(b: &Block) -> Block {
+    Block(b.0.iter().map(simplify_stmt).collect())
+}
+
+fn simplify_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Let { var, ty, init } => Stmt::Let {
+            var: *var,
+            ty: *ty,
+            init: simplify(init),
+        },
+        Stmt::Assign { var, value } => Stmt::Assign {
+            var: *var,
+            value: simplify(value),
+        },
+        Stmt::Store {
+            space,
+            array,
+            index,
+            value,
+        } => Stmt::Store {
+            space: *space,
+            array: *array,
+            index: simplify(index),
+            value: simplify(value),
+        },
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => Stmt::If {
+            cond: simplify(cond),
+            then_blk: simplify_block(then_blk),
+            else_blk: simplify_block(else_blk),
+        },
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => Stmt::For {
+            var: *var,
+            lo: simplify(lo),
+            hi: simplify(hi),
+            step: *step,
+            body: simplify_block(body),
+        },
+        Stmt::Barrier => Stmt::Barrier,
+        Stmt::Atomic {
+            op,
+            array,
+            index,
+            value,
+        } => Stmt::Atomic {
+            op: *op,
+            array: *array,
+            index: simplify(index),
+            value: simplify(value),
+        },
+    }
+}
+
+/// Simplify every expression of a kernel (bounds and body).
+pub fn simplify_kernel(k: &mut Kernel) {
+    for lp in &mut k.loops {
+        lp.lo = simplify(&lp.lo);
+        lp.hi = simplify(&lp.hi);
+    }
+    match &mut k.body {
+        KernelBody::Simple(b) => *b = simplify_block(b),
+        KernelBody::Grouped(g) => {
+            for phase in &mut g.phases {
+                *phase = simplify_block(phase);
+            }
+        }
+    }
+    if let Some(rr) = &mut k.region_reduction {
+        rr.value = simplify(&rr.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::E;
+    use crate::types::VarId;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn folds_integer_arithmetic() {
+        let e = (E::from(3i64) * 4i64 + 5i64).expr();
+        assert_eq!(simplify(&e), Expr::IConst(17));
+    }
+
+    #[test]
+    fn removes_additive_and_multiplicative_identities() {
+        let x = Expr::var(v(0));
+        assert_eq!(simplify(&Expr::bin(BinOp::Add, x.clone(), Expr::iconst(0))), x);
+        assert_eq!(simplify(&Expr::bin(BinOp::Mul, Expr::iconst(1), x.clone())), x);
+        assert_eq!(simplify(&Expr::bin(BinOp::Div, x.clone(), Expr::iconst(1))), x);
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Mul, x.clone(), Expr::iconst(0))),
+            Expr::IConst(0)
+        );
+    }
+
+    #[test]
+    fn reassociates_constant_chains() {
+        // (i + 2) + 3 → i + 5; (i - 1) + 1 → i
+        let i = Expr::var(v(0));
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, i.clone(), Expr::iconst(2)),
+            Expr::iconst(3),
+        );
+        assert_eq!(
+            simplify(&e),
+            Expr::bin(BinOp::Add, i.clone(), Expr::iconst(5))
+        );
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Sub, i.clone(), Expr::iconst(1)),
+            Expr::iconst(1),
+        );
+        assert_eq!(simplify(&e), i);
+    }
+
+    #[test]
+    fn float_identities_are_conservative() {
+        let x = Expr::var(v(0));
+        // x + 0.0 folds…
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Add, x.clone(), Expr::fconst(0.0))),
+            x
+        );
+        // …but x * 0.0 must NOT fold to 0.0 (NaN/Inf semantics).
+        let e = Expr::bin(BinOp::Mul, x.clone(), Expr::fconst(0.0));
+        assert_eq!(simplify(&e), e);
+        // And no float reassociation happens.
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, x, Expr::fconst(2.0)),
+            Expr::fconst(3.0),
+        );
+        assert_eq!(simplify(&e), e);
+    }
+
+    #[test]
+    fn selects_with_constant_conditions_collapse() {
+        let e = Expr::select(Expr::BConst(true), Expr::iconst(1), Expr::iconst(2));
+        assert_eq!(simplify(&e), Expr::IConst(1));
+        let e = Expr::select(
+            Expr::cmp(crate::expr::CmpOp::Lt, Expr::iconst(5), Expr::iconst(3)),
+            Expr::iconst(1),
+            Expr::iconst(2),
+        );
+        // 5 < 3 is not folded (Cmp folding is out of scope), so the
+        // select survives — conservative is fine.
+        assert!(matches!(simplify(&e), Expr::Select(..)));
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let x = Expr::var(v(0));
+        let e = Expr::un(UnOp::Neg, Expr::un(UnOp::Neg, x.clone()));
+        assert_eq!(simplify(&e), x);
+    }
+
+    #[test]
+    fn simplify_kernel_touches_bounds_and_body() {
+        use crate::builder::{st, ProgramBuilder};
+        use crate::kernel::ParallelLoop;
+        use crate::types::{Intent, Scalar};
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let a = b.array("a", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        let mut k = crate::kernel::Kernel::simple(
+            "k",
+            vec![ParallelLoop::new(
+                i,
+                (E::from(0i64) + 0i64).expr(),
+                (E::from(n) * 1i64).expr(),
+            )],
+            Block::new(vec![st(a, E::from(i) + 0i64, E::from(1.0) * 2.0)]),
+        );
+        simplify_kernel(&mut k);
+        assert_eq!(k.loops[0].lo, Expr::IConst(0));
+        assert_eq!(k.loops[0].hi, Expr::param(n));
+        if let Stmt::Store { index, .. } = &k.simple_body().unwrap().0[0] {
+            assert_eq!(*index, Expr::var(i));
+        } else {
+            panic!("expected store");
+        }
+    }
+}

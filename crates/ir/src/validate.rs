@@ -1,0 +1,388 @@
+//! Structural validation of programs.
+//!
+//! All benchmark builders run their output through [`validate`] in
+//! tests, so malformed IR is caught at construction time rather than
+//! deep inside the interpreter or a compiler lowering.
+
+use crate::expr::Expr;
+use crate::kernel::{Kernel, KernelBody};
+use crate::program::{HostStmt, Program};
+use crate::stmt::{Block, Stmt};
+use crate::types::{ArrayId, MemSpace, ParamId, VarId};
+
+/// A validation failure with a human-readable location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    pub location: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.location, self.message)
+    }
+}
+
+/// Validate a whole program. Returns all problems found.
+pub fn validate(p: &Program) -> Result<(), Vec<ValidationError>> {
+    let mut ctx = Ctx {
+        p,
+        errors: Vec::new(),
+        defined_vars: Default::default(),
+    };
+    // Array length expressions may only use parameters.
+    for (i, a) in p.arrays.iter().enumerate() {
+        ctx.check_param_only(&a.len, &format!("array `{}` length", a.name));
+        if p.arrays[..i].iter().any(|b| b.name == a.name) {
+            ctx.err("arrays", format!("duplicate array name `{}`", a.name));
+        }
+    }
+    for s in &p.body {
+        ctx.host_stmt(s);
+    }
+    if ctx.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(ctx.errors)
+    }
+}
+
+struct Ctx<'a> {
+    p: &'a Program,
+    errors: Vec<ValidationError>,
+    defined_vars: std::collections::BTreeSet<VarId>,
+}
+
+impl<'a> Ctx<'a> {
+    fn err(&mut self, loc: &str, msg: String) {
+        self.errors.push(ValidationError {
+            location: loc.to_string(),
+            message: msg,
+        });
+    }
+
+    fn check_array(&mut self, a: ArrayId, loc: &str) {
+        if a.0 as usize >= self.p.arrays.len() {
+            self.err(loc, format!("array id {} out of range", a.0));
+        }
+    }
+
+    fn check_param(&mut self, id: ParamId, loc: &str) {
+        if id.0 as usize >= self.p.params.len() {
+            self.err(loc, format!("param id {} out of range", id.0));
+        }
+    }
+
+    fn check_param_only(&mut self, e: &Expr, loc: &str) {
+        let mut bad = false;
+        e.walk(&mut |e| {
+            if matches!(e, Expr::Var(_) | Expr::Load { .. } | Expr::Special(_)) {
+                bad = true;
+            }
+        });
+        if bad {
+            self.err(loc, "expression must only reference parameters".into());
+        }
+    }
+
+    fn host_stmt(&mut self, s: &HostStmt) {
+        match s {
+            HostStmt::DataRegion { arrays, body } => {
+                for a in arrays {
+                    self.check_array(*a, "data region");
+                }
+                for s in body {
+                    self.host_stmt(s);
+                }
+            }
+            HostStmt::Launch(k) => self.kernel(k),
+            HostStmt::HostLoop { var, lo, hi, body } => {
+                self.expr(lo, "host loop bound", false);
+                self.expr(hi, "host loop bound", false);
+                self.defined_vars.insert(*var);
+                for s in body {
+                    self.host_stmt(s);
+                }
+            }
+            HostStmt::WhileFlag {
+                flag,
+                max_iters,
+                body,
+            } => {
+                self.check_array(*flag, "while flag");
+                if *max_iters == 0 {
+                    self.err("while flag", "max_iters must be positive".into());
+                }
+                for s in body {
+                    self.host_stmt(s);
+                }
+            }
+            HostStmt::HostAssign { var, value, .. } => {
+                self.expr(value, "host assign", false);
+                self.defined_vars.insert(*var);
+            }
+            HostStmt::HostStore {
+                array,
+                index,
+                value,
+            } => {
+                self.check_array(*array, "host store");
+                self.expr(index, "host store index", false);
+                self.expr(value, "host store value", false);
+            }
+            HostStmt::Update { array, .. } => self.check_array(*array, "update"),
+            HostStmt::HostCompute { instr, .. } => {
+                self.expr(instr, "host compute", false)
+            }
+            HostStmt::EnterData { arrays } | HostStmt::ExitData { arrays } => {
+                for a in arrays {
+                    self.check_array(*a, "enter/exit data");
+                }
+            }
+        }
+    }
+
+    fn kernel(&mut self, k: &Kernel) {
+        let loc = format!("kernel `{}`", k.name);
+        if k.loops.is_empty() {
+            self.err(&loc, "kernel must have at least one parallel loop".into());
+        }
+        let saved: std::collections::BTreeSet<VarId> = self.defined_vars.clone();
+        let grouped = matches!(k.body, KernelBody::Grouped(_));
+        for lp in &k.loops {
+            self.expr(&lp.lo, &loc, grouped);
+            self.expr(&lp.hi, &loc, grouped);
+            self.defined_vars.insert(lp.var);
+            if let Some(t) = lp.clauses.tile {
+                if t == 0 {
+                    self.err(&loc, "tile(0) is invalid".into());
+                }
+            }
+            if let Some(u) = lp.clauses.unroll_jam {
+                if u < 2 {
+                    self.err(&loc, "unroll factor must be >= 2".into());
+                }
+            }
+        }
+        match &k.body {
+            KernelBody::Simple(b) => self.block(b, &loc, false, false),
+            KernelBody::Grouped(g) => {
+                if g.group_size == 0 {
+                    self.err(&loc, "group_size must be positive".into());
+                }
+                if g.phases.is_empty() {
+                    self.err(&loc, "grouped body needs at least one phase".into());
+                }
+                let n_locals = g.locals.len();
+                for phase in &g.phases {
+                    self.block_with_locals(phase, &loc, n_locals);
+                }
+            }
+        }
+        if let Some(rr) = &k.region_reduction {
+            self.check_array(rr.dest, &loc);
+            self.expr(&rr.value, &loc, grouped);
+        }
+        self.defined_vars = saved;
+    }
+
+    fn block(&mut self, b: &Block, loc: &str, grouped: bool, in_local_scope: bool) {
+        for s in &b.0 {
+            match s {
+                Stmt::Let { var, init, .. } => {
+                    self.expr(init, loc, grouped);
+                    self.defined_vars.insert(*var);
+                }
+                Stmt::Assign { var, value } => {
+                    if !self.defined_vars.contains(var) {
+                        self.err(
+                            loc,
+                            format!(
+                                "assignment to undeclared local `{}`",
+                                self.p.var_name(*var)
+                            ),
+                        );
+                    }
+                    self.expr(value, loc, grouped);
+                }
+                Stmt::Store {
+                    space,
+                    array,
+                    index,
+                    value,
+                } => {
+                    if *space == MemSpace::Local && !in_local_scope {
+                        self.err(loc, "local-memory store outside a grouped body".into());
+                    }
+                    if *space == MemSpace::Global {
+                        self.check_array(*array, loc);
+                    }
+                    self.expr(index, loc, grouped);
+                    self.expr(value, loc, grouped);
+                }
+                Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    self.expr(cond, loc, grouped);
+                    self.block(then_blk, loc, grouped, in_local_scope);
+                    self.block(else_blk, loc, grouped, in_local_scope);
+                }
+                Stmt::For {
+                    var, lo, hi, body, ..
+                } => {
+                    self.expr(lo, loc, grouped);
+                    self.expr(hi, loc, grouped);
+                    self.defined_vars.insert(*var);
+                    self.block(body, loc, grouped, in_local_scope);
+                }
+                Stmt::Barrier => {
+                    if !grouped {
+                        self.err(loc, "barrier outside a grouped body".into());
+                    }
+                }
+                Stmt::Atomic {
+                    array, index, value, ..
+                } => {
+                    self.check_array(*array, loc);
+                    self.expr(index, loc, grouped);
+                    self.expr(value, loc, grouped);
+                }
+            }
+        }
+    }
+
+    fn block_with_locals(&mut self, b: &Block, loc: &str, n_locals: usize) {
+        // Local array ids index the kernel's own local table.
+        let check_local = |this: &mut Self, a: ArrayId| {
+            if a.0 as usize >= n_locals {
+                this.err(loc, format!("local array id {} out of range", a.0));
+            }
+        };
+        b.walk(&mut |s| {
+            if let Stmt::Store {
+                space: MemSpace::Local,
+                array,
+                ..
+            } = s
+            {
+                check_local(self, *array);
+            }
+        });
+        self.block(b, loc, true, true);
+    }
+
+    fn expr(&mut self, e: &Expr, loc: &str, grouped: bool) {
+        e.walk(&mut |e| match e {
+            Expr::Param(id) => self.check_param(*id, loc),
+            Expr::Load {
+                space: MemSpace::Global,
+                array,
+                ..
+            } => self.check_array(*array, loc),
+            Expr::Special(sv)
+                if !grouped => {
+                    self.err(
+                        loc,
+                        format!("work-group builtin {sv:?} outside a grouped body"),
+                    );
+                }
+            _ => {}
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{st, ProgramBuilder, E};
+    use crate::kernel::ParallelLoop;
+    use crate::types::{Intent, Scalar};
+
+    fn base() -> (ProgramBuilder, ParamId, ArrayId, VarId) {
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let a = b.array("a", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        (b, n, a, i)
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let (b, n, a, i) = base();
+        let k = Kernel::simple(
+            "k",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            Block::new(vec![st(a, i, 0.0)]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_array_caught() {
+        let (b, n, _a, i) = base();
+        let k = Kernel::simple(
+            "k",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            Block::new(vec![st(ArrayId(9), i, 0.0)]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn barrier_outside_grouped_caught() {
+        let (b, n, _a, i) = base();
+        let k = Kernel::simple(
+            "k",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            Block::new(vec![Stmt::Barrier]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("barrier")));
+    }
+
+    #[test]
+    fn assign_before_let_caught() {
+        let (mut b, n, a, i) = base();
+        let tmp = b.var("tmp");
+        let k = Kernel::simple(
+            "k",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            Block::new(vec![
+                crate::builder::assign(tmp, 1.0),
+                st(a, i, E::from(tmp)),
+            ]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared")));
+    }
+
+    #[test]
+    fn array_len_must_be_param_only() {
+        let mut b = ProgramBuilder::new("p");
+        let i = b.var("i");
+        b.array("a", Scalar::F32, E::from(i), Intent::In);
+        let p = b.finish(vec![]);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("only reference parameters")));
+    }
+
+    #[test]
+    fn kernel_without_loops_caught() {
+        let (b, _n, _a, _i) = base();
+        let k = Kernel::simple("k", vec![], Block::default());
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("at least one parallel loop")));
+    }
+}

@@ -1,0 +1,76 @@
+//! Mutable traversal helpers used by the optimization-method
+//! transformations in `paccport-core`.
+
+use crate::kernel::Kernel;
+use crate::program::{HostStmt, Program};
+
+impl Program {
+    /// Apply `f` to every kernel in the program, in launch-site order.
+    pub fn map_kernels(&mut self, mut f: impl FnMut(&mut Kernel)) {
+        map_kernels_in(&mut self.body, &mut f);
+    }
+
+    /// Apply `f` to the kernel with the given name; returns whether it
+    /// was found.
+    pub fn map_kernel(&mut self, name: &str, mut f: impl FnMut(&mut Kernel)) -> bool {
+        let mut found = false;
+        self.map_kernels(|k| {
+            if k.name == name {
+                f(k);
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+fn map_kernels_in(body: &mut [HostStmt], f: &mut impl FnMut(&mut Kernel)) {
+    for s in body {
+        match s {
+            HostStmt::Launch(k) => f(k),
+            HostStmt::DataRegion { body, .. }
+            | HostStmt::HostLoop { body, .. }
+            | HostStmt::WhileFlag { body, .. } => map_kernels_in(body, f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::kernel::{Kernel, ParallelLoop};
+    use crate::program::HostStmt;
+    use crate::stmt::Block;
+    use crate::Expr;
+
+    #[test]
+    fn map_kernels_reaches_nested_launches() {
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let i = b.var("i");
+        let t = b.var("t");
+        let mk = |name: &str, var| {
+            HostStmt::Launch(Kernel::simple(
+                name,
+                vec![ParallelLoop::new(var, Expr::iconst(0), Expr::param(n))],
+                Block::default(),
+            ))
+        };
+        let mut p = b.finish(vec![
+            mk("outer", i),
+            HostStmt::HostLoop {
+                var: t,
+                lo: Expr::iconst(0),
+                hi: Expr::param(n),
+                body: vec![mk("inner", i)],
+            },
+        ]);
+        let mut names = Vec::new();
+        p.map_kernels(|k| names.push(k.name.clone()));
+        assert_eq!(names, vec!["outer", "inner"]);
+        assert!(p.map_kernel("inner", |k| k.name = "renamed".into()));
+        assert!(p.kernel("renamed").is_some());
+        assert!(!p.map_kernel("missing", |_| ()));
+    }
+}

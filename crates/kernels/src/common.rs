@@ -1,0 +1,272 @@
+//! Shared benchmark infrastructure: variant configuration, validation
+//! reporting and seeded input generation.
+
+use paccport_devsim::Buffer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which optimization steps of the systematic method a program variant
+/// carries. Each benchmark interprets the fields it supports; e.g.
+/// LUD never gets `independent` (the dependence analysis refuses it —
+/// Section V-A1), and only BP uses `reduction`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VariantCfg {
+    /// Step 1: `#pragma acc loop independent`.
+    pub independent: bool,
+    /// Step 2: explicit gang/worker clauses (CAPS gang mode; PGI
+    /// honours them while no `independent` is present).
+    pub gang_worker: Option<(u32, u32)>,
+    /// Step 3: HMPP `unroll(n), jam`.
+    pub unroll: Option<u32>,
+    /// Step 4: `tile(n)`.
+    pub tile: Option<u32>,
+    /// The `reduction` directive (Back Propagation, Section V-D2).
+    pub reduction: bool,
+    /// Loop reorganization (GE: 3 kernel loops → 2; BFS: match the
+    /// OpenCL structure).
+    pub reorganized: bool,
+}
+
+impl VariantCfg {
+    pub fn baseline() -> Self {
+        VariantCfg::default()
+    }
+
+    pub fn independent() -> Self {
+        VariantCfg {
+            independent: true,
+            ..Default::default()
+        }
+    }
+
+    pub fn thread_dist(gang: u32, worker: u32) -> Self {
+        VariantCfg {
+            gang_worker: Some((gang, worker)),
+            ..Default::default()
+        }
+    }
+
+    /// Human-readable step name for figures ("Base", "Indep",
+    /// "ThreadDist", …).
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.independent {
+            parts.push("Indep".to_string());
+        }
+        if let Some((g, w)) = self.gang_worker {
+            parts.push(format!("Dist({g},{w})"));
+        }
+        if self.reorganized {
+            parts.push("Reorg".into());
+        }
+        if self.reduction {
+            parts.push("Reduction".into());
+        }
+        if let Some(u) = self.unroll {
+            parts.push(format!("Unroll({u})"));
+        }
+        if let Some(t) = self.tile {
+            parts.push(format!("Tile({t})"));
+        }
+        if parts.is_empty() {
+            "Base".into()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// Outcome of comparing a run against the reference implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Validation {
+    pub passed: bool,
+    pub max_abs_err: f64,
+    pub checked_values: usize,
+    pub detail: String,
+}
+
+impl Validation {
+    pub fn pass(max_abs_err: f64, checked: usize) -> Self {
+        Validation {
+            passed: true,
+            max_abs_err,
+            checked_values: checked,
+            detail: String::new(),
+        }
+    }
+
+    pub fn fail(max_abs_err: f64, checked: usize, detail: impl Into<String>) -> Self {
+        Validation {
+            passed: false,
+            max_abs_err,
+            checked_values: checked,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Element-wise comparison of two f32 slices with an absolute+relative
+/// tolerance.
+pub fn compare_f32(got: &[f32], want: &[f32], tol: f64) -> Validation {
+    assert_eq!(got.len(), want.len(), "length mismatch");
+    let mut max_err = 0.0f64;
+    let mut worst = 0usize;
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        let denom = 1.0f64.max(w.abs() as f64);
+        let err = ((*g as f64) - (*w as f64)).abs() / denom;
+        if err > max_err {
+            max_err = err;
+            worst = i;
+        }
+    }
+    if max_err <= tol {
+        Validation::pass(max_err, got.len())
+    } else {
+        Validation::fail(
+            max_err,
+            got.len(),
+            format!(
+                "worst at [{worst}]: got {} want {}",
+                got[worst], want[worst]
+            ),
+        )
+    }
+}
+
+/// Exact comparison of two i32 slices.
+pub fn compare_i32(got: &[i32], want: &[i32]) -> Validation {
+    assert_eq!(got.len(), want.len(), "length mismatch");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        if g != w {
+            return Validation::fail(
+                (*g as f64 - *w as f64).abs(),
+                got.len(),
+                format!("mismatch at [{i}]: got {g} want {w}"),
+            );
+        }
+    }
+    Validation::pass(0.0, got.len())
+}
+
+/// Seeded RNG so every run of the suite sees identical inputs.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random matrix made strongly diagonally dominant, so LU without
+/// pivoting and Gaussian elimination are well conditioned.
+pub fn diag_dominant_matrix(n: usize, seed: u64) -> Vec<f32> {
+    let mut r = rng(seed);
+    let mut a = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = r.gen_range(0.0..1.0);
+        }
+        a[i * n + i] += n as f32;
+    }
+    a
+}
+
+/// Random vector in [0, 1).
+pub fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0.0..1.0)).collect()
+}
+
+/// One row of Table IV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkRow {
+    pub kernel: &'static str,
+    pub dwarf: &'static str,
+    pub domain: &'static str,
+    pub input_size: &'static str,
+}
+
+/// Table IV: "The four kernel benchmarks".
+pub fn table4() -> Vec<BenchmarkRow> {
+    vec![
+        BenchmarkRow {
+            kernel: "LU Decomposition",
+            dwarf: "Dense Linear Algebra",
+            domain: "Linear Algebra",
+            input_size: "4K matrix",
+        },
+        BenchmarkRow {
+            kernel: "Gaussian Elimination",
+            dwarf: "Dense Linear Algebra",
+            domain: "Linear Algebra",
+            input_size: "8K matrix",
+        },
+        BenchmarkRow {
+            kernel: "Breadth First Search",
+            dwarf: "Graph Traversal",
+            domain: "Graph Algorithms",
+            input_size: "32M nodes",
+        },
+        BenchmarkRow {
+            kernel: "Back Propagation",
+            dwarf: "Unstructured Grid",
+            domain: "Pattern Recognition",
+            input_size: "20M layers",
+        },
+    ]
+}
+
+/// Convenience: turn a `Vec<f32>` into a device buffer.
+pub fn f32_buf(v: Vec<f32>) -> Buffer {
+    Buffer::F32(v)
+}
+
+/// Convenience: turn a `Vec<i32>` into a device buffer.
+pub fn i32_buf(v: Vec<i32>) -> Buffer {
+    Buffer::I32(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(VariantCfg::baseline().label(), "Base");
+        assert_eq!(VariantCfg::independent().label(), "Indep");
+        assert_eq!(VariantCfg::thread_dist(256, 16).label(), "Dist(256,16)");
+        let mut v = VariantCfg::independent();
+        v.unroll = Some(8);
+        assert_eq!(v.label(), "Indep+Unroll(8)");
+    }
+
+    #[test]
+    fn comparison_tolerances() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [1.0f32, 2.00001, 3.0];
+        assert!(compare_f32(&a, &b, 1e-4).passed);
+        assert!(!compare_f32(&a, &[1.0, 2.5, 3.0], 1e-4).passed);
+        assert!(compare_i32(&[1, 2], &[1, 2]).passed);
+        assert!(!compare_i32(&[1, 2], &[1, 3]).passed);
+    }
+
+    #[test]
+    fn matrix_is_diagonally_dominant() {
+        let n = 16;
+        let a = diag_dominant_matrix(n, 42);
+        for i in 0..n {
+            let off: f32 = (0..n).filter(|j| *j != i).map(|j| a[i * n + j]).sum();
+            assert!(a[i * n + i] > off, "row {i}");
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        assert_eq!(random_vec(8, 7), random_vec(8, 7));
+        assert_ne!(random_vec(8, 7), random_vec(8, 8));
+    }
+
+    #[test]
+    fn table4_matches_paper() {
+        let t = table4();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[2].dwarf, "Graph Traversal");
+        assert_eq!(t[3].input_size, "20M layers");
+    }
+}

@@ -1,0 +1,453 @@
+//! Gaussian Elimination (Rodinia `gaussian`) — Section V-B.
+//!
+//! Solves `A·x = b` by forward elimination on the device (the timed
+//! part) and back substitution on the host (as in Rodinia). The
+//! baseline OpenACC version launches **three** kernels per outer step
+//! (`Fan1` multipliers, `Fan2a` matrix update, `Fan2b` RHS update);
+//! the *reorganized* version merges the updates into two kernels,
+//! matching the hand-written OpenCL structure (Fig. 9's `3N` vs `2N`
+//! kernel-launch counts).
+//!
+//! Paper findings reproduced here:
+//! * PGI keeps the triangular 2-D update sequential until
+//!   `independent` is added, then locks `[128,1]` (Fig. 9's `1x1` →
+//!   `128x1` thread rows);
+//! * CAPS gridifies 2-D with 32×4 blocks once `independent` is given;
+//! * CAPS unroll-and-jam is a fake success (flat bodies, PTX
+//!   unchanged), while PGI's `-Munroll` nearly doubles arithmetic and
+//!   data movement without helping (Section V-B3);
+//! * the "advanced thread distribution" discovered in CAPS's HMPP
+//!   codelets (Fig. 8) — exact 2-D global sizes per launch — beats the
+//!   baseline OpenCL version's fixed full-matrix ranges.
+
+use crate::common::VariantCfg;
+use paccport_ir::{
+    if_, ld, st, Block, Expr, HostStmt, Intent, Kernel, LaunchHint, ParallelLoop, ProgramBuilder,
+    Scalar, E,
+};
+
+/// Reference forward elimination (in place): produces the eliminated
+/// `a` and `b` exactly as the device kernels should.
+pub fn reference_eliminate(a: &mut [f32], b: &mut [f32], n: usize) {
+    let mut m = vec![0.0f32; n * n];
+    for t in 0..n - 1 {
+        for i in t + 1..n {
+            m[i * n + t] = a[i * n + t] / a[t * n + t];
+        }
+        for i in t + 1..n {
+            for j in t..n {
+                a[i * n + j] -= m[i * n + t] * a[t * n + j];
+            }
+            b[i] -= m[i * n + t] * b[t];
+        }
+    }
+}
+
+/// Back substitution on the eliminated system (host side, as in
+/// Rodinia).
+pub fn back_substitute(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut x = vec![0.0f32; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in i + 1..n {
+            sum -= a[i * n + j] * x[j];
+        }
+        x[i] = sum / a[i * n + i];
+    }
+    x
+}
+
+/// Residual ‖A₀·x − b₀‖∞ of a solution against the original system.
+pub fn residual(a0: &[f32], b0: &[f32], x: &[f32], n: usize) -> f64 {
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        let mut ax = 0.0f64;
+        for j in 0..n {
+            ax += a0[i * n + j] as f64 * x[j] as f64;
+        }
+        worst = worst.max((ax - b0[i] as f64).abs());
+    }
+    worst
+}
+
+/// Build the OpenACC Gaussian-elimination program.
+pub fn program(cfg: &VariantCfg) -> paccport_ir::Program {
+    let mut b = ProgramBuilder::new("gaussian");
+    let n = b.iparam("n");
+    let a = b.array("a", Scalar::F32, E::from(n) * n, Intent::InOut);
+    let rhs = b.array("b", Scalar::F32, n, Intent::InOut);
+    let m = b.array("m", Scalar::F32, E::from(n) * n, Intent::Scratch);
+    let t = b.var("t");
+    let i = b.var("i");
+    let j = b.var("j");
+    let i2 = b.var("i2");
+    let i3 = b.var("i3");
+
+    let clause = |lp: &mut ParallelLoop| {
+        lp.clauses.independent = cfg.independent;
+        if let Some((g, w)) = cfg.gang_worker {
+            lp.clauses.gang = Some(g);
+            lp.clauses.worker = Some(w);
+        }
+        lp.clauses.unroll_jam = cfg.unroll;
+    };
+
+    // Fan1: multipliers for column t.
+    let mut fan1_loop = ParallelLoop::new(i, (E::from(t) + 1i64).expr(), Expr::param(n));
+    clause(&mut fan1_loop);
+    fan1_loop.clauses.tile = cfg.tile; // Step 4 applies to the flat rank-1 kernel.
+    let fan1 = Kernel::simple(
+        "fan1",
+        vec![fan1_loop],
+        Block::new(vec![st(
+            m,
+            E::from(i) * n + t,
+            ld(a, E::from(i) * n + t) / ld(a, E::from(t) * n + t),
+        )]),
+    );
+
+    // Matrix update.
+    let mut fan2a_outer = ParallelLoop::new(i2, (E::from(t) + 1i64).expr(), Expr::param(n));
+    let mut fan2a_inner = ParallelLoop::new(j, Expr::var(t), Expr::param(n));
+    clause(&mut fan2a_outer);
+    fan2a_inner.clauses.independent = cfg.independent;
+
+    let update_a = st(
+        a,
+        E::from(i2) * n + j,
+        ld(a, E::from(i2) * n + j) - ld(m, E::from(i2) * n + t) * ld(a, E::from(t) * n + j),
+    );
+    let update_b = st(
+        rhs,
+        E::from(i2),
+        ld(rhs, E::from(i2)) - ld(m, E::from(i2) * n + t) * ld(rhs, E::from(t)),
+    );
+
+    let kernels: Vec<Kernel> = if cfg.reorganized {
+        // Two kernels: Fan1 + a merged Fan2 whose j == t lane also
+        // updates the RHS (the OpenCL structure).
+        let fan2 = Kernel::simple(
+            "fan2",
+            vec![fan2a_outer, fan2a_inner],
+            Block::new(vec![
+                update_a.clone(),
+                if_(E::from(j).eq_(E::from(t)), vec![update_b.clone()]),
+            ]),
+        );
+        vec![fan1, fan2]
+    } else {
+        // Three kernels (the baseline's "three kernel loops").
+        let fan2a = Kernel::simple(
+            "fan2a",
+            vec![fan2a_outer, fan2a_inner],
+            Block::new(vec![update_a.clone()]),
+        );
+        let mut fan2b_loop = ParallelLoop::new(i3, (E::from(t) + 1i64).expr(), Expr::param(n));
+        clause(&mut fan2b_loop);
+        let fan2b = Kernel::simple(
+            "fan2b",
+            vec![fan2b_loop],
+            Block::new(vec![st(
+                rhs,
+                E::from(i3),
+                ld(rhs, E::from(i3)) - ld(m, E::from(i3) * n + t) * ld(rhs, E::from(t)),
+            )]),
+        );
+        vec![fan1, fan2a, fan2b]
+    };
+
+    b.finish(vec![HostStmt::DataRegion {
+        arrays: vec![a, rhs, m],
+        body: vec![HostStmt::HostLoop {
+            var: t,
+            lo: Expr::iconst(0),
+            hi: (E::from(n) - 1i64).expr(),
+            body: kernels.into_iter().map(HostStmt::Launch).collect(),
+        }],
+    }])
+}
+
+/// Build the hand-written OpenCL version.
+///
+/// * `advanced = false`: the Rodinia original — fixed full-range 2-D
+///   NDRanges with in-kernel guards (`i > t`), wasting threads on
+///   already-eliminated rows;
+/// * `advanced = true`: the Fig.-8 configuration lifted from CAPS's
+///   generated codelets — global sizes match the live sub-matrix.
+pub fn opencl_program(advanced: bool) -> paccport_ir::Program {
+    let mut b = ProgramBuilder::new(if advanced {
+        "gaussian_ocl_advanced"
+    } else {
+        "gaussian_ocl"
+    });
+    let n = b.iparam("n");
+    let a = b.array("a", Scalar::F32, E::from(n) * n, Intent::InOut);
+    let rhs = b.array("b", Scalar::F32, n, Intent::InOut);
+    let m = b.array("m", Scalar::F32, E::from(n) * n, Intent::Scratch);
+    let t = b.var("t");
+    let i = b.var("i");
+    let i2 = b.var("i2");
+    let j = b.var("j");
+
+    let hint1d = LaunchHint {
+        local: (256, 1),
+        two_d: false,
+        group_per_iter: false,
+    };
+    let hint2d = LaunchHint {
+        local: (32, 4),
+        two_d: true,
+        group_per_iter: false,
+    };
+
+    let (fan1_lo, fan2_lo): (Expr, Expr) = if advanced {
+        ((E::from(t) + 1i64).expr(), (E::from(t) + 1i64).expr())
+    } else {
+        (Expr::iconst(0), Expr::iconst(0))
+    };
+
+    let mut fan1 = Kernel::simple(
+        "fan1",
+        vec![ParallelLoop::new(i, fan1_lo, Expr::param(n))],
+        Block::new(vec![if_(
+            E::from(i).gt(E::from(t)),
+            vec![st(
+                m,
+                E::from(i) * n + t,
+                ld(a, E::from(i) * n + t) / ld(a, E::from(t) * n + t),
+            )],
+        )]),
+    );
+    fan1.launch_hint = Some(hint1d);
+
+    let mut fan2 = Kernel::simple(
+        "fan2",
+        vec![
+            ParallelLoop::new(i2, fan2_lo.clone(), Expr::param(n)),
+            ParallelLoop::new(j, if advanced { Expr::var(t) } else { Expr::iconst(0) }, Expr::param(n)),
+        ],
+        Block::new(vec![if_(
+            E::from(i2).gt(E::from(t)).and(E::from(j).ge(E::from(t))),
+            vec![
+                st(
+                    a,
+                    E::from(i2) * n + j,
+                    ld(a, E::from(i2) * n + j)
+                        - ld(m, E::from(i2) * n + t) * ld(a, E::from(t) * n + j),
+                ),
+                if_(
+                    E::from(j).eq_(E::from(t)),
+                    vec![st(
+                        rhs,
+                        E::from(i2),
+                        ld(rhs, E::from(i2)) - ld(m, E::from(i2) * n + t) * ld(rhs, E::from(t)),
+                    )],
+                ),
+            ],
+        )]),
+    );
+    fan2.launch_hint = Some(hint2d);
+
+    b.finish(vec![HostStmt::DataRegion {
+        arrays: vec![a, rhs, m],
+        body: vec![HostStmt::HostLoop {
+            var: t,
+            lo: Expr::iconst(0),
+            hi: (E::from(n) - 1i64).expr(),
+            body: vec![HostStmt::Launch(fan1), HostStmt::Launch(fan2)],
+        }],
+    }])
+}
+
+/// The paper's input size (Table IV): an 8K × 8K system.
+pub const PAPER_N: usize = 8192;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{diag_dominant_matrix, random_vec};
+    use paccport_compilers::{compile, CompileOptions, CompilerId, Flag};
+    use paccport_devsim::{run, Buffer, RunConfig, RunResult};
+    use paccport_ir::validate;
+    use paccport_ptx::Category;
+
+    fn solve_with(
+        compiler: CompilerId,
+        options: &CompileOptions,
+        p: &paccport_ir::Program,
+        n: usize,
+    ) -> (RunResult, paccport_compilers::CompiledProgram, Vec<f32>, Vec<f32>) {
+        let c = compile(compiler, p, options).unwrap();
+        let a0 = diag_dominant_matrix(n, 11);
+        let b0 = random_vec(n, 12);
+        let rc = RunConfig::functional(vec![("n".into(), n as f64)])
+            .with_input("a", Buffer::F32(a0.clone()))
+            .with_input("b", Buffer::F32(b0.clone()));
+        let r = run(&c, &rc).unwrap();
+        (r, c, a0, b0)
+    }
+
+    fn check_solution(r: &RunResult, c: &paccport_compilers::CompiledProgram, a0: &[f32], b0: &[f32], n: usize) {
+        let a = r.buffer(c, "a").unwrap().as_f32();
+        let b = r.buffer(c, "b").unwrap().as_f32();
+        let x = back_substitute(a, b, n);
+        let res = residual(a0, b0, &x, n);
+        assert!(res < 1e-2, "residual {res}");
+    }
+
+    #[test]
+    fn reference_solves_the_system() {
+        let n = 24;
+        let a0 = diag_dominant_matrix(n, 3);
+        let b0 = random_vec(n, 4);
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        reference_eliminate(&mut a, &mut b, n);
+        let x = back_substitute(&a, &b, n);
+        assert!(residual(&a0, &b0, &x, n) < 1e-3);
+    }
+
+    #[test]
+    fn variants_are_well_formed() {
+        for cfg in [
+            VariantCfg::baseline(),
+            VariantCfg::independent(),
+            {
+                let mut c = VariantCfg::independent();
+                c.reorganized = true;
+                c
+            },
+        ] {
+            validate(&program(&cfg)).expect("valid IR");
+        }
+        validate(&opencl_program(false)).expect("valid OCL IR");
+        validate(&opencl_program(true)).expect("valid advanced OCL IR");
+    }
+
+    #[test]
+    fn baseline_has_3n_launches_and_reorganized_2n() {
+        let n = 16;
+        let (r3, c3, a0, b0) = solve_with(
+            CompilerId::Caps,
+            &CompileOptions::gpu(),
+            &program(&VariantCfg::independent()),
+            n,
+        );
+        check_solution(&r3, &c3, &a0, &b0, n);
+        let total3: u64 = r3.kernel_stats.iter().map(|s| s.launches).sum();
+        assert_eq!(total3, 3 * (n as u64 - 1));
+
+        let mut cfg = VariantCfg::independent();
+        cfg.reorganized = true;
+        let (r2, c2, a0, b0) = solve_with(
+            CompilerId::Caps,
+            &CompileOptions::gpu(),
+            &program(&cfg),
+            n,
+        );
+        check_solution(&r2, &c2, &a0, &b0, n);
+        let total2: u64 = r2.kernel_stats.iter().map(|s| s.launches).sum();
+        assert_eq!(total2, 2 * (n as u64 - 1));
+    }
+
+    #[test]
+    fn pgi_baseline_serializes_fan2_until_independent() {
+        let n = 16;
+        let (r, c, a0, b0) = solve_with(
+            CompilerId::Pgi,
+            &CompileOptions::gpu(),
+            &program(&VariantCfg::baseline()),
+            n,
+        );
+        check_solution(&r, &c, &a0, &b0, n);
+        let fan2 = r.kernel_stats.iter().find(|s| s.name == "fan2a").unwrap();
+        assert_eq!(fan2.config_label, "1x1");
+
+        let (ri, ci, a0, b0) = solve_with(
+            CompilerId::Pgi,
+            &CompileOptions::gpu(),
+            &program(&VariantCfg::independent()),
+            n,
+        );
+        check_solution(&ri, &ci, &a0, &b0, n);
+        let fan2 = ri.kernel_stats.iter().find(|s| s.name == "fan2a").unwrap();
+        assert_eq!(fan2.config_label, "128x1");
+        assert!(ri.elapsed < r.elapsed, "independent must speed PGI up");
+    }
+
+    #[test]
+    fn caps_gridify_2d_on_fan2() {
+        let (r, c, a0, b0) = solve_with(
+            CompilerId::Caps,
+            &CompileOptions::gpu(),
+            &program(&VariantCfg::independent()),
+            16,
+        );
+        check_solution(&r, &c, &a0, &b0, 16);
+        let fan2 = r.kernel_stats.iter().find(|s| s.name == "fan2a").unwrap();
+        assert_eq!(fan2.config_label, "32x4");
+    }
+
+    #[test]
+    fn opencl_versions_solve_correctly() {
+        for adv in [false, true] {
+            let n = 16;
+            let (r, c, a0, b0) = solve_with(
+                CompilerId::OpenClHand,
+                &CompileOptions::gpu(),
+                &opencl_program(adv),
+                n,
+            );
+            check_solution(&r, &c, &a0, &b0, n);
+        }
+    }
+
+    #[test]
+    fn advanced_ndrange_beats_fixed_ranges() {
+        // Fig. 7/8: the advanced thread distribution (exact global
+        // sizes) outperforms the constant-size original.
+        let o = CompileOptions::gpu();
+        let rc = RunConfig::timing(vec![("n".into(), 2048.0)], 1);
+        let base = compile(CompilerId::OpenClHand, &opencl_program(false), &o).unwrap();
+        let adv = compile(CompilerId::OpenClHand, &opencl_program(true), &o).unwrap();
+        let tb = run(&base, &rc).unwrap().elapsed;
+        let ta = run(&adv, &rc).unwrap().elapsed;
+        assert!(ta < tb, "advanced {ta} must beat baseline {tb}");
+    }
+
+    #[test]
+    fn caps_fake_unroll_vs_pgi_real_unroll() {
+        // Section V-B3: CAPS's unroll leaves the PTX unchanged (fake
+        // success); PGI's -Munroll nearly doubles arithmetic and data
+        // movement.
+        let o = CompileOptions::gpu();
+        let mut cfg = VariantCfg::independent();
+        cfg.reorganized = true;
+        let base_p = program(&cfg);
+        cfg.unroll = Some(8);
+        let unroll_p = program(&cfg);
+
+        let cb = compile(CompilerId::Caps, &base_p, &o).unwrap();
+        let cu = compile(CompilerId::Caps, &unroll_p, &o).unwrap();
+        assert!(
+            cu.module.counts().unchanged_from(&cb.module.counts()),
+            "CAPS: PTX must be unchanged (fake success)"
+        );
+
+        let pb = compile(CompilerId::Pgi, &base_p, &o).unwrap();
+        let pu = compile(
+            CompilerId::Pgi,
+            &base_p,
+            &o.clone().with_flag(Flag::Munroll),
+        )
+        .unwrap();
+        let arith = |c: &paccport_compilers::CompiledProgram| {
+            c.module.kernel("fan2_kernel").unwrap().counts().get(Category::Arithmetic)
+        };
+        let ratio = arith(&pu) as f64 / arith(&pb) as f64;
+        assert!(
+            ratio > 1.5,
+            "PGI -Munroll should nearly double arithmetic, got {ratio:.2}x"
+        );
+    }
+}

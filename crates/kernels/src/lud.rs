@@ -1,0 +1,358 @@
+//! LU Decomposition (Rodinia LUD) — Section V-A of the paper.
+//!
+//! Compute-intensive dense linear algebra: decompose `A = L·U` in
+//! place (Doolittle, no pivoting — inputs are made diagonally
+//! dominant). The OpenACC structure mirrors the Rodinia source: a
+//! sequential outer `i` loop on the host launching two rank-1 kernels
+//! per step, each with an inner accumulation loop over `k`:
+//!
+//! ```text
+//! for i in 0..n:                      // host
+//!   lud_row:  for j in i..n   (par):  a[i][j] -= Σ_{k<i} a[i][k]·a[k][j]
+//!   lud_col:  for j in i+1..n (par):  a[j][i]  = (a[j][i] - Σ_{k<i} a[j][k]·a[k][i]) / a[i][i]
+//! ```
+//!
+//! Paper findings reproduced here:
+//! * `independent` cannot be added — the analysis reports (conservative)
+//!   dependences (Section V-A1);
+//! * CAPS's default distribution bug makes the baseline ~1000× slower
+//!   than PGI's; explicit gang/worker closes the gap (Fig. 3);
+//! * the best portable distribution is `(gang ≥ 256, worker 16)` on
+//!   the GPU and `(240, 1)` on the MIC (Fig. 4);
+//! * unroll-and-jam grows CAPS's PTX but not performance; CAPS tiling
+//!   and PGI `-Munroll` silently change nothing (Fig. 6).
+
+use crate::common::VariantCfg;
+use paccport_ir::{
+    assign, for_, ld, let_, st, Block, Expr, HostStmt, Intent, Kernel, ParallelLoop,
+    ProgramBuilder, Scalar, E,
+};
+
+/// Reference in-place Doolittle decomposition (row-major, no pivot).
+pub fn reference(a: &mut [f32], n: usize) {
+    for i in 0..n {
+        // Row i of U.
+        for j in i..n {
+            let mut sum = a[i * n + j];
+            for k in 0..i {
+                sum -= a[i * n + k] * a[k * n + j];
+            }
+            a[i * n + j] = sum;
+        }
+        // Column i of L.
+        for j in i + 1..n {
+            let mut sum = a[j * n + i];
+            for k in 0..i {
+                sum -= a[j * n + k] * a[k * n + i];
+            }
+            a[j * n + i] = sum / a[i * n + i];
+        }
+    }
+}
+
+/// Multiply the packed L·U factors back into a dense matrix.
+pub fn lu_multiply(lu: &[f32], n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut sum = 0.0f32;
+            let kmax = i.min(j);
+            for k in 0..kmax {
+                sum += lu[i * n + k] * lu[k * n + j];
+            }
+            // L has an implicit unit diagonal.
+            sum += if i <= j { lu[i * n + j] } else { lu[i * n + j] * lu[j * n + j] };
+            out[i * n + j] = sum;
+        }
+    }
+    out
+}
+
+/// Build the OpenACC LUD program for a variant configuration.
+pub fn program(cfg: &VariantCfg) -> paccport_ir::Program {
+    let mut b = ProgramBuilder::new("lud");
+    let n = b.iparam("n");
+    let a = b.array("a", Scalar::F32, E::from(n) * n, Intent::InOut);
+    let i = b.var("i");
+    let j = b.var("j");
+    let j2 = b.var("j2");
+    let kv = b.var("k");
+    let kv2 = b.var("k2");
+    let sum = b.var("sum");
+    let sum2 = b.var("sum2");
+
+    let apply_clauses = |lp: &mut ParallelLoop| {
+        lp.clauses.independent = cfg.independent;
+        if let Some((g, w)) = cfg.gang_worker {
+            lp.clauses.gang = Some(g);
+            lp.clauses.worker = Some(w);
+        }
+        lp.clauses.unroll_jam = cfg.unroll;
+        lp.clauses.tile = cfg.tile;
+    };
+
+    // lud_row: j in i..n.
+    let mut row_loop = ParallelLoop::new(j, Expr::var(i), Expr::param(n));
+    apply_clauses(&mut row_loop);
+    let row = Kernel::simple(
+        "lud_row",
+        vec![row_loop],
+        Block::new(vec![
+            let_(sum, Scalar::F32, ld(a, E::from(i) * n + j)),
+            for_(
+                kv,
+                0i64,
+                E::from(i),
+                vec![assign(
+                    sum,
+                    E::from(sum) - ld(a, E::from(i) * n + kv) * ld(a, E::from(kv) * n + j),
+                )],
+            ),
+            st(a, E::from(i) * n + j, E::from(sum)),
+        ]),
+    );
+
+    // lud_col: j2 in i+1..n.
+    let mut col_loop = ParallelLoop::new(j2, (E::from(i) + 1i64).expr(), Expr::param(n));
+    apply_clauses(&mut col_loop);
+    let col = Kernel::simple(
+        "lud_col",
+        vec![col_loop],
+        Block::new(vec![
+            let_(sum2, Scalar::F32, ld(a, E::from(j2) * n + i)),
+            for_(
+                kv2,
+                0i64,
+                E::from(i),
+                vec![assign(
+                    sum2,
+                    E::from(sum2) - ld(a, E::from(j2) * n + kv2) * ld(a, E::from(kv2) * n + i),
+                )],
+            ),
+            st(
+                a,
+                E::from(j2) * n + i,
+                E::from(sum2) / ld(a, E::from(i) * n + i),
+            ),
+        ]),
+    );
+
+    b.finish(vec![HostStmt::DataRegion {
+        arrays: vec![a],
+        body: vec![HostStmt::HostLoop {
+            var: i,
+            lo: Expr::iconst(0),
+            hi: Expr::param(n),
+            body: vec![HostStmt::Launch(row), HostStmt::Launch(col)],
+        }],
+    }])
+}
+
+/// The paper's default input size (Table IV): a 4K × 4K matrix.
+pub const PAPER_N: usize = 4096;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{compare_f32, diag_dominant_matrix};
+    use paccport_compilers::{compile, CompileOptions, CompilerId, DistSpec, ExecStrategy};
+    use paccport_devsim::{run, Buffer, RunConfig};
+    use paccport_ir::validate;
+
+    #[test]
+    fn reference_reconstructs_the_matrix() {
+        let n = 24;
+        let a0 = diag_dominant_matrix(n, 1);
+        let mut lu = a0.clone();
+        reference(&mut lu, n);
+        let back = lu_multiply(&lu, n);
+        let v = compare_f32(&back, &a0, 1e-3);
+        assert!(v.passed, "{}", v.detail);
+    }
+
+    #[test]
+    fn all_variants_are_well_formed() {
+        for cfg in [
+            VariantCfg::baseline(),
+            VariantCfg::thread_dist(256, 16),
+            {
+                let mut c = VariantCfg::thread_dist(256, 16);
+                c.unroll = Some(8);
+                c
+            },
+            {
+                let mut c = VariantCfg::thread_dist(256, 16);
+                c.tile = Some(32);
+                c
+            },
+        ] {
+            let p = program(&cfg);
+            validate(&p).expect("valid IR");
+        }
+    }
+
+    fn run_and_check(
+        compiler: CompilerId,
+        options: &CompileOptions,
+        cfg: &VariantCfg,
+        n: usize,
+    ) -> paccport_devsim::RunResult {
+        let p = program(cfg);
+        let c = compile(compiler, &p, options).unwrap();
+        let a0 = diag_dominant_matrix(n, 7);
+        let rc = RunConfig::functional(vec![("n".into(), n as f64)])
+            .with_input("a", Buffer::F32(a0.clone()));
+        let r = run(&c, &rc).unwrap();
+        let mut want = a0;
+        reference(&mut want, n);
+        let v = compare_f32(r.buffer(&c, "a").unwrap().as_f32(), &want, 1e-3);
+        assert!(v.passed, "{} {:?}: {}", compiler.label(), cfg, v.detail);
+        r
+    }
+
+    #[test]
+    fn caps_baseline_computes_correctly_but_sequentially() {
+        let r = run_and_check(
+            CompilerId::Caps,
+            &CompileOptions::gpu(),
+            &VariantCfg::baseline(),
+            32,
+        );
+        assert_eq!(r.kernel_stats[0].config_label, "1x1");
+    }
+
+    #[test]
+    fn caps_gang_mode_computes_correctly_in_parallel() {
+        let r = run_and_check(
+            CompilerId::Caps,
+            &CompileOptions::gpu(),
+            &VariantCfg::thread_dist(256, 16),
+            32,
+        );
+        assert_eq!(r.kernel_stats[0].config_label, "256x16");
+    }
+
+    #[test]
+    fn unrolled_variant_still_computes_correctly() {
+        let mut cfg = VariantCfg::thread_dist(256, 16);
+        cfg.unroll = Some(8);
+        run_and_check(CompilerId::Caps, &CompileOptions::gpu(), &cfg, 33);
+    }
+
+    #[test]
+    fn pgi_baseline_is_parallel_and_correct() {
+        let r = run_and_check(
+            CompilerId::Pgi,
+            &CompileOptions::gpu(),
+            &VariantCfg::baseline(),
+            32,
+        );
+        // PGI auto-parallelizes the rank-1 affine loops (128x1).
+        assert_eq!(r.kernel_stats[0].config_label, "128x1");
+        assert!(r.kernel_stats[0].ran_on_device);
+    }
+
+    #[test]
+    fn mic_variants_compute_correctly() {
+        run_and_check(
+            CompilerId::Caps,
+            &CompileOptions::mic(),
+            &VariantCfg::thread_dist(240, 1),
+            32,
+        );
+    }
+
+    #[test]
+    fn independent_is_refused_by_the_dependence_analysis() {
+        // Step 1 of the method must decline (Section V-A1).
+        let p = program(&VariantCfg::baseline());
+        for k in p.kernels() {
+            let rep = paccport_ir::analyze_loop(k, 0);
+            assert!(
+                !rep.is_independent(),
+                "kernel `{}` should look dependent to a conservative tool",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn caps_tile_is_silent_on_lud() {
+        // Fig. 6: tiling leaves the PTX unchanged (nested body).
+        let base = program(&VariantCfg::thread_dist(256, 16));
+        let mut tiled_cfg = VariantCfg::thread_dist(256, 16);
+        tiled_cfg.tile = Some(32);
+        let tiled = program(&tiled_cfg);
+        let o = CompileOptions::gpu();
+        let cb = compile(CompilerId::Caps, &base, &o).unwrap();
+        let ct = compile(CompilerId::Caps, &tiled, &o).unwrap();
+        assert!(ct
+            .module
+            .counts()
+            .unchanged_from(&cb.module.counts()));
+        // …whereas unroll really does grow the PTX.
+        let mut u = VariantCfg::thread_dist(256, 16);
+        u.unroll = Some(8);
+        let cu = compile(CompilerId::Caps, &program(&u), &o).unwrap();
+        assert!(cu.module.len() > cb.module.len());
+    }
+
+    #[test]
+    fn caps_sequential_baseline_is_about_1000x_slower_than_pgi() {
+        // The headline Fig. 3 observation, at paper scale (timing-only).
+        let o = CompileOptions::gpu();
+        let caps = compile(CompilerId::Caps, &program(&VariantCfg::baseline()), &o).unwrap();
+        let pgi = compile(CompilerId::Pgi, &program(&VariantCfg::baseline()), &o).unwrap();
+        let rc = RunConfig::timing(vec![("n".into(), PAPER_N as f64)], 1);
+        let t_caps = run(&caps, &rc).unwrap().elapsed;
+        let t_pgi = run(&pgi, &rc).unwrap().elapsed;
+        let ratio = t_caps / t_pgi;
+        assert!(
+            (200.0..20000.0).contains(&ratio),
+            "expected a ~1000x gap, got {ratio:.0}x ({t_caps:.1}s vs {t_pgi:.3}s)"
+        );
+        // Thread distribution closes the gap to within ~3x.
+        let dist = compile(
+            CompilerId::Caps,
+            &program(&VariantCfg::thread_dist(256, 16)),
+            &o,
+        )
+        .unwrap();
+        let t_dist = run(&dist, &rc).unwrap().elapsed;
+        assert!(
+            t_dist / t_pgi < 3.0,
+            "gang mode should close the gap: {t_dist:.2}s vs {t_pgi:.2}s"
+        );
+    }
+
+    #[test]
+    fn caps_sequential_matches_on_gpu_and_mic() {
+        // Fig. 3: the broken baseline performs *similarly* on GPU and
+        // MIC (both serialized; MIC's faster single thread).
+        let base = program(&VariantCfg::baseline());
+        let g = compile(CompilerId::Caps, &base, &CompileOptions::gpu()).unwrap();
+        let m = compile(CompilerId::Caps, &base, &CompileOptions::mic()).unwrap();
+        let rc = RunConfig::timing(vec![("n".into(), 1024.0)], 1);
+        let tg = run(&g, &rc).unwrap().elapsed;
+        let tm = run(&m, &rc).unwrap().elapsed;
+        let ratio = tg / tm;
+        assert!(
+            (0.5..12.0).contains(&ratio),
+            "same order of magnitude expected, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn dist_spec_for_explicit_clauses() {
+        let p = program(&VariantCfg::thread_dist(256, 16));
+        let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+        assert_eq!(
+            c.plan("lud_row").unwrap().dist,
+            DistSpec::GangWorker {
+                gang: 256,
+                worker: 16
+            }
+        );
+        assert_eq!(c.plan("lud_row").unwrap().exec, ExecStrategy::DeviceParallel);
+    }
+}

@@ -1,0 +1,195 @@
+//! Instruction emission helper used by the compiler lowerings.
+
+use crate::count::CategoryCounts;
+use crate::instr::{Instruction, Item, LabelId, Operand, Reg};
+use crate::isa::{Opcode, PtxType};
+use crate::kernel::PtxKernel;
+
+/// Emits instructions into a kernel, allocating virtual registers and
+/// labels, and supports "marks" so a lowering can measure the counts
+/// contributed by a sub-range of the body (the compilers use this to
+/// build nested cost trees for the dynamic estimator).
+#[derive(Debug)]
+pub struct Emitter {
+    kernel: PtxKernel,
+    next_reg: u32,
+    next_label: u32,
+}
+
+impl Emitter {
+    pub fn new(name: impl Into<String>) -> Self {
+        Emitter {
+            kernel: PtxKernel::new(name),
+            next_reg: 1,
+            next_label: 0,
+        }
+    }
+
+    pub fn add_param(&mut self, name: impl Into<String>) {
+        self.kernel.params.push(name.into());
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn fresh(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocate a fresh label (not yet placed).
+    pub fn label(&mut self) -> LabelId {
+        let l = LabelId(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Place a label at the current position.
+    pub fn place(&mut self, l: LabelId) {
+        self.kernel.body.push(Item::Label(l));
+    }
+
+    /// Emit a raw instruction.
+    pub fn push(&mut self, i: Instruction) {
+        self.kernel.body.push(Item::Inst(i));
+    }
+
+    /// Emit `op.ty dst, srcs...` with a fresh destination register.
+    pub fn emit(&mut self, op: Opcode, ty: PtxType, srcs: Vec<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.push(Instruction::new(op, ty, Some(dst), srcs));
+        dst
+    }
+
+    /// Emit an instruction with no destination (stores, branches…).
+    pub fn emit_void(&mut self, op: Opcode, ty: PtxType, srcs: Vec<Operand>) {
+        self.push(Instruction::new(op, ty, None, srcs));
+    }
+
+    /// Emit a binary operation on two registers.
+    pub fn bin(&mut self, op: Opcode, ty: PtxType, a: Reg, b: Reg) -> Reg {
+        self.emit(op, ty, vec![a.into(), b.into()])
+    }
+
+    /// Emit a unary operation.
+    pub fn un(&mut self, op: Opcode, ty: PtxType, a: Reg) -> Reg {
+        self.emit(op, ty, vec![a.into()])
+    }
+
+    /// `mov.ty dst, imm`.
+    pub fn mov_imm_i(&mut self, ty: PtxType, v: i64) -> Reg {
+        self.emit(Opcode::Mov, ty, vec![Operand::ImmI(v)])
+    }
+
+    /// `mov.f32 dst, imm`.
+    pub fn mov_imm_f(&mut self, v: f64) -> Reg {
+        self.emit(Opcode::Mov, PtxType::F32, vec![Operand::ImmF(v)])
+    }
+
+    /// Predicated branch `@pred bra label`.
+    pub fn branch_if(&mut self, pred: Reg, target: LabelId) {
+        self.push(
+            Instruction::new(
+                Opcode::Bra,
+                PtxType::Pred,
+                None,
+                vec![Operand::Label(target)],
+            )
+            .with_pred(pred),
+        );
+    }
+
+    /// Unconditional branch.
+    pub fn branch(&mut self, target: LabelId) {
+        self.emit_void(Opcode::Bra, PtxType::Pred, vec![Operand::Label(target)]);
+    }
+
+    /// Current body length — a mark for later [`Self::counts_since`].
+    pub fn mark(&mut self) -> usize {
+        self.kernel.body.len()
+    }
+
+    /// Category counts of instructions emitted since `mark`.
+    pub fn counts_since(&self, mark: usize) -> CategoryCounts {
+        let mut c = CategoryCounts::default();
+        for item in &self.kernel.body[mark..] {
+            if let Some(i) = item.as_inst() {
+                c.bump(i.op.category());
+            }
+        }
+        c
+    }
+
+    /// Number of actual global-memory *transactions* (`ld.global` /
+    /// `st.global`, excluding `cvta`) emitted since `mark` — the
+    /// traffic the bandwidth model charges for.
+    pub fn ldst_since(&self, mark: usize) -> u64 {
+        self.kernel.body[mark..]
+            .iter()
+            .filter_map(|i| i.as_inst())
+            .filter(|i| matches!(i.op, Opcode::LdGlobal | Opcode::StGlobal))
+            .count() as u64
+    }
+
+    /// Finalize (appends `ret`).
+    pub fn finish(mut self) -> PtxKernel {
+        self.emit_void(Opcode::Ret, PtxType::U32, vec![]);
+        self.kernel
+    }
+
+    /// Finalize without the trailing `ret` (for fragment lowering).
+    pub fn finish_fragment(self) -> PtxKernel {
+        self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Category;
+
+    #[test]
+    fn fresh_registers_are_distinct() {
+        let mut e = Emitter::new("k");
+        let a = e.fresh();
+        let b = e.fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn marks_measure_emitted_ranges() {
+        let mut e = Emitter::new("k");
+        let a = e.mov_imm_f(1.0);
+        let m = e.mark();
+        let b = e.mov_imm_f(2.0);
+        e.bin(Opcode::Add, PtxType::F32, a, b);
+        let c = e.counts_since(m);
+        assert_eq!(c.get(Category::DataMovement), 1);
+        assert_eq!(c.get(Category::Arithmetic), 1);
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn finish_appends_ret() {
+        let e = Emitter::new("k");
+        let k = e.finish();
+        assert_eq!(k.len(), 1);
+        assert_eq!(
+            k.body.last().unwrap().as_inst().unwrap().op,
+            Opcode::Ret
+        );
+    }
+
+    #[test]
+    fn loop_skeleton_emits_label_and_branch() {
+        let mut e = Emitter::new("k");
+        let top = e.label();
+        e.place(top);
+        let i = e.mov_imm_i(PtxType::S32, 0);
+        let n = e.mov_imm_i(PtxType::S32, 8);
+        let p = e.bin(Opcode::Setp, PtxType::S32, i, n);
+        e.branch_if(p, top);
+        let k = e.finish_fragment();
+        assert_eq!(k.len(), 4);
+        assert!(matches!(k.body[0], Item::Label(_)));
+    }
+}

@@ -1,0 +1,50 @@
+//! # paccport-ptx — a PTX-like pseudo-assembly ISA
+//!
+//! The paper's second contribution is a *static PTX instruction
+//! analysis*: for each benchmark and each optimization step it counts
+//! the instructions the CAPS and PGI compilers emit, bucketed into the
+//! categories of Table V (arithmetic, flow control, logical/shift,
+//! data movement, global-memory and shared-memory instructions), and
+//! uses the counts to explain performance differences — e.g. that
+//! CAPS's "successful" unroll-and-jam on Gaussian elimination left the
+//! PTX unchanged (a fake success), or that OpenACC tiling never
+//! touched shared memory.
+//!
+//! This crate defines the instruction set those analyses run over:
+//! virtual-register instructions with the exact opcode vocabulary of
+//! the paper's Table V, plus kernels, modules, category counting,
+//! diffing and a text formatter that renders recognisable PTX.
+//!
+//! ```
+//! use paccport_ptx::*;
+//!
+//! let mut e = Emitter::new("k");
+//! let a = e.mov_imm_f(2.0);
+//! let b = e.mov_imm_f(3.0);
+//! e.bin(Opcode::Fma, PtxType::F32, a, b);
+//! let kernel = e.finish();
+//! let counts = kernel.counts();
+//! assert_eq!(counts.get(Category::Arithmetic), 1);
+//! assert_eq!(counts.get(Category::DataMovement), 2);
+//!
+//! // Text round trip preserves the counts exactly.
+//! let module = PtxModule { producer: "demo".into(), kernels: vec![kernel] };
+//! let back = parse_module(&format_module(&module)).unwrap();
+//! assert_eq!(back.counts(), module.counts());
+//! ```
+
+pub mod builder;
+pub mod count;
+pub mod format;
+pub mod instr;
+pub mod isa;
+pub mod kernel;
+pub mod parse;
+
+pub use builder::Emitter;
+pub use count::{CategoryCounts, ModuleCounts};
+pub use format::{format_instruction, format_kernel, format_module};
+pub use instr::{Instruction, Item, LabelId, Operand, Reg, SpecialReg};
+pub use isa::{Category, Opcode, PtxType, CATEGORIES};
+pub use kernel::{PtxKernel, PtxModule};
+pub use parse::{parse_module, ParseError};

@@ -1,0 +1,382 @@
+//! Parsing PTX-like text back into [`PtxModule`]s — the inverse of
+//! [`crate::format`]. Lets tooling (and tests) round-trip kernels,
+//! and lets users feed hand-edited listings into the counters.
+
+use crate::instr::{Instruction, Item, LabelId, Operand, Reg, SpecialReg};
+use crate::isa::{Opcode, PtxType};
+use crate::kernel::{PtxKernel, PtxModule};
+
+/// A parse failure with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// All opcodes, for mnemonic lookup.
+const ALL_OPCODES: [Opcode; 34] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::Max,
+    Opcode::Min,
+    Opcode::Fma,
+    Opcode::Mad,
+    Opcode::Rcp,
+    Opcode::Abs,
+    Opcode::Neg,
+    Opcode::Rem,
+    Opcode::Sqrt,
+    Opcode::Ex2,
+    Opcode::Setp,
+    Opcode::Selp,
+    Opcode::Bra,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Not,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Cvt,
+    Opcode::Mov,
+    Opcode::LdParam,
+    Opcode::CvtaToGlobal,
+    Opcode::LdGlobal,
+    Opcode::StGlobal,
+    Opcode::AtomAdd,
+    Opcode::AtomMax,
+    Opcode::AtomMin,
+    Opcode::LdShared,
+    Opcode::StShared,
+    Opcode::BarSync,
+];
+
+fn opcode_of(mnemonic: &str) -> Option<Opcode> {
+    if mnemonic == "ret" {
+        return Some(Opcode::Ret);
+    }
+    ALL_OPCODES
+        .iter()
+        .copied()
+        .find(|o| o.mnemonic() == mnemonic)
+}
+
+fn type_of(suffix: &str) -> Option<PtxType> {
+    Some(match suffix {
+        "f32" => PtxType::F32,
+        "f64" => PtxType::F64,
+        "s32" => PtxType::S32,
+        "u32" => PtxType::U32,
+        "u64" => PtxType::U64,
+        "pred" => PtxType::Pred,
+        _ => return None,
+    })
+}
+
+fn sreg_of(name: &str) -> Option<SpecialReg> {
+    Some(match name {
+        "%tid.x" => SpecialReg::TidX,
+        "%tid.y" => SpecialReg::TidY,
+        "%ctaid.x" => SpecialReg::CtaIdX,
+        "%ctaid.y" => SpecialReg::CtaIdY,
+        "%ntid.x" => SpecialReg::NTidX,
+        "%ntid.y" => SpecialReg::NTidY,
+        "%nctaid.x" => SpecialReg::NCtaIdX,
+        "%nctaid.y" => SpecialReg::NCtaIdY,
+        _ => return None,
+    })
+}
+
+fn parse_operand(tok: &str, lineno: usize) -> Result<Operand, ParseError> {
+    let tok = tok.trim();
+    if let Some(s) = sreg_of(tok) {
+        return Ok(Operand::Sreg(s));
+    }
+    if let Some(rest) = tok.strip_prefix("$L_") {
+        let id: u32 = rest
+            .parse()
+            .map_err(|_| err(lineno, format!("bad label `{tok}`")))?;
+        return Ok(Operand::Label(LabelId(id)));
+    }
+    if let Some(rest) = tok.strip_prefix("0f") {
+        let bits = u32::from_str_radix(rest, 16)
+            .map_err(|_| err(lineno, format!("bad float literal `{tok}`")))?;
+        return Ok(Operand::ImmF(f32::from_bits(bits) as f64));
+    }
+    if tok.starts_with('[') && tok.ends_with(']') {
+        return Ok(Operand::Sym(tok[1..tok.len() - 1].to_string()));
+    }
+    if tok.starts_with('%') {
+        // %f1 / %fd1 / %r1 / %rd1 / %p1 — the class prefix is derived
+        // from the instruction type at format time; strip it here.
+        let digits: String = tok.chars().filter(|c| c.is_ascii_digit()).collect();
+        let n: u32 = digits
+            .parse()
+            .map_err(|_| err(lineno, format!("bad register `{tok}`")))?;
+        return Ok(Operand::Reg(Reg(n)));
+    }
+    tok.parse::<i64>()
+        .map(Operand::ImmI)
+        .map_err(|_| err(lineno, format!("unrecognized operand `{tok}`")))
+}
+
+/// Parse one instruction line (without trailing `;`).
+fn parse_instruction(line: &str, lineno: usize) -> Result<Instruction, ParseError> {
+    let mut rest = line.trim();
+    // Guard predicate.
+    let mut pred = None;
+    if let Some(r) = rest.strip_prefix('@') {
+        let (p, tail) = r
+            .split_once(' ')
+            .ok_or_else(|| err(lineno, "predicate without instruction"))?;
+        let digits: String = p.chars().filter(|c| c.is_ascii_digit()).collect();
+        pred = Some(Reg(digits.parse().map_err(|_| {
+            err(lineno, format!("bad predicate `{p}`"))
+        })?));
+        rest = tail.trim();
+    }
+    // Mnemonic.suffix — the type suffix is the last dot component.
+    let (head, ops_str) = match rest.split_once(char::is_whitespace) {
+        Some((h, o)) => (h, o),
+        None => (rest, ""),
+    };
+    let (mnemonic, suffix) = head
+        .rsplit_once('.')
+        .ok_or_else(|| err(lineno, format!("missing type suffix in `{head}`")))?;
+    let op =
+        opcode_of(mnemonic).ok_or_else(|| err(lineno, format!("unknown opcode `{mnemonic}`")))?;
+    let ty =
+        type_of(suffix).ok_or_else(|| err(lineno, format!("unknown type suffix `{suffix}`")))?;
+
+    let mut operands = Vec::new();
+    for tok in ops_str.split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        operands.push(parse_operand(tok, lineno)?);
+    }
+    // Destination convention: the first register operand is the
+    // destination for value-producing opcodes.
+    let has_dst = !matches!(
+        op,
+        Opcode::StGlobal
+            | Opcode::StShared
+            | Opcode::Bra
+            | Opcode::BarSync
+            | Opcode::Ret
+            | Opcode::AtomAdd
+            | Opcode::AtomMax
+            | Opcode::AtomMin
+    ) && !operands.is_empty();
+    let (dst, srcs) = if has_dst {
+        match operands[0] {
+            Operand::Reg(r) => (Some(r), operands[1..].to_vec()),
+            _ => (None, operands),
+        }
+    } else {
+        (None, operands)
+    };
+    let mut inst = Instruction::new(op, ty, dst, srcs);
+    inst.pred = pred;
+    Ok(inst)
+}
+
+/// Parse a whole module produced by [`crate::format::format_module`].
+pub fn parse_module(text: &str) -> Result<PtxModule, ParseError> {
+    let mut module = PtxModule::default();
+    let mut current: Option<PtxKernel> = None;
+    let mut in_params = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('{') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("// Generated by ") {
+            module.producer = rest.to_string();
+            continue;
+        }
+        if line.starts_with("//")
+            || line.starts_with(".version")
+            || line.starts_with(".target")
+            || line.starts_with(".address_size")
+        {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".visible .entry ") {
+            let name = rest.trim_end_matches('(').trim();
+            current = Some(PtxKernel::new(name));
+            in_params = true;
+            continue;
+        }
+        if in_params {
+            if let Some(rest) = line.strip_prefix(".param ") {
+                let name = rest
+                    .trim_start_matches(".u64")
+                    .trim()
+                    .trim_end_matches(',');
+                if let Some(k) = current.as_mut() {
+                    k.params.push(name.to_string());
+                }
+                continue;
+            }
+            if line == ")" {
+                in_params = false;
+                continue;
+            }
+        }
+        if line == "}" {
+            if let Some(k) = current.take() {
+                module.kernels.push(k);
+            }
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let id = label
+                .strip_prefix("$L_")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(lineno, format!("bad label `{label}`")))?;
+            if let Some(k) = current.as_mut() {
+                k.body.push(Item::Label(LabelId(id)));
+            }
+            continue;
+        }
+        let stmt = line
+            .strip_suffix(';')
+            .ok_or_else(|| err(lineno, format!("missing `;` in `{line}`")))?;
+        let inst = parse_instruction(stmt, lineno)?;
+        let k = current
+            .as_mut()
+            .ok_or_else(|| err(lineno, "instruction outside a kernel"))?;
+        k.body.push(Item::Inst(inst));
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Emitter;
+    use crate::format::format_module;
+    use crate::isa::Category;
+
+    fn sample_module() -> PtxModule {
+        let mut e = Emitter::new("saxpy");
+        e.add_param("x");
+        e.add_param("y");
+        let base = e.emit(
+            Opcode::LdParam,
+            PtxType::U64,
+            vec![Operand::Sym("x".into())],
+        );
+        let g = e.un(Opcode::CvtaToGlobal, PtxType::U64, base);
+        let tid = e.emit(
+            Opcode::Mov,
+            PtxType::U32,
+            vec![Operand::Sreg(SpecialReg::TidX)],
+        );
+        let off = e.bin(Opcode::Shl, PtxType::U64, tid, g);
+        let v = e.emit(Opcode::LdGlobal, PtxType::F32, vec![off.into()]);
+        let two = e.mov_imm_f(2.0);
+        let prod = e.bin(Opcode::Mul, PtxType::F32, v, two);
+        e.emit_void(
+            Opcode::StGlobal,
+            PtxType::F32,
+            vec![off.into(), prod.into()],
+        );
+        let top = e.label();
+        e.place(top);
+        let p = e.bin(Opcode::Setp, PtxType::S32, tid, two);
+        e.branch_if(p, top);
+        PtxModule {
+            producer: "CAPS 3.4.1 (Cuda -> K40)".into(),
+            kernels: vec![e.finish()],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_counts_and_structure() {
+        let m = sample_module();
+        let text = format_module(&m);
+        let back = parse_module(&text).expect("parse");
+        assert_eq!(back.producer, m.producer);
+        assert_eq!(back.kernels.len(), 1);
+        assert_eq!(back.kernels[0].name, "saxpy");
+        assert_eq!(back.kernels[0].params, vec!["x", "y"]);
+        assert_eq!(back.kernels[0].len(), m.kernels[0].len());
+        assert_eq!(back.counts(), m.counts());
+        // Labels and predicates survive.
+        assert!(back.kernels[0]
+            .body
+            .iter()
+            .any(|i| matches!(i, Item::Label(_))));
+        assert!(back.kernels[0]
+            .body
+            .iter()
+            .filter_map(|i| i.as_inst())
+            .any(|i| i.pred.is_some()));
+    }
+
+    #[test]
+    fn parses_float_immediates_exactly() {
+        let m = sample_module();
+        let back = parse_module(&format_module(&m)).unwrap();
+        let imm: Vec<f64> = back.kernels[0]
+            .body
+            .iter()
+            .filter_map(|i| i.as_inst())
+            .flat_map(|i| i.srcs.iter())
+            .filter_map(|o| match o {
+                Operand::ImmF(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(imm, vec![2.0]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_module(".visible .entry k(\n)\n{\nbogus.f32 %f1;\n}\n").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn counts_from_hand_written_text() {
+        let text = "\
+.visible .entry tiny(
+    .param .u64 a
+)
+{
+    ld.param.u64 \t%rd1, [a];
+    cvta.to.global.u64 \t%rd2, %rd1;
+    ld.global.f32 \t%f3, %rd2;
+    add.f32 \t%f4, %f3, %f3;
+    st.global.f32 \t%rd2, %f4;
+    ret.u32;
+}
+";
+        let m = parse_module(text).unwrap();
+        let c = m.counts();
+        assert_eq!(c.get(Category::GlobalMemory), 3);
+        assert_eq!(c.get(Category::Arithmetic), 1);
+        assert_eq!(c.get(Category::DataMovement), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Interactive-ish thread-distribution exploration (the Fig. 4 study
+//! plus the paper's portability conclusion): sweep gang × worker for
+//! LUD on CAPS-K40, PGI-K40 and CAPS-MIC, print the heat maps, and let
+//! the method pick the best *portable* configuration across devices.
+//!
+//! ```sh
+//! cargo run --example heatmap_explorer --release [-- <matrix order>]
+//! ```
+
+use paccport::compilers::{CompileOptions, CompilerId};
+use paccport::core::method::select_portable_distribution;
+use paccport::devsim::{sweep, RunConfig};
+use paccport::kernels::{lud, VariantCfg};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2048);
+    println!("LUD thread-distribution sweep, n = {n}\n");
+
+    let gangs = [1u32, 32, 64, 128, 240, 256, 512, 1024];
+    let workers = [1u32, 2, 4, 8, 16, 32, 64];
+    let program = lud::program(&VariantCfg::baseline());
+    let cfg = RunConfig::timing(vec![("n".into(), n as f64)], 1);
+    let configure = |p: &mut paccport::ir::Program, g: u32, w: u32| {
+        p.map_kernels(|k| {
+            for lp in &mut k.loops {
+                lp.clauses.gang = Some(g);
+                lp.clauses.worker = Some(w);
+            }
+        });
+    };
+
+    let mut maps = Vec::new();
+    for (title, compiler, opts) in [
+        ("CAPS-K40", CompilerId::Caps, CompileOptions::gpu()),
+        ("PGI-K40", CompilerId::Pgi, CompileOptions::gpu()),
+        ("CAPS-MIC (5110P)", CompilerId::Caps, CompileOptions::mic()),
+    ] {
+        let hm = sweep(
+            title, &program, compiler, &opts, &cfg, &gangs, &workers, configure,
+        )
+        .expect("sweep");
+        println!("{}", hm.render());
+        let (g, w, t) = hm.best();
+        println!("  best: gang {g}, worker {w} -> {t:.3} s\n");
+        maps.push(hm);
+    }
+
+    // The paper's portability conclusion: pick one configuration for
+    // *both* devices (Section V-A2 ends at "(>256, 16)").
+    let (g, w) = select_portable_distribution(&maps[0], &maps[2]);
+    println!("portable configuration across K40 and 5110P: gang {g}, worker {w}");
+    let slowdown = |hm: &paccport::devsim::HeatMap| {
+        let (_, _, best) = hm.best();
+        hm.at(g, w).unwrap() / best
+    };
+    println!(
+        "  within {:.0}% of the K40 optimum and {:.0}% of the MIC optimum",
+        (slowdown(&maps[0]) - 1.0) * 100.0,
+        (slowdown(&maps[2]) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,91 @@
+//! The Hydro mini-application study: solve a Sod shock tube with the
+//! reference Rust solver, then run the directive-annotated version on
+//! the simulated K40 and MIC, validate element-wise, and reproduce the
+//! Fig. 15 comparison (OpenCL vs OpenACC, GCC vs ICC hosts).
+//!
+//! ```sh
+//! cargo run --example hydro_study --release
+//! ```
+
+use paccport::compilers::{compile, CompileOptions, CompilerId, HostCompiler};
+use paccport::core::report::fmt_secs;
+use paccport::devsim::run;
+use paccport::hydro::{self, HydroVariant};
+
+fn main() {
+    // ---------------- Reference physics ----------------
+    let (nx, ny, steps) = (128usize, 16usize, 25usize);
+    let mut state = hydro::State::sod(nx, ny);
+    let m0 = state.total_mass();
+    let t_end = hydro::run_reference(&mut state, steps);
+    println!("=== Reference solver: Sod shock tube {nx}x{ny}, {steps} steps ===");
+    println!("  simulated time    t = {t_end:.4}");
+    println!(
+        "  mass conservation: {:.3e} relative drift",
+        ((state.total_mass() - m0) / m0).abs()
+    );
+    // A coarse density profile along the tube.
+    let j = 2 + ny / 2;
+    print!("  density profile:   ");
+    for i in (0..nx).step_by(nx / 16) {
+        print!("{:.2} ", state.rho[state.idx(2 + i, j)]);
+    }
+    println!("\n");
+
+    // ---------------- Device runs, validated ----------------
+    println!("=== Simulated-device runs (validated against the reference) ===");
+    let vsteps = 10usize;
+    for (label, variant, compiler, opts) in [
+        ("CAPS optimized / K40 ", HydroVariant::Optimized, CompilerId::Caps, CompileOptions::gpu()),
+        ("CAPS optimized / MIC ", HydroVariant::Optimized, CompilerId::Caps, CompileOptions::mic()),
+        ("OpenCL           / K40 ", HydroVariant::OpenCl, CompilerId::OpenClHand, CompileOptions::gpu()),
+    ] {
+        let p = hydro::program(variant);
+        let c = compile(compiler, &p, &opts).unwrap();
+        let r = run(&c, &hydro::sod_run_config(64, 8, vsteps)).unwrap();
+        let v = hydro::validate_against_reference(&r, &c, 64, 8, vsteps, 1e-4);
+        println!(
+            "  {label}: validation {} (max err {:.1e}), modeled {}",
+            if v.passed { "OK" } else { "FAILED" },
+            v.max_abs_err,
+            fmt_secs(r.elapsed)
+        );
+    }
+    // PGI cannot compile Hydro at all (Section V-E).
+    let err = compile(
+        CompilerId::Pgi,
+        &hydro::program(HydroVariant::Optimized),
+        &CompileOptions::gpu(),
+    )
+    .unwrap_err();
+    println!("  PGI              : compile error — {}\n", err.message);
+
+    // ---------------- Fig. 15 at scale ----------------
+    println!("=== Fig. 15 shape at 1024x1024 ===");
+    let cfg = hydro::timing_run_config(1024, 1024, 2);
+    let t = |variant, id, o: &CompileOptions| {
+        run(&compile(id, &hydro::program(variant), o).unwrap(), &cfg)
+            .unwrap()
+            .elapsed
+    };
+    let rows = [
+        ("OpenACC base  / K40 / GCC", HydroVariant::Baseline, CompilerId::Caps, CompileOptions::gpu()),
+        ("OpenACC opt   / K40 / GCC", HydroVariant::Optimized, CompilerId::Caps, CompileOptions::gpu()),
+        (
+            "OpenACC opt   / K40 / ICC",
+            HydroVariant::Optimized,
+            CompilerId::Caps,
+            CompileOptions::gpu().with_host_compiler(HostCompiler::Intel),
+        ),
+        ("OpenACC base  / MIC / GCC", HydroVariant::Baseline, CompilerId::Caps, CompileOptions::mic()),
+        ("OpenACC opt   / MIC / GCC", HydroVariant::Optimized, CompilerId::Caps, CompileOptions::mic()),
+        ("OpenCL        / K40      ", HydroVariant::OpenCl, CompilerId::OpenClHand, CompileOptions::gpu()),
+        ("OpenCL        / MIC      ", HydroVariant::OpenCl, CompilerId::OpenClHand, CompileOptions::mic()),
+    ];
+    for (label, v, id, o) in rows {
+        println!("  {label}: {}", fmt_secs(t(v, id, &o)));
+    }
+    let og = t(HydroVariant::Optimized, CompilerId::Caps, &CompileOptions::gpu());
+    let om = t(HydroVariant::Optimized, CompilerId::Caps, &CompileOptions::mic());
+    println!("\n  optimized OpenACC PPR (Eq. 1) = {:.2}", om / og);
+}

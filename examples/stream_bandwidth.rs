@@ -1,0 +1,59 @@
+//! STREAM bandwidth study on the simulated devices — the kind of
+//! microbenchmark sweep the paper's authors ran in their previous
+//! work (reference [11]: SHOC, STREAM and EPCC under CAPS) — plus the
+//! nvprof-style per-kernel profile for one run.
+//!
+//! ```sh
+//! cargo run --example stream_bandwidth --release
+//! ```
+
+use paccport::compilers::{compile, CompileOptions, CompilerId};
+use paccport::devsim::{k40, phi5110p, render_profile, run, RunConfig};
+use paccport::kernels::stream::{self, StreamOp};
+use paccport::kernels::VariantCfg;
+
+fn main() {
+    let n: u64 = 1 << 26; // 64M elements per array
+    println!("STREAM on the simulated test bed, n = {n} (f32)\n");
+    println!(
+        "{:<8}{:>16}{:>16}{:>18}",
+        "kernel", "K40 GB/s", "5110P GB/s", "K40 1-thread GB/s"
+    );
+    for _ in 0..58 {
+        print!("-");
+    }
+    println!();
+
+    let rc = RunConfig::timing(vec![("n".into(), n as f64)], 1);
+    for op in stream::ALL {
+        let bw = |opts: &CompileOptions, cfg: &VariantCfg| -> f64 {
+            let p = stream::program(op, cfg);
+            let c = compile(CompilerId::Caps, &p, opts).unwrap();
+            let r = run(&c, &rc).unwrap();
+            stream::measured_bandwidth(op, n, r.kernel_time)
+        };
+        let gpu = bw(&CompileOptions::gpu(), &VariantCfg::independent());
+        let mic = bw(&CompileOptions::mic(), &VariantCfg::independent());
+        let seq = bw(&CompileOptions::gpu(), &VariantCfg::baseline());
+        println!(
+            "{:<8}{:>16.1}{:>16.1}{:>18.3}",
+            op.label(),
+            gpu / 1e9,
+            mic / 1e9,
+            seq / 1e9
+        );
+    }
+    println!(
+        "\nmodeled peaks: K40 {:.0} GB/s, 5110P {:.0} GB/s — achieved fractions are the\n\
+         roofline's saturation behaviour; the last column is the CAPS gang(1) bug.\n",
+        k40().mem_bw / 1e9,
+        phi5110p().mem_bw / 1e9
+    );
+
+    // An nvprof-style profile of one Triad run, with transfers.
+    let p = stream::program(StreamOp::Triad, &VariantCfg::independent());
+    let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+    let r = run(&c, &RunConfig::timing(vec![("n".into(), 1e7)], 1)).unwrap();
+    println!("--- profile: Triad, n = 10M, CAPS on K40 ---");
+    print!("{}", render_profile(&r));
+}

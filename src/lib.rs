@@ -1,0 +1,16 @@
+//! # paccport — top-level facade
+//!
+//! Re-exports the whole workspace behind one crate so the examples and
+//! integration tests (and downstream users) have a single dependency.
+//!
+//! See the `README.md` for a tour and `DESIGN.md` for the full system
+//! inventory of this reproduction of *"Understanding Performance
+//! Portability of OpenACC for Supercomputers"* (IPPS 2015).
+
+pub use paccport_compilers as compilers;
+pub use paccport_core as core;
+pub use paccport_devsim as devsim;
+pub use paccport_hydro as hydro;
+pub use paccport_ir as ir;
+pub use paccport_kernels as kernels;
+pub use paccport_ptx as ptx;

@@ -1,0 +1,80 @@
+//! Round-trip the generated PTX of every benchmark through the text
+//! formatter and parser: the parsed module must carry exactly the
+//! same Table-V category counts as the in-memory one. This pins the
+//! formatter/parser pair and guards the counters against drift.
+
+use paccport::compilers::{compile, CompileOptions, CompilerId, Flag};
+use paccport::hydro::{self, HydroVariant};
+use paccport::kernels::{backprop, bfs, gaussian, lud, VariantCfg};
+use paccport::ptx::{format_module, parse_module};
+
+fn assert_round_trip(program: &paccport::ir::Program, compiler: CompilerId, o: &CompileOptions) {
+    let c = compile(compiler, program, o)
+        .unwrap_or_else(|e| panic!("{}: {e}", program.name));
+    let text = format_module(&c.module);
+    let back = parse_module(&text)
+        .unwrap_or_else(|e| panic!("{} / {compiler:?}: {e}", program.name));
+    assert_eq!(
+        back.counts(),
+        c.module.counts(),
+        "{} / {compiler:?}: counts drifted through text",
+        program.name
+    );
+    assert_eq!(back.kernels.len(), c.module.kernels.len());
+    for (a, b) in back.kernels.iter().zip(&c.module.kernels) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.len(), b.len(), "kernel {}", a.name);
+    }
+}
+
+#[test]
+fn round_trip_all_rodinia_benchmarks() {
+    let o = CompileOptions::gpu();
+    let mut ge_reorg = VariantCfg::independent();
+    ge_reorg.reorganized = true;
+    let mut bp_red = VariantCfg::independent();
+    bp_red.reduction = true;
+    let mut lud_unroll = VariantCfg::thread_dist(256, 16);
+    lud_unroll.unroll = Some(8);
+
+    let programs = [
+        lud::program(&VariantCfg::baseline()),
+        lud::program(&lud_unroll),
+        gaussian::program(&ge_reorg),
+        gaussian::opencl_program(true),
+        bfs::program(&VariantCfg::independent()),
+        bfs::opencl_program(),
+        backprop::program(&bp_red),
+        backprop::opencl_program(128),
+    ];
+    for p in &programs {
+        for compiler in [CompilerId::Caps, CompilerId::Pgi, CompilerId::OpenArc] {
+            if compiler == CompilerId::Pgi && p.name.contains("ocl") {
+                continue; // the hand OpenCL sources go through OpenClHand
+            }
+            assert_round_trip(p, compiler, &o);
+        }
+        assert_round_trip(p, CompilerId::OpenClHand, &o);
+    }
+}
+
+#[test]
+fn round_trip_hydro_and_flags() {
+    let o = CompileOptions::gpu();
+    assert_round_trip(
+        &hydro::program(HydroVariant::Optimized),
+        CompilerId::Caps,
+        &o,
+    );
+    // Fast-math lowering (rcp+mul) must survive the trip too.
+    assert_round_trip(
+        &lud::program(&VariantCfg::thread_dist(256, 16)),
+        CompilerId::Caps,
+        &o.clone().with_flag(Flag::FastMath),
+    );
+    assert_round_trip(
+        &gaussian::program(&VariantCfg::independent()),
+        CompilerId::Pgi,
+        &o.with_flag(Flag::Munroll),
+    );
+}
