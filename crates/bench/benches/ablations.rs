@@ -42,7 +42,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let p = lud::program(&VariantCfg::baseline());
     let rc = RunConfig::timing(vec![("n".into(), 512.0)], 1);
-    for (label, quirks) in [("faithful", QuirkSet::faithful()), ("bug_free", QuirkSet::none())] {
+    for (label, quirks) in [
+        ("faithful", QuirkSet::faithful()),
+        ("bug_free", QuirkSet::none()),
+    ] {
         let mut o = CompileOptions::gpu();
         o.quirks = quirks;
         let compiled = compile(CompilerId::Caps, &p, &o).unwrap();

@@ -7,8 +7,14 @@ use paccport_core::study::Scale;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::quick();
-    println!("{}", paccport_core::report::render_elapsed(&fig10_bfs(&scale)));
-    println!("{}", paccport_core::report::render_ptx(&fig11_bfs_ptx(&scale)));
+    println!(
+        "{}",
+        paccport_core::report::render_elapsed(&fig10_bfs(&scale))
+    );
+    println!(
+        "{}",
+        paccport_core::report::render_ptx(&fig11_bfs_ptx(&scale))
+    );
     println!("{}", paccport_core::report::render_tab7(&tab7_bfs(&scale)));
     let mut g = c.benchmark_group("fig10_bfs");
     g.sample_size(10);

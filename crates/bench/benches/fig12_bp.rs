@@ -7,8 +7,14 @@ use paccport_core::study::Scale;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::quick();
-    println!("{}", paccport_core::report::render_elapsed(&fig12_bp(&scale)));
-    println!("{}", paccport_core::report::render_ptx(&fig14_bp_ptx(&scale)));
+    println!(
+        "{}",
+        paccport_core::report::render_elapsed(&fig12_bp(&scale))
+    );
+    println!(
+        "{}",
+        paccport_core::report::render_ptx(&fig14_bp_ptx(&scale))
+    );
     let mut g = c.benchmark_group("fig12_bp");
     g.sample_size(10);
     g.bench_function("fig12_quick", |b| {

@@ -11,7 +11,10 @@ use paccport_hydro as hydro;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::quick();
-    println!("{}", paccport_core::report::render_elapsed(&fig15_hydro(&scale)));
+    println!(
+        "{}",
+        paccport_core::report::render_elapsed(&fig15_hydro(&scale))
+    );
     let mut g = c.benchmark_group("fig15_hydro");
     g.sample_size(10);
     g.bench_function("fig15_quick", |b| {

@@ -7,8 +7,14 @@ use paccport_core::study::Scale;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::quick();
-    println!("{}", paccport_core::report::render_elapsed(&fig7_ge(&scale)));
-    println!("{}", paccport_core::report::render_ptx(&fig9_ge_ptx(&scale)));
+    println!(
+        "{}",
+        paccport_core::report::render_elapsed(&fig7_ge(&scale))
+    );
+    println!(
+        "{}",
+        paccport_core::report::render_ptx(&fig9_ge_ptx(&scale))
+    );
     let mut g = c.benchmark_group("fig7_ge");
     g.sample_size(10);
     g.bench_function("fig7_quick", |b| {

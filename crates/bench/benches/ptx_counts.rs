@@ -10,7 +10,10 @@ use paccport_kernels::{lud, VariantCfg};
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::quick();
-    println!("{}", paccport_core::report::render_ptx(&fig6_lud_ptx(&scale)));
+    println!(
+        "{}",
+        paccport_core::report::render_ptx(&fig6_lud_ptx(&scale))
+    );
     let p = lud::program(&VariantCfg::thread_dist(256, 16));
     let mut g = c.benchmark_group("ptx_counts");
     g.bench_function("caps_compile_lud", |b| {

@@ -2,16 +2,22 @@
 //! simulated test bed.
 //!
 //! ```text
-//! reproduce [--quick] [--exp <id>]...
+//! reproduce [--quick] [--jobs N] [--trace] [--exp <id>]...
 //! ```
 //!
 //! With no `--exp`, all experiments run. `--quick` uses CI-scale
-//! inputs instead of Table IV's paper-scale ones. Recognized ids:
+//! inputs instead of Table IV's paper-scale ones. `--jobs N` fans each
+//! experiment matrix out over N worker threads through a shared
+//! compile cache (`--jobs 1`, the default, is the serial reference
+//! path; stdout is byte-identical either way). `--trace` prints a
+//! pipeline trace — span timings and cache/transform/launch counters —
+//! to stderr after the run. Recognized ids:
 //! tab1 tab2 tab3 tab4 tab5 tab6 tab7, fig1 fig3 fig4 fig6 fig7 fig8
 //! fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16, plus the future-work
 //! extensions ext1 (OpenARC auto-tuning) and ext2 (data-region
 //! insertion).
 
+use paccport_core::engine::Engine;
 use paccport_core::experiments as exp;
 use paccport_core::report;
 use paccport_core::study::Scale;
@@ -19,6 +25,8 @@ use paccport_core::study::Scale;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let trace = args.iter().any(|a| a == "--trace");
+    let mut jobs: usize = 1;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -26,11 +34,28 @@ fn main() {
             if let Some(id) = it.next() {
                 wanted.push(id.clone());
             }
+        } else if a == "--jobs" {
+            jobs = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--jobs requires a positive integer"));
+            if jobs == 0 {
+                die("--jobs requires a positive integer");
+            }
         }
     }
     let all = wanted.is_empty();
-    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
     let want = |id: &str| all || wanted.iter().any(|w| w == id);
+
+    if trace {
+        paccport_trace::set_enabled(true);
+    }
+    let eng = Engine::new(jobs);
 
     println!("paccport `reproduce` — Understanding Performance Portability of OpenACC");
     println!(
@@ -69,7 +94,7 @@ fn main() {
 
     // ---------------- Demonstrations ----------------
     if want("fig1") {
-        let (cuda, acc) = exp::fig1_tiling_shared_ops();
+        let (cuda, acc) = exp::fig1_tiling_shared_ops_on(&eng);
         println!("== Fig. 1: Tiling in CUDA vs OpenACC ==");
         println!("CUDA/OpenCL-style tiling (BP forward, __local staging): {cuda} shared-memory instructions");
         println!("OpenACC tile clause (GE fan1 under CAPS):               {acc} shared-memory instructions");
@@ -81,66 +106,87 @@ fn main() {
     }
     if want("fig13") {
         println!("== Fig. 13: The reduction directive's shared-memory tree (lowered IR) ==");
-        println!("{}", exp::fig13_reduction_listing());
+        println!("{}", exp::fig13_reduction_listing_on(&eng));
     }
 
     // ---------------- LUD ----------------
     if want("fig3") {
-        println!("{}", report::render_elapsed(&exp::fig3_lud(&scale)));
+        println!(
+            "{}",
+            report::render_elapsed(&exp::fig3_lud_on(&eng, &scale))
+        );
     }
     if want("fig4") {
         println!("== Fig. 4: Elapsed time of different thread distributions (LUD) ==");
-        for hm in exp::fig4_heatmaps(&scale) {
+        for hm in exp::fig4_heatmaps_on(&eng, &scale) {
             println!("{}", hm.render());
             let (g, w, t) = hm.best();
             println!("best: gang {g}, worker {w} ({})\n", report::fmt_secs(t));
         }
     }
     if want("fig6") {
-        println!("{}", report::render_ptx(&exp::fig6_lud_ptx(&scale)));
+        println!(
+            "{}",
+            report::render_ptx(&exp::fig6_lud_ptx_on(&eng, &scale))
+        );
     }
 
     // ---------------- GE ----------------
     if want("fig7") {
-        println!("{}", report::render_elapsed(&exp::fig7_ge(&scale)));
+        println!("{}", report::render_elapsed(&exp::fig7_ge_on(&eng, &scale)));
     }
     if want("fig9") {
-        println!("{}", report::render_ptx(&exp::fig9_ge_ptx(&scale)));
+        println!("{}", report::render_ptx(&exp::fig9_ge_ptx_on(&eng, &scale)));
     }
 
     // ---------------- BFS ----------------
     if want("fig10") {
-        println!("{}", report::render_elapsed(&exp::fig10_bfs(&scale)));
+        println!(
+            "{}",
+            report::render_elapsed(&exp::fig10_bfs_on(&eng, &scale))
+        );
     }
     if want("fig11") {
-        println!("{}", report::render_ptx(&exp::fig11_bfs_ptx(&scale)));
+        println!(
+            "{}",
+            report::render_ptx(&exp::fig11_bfs_ptx_on(&eng, &scale))
+        );
     }
     if want("tab7") {
-        println!("{}", report::render_tab7(&exp::tab7_bfs(&scale)));
+        println!("{}", report::render_tab7(&exp::tab7_bfs_on(&eng, &scale)));
     }
 
     // ---------------- BP ----------------
     if want("fig12") {
-        println!("{}", report::render_elapsed(&exp::fig12_bp(&scale)));
+        println!(
+            "{}",
+            report::render_elapsed(&exp::fig12_bp_on(&eng, &scale))
+        );
     }
     if want("fig14") {
-        println!("{}", report::render_ptx(&exp::fig14_bp_ptx(&scale)));
+        println!(
+            "{}",
+            report::render_ptx(&exp::fig14_bp_ptx_on(&eng, &scale))
+        );
     }
 
     // ---------------- Hydro ----------------
     if want("fig15") {
-        println!("{}", report::render_elapsed(&exp::fig15_hydro(&scale)));
+        println!(
+            "{}",
+            report::render_elapsed(&exp::fig15_hydro_on(&eng, &scale))
+        );
     }
 
     // ---------------- PPR ----------------
     if want("fig16") {
-        println!("{}", report::render_ppr(&exp::fig16_ppr(&scale)));
+        println!("{}", report::render_ppr(&exp::fig16_ppr_on(&eng, &scale)));
     }
 
     // ---------------- Extensions (the paper's future work) ----------
     if want("ext1") {
         println!("== Extension 1: OpenARC-style auto-tuning vs the hand method (LUD) ==");
-        for row in exp::ext1_autotune_vs_hand(&scale) {
+        for row in exp::ext1_autotune_vs_hand_on(&eng, &scale) {
             println!(
                 "  {}: hand (256,16) {}  |  auto-tuned {}  ({} tuning runs)",
                 row.device,
@@ -156,7 +202,7 @@ fn main() {
     }
     if want("ext2") {
         println!("== Extension 2: Step 5 — automatic data-region insertion (LUD) ==");
-        for row in exp::ext2_data_regions(&scale) {
+        for row in exp::ext2_data_regions_on(&eng, &scale) {
             println!(
                 "  {:<32} {:>10} transfers   {}",
                 row.label,
@@ -166,4 +212,21 @@ fn main() {
         }
         println!();
     }
+
+    // The trace goes to stderr so stdout stays byte-identical between
+    // --jobs 1 and --jobs N.
+    if trace {
+        eprintln!(
+            "jobs: {}  |  unique artifacts compiled: {}  |  cache hits: {}",
+            eng.jobs(),
+            eng.cache().misses(),
+            eng.cache().hits()
+        );
+        eprint!("{}", paccport_trace::summary().render());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("reproduce: {msg}");
+    std::process::exit(2);
 }

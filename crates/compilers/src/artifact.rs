@@ -146,7 +146,9 @@ pub enum ExecStrategy {
 pub enum Correctness {
     Correct,
     /// Known-wrong on this target (CAPS `reduction` on MIC).
-    Wrong { reason: String },
+    Wrong {
+        reason: String,
+    },
 }
 
 /// A nested cost model for one kernel: per-parallel-iteration

@@ -1,0 +1,228 @@
+//! Content-addressed memoization of compilation results.
+//!
+//! The experiment matrix in `paccport-core` compiles the same
+//! (program, compiler, options) triple many times — e.g. the LUD
+//! ThreadDist variant is compiled for fig. 3, again for the fig. 4
+//! sweeps, and again for the fig. 6 PTX histograms. [`ArtifactCache`]
+//! collapses those into a single compile per unique key, which is what
+//! makes the parallel engine cheap enough to fan the whole paper out.
+//!
+//! Keys are content hashes, not identities: two structurally identical
+//! programs built by different call sites share an entry, and mutating
+//! a single clause (say `independent` on one loop) changes the key.
+//! The fingerprint is computed from the program's `Debug` rendering,
+//! which in this IR is a complete structural dump.
+//!
+//! Concurrency: each key maps to a [`OnceLock`] slot, so when several
+//! workers race on the same key, exactly one runs the compiler and the
+//! rest block until the result is published (singleflight). Hits and
+//! misses are counted and mirrored to `paccport-trace` counters
+//! (`cache.hit` / `cache.miss`) when tracing is on.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use paccport_ir::Program;
+
+use crate::artifact::{CompileError, CompiledProgram};
+use crate::options::{CompileOptions, CompilerId};
+
+/// Cache key: compiler personality + full option set + program content.
+///
+/// Options are keyed by their `Debug` form — `CompileOptions` derives
+/// `Debug` over every field (backend, target, host compiler, flags,
+/// quirks), so any option change is a different key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    compiler: CompilerId,
+    options: String,
+    program: u128,
+}
+
+impl CacheKey {
+    pub fn new(compiler: CompilerId, program: &Program, options: &CompileOptions) -> Self {
+        CacheKey {
+            compiler,
+            options: format!("{options:?}"),
+            program: fingerprint(program),
+        }
+    }
+}
+
+/// 128-bit content fingerprint of a program: two independent FNV-1a-64
+/// passes over the structural `Debug` dump. FNV is not cryptographic,
+/// but 128 bits over a few-KB input makes accidental collisions across
+/// an experiment matrix of dozens of programs a non-concern.
+pub fn fingerprint(program: &Program) -> u128 {
+    let text = format!("{program:?}");
+    let lo = fnv1a64(text.as_bytes(), 0xcbf2_9ce4_8422_2325);
+    let hi = fnv1a64(text.as_bytes(), 0x6c62_272e_07bb_0142);
+    ((hi as u128) << 64) | lo as u128
+}
+
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+type Slot = Arc<OnceLock<Result<Arc<CompiledProgram>, CompileError>>>;
+
+/// Thread-safe, singleflight compile cache.
+#[derive(Default)]
+pub struct ArtifactCache {
+    entries: Mutex<HashMap<CacheKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compile through the cache. The first caller for a key runs
+    /// [`crate::compile`] and every later (or concurrent) caller gets
+    /// the shared artifact; errors are cached the same way, since a
+    /// deterministic compiler fails identically on retry.
+    pub fn compile(
+        &self,
+        id: CompilerId,
+        program: &Program,
+        options: &CompileOptions,
+    ) -> Result<Arc<CompiledProgram>, CompileError> {
+        let key = CacheKey::new(id, program, options);
+        let slot: Slot = {
+            let mut entries = self.entries.lock().unwrap();
+            Arc::clone(entries.entry(key).or_default())
+        };
+        let mut fresh = false;
+        let result = slot.get_or_init(|| {
+            fresh = true;
+            crate::compile(id, program, options).map(Arc::new)
+        });
+        if fresh {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            paccport_trace::add("cache.miss", 1);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            paccport_trace::add("cache.hit", 1);
+        }
+        result.clone()
+    }
+
+    /// Lookups that found an existing artifact.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the compiler (== number of unique keys seen,
+    /// i.e. each unique (program, options, device) compiled exactly once).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct artifacts currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().unwrap().is_empty()
+    }
+
+    /// Drop all entries and zero the counters.
+    pub fn clear(&self) {
+        self.entries.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paccport_ir::{
+        ld, st, Block, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar, E,
+    };
+
+    fn saxpy(name: &str) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        let n = b.iparam("n");
+        let x = b.array("x", Scalar::F32, n, Intent::In);
+        let y = b.array("y", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        let k = Kernel::simple(
+            "saxpy",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            Block::new(vec![st(y, i, E::from(2.0) * ld(x, i) + ld(y, i))]),
+        );
+        b.finish(vec![HostStmt::Launch(k)])
+    }
+
+    #[test]
+    fn identical_requests_compile_once() {
+        let cache = ArtifactCache::new();
+        let p = saxpy("saxpy");
+        let opts = CompileOptions::gpu();
+        let a = cache.compile(CompilerId::Caps, &p, &opts).unwrap();
+        let b = cache.compile(CompilerId::Caps, &p, &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn structurally_equal_programs_share_an_entry() {
+        let cache = ArtifactCache::new();
+        let opts = CompileOptions::gpu();
+        let a = cache
+            .compile(CompilerId::Caps, &saxpy("saxpy"), &opts)
+            .unwrap();
+        let b = cache
+            .compile(CompilerId::Caps, &saxpy("saxpy"), &opts)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn different_compiler_options_or_program_miss() {
+        let cache = ArtifactCache::new();
+        let p = saxpy("saxpy");
+        let opts = CompileOptions::gpu();
+        cache.compile(CompilerId::Caps, &p, &opts).unwrap();
+        cache.compile(CompilerId::Pgi, &p, &opts).unwrap();
+        cache
+            .compile(CompilerId::Caps, &p, &CompileOptions::mic())
+            .unwrap();
+        cache
+            .compile(CompilerId::Caps, &saxpy("saxpy2"), &opts)
+            .unwrap();
+        assert_eq!((cache.misses(), cache.hits()), (4, 0));
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_same_key_is_singleflight() {
+        let cache = Arc::new(ArtifactCache::new());
+        let p = Arc::new(saxpy("saxpy"));
+        let opts = CompileOptions::gpu();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let p = Arc::clone(&p);
+                let opts = opts.clone();
+                s.spawn(move || {
+                    cache.compile(CompilerId::Caps, &p, &opts).unwrap();
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+}

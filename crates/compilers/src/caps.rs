@@ -35,7 +35,10 @@ use paccport_ir::kernel::KernelBody;
 use paccport_ir::{HostStmt, Program};
 
 /// Compile a program with the CAPS personality.
-pub fn compile(program: &Program, options: &CompileOptions) -> Result<CompiledProgram, CompileError> {
+pub fn compile(
+    program: &Program,
+    options: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
     let mut prog = program.clone();
     let q = options.quirks.clone();
     let (bx, by) = options.grid_block_size();
@@ -110,17 +113,15 @@ pub fn compile(program: &Program, options: &CompileOptions) -> Result<CompiledPr
                 "reduction lowered to a {}-thread shared-memory tree",
                 g.group_size
             ));
-            let correctness = if quirks.caps_reduction_wrong_on_mic
-                && target == DeviceKind::Mic5110P
-            {
-                Correctness::Wrong {
-                    reason: "CAPS reduction miscomputes on MIC (Section V-D2)".into(),
-                }
-            } else {
-                Correctness::Correct
-            };
-            let perf_penalty = if quirks.caps_reduction_perf_bug && target == DeviceKind::GpuK40
-            {
+            let correctness =
+                if quirks.caps_reduction_wrong_on_mic && target == DeviceKind::Mic5110P {
+                    Correctness::Wrong {
+                        reason: "CAPS reduction miscomputes on MIC (Section V-D2)".into(),
+                    }
+                } else {
+                    Correctness::Correct
+                };
+            let perf_penalty = if quirks.caps_reduction_perf_bug && target == DeviceKind::GpuK40 {
                 g.group_size as f64
             } else {
                 1.0
@@ -210,14 +211,7 @@ pub fn compile(program: &Program, options: &CompileOptions) -> Result<CompiledPr
         }
     };
 
-    let mut out = assemble(
-        CompilerId::Caps,
-        options,
-        prog,
-        &style,
-        decide,
-        transfers,
-    );
+    let mut out = assemble(CompilerId::Caps, options, prog, &style, decide, transfers);
     out.diagnostics.extend(transform_diags);
     Ok(out)
 }
@@ -354,7 +348,12 @@ mod tests {
             vec![ParallelLoop::new(j, Expr::iconst(0), Expr::param(n))],
             paccport_ir::Block::new(vec![
                 let_(sum, Scalar::F32, 0.0),
-                for_(kv, 0i64, E::from(n), vec![assign(sum, E::from(sum) + ld(input, kv))]),
+                for_(
+                    kv,
+                    0i64,
+                    E::from(n),
+                    vec![assign(sum, E::from(sum) + ld(input, kv))],
+                ),
                 st(out, j, E::from(sum)),
             ]),
         );
@@ -370,9 +369,12 @@ mod tests {
         assert_eq!(gp.correctness, Correctness::Correct);
         // Shared-memory instructions now present (Fig. 14).
         assert!(
-            gpu.module.kernel("fwd_kernel").unwrap().counts().get(
-                paccport_ptx::Category::SharedMemory
-            ) > 0
+            gpu.module
+                .kernel("fwd_kernel")
+                .unwrap()
+                .counts()
+                .get(paccport_ptx::Category::SharedMemory)
+                > 0
         );
 
         let mic = compile(&p, &CompileOptions::mic()).unwrap();

@@ -2,8 +2,7 @@
 //! personalities.
 
 use crate::artifact::{
-    CompiledProgram, Correctness, Diagnostic, DistSpec, ExecStrategy, KernelPlan,
-    TransferPolicy,
+    CompiledProgram, Correctness, Diagnostic, DistSpec, ExecStrategy, KernelPlan, TransferPolicy,
 };
 use crate::lower::{lower_kernel, lower_stub, LoweringStyle};
 use crate::options::{CompileOptions, CompilerId};
@@ -23,49 +22,49 @@ pub fn has_indirect_access(k: &Kernel) -> bool {
     // memory are data-dependent indices (`int id = edges[e]; …
     // cost[id] = …` in Rodinia's BFS).
     let mut tainted: std::collections::BTreeSet<paccport_ir::VarId> = Default::default();
-    let collect_taint = |b: &paccport_ir::Block,
-                             tainted: &mut std::collections::BTreeSet<paccport_ir::VarId>| {
-        // Iterate to a fixed point (bodies are tiny).
-        loop {
-            let before = tainted.len();
-            b.walk(&mut |s| {
-                if let Stmt::Let { var, init, .. } | Stmt::Assign { var, value: init } = s {
-                    let mut dep = init.reads_global();
-                    init.walk(&mut |e| {
-                        if let Expr::Var(v) = e {
-                            if tainted.contains(v) {
-                                dep = true;
+    let collect_taint =
+        |b: &paccport_ir::Block, tainted: &mut std::collections::BTreeSet<paccport_ir::VarId>| {
+            // Iterate to a fixed point (bodies are tiny).
+            loop {
+                let before = tainted.len();
+                b.walk(&mut |s| {
+                    if let Stmt::Let { var, init, .. } | Stmt::Assign { var, value: init } = s {
+                        let mut dep = init.reads_global();
+                        init.walk(&mut |e| {
+                            if let Expr::Var(v) = e {
+                                if tainted.contains(v) {
+                                    dep = true;
+                                }
                             }
+                        });
+                        if dep {
+                            tainted.insert(*var);
                         }
-                    });
-                    if dep {
-                        tainted.insert(*var);
                     }
+                });
+                if tainted.len() == before {
+                    break;
                 }
-            });
-            if tainted.len() == before {
-                break;
             }
-        }
-    };
-    let index_is_indirect = |idx: &Expr,
-                             tainted: &std::collections::BTreeSet<paccport_ir::VarId>| {
-        if to_affine(idx).is_some() {
-            // Affine in program variables — but a tainted variable is
-            // itself data-dependent.
-            let mut hit = false;
-            idx.walk(&mut |e| {
-                if let Expr::Var(v) = e {
-                    if tainted.contains(v) {
-                        hit = true;
+        };
+    let index_is_indirect =
+        |idx: &Expr, tainted: &std::collections::BTreeSet<paccport_ir::VarId>| {
+            if to_affine(idx).is_some() {
+                // Affine in program variables — but a tainted variable is
+                // itself data-dependent.
+                let mut hit = false;
+                idx.walk(&mut |e| {
+                    if let Expr::Var(v) = e {
+                        if tainted.contains(v) {
+                            hit = true;
+                        }
                     }
-                }
-            });
-            hit
-        } else {
-            idx.reads_global()
-        }
-    };
+                });
+                hit
+            } else {
+                idx.reads_global()
+            }
+        };
     let mut found = false;
     let mut scan = |b: &paccport_ir::Block| {
         collect_taint(b, &mut tainted);
@@ -208,11 +207,7 @@ pub fn assemble(
                 // time model still needs the real per-nest cost, so
                 // lower the whole nest serialized (rank 0).
                 let lk = lower_kernel(&program, k, 0, style);
-                (
-                    lower_stub(&program, k),
-                    Default::default(),
-                    lk.cost,
-                )
+                (lower_stub(&program, k), Default::default(), lk.cost)
             }
             ExecStrategy::DeviceSequential => {
                 // The generated codelet is the same as the parallel
@@ -330,10 +325,7 @@ mod tests {
     #[test]
     fn labels_match_figures() {
         assert_eq!(config_label(&DistSpec::Sequential), "1x1");
-        assert_eq!(
-            config_label(&DistSpec::Gridify1D { bx: 32, by: 4 }),
-            "32x4"
-        );
+        assert_eq!(config_label(&DistSpec::Gridify1D { bx: 32, by: 4 }), "32x4");
         assert_eq!(config_label(&DistSpec::PgiAuto { vector: 128 }), "128x1");
         assert_eq!(
             config_label(&DistSpec::GangWorker {

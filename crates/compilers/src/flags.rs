@@ -82,10 +82,7 @@ pub fn parse_flag(s: &str) -> Option<Flag> {
             // -Xhmppcg -grid-block-size,BXxBY
             let rest = s.strip_prefix("-Xhmppcg -grid-block-size,")?;
             let (bx, by) = rest.split_once('x')?;
-            Some(Flag::GridBlockSize(
-                bx.parse().ok()?,
-                by.parse().ok()?,
-            ))
+            Some(Flag::GridBlockSize(bx.parse().ok()?, by.parse().ok()?))
         }
     }
 }

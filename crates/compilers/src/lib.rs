@@ -35,6 +35,7 @@
 //! ```
 
 pub mod artifact;
+pub mod cache;
 pub mod caps;
 pub mod common;
 pub mod flags;
@@ -50,10 +51,9 @@ pub use artifact::{
     CompileError, CompiledProgram, Correctness, CostNode, CostTree, Diagnostic, DistSpec,
     ExecStrategy, KernelPlan, LaunchDims, TransferPolicy,
 };
+pub use cache::{fingerprint, ArtifactCache, CacheKey};
 pub use lower::{lower_kernel, lower_stub, LoweredKernel, LoweringStyle};
-pub use options::{
-    Backend, CompileOptions, CompilerId, DeviceKind, Flag, HostCompiler, QuirkSet,
-};
+pub use options::{Backend, CompileOptions, CompilerId, DeviceKind, Flag, HostCompiler, QuirkSet};
 
 use paccport_ir::Program;
 
@@ -63,6 +63,7 @@ pub fn compile(
     program: &Program,
     options: &CompileOptions,
 ) -> Result<CompiledProgram, CompileError> {
+    let _span = paccport_trace::span("compilers.compile");
     match id {
         CompilerId::Caps => caps::compile(program, options),
         CompilerId::Pgi => pgi::compile(program, options),

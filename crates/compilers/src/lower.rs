@@ -24,9 +24,7 @@ use paccport_ir::kernel::{Kernel, KernelBody};
 use paccport_ir::stmt::{Block, Stmt};
 use paccport_ir::types::{ArrayId, MemSpace, ParamId, Scalar, VarId};
 use paccport_ir::Program;
-use paccport_ptx::{
-    CategoryCounts, Emitter, Opcode, Operand, PtxKernel, PtxType, Reg, SpecialReg,
-};
+use paccport_ptx::{CategoryCounts, Emitter, Opcode, Operand, PtxKernel, PtxType, Reg, SpecialReg};
 use std::collections::BTreeMap;
 
 /// How addresses and repeated subexpressions are lowered.
@@ -96,6 +94,7 @@ pub fn lower_kernel(
     dist_rank: usize,
     style: &LoweringStyle,
 ) -> LoweredKernel {
+    let _span = paccport_trace::span("compilers.lower_kernel");
     let mut lw = Lowerer::new(p, style, format!("{}_kernel", k.name));
     lw.prologue(k, dist_rank);
     let prologue_counts = lw.emitter.counts_since(0);
@@ -278,9 +277,9 @@ impl<'a> Lowerer<'a> {
         for aid in used_arrays(k) {
             let name = self.p.array(aid).name.clone();
             self.emitter.add_param(name.clone());
-            let raw =
-                self.emitter
-                    .emit(Opcode::LdParam, PtxType::U64, vec![Operand::Sym(name)]);
+            let raw = self
+                .emitter
+                .emit(Opcode::LdParam, PtxType::U64, vec![Operand::Sym(name)]);
             if self.style.addr == AddrStyle::Cse {
                 let base = self.emitter.un(Opcode::CvtaToGlobal, PtxType::U64, raw);
                 self.bases.insert(aid, base);
@@ -370,8 +369,11 @@ impl<'a> Lowerer<'a> {
             KernelBody::Grouped(g) => {
                 for (i, phase) in g.phases.iter().enumerate() {
                     if i > 0 {
-                        self.emitter
-                            .emit_void(Opcode::BarSync, PtxType::U32, vec![Operand::ImmI(0)]);
+                        self.emitter.emit_void(
+                            Opcode::BarSync,
+                            PtxType::U32,
+                            vec![Operand::ImmI(0)],
+                        );
                     }
                     self.block(phase, tree, mark);
                 }
@@ -433,10 +435,7 @@ impl<'a> Lowerer<'a> {
                 }
                 Stmt::Assign { var, value } => {
                     let (r, _) = self.expr(value);
-                    let (_, pty) = *self
-                        .vars
-                        .get(var)
-                        .unwrap_or(&(Reg(0), PtxType::F32));
+                    let (_, pty) = *self.vars.get(var).unwrap_or(&(Reg(0), PtxType::F32));
                     let dst = self.emitter.un(Opcode::Mov, pty, r);
                     self.vars.insert(*var, (dst, pty));
                     self.cse.clear();
@@ -702,10 +701,7 @@ impl<'a> Lowerer<'a> {
             } => {
                 let addr = self.address(*array, index, *space == MemSpace::Local);
                 let (op, ty) = match space {
-                    MemSpace::Global => (
-                        Opcode::LdGlobal,
-                        scalar_ty(self.p.array(*array).elem),
-                    ),
+                    MemSpace::Global => (Opcode::LdGlobal, scalar_ty(self.p.array(*array).elem)),
                     MemSpace::Local => (Opcode::LdShared, PtxType::F32),
                 };
                 (self.emitter.emit(op, ty, vec![addr.into()]), ty)
@@ -774,11 +770,8 @@ impl<'a> Lowerer<'a> {
                 let (rb, tb) = self.expr(b);
                 let ty = join_ty(ta, tb);
                 (
-                    self.emitter.emit(
-                        Opcode::Selp,
-                        ty,
-                        vec![ra.into(), rb.into(), rp.into()],
-                    ),
+                    self.emitter
+                        .emit(Opcode::Selp, ty, vec![ra.into(), rb.into(), rp.into()]),
                     ty,
                 )
             }
@@ -901,8 +894,14 @@ mod tests {
         let mut total = lk.prologue;
         total += lk.cost.static_counts();
         let full = lk.ptx.counts();
-        assert_eq!(total.get(Category::GlobalMemory), full.get(Category::GlobalMemory));
-        assert_eq!(total.get(Category::Arithmetic), full.get(Category::Arithmetic));
+        assert_eq!(
+            total.get(Category::GlobalMemory),
+            full.get(Category::GlobalMemory)
+        );
+        assert_eq!(
+            total.get(Category::Arithmetic),
+            full.get(Category::Arithmetic)
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ use paccport_ir::Program;
 /// Compile with the OpenARC personality: CAPS-compatible directive
 /// handling (gang mode, gridify, tile, reduction) minus every modeled
 /// bug.
-pub fn compile(program: &Program, options: &CompileOptions) -> Result<CompiledProgram, CompileError> {
+pub fn compile(
+    program: &Program,
+    options: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
     let mut opts = options.clone();
     opts.quirks = QuirkSet::none();
     let mut out = caps::compile(program, &opts)?;
@@ -42,7 +45,9 @@ pub fn compile(program: &Program, options: &CompileOptions) -> Result<CompiledPr
 mod tests {
     use super::*;
     use crate::artifact::{DistSpec, ExecStrategy};
-    use paccport_ir::{ld, st, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar};
+    use paccport_ir::{
+        ld, st, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar,
+    };
 
     fn simple(independent: bool) -> Program {
         let mut b = ProgramBuilder::new("p");
@@ -80,7 +85,10 @@ mod tests {
     #[test]
     fn gridify_with_independent_and_mic_support() {
         let c = compile(&simple(true), &CompileOptions::gpu()).unwrap();
-        assert_eq!(c.plan("k").unwrap().dist, DistSpec::Gridify1D { bx: 32, by: 4 });
+        assert_eq!(
+            c.plan("k").unwrap().dist,
+            DistSpec::Gridify1D { bx: 32, by: 4 }
+        );
         // Unlike PGI, OpenARC targets the MIC.
         assert!(compile(&simple(true), &CompileOptions::mic()).is_ok());
     }

@@ -19,7 +19,10 @@ use paccport_ir::Program;
 /// "Compile" a hand-written OpenCL program: honour its explicit launch
 /// configuration, no transformations, buffers managed explicitly
 /// (resident).
-pub fn compile(program: &Program, options: &CompileOptions) -> Result<CompiledProgram, CompileError> {
+pub fn compile(
+    program: &Program,
+    options: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
     let prog = program.clone();
     let style = LoweringStyle {
         fastmath: options.has_flag(&crate::options::Flag::FastMath),
@@ -61,7 +64,10 @@ pub fn compile(program: &Program, options: &CompileOptions) -> Result<CompiledPr
             exec: ExecStrategy::DeviceParallel,
             correctness: Correctness::Correct,
             perf_penalty: 1.0,
-            diagnostics: vec![format!("NDRange kernel: {}", crate::common::config_label(&dist))],
+            diagnostics: vec![format!(
+                "NDRange kernel: {}",
+                crate::common::config_label(&dist)
+            )],
         }
     };
     Ok(assemble(

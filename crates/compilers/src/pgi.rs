@@ -36,7 +36,10 @@ use std::collections::BTreeMap;
 const PGI_VECTOR: u32 = 128;
 
 /// Compile a program with the PGI personality.
-pub fn compile(program: &Program, options: &CompileOptions) -> Result<CompiledProgram, CompileError> {
+pub fn compile(
+    program: &Program,
+    options: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
     if options.target == DeviceKind::Mic5110P {
         return Err(CompileError {
             compiler: CompilerId::Pgi,
@@ -159,8 +162,7 @@ pub fn compile(program: &Program, options: &CompileOptions) -> Result<CompiledPr
             }
         } else {
             diags.push(
-                "loop not auto-parallelized: triangular bounds in a multi-dimensional nest"
-                    .into(),
+                "loop not auto-parallelized: triangular bounds in a multi-dimensional nest".into(),
             );
             KernelDecision {
                 dist: DistSpec::Sequential,
@@ -296,10 +298,7 @@ mod tests {
         let c = compile(&p, &CompileOptions::gpu()).unwrap();
         // Still 128x1, and a diagnostic explains why.
         assert_eq!(c.plan("fan2").unwrap().config_label, "128x1");
-        assert!(c
-            .diagnostics
-            .iter()
-            .any(|d| d.message.contains("ignored")));
+        assert!(c.diagnostics.iter().any(|d| d.message.contains("ignored")));
     }
 
     #[test]
@@ -374,6 +373,9 @@ mod tests {
         .unwrap();
         let count = |c: &CompiledProgram, k: &str| c.module.kernel(k).unwrap().len();
         assert!(count(&unrolled, "flat_kernel") > count(&base, "flat_kernel"));
-        assert_eq!(count(&unrolled, "accum_kernel"), count(&base, "accum_kernel"));
+        assert_eq!(
+            count(&unrolled, "accum_kernel"),
+            count(&base, "accum_kernel")
+        );
     }
 }

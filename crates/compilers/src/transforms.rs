@@ -80,6 +80,7 @@ pub fn unroll_inner_loops_filtered(k: &mut Kernel, factor: u32, skip_accum: bool
         // Fold the `i + 0` / `(n / F) * F` debris a real
         // source-to-source compiler would never emit.
         paccport_ir::simplify_kernel(k);
+        paccport_trace::add("transforms.unroll_inner_loops", 1);
     }
     changed
 }
@@ -135,11 +136,7 @@ fn unroll_block_filtered(b: &Block, factor: u32, changed: &mut bool, skip_accum:
                     } else {
                         body.subst_var(
                             *var,
-                            &Expr::bin(
-                                BinOp::Add,
-                                Expr::var(*var),
-                                Expr::iconst(u as i64 * s),
-                            ),
+                            &Expr::bin(BinOp::Add, Expr::var(*var), Expr::iconst(u as i64 * s)),
                         )
                     };
                     unrolled.extend(shifted.0);
@@ -222,6 +219,7 @@ pub fn serialize_inner_loops(k: &mut Kernel, keep: usize) -> bool {
     }
     k.loops.truncate(keep);
     k.body = KernelBody::Simple(inner);
+    paccport_trace::add("transforms.serialize_inner_loops", 1);
     true
 }
 
@@ -238,6 +236,7 @@ pub fn unroll_grouped_phases(k: &mut Kernel, factor: u32) -> bool {
     }
     if changed {
         paccport_ir::simplify_kernel(k);
+        paccport_trace::add("transforms.unroll_grouped_phases", 1);
     }
     changed
 }
@@ -296,6 +295,7 @@ pub fn strip_mine(k: &mut Kernel, tile: u32, va: &mut VarAlloc<'_>) -> bool {
     k.loops = vec![outer, inner];
     k.body = KernelBody::Simple(guarded);
     paccport_ir::simplify_kernel(k);
+    paccport_trace::add("transforms.strip_mine", 1);
     true
 }
 
@@ -436,6 +436,7 @@ pub fn reduction_to_grouped(k: &mut Kernel, group_size: u32, va: &mut VarAlloc<'
         }],
         phases,
     });
+    paccport_trace::add("transforms.reduction_to_grouped", 1);
     true
 }
 
@@ -465,7 +466,10 @@ mod tests {
                     kv,
                     0i64,
                     E::from(n),
-                    vec![assign(sum, E::from(sum) + ld(input, kv) * ld(w, E::from(kv) * m + j))],
+                    vec![assign(
+                        sum,
+                        E::from(sum) + ld(input, kv) * ld(w, E::from(kv) * m + j),
+                    )],
                 ),
                 st(out, j, E::from(sum)),
             ]),

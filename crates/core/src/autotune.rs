@@ -120,26 +120,17 @@ mod tests {
         let p = lud::program(&VariantCfg::baseline());
         let cfg = RunConfig::timing(vec![("n".into(), 1024.0)], 1);
         let o = CompileOptions::gpu();
-        let out = autotune_distribution(
-            &p,
-            CompilerId::OpenArc,
-            &o,
-            &cfg,
-            &default_candidates(),
-        )
-        .unwrap();
+        let out = autotune_distribution(&p, CompilerId::OpenArc, &o, &cfg, &default_candidates())
+            .unwrap();
         assert_eq!(out.per_kernel.len(), 2);
         assert!(out.total_runs >= 2 * default_candidates().len());
 
         // The tuned program must be at least as fast as the hand
         // method's (256,16) pick under the same compiler…
         let hand = lud::program(&VariantCfg::thread_dist(256, 16));
-        let t_hand = run(
-            &compile(CompilerId::OpenArc, &hand, &o).unwrap(),
-            &cfg,
-        )
-        .unwrap()
-        .elapsed;
+        let t_hand = run(&compile(CompilerId::OpenArc, &hand, &o).unwrap(), &cfg)
+            .unwrap()
+            .elapsed;
         let t_tuned = run(
             &compile(CompilerId::OpenArc, &out.program, &o).unwrap(),
             &cfg,

@@ -1,0 +1,207 @@
+//! Parallel cached experiment engine.
+//!
+//! The paper's study is an *experiment matrix*: benchmark × compiler ×
+//! device × optimization variant, every cell independent of every
+//! other. The serial driver walks that matrix one cell at a time; this
+//! module fans it out across a small work-stealing thread pool while
+//! keeping two invariants the reporting layer depends on:
+//!
+//! 1. **Deterministic ordering** — results come back in submission
+//!    order regardless of which worker finished first, so
+//!    `report::render_*` output is byte-identical to the serial path.
+//!    (The cells themselves are pure: the device simulator is an
+//!    analytic timing model, so a cell's value never depends on
+//!    scheduling.)
+//! 2. **Compile-once** — all workers share one
+//!    [`ArtifactCache`], so a program+options+device triple that
+//!    appears in many figures (LUD ThreadDist shows up in figs. 3, 4
+//!    and 6) is compiled exactly once per engine.
+//!
+//! `Engine::serial()` (or `jobs = 1`) runs everything inline on the
+//! caller's thread — that is the reference path the equivalence tests
+//! compare against.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use paccport_compilers::ArtifactCache;
+
+use crate::study::{measure_cached, CellSpec, Measured};
+
+/// A batch executor with a shared compile cache.
+///
+/// Cheap to clone conceptually — share it with `Arc` if several
+/// figures should reuse one cache (as `reproduce` does).
+pub struct Engine {
+    jobs: usize,
+    cache: Arc<ArtifactCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::serial()
+    }
+}
+
+impl Engine {
+    /// An engine running `jobs` worker threads (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Self {
+        Engine {
+            jobs: jobs.max(1),
+            cache: Arc::new(ArtifactCache::new()),
+        }
+    }
+
+    /// The reference single-threaded engine.
+    pub fn serial() -> Self {
+        Engine::new(1)
+    }
+
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The shared compile cache (hit/miss counters live here).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Run a batch of independent closures, returning their results in
+    /// submission order. With `jobs = 1` (or a batch of one) this runs
+    /// inline; otherwise each worker owns a deque seeded round-robin,
+    /// pops its own front, and steals from the back of the busiest
+    /// other deque when empty.
+    pub fn run_batch<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        if self.jobs <= 1 || n <= 1 {
+            return tasks.into_iter().map(|f| f()).collect();
+        }
+
+        let workers = self.jobs.min(n);
+        let queues: Vec<Mutex<VecDeque<(usize, F)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, f) in tasks.into_iter().enumerate() {
+            queues[i % workers].lock().unwrap().push_back((i, f));
+        }
+
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let queues = &queues;
+        let slots = &slots;
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                s.spawn(move || {
+                    loop {
+                        // Own work first (front: preserves submission
+                        // locality), then steal from the back of the
+                        // longest other queue.
+                        let job = queues[w].lock().unwrap().pop_front().or_else(|| {
+                            let victim = (0..workers)
+                                .filter(|&v| v != w)
+                                .max_by_key(|&v| queues[v].lock().unwrap().len())?;
+                            queues[victim].lock().unwrap().pop_back()
+                        });
+                        match job {
+                            Some((i, f)) => {
+                                paccport_trace::add("engine.jobs_run", 1);
+                                *slots[i].lock().unwrap() = Some(f());
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+
+        slots
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap()
+                    .take()
+                    .expect("worker pool completed every slot")
+            })
+            .collect()
+    }
+
+    /// Measure every cell of an experiment matrix through the shared
+    /// cache, results in `cells` order.
+    pub fn measure_matrix(&self, cells: Vec<CellSpec>) -> Vec<Result<Measured, String>> {
+        let _span = paccport_trace::span("engine.measure_matrix");
+        let cache = &self.cache;
+        let tasks: Vec<_> = cells
+            .into_iter()
+            .map(|cell| {
+                move || {
+                    measure_cached(
+                        cache,
+                        &cell.series,
+                        &cell.variant,
+                        cell.compiler,
+                        &cell.options,
+                        &cell.program,
+                        &cell.cfg,
+                    )
+                }
+            })
+            .collect();
+        self.run_batch(tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_and_parallel_batches_agree_in_order() {
+        let tasks = |n: usize| (0..n).map(|i| move || i * i).collect::<Vec<_>>();
+        let serial = Engine::serial().run_batch(tasks(37));
+        let parallel = Engine::new(8).run_batch(tasks(37));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[6], 36);
+    }
+
+    #[test]
+    fn parallel_batch_uses_multiple_threads() {
+        use std::collections::HashSet;
+        let eng = Engine::new(4);
+        let ids = eng.run_batch(
+            (0..64)
+                .map(|_| {
+                    move || {
+                        std::thread::sleep(std::time::Duration::from_micros(300));
+                        std::thread::current().id()
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        let distinct: HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected work on >1 worker thread");
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let counter = &counter;
+        let results = Engine::new(3).run_batch(
+            (0..100)
+                .map(|i| move || (i, counter.fetch_add(1, Ordering::Relaxed)))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        // Slot i holds task i's result, whatever order they ran in.
+        for (i, (task, _)) in results.iter().enumerate() {
+            assert_eq!(*task, i);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Engine::new(0).jobs(), 1);
+    }
+}

@@ -5,10 +5,17 @@
 //! `crate::report` renders them, the `reproduce` binary prints them,
 //! and the integration tests assert their shapes against the paper's
 //! findings.
+//!
+//! Every matrix-shaped generator comes in two forms: `figN_on(&Engine,
+//! scale)` fans the cells out through the engine's worker pool and
+//! shared compile cache, and the original `figN(scale)` delegates to a
+//! fresh serial engine. Cell order (and therefore report output) is
+//! identical in both.
 
+use crate::engine::Engine;
 use crate::ppr::{PprComparison, PprEntry};
 use crate::ptxcmp::{PtxBar, PtxFigure};
-use crate::study::{measure, ElapsedFigure, Measured, Scale};
+use crate::study::{CellSpec, ElapsedFigure, Measured, Scale};
 use paccport_compilers::{CompileOptions, CompilerId, Flag, HostCompiler};
 use paccport_devsim::{sweep, CostHints, HeatMap, RunConfig};
 use paccport_hydro as hydro;
@@ -54,8 +61,13 @@ pub fn lud_variants() -> Vec<(String, VariantCfg)> {
 
 /// Figure 3: elapsed time of LUD on GPU and MIC per optimization step.
 pub fn fig3_lud(scale: &Scale) -> ElapsedFigure {
+    fig3_lud_on(&Engine::serial(), scale)
+}
+
+/// [`fig3_lud`] through a shared engine.
+pub fn fig3_lud_on(eng: &Engine, scale: &Scale) -> ElapsedFigure {
     let cfg = RunConfig::timing(vec![("n".into(), scale.lud_n as f64)], 1);
-    let mut points = Vec::new();
+    let mut cells = Vec::new();
     for (variant, vc) in lud_variants() {
         let p = lud::program(&vc);
         for (series, compiler, opts) in [
@@ -63,20 +75,31 @@ pub fn fig3_lud(scale: &Scale) -> ElapsedFigure {
             ("CAPS-OCL-5110P", CompilerId::Caps, mic()),
             ("PGI-K40", CompilerId::Pgi, gpu()),
         ] {
-            if let Ok(m) = measure(series, &variant, compiler, &opts, &p, &cfg) {
-                points.push(m);
-            }
+            cells.push(CellSpec::new(
+                series,
+                &variant,
+                compiler,
+                opts,
+                p.clone(),
+                cfg.clone(),
+            ));
         }
     }
     ElapsedFigure {
         id: "fig3".into(),
         title: "Elapsed time of LUD OpenACC on GPU and MIC".into(),
-        points,
+        points: eng.measure_matrix(cells).into_iter().flatten().collect(),
     }
 }
 
 /// Figure 4: the three thread-distribution heat maps for LUD.
 pub fn fig4_heatmaps(scale: &Scale) -> Vec<HeatMap> {
+    fig4_heatmaps_on(&Engine::serial(), scale)
+}
+
+/// [`fig4_heatmaps`] with the three sweeps batched on the engine (each
+/// sweep additionally parallelizes its own rows internally).
+pub fn fig4_heatmaps_on(eng: &Engine, scale: &Scale) -> Vec<HeatMap> {
     let gangs: Vec<u32> = vec![1, 32, 64, 128, 240, 256, 512, 1024];
     let workers: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64];
     let p = lud::program(&VariantCfg::baseline());
@@ -89,23 +112,31 @@ pub fn fig4_heatmaps(scale: &Scale) -> Vec<HeatMap> {
             }
         });
     };
-    let mut out = Vec::new();
-    for (title, compiler, opts) in [
+    let sweeps = [
         ("CAPS-K40", CompilerId::Caps, gpu()),
         ("PGI-K40", CompilerId::Pgi, gpu()),
         ("CAPS-MIC (5110P)", CompilerId::Caps, mic()),
-    ] {
-        if let Ok(hm) = sweep(title, &p, compiler, &opts, &cfg, &gangs, &workers, configure) {
-            out.push(hm);
-        }
-    }
-    out
+    ];
+    let tasks: Vec<_> = sweeps
+        .iter()
+        .map(|(title, compiler, opts)| {
+            let (p, cfg, gangs, workers) = (&p, &cfg, &gangs, &workers);
+            move || sweep(title, p, *compiler, opts, cfg, gangs, workers, configure)
+        })
+        .collect();
+    eng.run_batch(tasks).into_iter().flatten().collect()
 }
 
 /// Figure 6: PTX instruction composition of LUD per step, CAPS vs PGI.
 pub fn fig6_lud_ptx(scale: &Scale) -> PtxFigure {
+    fig6_lud_ptx_on(&Engine::serial(), scale)
+}
+
+/// [`fig6_lud_ptx`] through a shared engine. The CAPS GPU cells reuse
+/// the artifacts fig. 3 compiled when both run on one engine.
+pub fn fig6_lud_ptx_on(eng: &Engine, scale: &Scale) -> PtxFigure {
     let cfg = RunConfig::timing(vec![("n".into(), scale.lud_n.min(512) as f64)], 1);
-    let mut bars = Vec::new();
+    let mut cells = Vec::new();
     for (series, compiler, opts) in [
         ("CAPS-CUDA-K40", CompilerId::Caps, gpu()),
         ("PGI-K40", CompilerId::Pgi, gpu()),
@@ -122,15 +153,25 @@ pub fn fig6_lud_ptx(scale: &Scale) -> PtxFigure {
             } else {
                 (lud::program(&vc), opts.clone())
             };
-            if let Ok(m) = measure(series, &variant, compiler, &opts, &p, &cfg) {
-                bars.push(bar_from(&m));
-            }
+            cells.push(CellSpec::new(
+                series,
+                &variant,
+                compiler,
+                opts,
+                p,
+                cfg.clone(),
+            ));
         }
     }
     PtxFigure {
         id: "fig6".into(),
         title: "PTX instructions of LUD for CAPS and PGI".into(),
-        bars,
+        bars: eng
+            .measure_matrix(cells)
+            .into_iter()
+            .flatten()
+            .map(|m| bar_from(&m))
+            .collect(),
     }
 }
 
@@ -158,8 +199,13 @@ pub fn ge_variants() -> Vec<(String, VariantCfg)> {
 
 /// Figure 7: elapsed time of GE, including the OpenCL versions.
 pub fn fig7_ge(scale: &Scale) -> ElapsedFigure {
+    fig7_ge_on(&Engine::serial(), scale)
+}
+
+/// [`fig7_ge`] through a shared engine.
+pub fn fig7_ge_on(eng: &Engine, scale: &Scale) -> ElapsedFigure {
     let cfg = RunConfig::timing(vec![("n".into(), scale.ge_n as f64)], 1);
-    let mut points = Vec::new();
+    let mut cells = Vec::new();
     for (variant, vc) in ge_variants() {
         let p = gaussian::program(&vc);
         for (series, compiler, opts) in [
@@ -178,24 +224,34 @@ pub fn fig7_ge(scale: &Scale) -> ElapsedFigure {
             } else {
                 (p.clone(), opts.clone())
             };
-            if let Ok(m) = measure(series, &variant, compiler, &opts, &p2, &cfg) {
-                points.push(m);
-            }
+            cells.push(CellSpec::new(
+                series,
+                &variant,
+                compiler,
+                opts,
+                p2,
+                cfg.clone(),
+            ));
         }
     }
     // The hand-written OpenCL versions (baseline + Fig. 8 advanced).
     for (variant, adv) in [("OCL-Base", false), ("OCL-Advanced", true)] {
         let p = gaussian::opencl_program(adv);
         for (series, opts) in [("OCL-K40", gpu()), ("OCL-5110P", mic())] {
-            if let Ok(m) = measure(series, variant, CompilerId::OpenClHand, &opts, &p, &cfg) {
-                points.push(m);
-            }
+            cells.push(CellSpec::new(
+                series,
+                variant,
+                CompilerId::OpenClHand,
+                opts,
+                p.clone(),
+                cfg.clone(),
+            ));
         }
     }
     ElapsedFigure {
         id: "fig7".into(),
         title: "Elapsed time of GE OpenACC on GPU and MIC".into(),
-        points,
+        points: eng.measure_matrix(cells).into_iter().flatten().collect(),
     }
 }
 
@@ -215,20 +271,23 @@ pub fn fig8_advanced_config() -> String {
 
 /// Figure 9: GE PTX composition with memcpy and kernel-launch rows.
 pub fn fig9_ge_ptx(scale: &Scale) -> PtxFigure {
+    fig9_ge_ptx_on(&Engine::serial(), scale)
+}
+
+/// [`fig9_ge_ptx`] through a shared engine.
+pub fn fig9_ge_ptx_on(eng: &Engine, scale: &Scale) -> PtxFigure {
     let n = scale.ge_n.min(512) as f64;
     let cfg = RunConfig::timing(vec![("n".into(), n)], 1);
-    let mut bars = Vec::new();
+    let mut cells = Vec::new();
     // OpenCL first (the paper's left bars).
-    if let Ok(m) = measure(
+    cells.push(CellSpec::new(
         "OCL-K40",
         "Base",
         CompilerId::OpenClHand,
-        &gpu(),
-        &gaussian::opencl_program(false),
-        &cfg,
-    ) {
-        bars.push(bar_from(&m));
-    }
+        gpu(),
+        gaussian::opencl_program(false),
+        cfg.clone(),
+    ));
     for (series, compiler) in [
         ("CAPS-CUDA-K40", CompilerId::Caps),
         ("PGI-K40", CompilerId::Pgi),
@@ -237,24 +296,31 @@ pub fn fig9_ge_ptx(scale: &Scale) -> PtxFigure {
             let (p, opts) = if compiler == CompilerId::Pgi && variant == "Unroll" {
                 let mut reorg = VariantCfg::independent();
                 reorg.reorganized = true;
-                (
-                    gaussian::program(&reorg),
-                    gpu().with_flag(Flag::Munroll),
-                )
+                (gaussian::program(&reorg), gpu().with_flag(Flag::Munroll))
             } else if compiler == CompilerId::Pgi && variant == "Tile" {
                 continue;
             } else {
                 (gaussian::program(&vc), gpu())
             };
-            if let Ok(m) = measure(series, &variant, compiler, &opts, &p, &cfg) {
-                bars.push(bar_from(&m));
-            }
+            cells.push(CellSpec::new(
+                series,
+                &variant,
+                compiler,
+                opts,
+                p,
+                cfg.clone(),
+            ));
         }
     }
     PtxFigure {
         id: "fig9".into(),
         title: "PTX instructions of GE for CAPS and PGI".into(),
-        bars,
+        bars: eng
+            .measure_matrix(cells)
+            .into_iter()
+            .flatten()
+            .map(|m| bar_from(&m))
+            .collect(),
     }
 }
 
@@ -286,8 +352,13 @@ fn bfs_hints(scale: &Scale) -> CostHints {
 
 /// Figure 10: elapsed time of BFS.
 pub fn fig10_bfs(scale: &Scale) -> ElapsedFigure {
+    fig10_bfs_on(&Engine::serial(), scale)
+}
+
+/// [`fig10_bfs`] through a shared engine.
+pub fn fig10_bfs_on(eng: &Engine, scale: &Scale) -> ElapsedFigure {
     let cfg = bfs_cfg(scale);
-    let mut points = Vec::new();
+    let mut cells = Vec::new();
     for (variant, vc) in [
         ("Base", VariantCfg::baseline()),
         ("Indep", VariantCfg::independent()),
@@ -298,38 +369,50 @@ pub fn fig10_bfs(scale: &Scale) -> ElapsedFigure {
             ("CAPS-OCL-5110P", CompilerId::Caps, mic()),
             ("PGI-K40", CompilerId::Pgi, gpu()),
         ] {
-            if let Ok(m) = measure(series, variant, compiler, &opts, &p, &cfg) {
-                points.push(m);
-            }
+            cells.push(CellSpec::new(
+                series,
+                variant,
+                compiler,
+                opts,
+                p.clone(),
+                cfg.clone(),
+            ));
         }
     }
     let p = bfs::opencl_program();
     for (series, opts) in [("OCL-K40", gpu()), ("OCL-5110P", mic())] {
-        if let Ok(m) = measure(series, "OCL", CompilerId::OpenClHand, &opts, &p, &cfg) {
-            points.push(m);
-        }
+        cells.push(CellSpec::new(
+            series,
+            "OCL",
+            CompilerId::OpenClHand,
+            opts,
+            p.clone(),
+            cfg.clone(),
+        ));
     }
     ElapsedFigure {
         id: "fig10".into(),
         title: "Elapsed time of BFS on GPU and MIC".into(),
-        points,
+        points: eng.measure_matrix(cells).into_iter().flatten().collect(),
     }
 }
 
 /// Figure 11: BFS PTX composition (incl. the PGI stub discovery).
 pub fn fig11_bfs_ptx(scale: &Scale) -> PtxFigure {
+    fig11_bfs_ptx_on(&Engine::serial(), scale)
+}
+
+/// [`fig11_bfs_ptx`] through a shared engine.
+pub fn fig11_bfs_ptx_on(eng: &Engine, scale: &Scale) -> PtxFigure {
     let cfg = bfs_cfg(scale);
-    let mut bars = Vec::new();
-    if let Ok(m) = measure(
+    let mut cells = vec![CellSpec::new(
         "OCL-K40",
         "OCL",
         CompilerId::OpenClHand,
-        &gpu(),
-        &bfs::opencl_program(),
-        &cfg,
-    ) {
-        bars.push(bar_from(&m));
-    }
+        gpu(),
+        bfs::opencl_program(),
+        cfg.clone(),
+    )];
     for (series, compiler) in [
         ("CAPS-CUDA-K40", CompilerId::Caps),
         ("PGI-K40", CompilerId::Pgi),
@@ -338,15 +421,25 @@ pub fn fig11_bfs_ptx(scale: &Scale) -> PtxFigure {
             ("Base", VariantCfg::baseline()),
             ("Indep", VariantCfg::independent()),
         ] {
-            if let Ok(m) = measure(series, variant, compiler, &gpu(), &bfs::program(&vc), &cfg) {
-                bars.push(bar_from(&m));
-            }
+            cells.push(CellSpec::new(
+                series,
+                variant,
+                compiler,
+                gpu(),
+                bfs::program(&vc),
+                cfg.clone(),
+            ));
         }
     }
     PtxFigure {
         id: "fig11".into(),
         title: "PTX instructions of BFS for CAPS and PGI".into(),
-        bars,
+        bars: eng
+            .measure_matrix(cells)
+            .into_iter()
+            .flatten()
+            .map(|m| bar_from(&m))
+            .collect(),
     }
 }
 
@@ -361,27 +454,38 @@ pub struct Table7Row {
 
 /// Table VII: BFS execution modes and data transfers.
 pub fn tab7_bfs(scale: &Scale) -> Vec<Table7Row> {
+    tab7_bfs_on(&Engine::serial(), scale)
+}
+
+/// [`tab7_bfs`] through a shared engine. Its four cells are the same
+/// BFS GPU artifacts as fig. 10/11, so on a shared engine they are
+/// pure cache hits.
+pub fn tab7_bfs_on(eng: &Engine, scale: &Scale) -> Vec<Table7Row> {
     let cfg = bfs_cfg(scale);
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for (name, compiler) in [("CAPS", CompilerId::Caps), ("PGI", CompilerId::Pgi)] {
-        let base = measure(
+        cells.push(CellSpec::new(
             name,
             "Base",
             compiler,
-            &gpu(),
-            &bfs::program(&VariantCfg::baseline()),
-            &cfg,
-        )
-        .expect("bfs base");
-        let indep = measure(
+            gpu(),
+            bfs::program(&VariantCfg::baseline()),
+            cfg.clone(),
+        ));
+        cells.push(CellSpec::new(
             name,
             "Indep",
             compiler,
-            &gpu(),
-            &bfs::program(&VariantCfg::independent()),
-            &cfg,
-        )
-        .expect("bfs indep");
+            gpu(),
+            bfs::program(&VariantCfg::independent()),
+            cfg.clone(),
+        ));
+    }
+    let mut measured = eng.measure_matrix(cells).into_iter();
+    let mut rows = Vec::new();
+    for (name, _) in [("CAPS", CompilerId::Caps), ("PGI", CompilerId::Pgi)] {
+        let base = measured.next().unwrap().expect("bfs base");
+        let indep = measured.next().unwrap().expect("bfs indep");
         let transfers = if indep.transfers_per_while_iter >= 1.0 {
             format!(
                 "{:.0} times in each iteration",
@@ -431,8 +535,13 @@ pub fn bp_variants() -> Vec<(String, VariantCfg)> {
 
 /// Figure 12: elapsed time of BP.
 pub fn fig12_bp(scale: &Scale) -> ElapsedFigure {
+    fig12_bp_on(&Engine::serial(), scale)
+}
+
+/// [`fig12_bp`] through a shared engine.
+pub fn fig12_bp_on(eng: &Engine, scale: &Scale) -> ElapsedFigure {
     let cfg = bp_cfg(scale);
-    let mut points = Vec::new();
+    let mut cells = Vec::new();
     for (variant, vc) in bp_variants() {
         let p = backprop::program(&vc);
         for (series, compiler, opts) in [
@@ -440,73 +549,94 @@ pub fn fig12_bp(scale: &Scale) -> ElapsedFigure {
             ("CAPS-OCL-5110P", CompilerId::Caps, mic()),
             ("PGI-K40", CompilerId::Pgi, gpu()),
         ] {
-            if let Ok(m) = measure(series, &variant, compiler, &opts, &p, &cfg) {
-                points.push(m);
-            }
+            cells.push(CellSpec::new(
+                series,
+                &variant,
+                compiler,
+                opts,
+                p.clone(),
+                cfg.clone(),
+            ));
         }
     }
     let p = backprop::opencl_program(128);
     for (series, opts) in [("OCL-K40", gpu()), ("OCL-5110P", mic())] {
-        if let Ok(m) = measure(series, "OCL", CompilerId::OpenClHand, &opts, &p, &cfg) {
-            points.push(m);
-        }
+        cells.push(CellSpec::new(
+            series,
+            "OCL",
+            CompilerId::OpenClHand,
+            opts,
+            p.clone(),
+            cfg.clone(),
+        ));
     }
     ElapsedFigure {
         id: "fig12".into(),
         title: "Elapsed time of BP on GPU and MIC".into(),
-        points,
+        points: eng.measure_matrix(cells).into_iter().flatten().collect(),
     }
 }
 
 /// Figure 13: the shared-memory tree reduction, as lowered by the
 /// compilers for the `reduction` directive (rendered IR).
 pub fn fig13_reduction_listing() -> String {
+    fig13_reduction_listing_on(&Engine::serial())
+}
+
+/// [`fig13_reduction_listing`] compiling through the engine's cache —
+/// the same artifact fig. 12's Reduction cell uses.
+pub fn fig13_reduction_listing_on(eng: &Engine) -> String {
     let mut vc = VariantCfg::independent();
     vc.reduction = true;
     let p = backprop::program(&vc);
-    let c = paccport_compilers::compile(CompilerId::Caps, &p, &gpu()).expect("compile");
-    let k = c
-        .program
-        .kernel("layer_forward")
-        .expect("forward kernel");
+    let c = eng
+        .cache()
+        .compile(CompilerId::Caps, &p, &gpu())
+        .expect("compile");
+    let k = c.program.kernel("layer_forward").expect("forward kernel");
     paccport_ir::kernel_to_string(&c.program, k)
 }
 
 /// Figure 14: BP PTX composition.
 pub fn fig14_bp_ptx(scale: &Scale) -> PtxFigure {
+    fig14_bp_ptx_on(&Engine::serial(), scale)
+}
+
+/// [`fig14_bp_ptx`] through a shared engine.
+pub fn fig14_bp_ptx_on(eng: &Engine, scale: &Scale) -> PtxFigure {
     let cfg = bp_cfg(scale);
-    let mut bars = Vec::new();
-    if let Ok(m) = measure(
+    let mut cells = vec![CellSpec::new(
         "OCL-K40",
         "OCL",
         CompilerId::OpenClHand,
-        &gpu(),
-        &backprop::opencl_program(128),
-        &cfg,
-    ) {
-        bars.push(bar_from(&m));
-    }
+        gpu(),
+        backprop::opencl_program(128),
+        cfg.clone(),
+    )];
     for (series, compiler) in [
         ("CAPS-CUDA-K40", CompilerId::Caps),
         ("PGI-K40", CompilerId::Pgi),
     ] {
         for (variant, vc) in bp_variants() {
-            if let Ok(m) = measure(
+            cells.push(CellSpec::new(
                 series,
                 &variant,
                 compiler,
-                &gpu(),
-                &backprop::program(&vc),
-                &cfg,
-            ) {
-                bars.push(bar_from(&m));
-            }
+                gpu(),
+                backprop::program(&vc),
+                cfg.clone(),
+            ));
         }
     }
     PtxFigure {
         id: "fig14".into(),
         title: "PTX instructions of BP for CAPS and PGI".into(),
-        bars,
+        bars: eng
+            .measure_matrix(cells)
+            .into_iter()
+            .flatten()
+            .map(|m| bar_from(&m))
+            .collect(),
     }
 }
 
@@ -517,8 +647,13 @@ pub fn fig14_bp_ptx(scale: &Scale) -> PtxFigure {
 /// Figure 15: Hydro elapsed times — OpenCL vs CAPS OpenACC, GPU vs
 /// MIC, GCC vs Intel host compiler.
 pub fn fig15_hydro(scale: &Scale) -> ElapsedFigure {
+    fig15_hydro_on(&Engine::serial(), scale)
+}
+
+/// [`fig15_hydro`] through a shared engine.
+pub fn fig15_hydro_on(eng: &Engine, scale: &Scale) -> ElapsedFigure {
     let cfg = hydro::timing_run_config(scale.hydro_n, scale.hydro_n, scale.hydro_steps);
-    let mut points = Vec::new();
+    let mut cells = Vec::new();
     let variants = [
         ("Base", hydro::HydroVariant::Baseline),
         ("Indep+Dist", hydro::HydroVariant::Optimized),
@@ -537,21 +672,31 @@ pub fn fig15_hydro(scale: &Scale) -> ElapsedFigure {
                 mic().with_host_compiler(HostCompiler::Intel),
             ),
         ] {
-            if let Ok(m) = measure(series, variant, CompilerId::Caps, &opts, &p, &cfg) {
-                points.push(m);
-            }
+            cells.push(CellSpec::new(
+                series,
+                variant,
+                CompilerId::Caps,
+                opts,
+                p.clone(),
+                cfg.clone(),
+            ));
         }
     }
     let p = hydro::program(hydro::HydroVariant::OpenCl);
     for (series, opts) in [("OCL-K40", gpu()), ("OCL-5110P", mic())] {
-        if let Ok(m) = measure(series, "OCL", CompilerId::OpenClHand, &opts, &p, &cfg) {
-            points.push(m);
-        }
+        cells.push(CellSpec::new(
+            series,
+            "OCL",
+            CompilerId::OpenClHand,
+            opts,
+            p.clone(),
+            cfg.clone(),
+        ));
     }
     ElapsedFigure {
         id: "fig15".into(),
         title: "Elapsed time of Hydro: OpenCL vs CAPS OpenACC".into(),
-        points,
+        points: eng.measure_matrix(cells).into_iter().flatten().collect(),
     }
 }
 
@@ -564,80 +709,89 @@ pub fn fig15_hydro(scale: &Scale) -> ElapsedFigure {
 /// (LUD is excluded, as in the paper: its OpenCL version uses a
 /// different algorithm).
 pub fn fig16_ppr(scale: &Scale) -> Vec<PprComparison> {
-    let mut out = Vec::new();
+    fig16_ppr_on(&Engine::serial(), scale)
+}
 
-    let compare = |bench: &str,
-                   acc_prog: &paccport_ir::Program,
-                   ocl_prog: &paccport_ir::Program,
-                   cfg: &RunConfig|
-     -> Option<PprComparison> {
-        let t = |id: CompilerId, p: &paccport_ir::Program, o: &CompileOptions| -> Option<f64> {
-            measure("x", "x", id, o, p, cfg).ok().map(|m| m.seconds)
-        };
-        Some(PprComparison {
-            openacc: PprEntry {
-                benchmark: bench.into(),
-                version: "OpenACC (CAPS)".into(),
-                gpu_seconds: t(CompilerId::Caps, acc_prog, &gpu())?,
-                mic_seconds: t(CompilerId::Caps, acc_prog, &mic())?,
-            },
-            opencl: PprEntry {
-                benchmark: bench.into(),
-                version: "OpenCL".into(),
-                gpu_seconds: t(CompilerId::OpenClHand, ocl_prog, &gpu())?,
-                mic_seconds: t(CompilerId::OpenClHand, ocl_prog, &mic())?,
-            },
-        })
-    };
-
+/// [`fig16_ppr`] through a shared engine: 4 benchmarks × 4 timings
+/// (OpenACC/OpenCL × GPU/MIC) as one 16-cell batch.
+pub fn fig16_ppr_on(eng: &Engine, scale: &Scale) -> Vec<PprComparison> {
     // GE: optimized (reorganized + independent) vs OpenCL baseline.
-    {
-        let mut vc = VariantCfg::independent();
-        vc.reorganized = true;
-        let cfg = RunConfig::timing(vec![("n".into(), scale.ge_n as f64)], 1);
-        if let Some(c) = compare(
-            "GE",
-            &gaussian::program(&vc),
-            &gaussian::opencl_program(false),
-            &cfg,
-        ) {
-            out.push(c);
-        }
-    }
-    // BFS.
-    {
-        let cfg = bfs_cfg(scale);
-        if let Some(c) = compare(
-            "BFS",
-            &bfs::program(&VariantCfg::independent()),
-            &bfs::opencl_program(),
-            &cfg,
-        ) {
-            out.push(c);
-        }
-    }
     // BP: optimized = independent (the reduction is wrong on MIC, so
     // the paper's portable version stops at independent).
-    {
-        let cfg = bp_cfg(scale);
-        if let Some(c) = compare(
+    let mut ge_vc = VariantCfg::independent();
+    ge_vc.reorganized = true;
+    let benches: Vec<(&str, paccport_ir::Program, paccport_ir::Program, RunConfig)> = vec![
+        (
+            "GE",
+            gaussian::program(&ge_vc),
+            gaussian::opencl_program(false),
+            RunConfig::timing(vec![("n".into(), scale.ge_n as f64)], 1),
+        ),
+        (
+            "BFS",
+            bfs::program(&VariantCfg::independent()),
+            bfs::opencl_program(),
+            bfs_cfg(scale),
+        ),
+        (
             "BP",
-            &backprop::program(&VariantCfg::independent()),
-            &backprop::opencl_program(128),
-            &cfg,
-        ) {
-            out.push(c);
+            backprop::program(&VariantCfg::independent()),
+            backprop::opencl_program(128),
+            bp_cfg(scale),
+        ),
+        (
+            "Hydro",
+            hydro::program(hydro::HydroVariant::Optimized),
+            hydro::program(hydro::HydroVariant::OpenCl),
+            hydro::timing_run_config(scale.hydro_n, scale.hydro_n, scale.hydro_steps),
+        ),
+    ];
+
+    let mut cells = Vec::new();
+    for (bench, acc_prog, ocl_prog, cfg) in &benches {
+        for (prog, id) in [
+            (acc_prog, CompilerId::Caps),
+            (ocl_prog, CompilerId::OpenClHand),
+        ] {
+            for opts in [gpu(), mic()] {
+                cells.push(CellSpec::new(
+                    *bench,
+                    "x",
+                    id,
+                    opts,
+                    prog.clone(),
+                    cfg.clone(),
+                ));
+            }
         }
     }
-    // Hydro.
-    {
-        let cfg = hydro::timing_run_config(scale.hydro_n, scale.hydro_n, scale.hydro_steps);
-        if let Some(c) = compare(
-            "Hydro",
-            &hydro::program(hydro::HydroVariant::Optimized),
-            &hydro::program(hydro::HydroVariant::OpenCl),
-            &cfg,
-        ) {
+    let times: Vec<Option<f64>> = eng
+        .measure_matrix(cells)
+        .into_iter()
+        .map(|r| r.ok().map(|m| m.seconds))
+        .collect();
+
+    let mut out = Vec::new();
+    for (b, (bench, ..)) in benches.iter().enumerate() {
+        // Cell layout per bench: [acc-gpu, acc-mic, ocl-gpu, ocl-mic].
+        let t = |i: usize| times[b * 4 + i];
+        let comparison = (|| {
+            Some(PprComparison {
+                openacc: PprEntry {
+                    benchmark: (*bench).into(),
+                    version: "OpenACC (CAPS)".into(),
+                    gpu_seconds: t(0)?,
+                    mic_seconds: t(1)?,
+                },
+                opencl: PprEntry {
+                    benchmark: (*bench).into(),
+                    version: "OpenCL".into(),
+                    gpu_seconds: t(2)?,
+                    mic_seconds: t(3)?,
+                },
+            })
+        })();
+        if let Some(c) = comparison {
             out.push(c);
         }
     }
@@ -662,40 +816,61 @@ pub struct ExtAutotuneRow {
 
 /// Run extension 1 on LUD.
 pub fn ext1_autotune_vs_hand(scale: &Scale) -> Vec<ExtAutotuneRow> {
+    ext1_autotune_vs_hand_on(&Engine::serial(), scale)
+}
+
+/// [`ext1_autotune_vs_hand`] with the two device rows batched on the
+/// engine (each row's auto-tune search stays internal to its task).
+pub fn ext1_autotune_vs_hand_on(eng: &Engine, scale: &Scale) -> Vec<ExtAutotuneRow> {
     use crate::autotune::{autotune_distribution, default_candidates};
+    use crate::study::measure_cached;
     let cfg = RunConfig::timing(vec![("n".into(), scale.lud_n as f64)], 1);
     let hand = lud::program(&VariantCfg::thread_dist(256, 16));
     let base = lud::program(&VariantCfg::baseline());
-    let mut out = Vec::new();
-    for (device, opts) in [("K40", gpu()), ("5110P", mic())] {
-        let t_hand = measure("x", "hand", CompilerId::OpenArc, &opts, &hand, &cfg)
-            .map(|m| m.seconds)
-            .unwrap_or(f64::NAN);
-        let Ok(tuned) = autotune_distribution(
-            &base,
-            CompilerId::OpenArc,
-            &opts,
-            &cfg,
-            &default_candidates(),
-        ) else {
-            continue;
-        };
-        let t_tuned = measure("x", "tuned", CompilerId::OpenArc, &opts, &tuned.program, &cfg)
-            .map(|m| m.seconds)
-            .unwrap_or(f64::NAN);
-        out.push(ExtAutotuneRow {
-            device: device.into(),
-            hand_seconds: t_hand,
-            tuned_seconds: t_tuned,
-            tuned_configs: tuned
-                .per_kernel
-                .iter()
-                .map(|t| (t.kernel.clone(), t.chosen.gang, t.chosen.worker))
-                .collect(),
-            tuning_runs: tuned.total_runs,
-        });
-    }
-    out
+    let (cfg, hand, base) = (&cfg, &hand, &base);
+    let tasks: Vec<_> = [("K40", gpu()), ("5110P", mic())]
+        .into_iter()
+        .map(|(device, opts)| {
+            let cache = eng.cache();
+            move || -> Option<ExtAutotuneRow> {
+                let t_hand =
+                    measure_cached(cache, "x", "hand", CompilerId::OpenArc, &opts, hand, cfg)
+                        .map(|m| m.seconds)
+                        .unwrap_or(f64::NAN);
+                let tuned = autotune_distribution(
+                    base,
+                    CompilerId::OpenArc,
+                    &opts,
+                    cfg,
+                    &default_candidates(),
+                )
+                .ok()?;
+                let t_tuned = measure_cached(
+                    cache,
+                    "x",
+                    "tuned",
+                    CompilerId::OpenArc,
+                    &opts,
+                    &tuned.program,
+                    cfg,
+                )
+                .map(|m| m.seconds)
+                .unwrap_or(f64::NAN);
+                Some(ExtAutotuneRow {
+                    device: device.into(),
+                    hand_seconds: t_hand,
+                    tuned_seconds: t_tuned,
+                    tuned_configs: tuned
+                        .per_kernel
+                        .iter()
+                        .map(|t| (t.kernel.clone(), t.chosen.gang, t.chosen.worker))
+                        .collect(),
+                    tuning_runs: tuned.total_runs,
+                })
+            }
+        })
+        .collect();
+    eng.run_batch(tasks).into_iter().flatten().collect()
 }
 
 /// Extension 2 (Section VII: "inserting the data region directives"):
@@ -710,26 +885,43 @@ pub struct ExtDataRegionRow {
 
 /// Run extension 2 on LUD.
 pub fn ext2_data_regions(scale: &Scale) -> Vec<ExtDataRegionRow> {
+    ext2_data_regions_on(&Engine::serial(), scale)
+}
+
+/// [`ext2_data_regions`] through a shared engine.
+pub fn ext2_data_regions_on(eng: &Engine, scale: &Scale) -> Vec<ExtDataRegionRow> {
     let n = scale.lud_n.min(1024);
     let cfg = RunConfig::timing(vec![("n".into(), n as f64)], 1);
     let optimized = lud::program(&VariantCfg::thread_dist(256, 16));
     let stripped = crate::step5::strip_data_regions(&optimized);
     let mut restored = stripped.clone();
     crate::step5::insert_data_regions(&mut restored);
-    let mut out = Vec::new();
-    for (label, p) in [
-        ("no data region (naive port)", &stripped),
-        ("after Step 5 (region inserted)", &restored),
-    ] {
-        if let Ok(m) = measure("x", label, CompilerId::Caps, &gpu(), p, &cfg) {
-            out.push(ExtDataRegionRow {
+    let labels = [
+        "no data region (naive port)",
+        "after Step 5 (region inserted)",
+    ];
+    let cells = vec![
+        CellSpec::new(
+            "x",
+            labels[0],
+            CompilerId::Caps,
+            gpu(),
+            stripped,
+            cfg.clone(),
+        ),
+        CellSpec::new("x", labels[1], CompilerId::Caps, gpu(), restored, cfg),
+    ];
+    eng.measure_matrix(cells)
+        .into_iter()
+        .zip(labels)
+        .filter_map(|(r, label)| {
+            r.ok().map(|m| ExtDataRegionRow {
                 label: label.into(),
                 transfers: m.h2d + m.d2h,
                 seconds: m.seconds,
-            });
-        }
-    }
-    out
+            })
+        })
+        .collect()
 }
 
 // ===================================================================
@@ -740,11 +932,18 @@ pub fn ext2_data_regions(scale: &Scale) -> Vec<ExtDataRegionRow> {
 /// tiling — returns `(shared_memory_ops_cuda_style, shared_memory_ops_openacc_tile)`.
 /// The paper's point: the OpenACC pair is always 0.
 pub fn fig1_tiling_shared_ops() -> (u64, u64) {
+    fig1_tiling_shared_ops_on(&Engine::serial())
+}
+
+/// [`fig1_tiling_shared_ops`] compiling through the engine's cache.
+pub fn fig1_tiling_shared_ops_on(eng: &Engine) -> (u64, u64) {
     // CUDA-style: BP's hand-written OpenCL forward kernel stages
     // through __local memory.
     let ocl = backprop::opencl_program(128);
-    let c_ocl =
-        paccport_compilers::compile(CompilerId::OpenClHand, &ocl, &gpu()).expect("ocl compile");
+    let c_ocl = eng
+        .cache()
+        .compile(CompilerId::OpenClHand, &ocl, &gpu())
+        .expect("ocl compile");
     let cuda_style = c_ocl
         .module
         .counts()
@@ -753,7 +952,10 @@ pub fn fig1_tiling_shared_ops() -> (u64, u64) {
     let mut vc = VariantCfg::independent();
     vc.tile = Some(32);
     let acc = gaussian::program(&vc);
-    let c_acc = paccport_compilers::compile(CompilerId::Caps, &acc, &gpu()).expect("acc compile");
+    let c_acc = eng
+        .cache()
+        .compile(CompilerId::Caps, &acc, &gpu())
+        .expect("acc compile");
     let acc_tile = c_acc
         .module
         .counts()

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod autotune;
+pub mod engine;
 pub mod experiments;
 pub mod method;
 pub mod ppr;
@@ -41,8 +42,11 @@ pub mod step5;
 pub mod study;
 
 pub use autotune::{autotune_distribution, default_candidates, Candidate, TuneOutcome};
-pub use method::{apply_method, select_portable_distribution, MethodOptions, OptimizationOutcome, StepAction};
-pub use step5::{insert_data_regions, strip_data_regions};
+pub use engine::Engine;
+pub use method::{
+    apply_method, select_portable_distribution, MethodOptions, OptimizationOutcome, StepAction,
+};
 pub use ppr::{PprComparison, PprEntry};
 pub use ptxcmp::{compare_steps, PtxBar, PtxFigure, StepVerdict};
-pub use study::{measure, ElapsedFigure, Measured, Scale};
+pub use step5::{insert_data_regions, strip_data_regions};
+pub use study::{measure, measure_cached, CellSpec, ElapsedFigure, Measured, Scale};

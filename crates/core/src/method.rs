@@ -111,7 +111,10 @@ pub fn apply_method(program: &Program, opts: &MethodOptions) -> OptimizationOutc
                     .iter()
                     .map(|d| match d {
                         DepKind::Carried { array, distance } => {
-                            format!("carried dependence on array {} (distance {distance})", array.0)
+                            format!(
+                                "carried dependence on array {} (distance {distance})",
+                                array.0
+                            )
                         }
                         DepKind::Unknown { array, reason } => {
                             format!("unanalyzable access to array {} ({reason})", array.0)
@@ -231,7 +234,10 @@ mod tests {
 
     #[test]
     fn step1_refuses_lud_but_accepts_ge_fan1() {
-        let out = apply_method(&lud::program(&VariantCfg::baseline()), &MethodOptions::default());
+        let out = apply_method(
+            &lud::program(&VariantCfg::baseline()),
+            &MethodOptions::default(),
+        );
         assert!(!out.any_independent_added(), "LUD must be refused");
         assert_eq!(out.refusals().len(), 2, "both LUD kernels refused");
 

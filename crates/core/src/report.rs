@@ -99,7 +99,10 @@ pub fn render_ptx(f: &PtxFigure) -> String {
 /// Render the Fig.-16 PPR bars.
 pub fn render_ppr(rows: &[PprComparison]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== PPR across GPU and MIC (Eq. 1; lower is better) [fig16] ==");
+    let _ = writeln!(
+        out,
+        "== PPR across GPU and MIC (Eq. 1; lower is better) [fig16] =="
+    );
     let _ = writeln!(
         out,
         "{:<10}{:>22}{:>22}{:>26}",
@@ -126,7 +129,10 @@ pub fn render_ppr(rows: &[PprComparison]) -> String {
 /// Render Table VII.
 pub fn render_tab7(rows: &[Table7Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Table VII: BFS execution modes and data transfers ==");
+    let _ = writeln!(
+        out,
+        "== Table VII: BFS execution modes and data transfers =="
+    );
     let _ = writeln!(
         out,
         "{:<8}{:<20}{:<20}{:<30}",
@@ -158,7 +164,10 @@ pub fn render_tab1() -> String {
 /// Render Table III.
 pub fn render_tab3() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Table III: Parallelism across programming models ==");
+    let _ = writeln!(
+        out,
+        "== Table III: Parallelism across programming models =="
+    );
     let _ = writeln!(
         out,
         "{:<10}{:<10}{:<10}{:<16}{:<12}",

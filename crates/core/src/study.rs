@@ -1,7 +1,7 @@
 //! Study orchestration: scales, measurement points and the helpers
 //! every figure generator shares.
 
-use paccport_compilers::{compile, CompileOptions, CompilerId};
+use paccport_compilers::{compile, ArtifactCache, CompileOptions, CompilerId};
 use paccport_devsim::{run, RunConfig};
 use paccport_ptx::CategoryCounts;
 use serde::{Deserialize, Serialize};
@@ -95,6 +95,40 @@ impl Measured {
     }
 }
 
+/// One cell of an experiment matrix: everything needed to produce a
+/// [`Measured`] point, owned so cells can move across worker threads.
+/// Built by the figure generators in `experiments`, executed by
+/// [`crate::engine::Engine::measure_matrix`].
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    pub series: String,
+    pub variant: String,
+    pub compiler: CompilerId,
+    pub options: CompileOptions,
+    pub program: paccport_ir::Program,
+    pub cfg: RunConfig,
+}
+
+impl CellSpec {
+    pub fn new(
+        series: impl Into<String>,
+        variant: impl Into<String>,
+        compiler: CompilerId,
+        options: CompileOptions,
+        program: paccport_ir::Program,
+        cfg: RunConfig,
+    ) -> Self {
+        CellSpec {
+            series: series.into(),
+            variant: variant.into(),
+            compiler,
+            options,
+            program,
+            cfg,
+        }
+    }
+}
+
 /// Compile and run one program, collecting a [`Measured`] point.
 pub fn measure(
     series: &str,
@@ -105,7 +139,35 @@ pub fn measure(
     cfg: &RunConfig,
 ) -> Result<Measured, String> {
     let c = compile(compiler, program, options).map_err(|e| e.to_string())?;
-    let r = run(&c, cfg)?;
+    measure_compiled(series, variant, &c, cfg)
+}
+
+/// Like [`measure`], but compiling through a shared [`ArtifactCache`]
+/// so identical (program, options, device) artifacts are built once
+/// across the whole experiment matrix.
+pub fn measure_cached(
+    cache: &ArtifactCache,
+    series: &str,
+    variant: &str,
+    compiler: CompilerId,
+    options: &CompileOptions,
+    program: &paccport_ir::Program,
+    cfg: &RunConfig,
+) -> Result<Measured, String> {
+    let c = cache
+        .compile(compiler, program, options)
+        .map_err(|e| e.to_string())?;
+    measure_compiled(series, variant, &c, cfg)
+}
+
+/// The run-and-collect half shared by the serial and cached paths.
+fn measure_compiled(
+    series: &str,
+    variant: &str,
+    c: &paccport_compilers::CompiledProgram,
+    cfg: &RunConfig,
+) -> Result<Measured, String> {
+    let r = run(c, cfg)?;
     // Dominant kernel: the one with the most device time.
     let dominant = r
         .kernel_stats

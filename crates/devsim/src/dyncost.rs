@@ -113,7 +113,12 @@ fn try_eval_lenient(e: &Expr, params: &[V], vars: &BTreeMap<VarId, f64>) -> Opti
     try_eval_mode(e, params, vars, true)
 }
 
-fn try_eval_mode(e: &Expr, params: &[V], vars: &BTreeMap<VarId, f64>, lenient: bool) -> Option<f64> {
+fn try_eval_mode(
+    e: &Expr,
+    params: &[V],
+    vars: &BTreeMap<VarId, f64>,
+    lenient: bool,
+) -> Option<f64> {
     match e {
         Expr::FConst(v) => Some(*v),
         Expr::IConst(v) => Some(*v as f64),
@@ -183,9 +188,10 @@ fn try_eval_mode(e: &Expr, params: &[V], vars: &BTreeMap<VarId, f64>, lenient: b
             };
             Some(r as i64 as f64)
         }
-        Expr::Fma(a, b, c) => {
-            Some(try_eval_mode(a, params, vars, lenient)? * try_eval_mode(b, params, vars, lenient)? + try_eval_mode(c, params, vars, lenient)?)
-        }
+        Expr::Fma(a, b, c) => Some(
+            try_eval_mode(a, params, vars, lenient)? * try_eval_mode(b, params, vars, lenient)?
+                + try_eval_mode(c, params, vars, lenient)?,
+        ),
         Expr::Select(c, a, b) => {
             if try_eval_mode(c, params, vars, lenient)? != 0.0 {
                 try_eval_mode(a, params, vars, lenient)
@@ -222,9 +228,7 @@ impl TreeEval<'_> {
                     let hi_v = try_eval(hi, self.params, vars)
                         .or_else(|| try_eval_lenient(hi, self.params, vars));
                     let trips = match (lo_v, hi_v) {
-                        (Some(l), Some(h)) => {
-                            ((h - l) / *step as f64).ceil().max(0.0)
-                        }
+                        (Some(l), Some(h)) => ((h - l) / *step as f64).ceil().max(0.0),
                         _ => self.hints.trip_fallback(self.kernel),
                     };
                     // Bind the loop var to its midpoint for the body.
@@ -314,8 +318,8 @@ mod tests {
     use super::*;
     use paccport_compilers::{compile, CompileOptions, CompilerId};
     use paccport_ir::{
-        assign, for_, ld, let_, st, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder,
-        Scalar, E,
+        assign, for_, ld, let_, st, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar,
+        E,
     };
 
     /// Build `out[i] = sum_{k<n} x[k]` and check the dynamic cost
@@ -336,7 +340,12 @@ mod tests {
             vec![lp],
             paccport_ir::Block::new(vec![
                 let_(s, Scalar::F32, 0.0),
-                for_(kv, 0i64, E::from(n), vec![assign(s, E::from(s) + ld(x, kv))]),
+                for_(
+                    kv,
+                    0i64,
+                    E::from(n),
+                    vec![assign(s, E::from(s) + ld(x, kv))],
+                ),
                 st(out, i, E::from(s)),
             ]),
         );

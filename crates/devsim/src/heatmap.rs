@@ -111,7 +111,9 @@ pub fn sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paccport_ir::{ld, st, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar};
+    use paccport_ir::{
+        ld, st, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar,
+    };
 
     fn memory_bound_program() -> Program {
         let mut b = ProgramBuilder::new("memtouch");

@@ -81,8 +81,7 @@ pub struct Scope<'a> {
 
 impl Scope<'_> {
     fn get_var(&self, id: paccport_ir::VarId) -> V {
-        self.vars[id.0 as usize]
-            .unwrap_or_else(|| panic!("read of undefined variable v{}", id.0))
+        self.vars[id.0 as usize].unwrap_or_else(|| panic!("read of undefined variable v{}", id.0))
     }
 
     fn set_var(&mut self, id: paccport_ir::VarId, v: V) {
@@ -496,8 +495,7 @@ pub fn fresh_vars(p: &Program) -> Vec<Option<V>> {
 mod tests {
     use super::*;
     use paccport_ir::{
-        assign, for_, ld, let_, st, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder,
-        E,
+        assign, for_, ld, let_, st, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, E,
     };
 
     fn run_simple(k: &Kernel, p: &Program, bufs: &mut [Buffer]) {
@@ -544,7 +542,11 @@ mod tests {
                 ParallelLoop::new(i, Expr::iconst(0), Expr::param(n)),
                 ParallelLoop::new(j, Expr::var(i), Expr::param(n)),
             ],
-            Block::new(vec![st(a, E::from(i) * n + j, ld(a, E::from(i) * n + j) + 1.0)]),
+            Block::new(vec![st(
+                a,
+                E::from(i) * n + j,
+                ld(a, E::from(i) * n + j) + 1.0,
+            )]),
         );
         let p = b.finish(vec![HostStmt::Launch(k.clone())]);
         let mut bufs = vec![Buffer::zeroed(Scalar::F32, 64)];
@@ -573,7 +575,12 @@ mod tests {
             vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
             Block::new(vec![
                 let_(s, Scalar::F32, 0.0),
-                for_(kv, 0i64, E::from(n), vec![assign(s, E::from(s) + ld(x, kv))]),
+                for_(
+                    kv,
+                    0i64,
+                    E::from(n),
+                    vec![assign(s, E::from(s) + ld(x, kv))],
+                ),
                 st(out, i, E::from(s)),
             ]),
         );
@@ -629,7 +636,12 @@ mod tests {
             vec![ParallelLoop::new(j, Expr::iconst(0), Expr::iconst(2))],
             Block::new(vec![
                 let_(s, Scalar::F32, 0.0),
-                for_(kv, 0i64, E::from(n), vec![assign(s, E::from(s) + ld(x, kv))]),
+                for_(
+                    kv,
+                    0i64,
+                    E::from(n),
+                    vec![assign(s, E::from(s) + ld(x, kv))],
+                ),
                 st(out, j, E::from(s)),
             ]),
         );

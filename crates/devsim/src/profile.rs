@@ -73,7 +73,9 @@ fn format_time(s: f64) -> String {
 mod tests {
     use super::*;
     use paccport_compilers::{compile, CompileOptions, CompilerId};
-    use paccport_ir::{ld, st, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar, E};
+    use paccport_ir::{
+        ld, st, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar, E,
+    };
 
     #[test]
     fn profile_shows_host_fallback_prominently() {
@@ -93,8 +95,11 @@ mod tests {
         );
         let p = b.finish(vec![HostStmt::Launch(k)]);
         let c = compile(CompilerId::Pgi, &p, &CompileOptions::gpu()).unwrap();
-        let r = crate::runner::run(&c, &crate::runner::RunConfig::timing(vec![("n".into(), 1000.0)], 1))
-            .unwrap();
+        let r = crate::runner::run(
+            &c,
+            &crate::runner::RunConfig::timing(vec![("n".into(), 1000.0)], 1),
+        )
+        .unwrap();
         let text = render_profile(&r);
         assert!(text.contains("HOST (never launched)"), "{text}");
         assert!(text.contains("scatter"));
@@ -120,8 +125,11 @@ mod tests {
         );
         let p = b.finish(vec![HostStmt::Launch(k1), HostStmt::Launch(k2)]);
         let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
-        let r = crate::runner::run(&c, &crate::runner::RunConfig::timing(vec![("n".into(), 1e6)], 1))
-            .unwrap();
+        let r = crate::runner::run(
+            &c,
+            &crate::runner::RunConfig::timing(vec![("n".into(), 1e6)], 1),
+        )
+        .unwrap();
         let text = render_profile(&r);
         let total: f64 = text
             .lines()

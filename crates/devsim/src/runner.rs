@@ -10,9 +10,7 @@ use crate::memory::{Buffer, TransferLedger};
 use crate::timing::{kernel_launch_time, transfer_time};
 use paccport_compilers::common::dist_rank_of;
 use paccport_compilers::lower::used_arrays;
-use paccport_compilers::{
-    CompiledProgram, Correctness, DistSpec, ExecStrategy, TransferPolicy,
-};
+use paccport_compilers::{CompiledProgram, Correctness, DistSpec, ExecStrategy, TransferPolicy};
 use paccport_ir::stmt::Stmt;
 use paccport_ir::types::MemSpace;
 use paccport_ir::{ArrayId, Dir, HostStmt, Intent, Kernel, KernelBody, Scalar, VarId};
@@ -117,6 +115,7 @@ impl RunResult {
 
 /// Execute a compiled program.
 pub fn run(c: &CompiledProgram, cfg: &RunConfig) -> Result<RunResult, String> {
+    let _span = paccport_trace::span("devsim.run");
     let spec = spec_for(c.options.target, c.options.host_compiler);
     let host_spec = host_cpu(c.options.host_compiler);
     let mut r = Runner::new(c, cfg, spec, host_spec)?;
@@ -850,12 +849,17 @@ mod tests {
         let p = b.finish(vec![HostStmt::Launch(k)]);
         let c = compile(CompilerId::Pgi, &p, &CompileOptions::gpu()).unwrap();
         let perm: Vec<i32> = (0..16).rev().collect();
-        let cfg = RunConfig::functional(vec![("n".into(), 16.0)])
-            .with_input("idx", Buffer::I32(perm));
+        let cfg =
+            RunConfig::functional(vec![("n".into(), 16.0)]).with_input("idx", Buffer::I32(perm));
         let r = run(&c, &cfg).unwrap();
         assert!(!r.kernel_stats[0].ran_on_device);
         // Results still correct — computed on the host.
-        assert!(r.buffer(&c, "out").unwrap().as_f32().iter().all(|v| *v == 1.0));
+        assert!(r
+            .buffer(&c, "out")
+            .unwrap()
+            .as_f32()
+            .iter()
+            .all(|v| *v == 1.0));
         // No kernel-driven transfers.
         assert_eq!(r.transfers.total_count(), 0);
     }

@@ -87,6 +87,7 @@ pub fn kernel_launch_time(
     n_par: u64,
     per_iter: &DynCost,
 ) -> f64 {
+    paccport_trace::add("timing.kernel_launches", 1);
     let total_issue =
         n_par as f64 * per_iter.issue_slots() + dims.total_threads() as f64 * prologue_slots(plan);
     let total_bytes = n_par as f64 * per_iter.mem_bytes();
@@ -110,6 +111,8 @@ fn prologue_slots(plan: &KernelPlan) -> f64 {
 
 /// Modeled time of one host↔device transfer of `bytes`.
 pub fn transfer_time(spec: &DeviceSpec, bytes: u64) -> f64 {
+    paccport_trace::add("timing.transfers", 1);
+    paccport_trace::add("timing.transfer_bytes", bytes);
     spec.link_latency_s + bytes as f64 / spec.link_bw
 }
 
@@ -117,10 +120,8 @@ pub fn transfer_time(spec: &DeviceSpec, bytes: u64) -> f64 {
 mod tests {
     use super::*;
     use crate::device::{host_cpu, k40, phi5110p};
-    use paccport_compilers::{
-        Correctness, CostTree, DistSpec, HostCompiler, KernelPlan,
-    };
-    use paccport_ptx::{CategoryCounts, Category};
+    use paccport_compilers::{Correctness, CostTree, DistSpec, HostCompiler, KernelPlan};
+    use paccport_ptx::{Category, CategoryCounts};
 
     fn plan(exec: ExecStrategy) -> KernelPlan {
         KernelPlan {

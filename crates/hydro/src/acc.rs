@@ -9,8 +9,8 @@
 
 use crate::solver::{CFL, GAMMA, NG, SMALLP, SMALLR};
 use paccport_ir::{
-    ld, let_, st, Block, Expr, HostStmt, Intent, Kernel, LaunchHint, ParallelLoop,
-    ProgramBuilder, ReduceOp, RegionReduction, Scalar, Stmt, VarId, E,
+    ld, let_, st, Block, Expr, HostStmt, Intent, Kernel, LaunchHint, ParallelLoop, ProgramBuilder,
+    ReduceOp, RegionReduction, Scalar, Stmt, VarId, E,
 };
 
 /// Which build of the Hydro source.
@@ -170,12 +170,18 @@ pub fn program(variant: HydroVariant) -> paccport_ir::Program {
                     Scalar::F32,
                     (E::from((GAMMA - 1.0) as f64) * E::from(r) * eint).max(SMALLP as f64),
                 ),
-                let_(c, Scalar::F32, (E::from(GAMMA as f64) * pr / E::from(r)).sqrt()),
+                let_(
+                    c,
+                    Scalar::F32,
+                    (E::from(GAMMA as f64) * pr / E::from(r)).sqrt(),
+                ),
             ]),
         );
         kern.region_reduction = Some(RegionReduction {
             op: ReduceOp::Max,
-            value: (E::from(u).abs() + c).max(E::from(v).abs() + E::from(c)).expr(),
+            value: (E::from(u).abs() + c)
+                .max(E::from(v).abs() + E::from(c))
+                .expr(),
             dest: arr.courant_out,
         });
         apply_variant(&mut kern, variant);
@@ -207,7 +213,16 @@ pub fn program(variant: HydroVariant) -> paccport_ir::Program {
             suffix: if dir == 0 { "x" } else { "y" },
             stride_is_x: dir == 0,
         };
-        build_sweep(&mut b, &arr, nx, ny, dtdx, &dim, variant, &mut kernels_per_step);
+        build_sweep(
+            &mut b,
+            &arr,
+            nx,
+            ny,
+            dtdx,
+            &dim,
+            variant,
+            &mut kernels_per_step,
+        );
     }
 
     // Host bookkeeping per step (the GCC vs ICC lever of Fig. 15).
@@ -404,8 +419,7 @@ fn build_sweep(
                 let_(
                     p,
                     Scalar::F32,
-                    (g1() * ld(arr.prho, k.clone()) * ld(arr.peint, k.clone()))
-                        .max(SMALLP as f64),
+                    (g1() * ld(arr.prho, k.clone()) * ld(arr.peint, k.clone())).max(SMALLP as f64),
                 ),
                 st(arr.pp, k.clone(), E::from(p)),
                 st(
@@ -421,10 +435,7 @@ fn build_sweep(
     let minmod = |a: E, b: E| -> E {
         (a.clone() * b.clone())
             .gt(0.0)
-            .select(
-                a.clone().abs().lt(b.clone().abs()).select(a, b),
-                0.0,
-            )
+            .select(a.clone().abs().lt(b.clone().abs()).select(a, b), 0.0)
     };
 
     // -------- slope --------
@@ -602,36 +613,35 @@ fn build_sweep(
             let f1 = b.var(&format!("fx_{sfx}_{tag}_f1"));
             let f2 = b.var(&format!("fx_{sfx}_{tag}_f2"));
             let f3 = b.var(&format!("fx_{sfx}_{tag}_f3"));
-            stmts.push(let_(rho, Scalar::F32, ld(q[0], k.clone()).max(SMALLR as f64)));
+            stmts.push(let_(
+                rho,
+                Scalar::F32,
+                ld(q[0], k.clone()).max(SMALLR as f64),
+            ));
             stmts.push(let_(un, Scalar::F32, ld(q[1], k.clone())));
             stmts.push(let_(ut, Scalar::F32, ld(q[2], k.clone())));
             stmts.push(let_(p, Scalar::F32, ld(q[3], k.clone()).max(SMALLP as f64)));
             stmts.push(let_(
                 en,
                 Scalar::F32,
-                E::from(rho)
-                    * (E::from(0.5) * (E::from(un) * un + E::from(ut) * ut))
+                E::from(rho) * (E::from(0.5) * (E::from(un) * un + E::from(ut) * ut))
                     + E::from(p) / g1(),
             ));
             stmts.push(let_(f0, Scalar::F32, E::from(rho) * un));
-            stmts.push(let_(
-                f1,
-                Scalar::F32,
-                E::from(rho) * un * un + E::from(p),
-            ));
+            stmts.push(let_(f1, Scalar::F32, E::from(rho) * un * un + E::from(p)));
             stmts.push(let_(f2, Scalar::F32, E::from(rho) * un * ut));
-            stmts.push(let_(
-                f3,
-                Scalar::F32,
-                (E::from(en) + p) * un,
-            ));
+            stmts.push(let_(f3, Scalar::F32, (E::from(en) + p) * un));
             ([rho, un, ut, p], [f0, f1, f2, f3])
             // cons components are (rho, rho·un, rho·ut, en) — rebuilt
             // below from the locals to avoid yet more variables.
         };
         let (l_prim, l_f) = side("l", &arr.ql);
         let (r_prim, r_f) = side("r", &arr.qr);
-        let cons = |p: &[VarId; 4], tag: &str, stmts: &mut Vec<Stmt>, b: &mut ProgramBuilder| -> [VarId; 4] {
+        let cons = |p: &[VarId; 4],
+                    tag: &str,
+                    stmts: &mut Vec<Stmt>,
+                    b: &mut ProgramBuilder|
+         -> [VarId; 4] {
             let c1 = b.var(&format!("fx_{sfx}_{tag}_c1"));
             let c2 = b.var(&format!("fx_{sfx}_{tag}_c2"));
             let c3 = b.var(&format!("fx_{sfx}_{tag}_c3"));
@@ -657,7 +667,11 @@ fn build_sweep(
                     - E::from(0.5) * E::from(smax) * (E::from(r_c[m]) - l_c[m]),
             ));
         }
-        push(Kernel::simple(format!("cmpflx_{sfx}"), loops, Block::new(stmts)));
+        push(Kernel::simple(
+            format!("cmpflx_{sfx}"),
+            loops,
+            Block::new(stmts),
+        ));
     }
 
     // -------- update --------
@@ -682,16 +696,8 @@ fn build_sweep(
         push(Kernel::simple(
             format!("update_{sfx}"),
             vec![
-                ParallelLoop::new(
-                    j,
-                    Expr::iconst(NG as i64),
-                    (E::from(ny) + NG as i64).expr(),
-                ),
-                ParallelLoop::new(
-                    i,
-                    Expr::iconst(NG as i64),
-                    (E::from(nx) + NG as i64).expr(),
-                ),
+                ParallelLoop::new(j, Expr::iconst(NG as i64), (E::from(ny) + NG as i64).expr()),
+                ParallelLoop::new(i, Expr::iconst(NG as i64), (E::from(nx) + NG as i64).expr()),
             ],
             Block::new(vec![
                 upd(arr.rho, 0),

@@ -128,10 +128,7 @@ mod tests {
         let r = run(&c, &sod_run_config(NX, NY, STEPS)).unwrap();
         let v = validate_against_reference(&r, &c, NX, NY, STEPS, 1e-4);
         assert!(v.passed, "max err {}", v.max_abs_err);
-        assert!(r
-            .kernel_stats
-            .iter()
-            .all(|s| s.config_label == "1x1"));
+        assert!(r.kernel_stats.iter().all(|s| s.config_label == "1x1"));
     }
 
     #[test]

@@ -243,10 +243,16 @@ pub fn sweep(s: &mut State, dir: usize, dt: f32) {
                 continue;
             }
             let k = j * nxt + i;
-            drho[k] = minmod(prim.rho[k] - prim.rho[k - stride], prim.rho[k + stride] - prim.rho[k]);
+            drho[k] = minmod(
+                prim.rho[k] - prim.rho[k - stride],
+                prim.rho[k + stride] - prim.rho[k],
+            );
             dun[k] = minmod(un[k] - un[k - stride], un[k + stride] - un[k]);
             dut[k] = minmod(ut[k] - ut[k - stride], ut[k + stride] - ut[k]);
-            dp[k] = minmod(prim.p[k] - prim.p[k - stride], prim.p[k + stride] - prim.p[k]);
+            dp[k] = minmod(
+                prim.p[k] - prim.p[k - stride],
+                prim.p[k + stride] - prim.p[k],
+            );
         }
     }
 
@@ -319,12 +325,7 @@ pub fn rusanov_flux(ql: [f32; 4], qr: [f32; 4]) -> [f32; 4] {
         let ek = 0.5 * (un * un + ut * ut);
         let e = rho * ek + p / (GAMMA - 1.0);
         let cons = [rho, rho * un, rho * ut, e];
-        let flux = [
-            rho * un,
-            rho * un * un + p,
-            rho * un * ut,
-            (e + p) * un,
-        ];
+        let flux = [rho * un, rho * un * un + p, rho * un * ut, (e + p) * un];
         let c = (GAMMA * p / rho).sqrt();
         (cons, flux, un.abs() + c)
     };
@@ -383,10 +384,7 @@ mod tests {
         let m0 = s.total_mass();
         run(&mut s, 20);
         let m1 = s.total_mass();
-        assert!(
-            ((m1 - m0) / m0).abs() < 1e-4,
-            "mass drift: {m0} -> {m1}"
-        );
+        assert!(((m1 - m0) / m0).abs() < 1e-4, "mass drift: {m0} -> {m1}");
     }
 
     #[test]

@@ -378,9 +378,6 @@ mod tests {
         let x = VarId(0);
         assert!(matches!((-E::from(x)).expr(), Expr::Un(UnOp::Neg, _)));
         assert!(matches!(E::from(x).sqrt().expr(), Expr::Un(UnOp::Sqrt, _)));
-        assert!(matches!(
-            E::from(2.0).fma(3.0, 4.0).expr(),
-            Expr::Fma(..)
-        ));
+        assert!(matches!(E::from(2.0).fma(3.0, 4.0).expr(), Expr::Fma(..)));
     }
 }

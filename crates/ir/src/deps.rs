@@ -184,10 +184,14 @@ pub fn analyze_block(loop_var: VarId, block: &Block) -> DepReport {
                     if seen_carried.insert((array, 0)) {
                         report.deps.push(DepKind::Carried { array, distance: 0 });
                     }
-                } else if fa == fb && a.is_write && b.is_write && !std::ptr::eq(a, b)
-                    && seen_carried.insert((array, 0)) {
-                        report.deps.push(DepKind::Carried { array, distance: 0 });
-                    }
+                } else if fa == fb
+                    && a.is_write
+                    && b.is_write
+                    && !std::ptr::eq(a, b)
+                    && seen_carried.insert((array, 0))
+                {
+                    report.deps.push(DepKind::Carried { array, distance: 0 });
+                }
                 continue;
             }
             match fa.const_delta(&fb) {
@@ -356,10 +360,7 @@ mod tests {
             space: MemSpace::Global,
             array: ArrayId(0),
             index: two_i.clone(),
-            value: Expr::load(
-                ArrayId(0),
-                Expr::bin(BinOp::Add, two_i, Expr::iconst(1)),
-            ),
+            value: Expr::load(ArrayId(0), Expr::bin(BinOp::Add, two_i, Expr::iconst(1))),
         }]);
         let r = analyze_block(v(0), &body);
         assert!(r.is_independent(), "got {:?}", r);

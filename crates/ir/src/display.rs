@@ -48,10 +48,7 @@ fn host_stmt(p: &Program, s: &HostStmt, depth: usize, out: &mut String) {
     match s {
         HostStmt::DataRegion { arrays, body } => {
             indent(depth, out);
-            let names: Vec<&str> = arrays
-                .iter()
-                .map(|a| p.array(*a).name.as_str())
-                .collect();
+            let names: Vec<&str> = arrays.iter().map(|a| p.array(*a).name.as_str()).collect();
             let _ = writeln!(out, "#pragma acc data copy({})", names.join(", "));
             indent(depth, out);
             out.push_str("{\n");
@@ -170,7 +167,11 @@ fn clause_string(c: &LoopClauses) -> String {
         if let Some(v) = o.vector {
             sub.push(format!("vector({v})"));
         }
-        parts.push(format!("device_type({}) {}", o.device.spelling(), sub.join(" ")));
+        parts.push(format!(
+            "device_type({}) {}",
+            o.device.spelling(),
+            sub.join(" ")
+        ));
     }
     if parts.is_empty() {
         String::new()

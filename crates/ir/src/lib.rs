@@ -57,7 +57,9 @@ pub mod types;
 pub mod validate;
 pub mod visit;
 
-pub use builder::{assign, for_, if_, if_else, ld, ld_local, let_, st, st_local, ProgramBuilder, E};
+pub use builder::{
+    assign, for_, if_, if_else, ld, ld_local, let_, st, st_local, ProgramBuilder, E,
+};
 pub use deps::{analyze_block, analyze_loop, DepKind, DepReport};
 pub use display::{expr_to_string, kernel_to_string, program_to_string};
 pub use expr::{BinOp, CmpOp, Expr, SpecialVar, UnOp};

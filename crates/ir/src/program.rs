@@ -47,11 +47,7 @@ pub enum HostStmt {
     /// Host scalar assignment. `Expr::Load` reads the host copy of an
     /// array (Hydro derives the time step from the reduced Courant
     /// number this way).
-    HostAssign {
-        var: VarId,
-        ty: Scalar,
-        value: Expr,
-    },
+    HostAssign { var: VarId, ty: Scalar, value: Expr },
     /// Host-side array store (e.g. resetting BFS's stop flag).
     HostStore {
         array: ArrayId,

@@ -226,9 +226,18 @@ mod tests {
     #[test]
     fn removes_additive_and_multiplicative_identities() {
         let x = Expr::var(v(0));
-        assert_eq!(simplify(&Expr::bin(BinOp::Add, x.clone(), Expr::iconst(0))), x);
-        assert_eq!(simplify(&Expr::bin(BinOp::Mul, Expr::iconst(1), x.clone())), x);
-        assert_eq!(simplify(&Expr::bin(BinOp::Div, x.clone(), Expr::iconst(1))), x);
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Add, x.clone(), Expr::iconst(0))),
+            x
+        );
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Mul, Expr::iconst(1), x.clone())),
+            x
+        );
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Div, x.clone(), Expr::iconst(1))),
+            x
+        );
         assert_eq!(
             simplify(&Expr::bin(BinOp::Mul, x.clone(), Expr::iconst(0))),
             Expr::IConst(0)

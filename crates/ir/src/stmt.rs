@@ -61,11 +61,7 @@ impl Block {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Stmt {
     /// Declare-and-initialize a kernel-local scalar.
-    Let {
-        var: VarId,
-        ty: Scalar,
-        init: Expr,
-    },
+    Let { var: VarId, ty: Scalar, init: Expr },
     /// Re-assign a previously declared local scalar.
     Assign { var: VarId, value: Expr },
     /// `array[index] = value`.
@@ -276,7 +272,7 @@ mod tests {
         let s = loop_over_v0.subst_var(v(0), &Expr::iconst(9));
         if let Stmt::For { hi, body, .. } = s {
             assert_eq!(hi, Expr::iconst(9)); // bound substituted
-            // body untouched because var is shadowed by the loop
+                                             // body untouched because var is shadowed by the loop
             if let Stmt::Store { index, .. } = &body.0[0] {
                 assert_eq!(*index, Expr::var(v(0)));
             } else {

@@ -131,9 +131,7 @@ impl<'a> Ctx<'a> {
                 self.expr(value, "host store value", false);
             }
             HostStmt::Update { array, .. } => self.check_array(*array, "update"),
-            HostStmt::HostCompute { instr, .. } => {
-                self.expr(instr, "host compute", false)
-            }
+            HostStmt::HostCompute { instr, .. } => self.expr(instr, "host compute", false),
             HostStmt::EnterData { arrays } | HostStmt::ExitData { arrays } => {
                 for a in arrays {
                     self.check_array(*a, "enter/exit data");
@@ -197,10 +195,7 @@ impl<'a> Ctx<'a> {
                     if !self.defined_vars.contains(var) {
                         self.err(
                             loc,
-                            format!(
-                                "assignment to undeclared local `{}`",
-                                self.p.var_name(*var)
-                            ),
+                            format!("assignment to undeclared local `{}`", self.p.var_name(*var)),
                         );
                     }
                     self.expr(value, loc, grouped);
@@ -243,7 +238,10 @@ impl<'a> Ctx<'a> {
                     }
                 }
                 Stmt::Atomic {
-                    array, index, value, ..
+                    array,
+                    index,
+                    value,
+                    ..
                 } => {
                     self.check_array(*array, loc);
                     self.expr(index, loc, grouped);
@@ -281,13 +279,12 @@ impl<'a> Ctx<'a> {
                 array,
                 ..
             } => self.check_array(*array, loc),
-            Expr::Special(sv)
-                if !grouped => {
-                    self.err(
-                        loc,
-                        format!("work-group builtin {sv:?} outside a grouped body"),
-                    );
-                }
+            Expr::Special(sv) if !grouped => {
+                self.err(
+                    loc,
+                    format!("work-group builtin {sv:?} outside a grouped body"),
+                );
+            }
             _ => {}
         });
     }

@@ -22,8 +22,8 @@
 
 use crate::common::VariantCfg;
 use paccport_ir::{
-    assign, for_, ld, let_, st, Block, Expr, HostStmt, Intent, Kernel, LaunchHint,
-    ParallelLoop, ProgramBuilder, ReduceOp, Reduction, Scalar, E,
+    assign, for_, ld, let_, st, Block, Expr, HostStmt, Intent, Kernel, LaunchHint, ParallelLoop,
+    ProgramBuilder, ReduceOp, Reduction, Scalar, E,
 };
 
 /// Sigmoid, as in Rodinia's `squash()`.
@@ -153,7 +153,8 @@ pub fn program(cfg: &VariantCfg) -> paccport_ir::Program {
             let_(
                 dw,
                 Scalar::F32,
-                E::from(0.3) * ld(delta, j2) * ld(input, k2) + E::from(0.3) * ld(oldw, widx.clone()),
+                E::from(0.3) * ld(delta, j2) * ld(input, k2)
+                    + E::from(0.3) * ld(oldw, widx.clone()),
             ),
             st(w, widx.clone(), ld(w, widx.clone()) + E::from(dw)),
             st(oldw, widx, E::from(dw)),
@@ -462,7 +463,10 @@ mod tests {
         let g = CompileOptions::gpu();
         let m = CompileOptions::mic();
         let (bg, bm) = (t(&base, &g), t(&base, &m));
-        assert!(bm < bg, "sequential BP must be faster on MIC ({bm} vs {bg})");
+        assert!(
+            bm < bg,
+            "sequential BP must be faster on MIC ({bm} vs {bg})"
+        );
         let (ig, im) = (t(&indep, &g), t(&indep, &m));
         let (sp_g, sp_m) = (bg / ig, bm / im);
         assert!(sp_g > 2.0, "GPU speedup {sp_g}");

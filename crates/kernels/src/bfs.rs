@@ -33,8 +33,8 @@
 use crate::common::VariantCfg;
 use paccport_devsim::CostHints;
 use paccport_ir::{
-    for_, if_, ld, let_, st, Block, Dir, Expr, HostStmt, Intent, Kernel, LaunchHint,
-    ParallelLoop, ProgramBuilder, Scalar, E,
+    for_, if_, ld, let_, st, Block, Dir, Expr, HostStmt, Intent, Kernel, LaunchHint, ParallelLoop,
+    ProgramBuilder, Scalar, E,
 };
 use rand::Rng;
 

@@ -224,7 +224,15 @@ pub fn opencl_program(advanced: bool) -> paccport_ir::Program {
         "fan2",
         vec![
             ParallelLoop::new(i2, fan2_lo.clone(), Expr::param(n)),
-            ParallelLoop::new(j, if advanced { Expr::var(t) } else { Expr::iconst(0) }, Expr::param(n)),
+            ParallelLoop::new(
+                j,
+                if advanced {
+                    Expr::var(t)
+                } else {
+                    Expr::iconst(0)
+                },
+                Expr::param(n),
+            ),
         ],
         Block::new(vec![if_(
             E::from(i2).gt(E::from(t)).and(E::from(j).ge(E::from(t))),
@@ -276,7 +284,12 @@ mod tests {
         options: &CompileOptions,
         p: &paccport_ir::Program,
         n: usize,
-    ) -> (RunResult, paccport_compilers::CompiledProgram, Vec<f32>, Vec<f32>) {
+    ) -> (
+        RunResult,
+        paccport_compilers::CompiledProgram,
+        Vec<f32>,
+        Vec<f32>,
+    ) {
         let c = compile(compiler, p, options).unwrap();
         let a0 = diag_dominant_matrix(n, 11);
         let b0 = random_vec(n, 12);
@@ -287,7 +300,13 @@ mod tests {
         (r, c, a0, b0)
     }
 
-    fn check_solution(r: &RunResult, c: &paccport_compilers::CompiledProgram, a0: &[f32], b0: &[f32], n: usize) {
+    fn check_solution(
+        r: &RunResult,
+        c: &paccport_compilers::CompiledProgram,
+        a0: &[f32],
+        b0: &[f32],
+        n: usize,
+    ) {
         let a = r.buffer(c, "a").unwrap().as_f32();
         let b = r.buffer(c, "b").unwrap().as_f32();
         let x = back_substitute(a, b, n);
@@ -309,15 +328,11 @@ mod tests {
 
     #[test]
     fn variants_are_well_formed() {
-        for cfg in [
-            VariantCfg::baseline(),
-            VariantCfg::independent(),
-            {
-                let mut c = VariantCfg::independent();
-                c.reorganized = true;
-                c
-            },
-        ] {
+        for cfg in [VariantCfg::baseline(), VariantCfg::independent(), {
+            let mut c = VariantCfg::independent();
+            c.reorganized = true;
+            c
+        }] {
             validate(&program(&cfg)).expect("valid IR");
         }
         validate(&opencl_program(false)).expect("valid OCL IR");
@@ -339,12 +354,8 @@ mod tests {
 
         let mut cfg = VariantCfg::independent();
         cfg.reorganized = true;
-        let (r2, c2, a0, b0) = solve_with(
-            CompilerId::Caps,
-            &CompileOptions::gpu(),
-            &program(&cfg),
-            n,
-        );
+        let (r2, c2, a0, b0) =
+            solve_with(CompilerId::Caps, &CompileOptions::gpu(), &program(&cfg), n);
         check_solution(&r2, &c2, &a0, &b0, n);
         let total2: u64 = r2.kernel_stats.iter().map(|s| s.launches).sum();
         assert_eq!(total2, 2 * (n as u64 - 1));
@@ -442,7 +453,11 @@ mod tests {
         )
         .unwrap();
         let arith = |c: &paccport_compilers::CompiledProgram| {
-            c.module.kernel("fan2_kernel").unwrap().counts().get(Category::Arithmetic)
+            c.module
+                .kernel("fan2_kernel")
+                .unwrap()
+                .counts()
+                .get(Category::Arithmetic)
         };
         let ratio = arith(&pu) as f64 / arith(&pb) as f64;
         assert!(

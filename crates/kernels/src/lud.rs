@@ -61,7 +61,11 @@ pub fn lu_multiply(lu: &[f32], n: usize) -> Vec<f32> {
                 sum += lu[i * n + k] * lu[k * n + j];
             }
             // L has an implicit unit diagonal.
-            sum += if i <= j { lu[i * n + j] } else { lu[i * n + j] * lu[j * n + j] };
+            sum += if i <= j {
+                lu[i * n + j]
+            } else {
+                lu[i * n + j] * lu[j * n + j]
+            };
             out[i * n + j] = sum;
         }
     }
@@ -286,10 +290,7 @@ mod tests {
         let o = CompileOptions::gpu();
         let cb = compile(CompilerId::Caps, &base, &o).unwrap();
         let ct = compile(CompilerId::Caps, &tiled, &o).unwrap();
-        assert!(ct
-            .module
-            .counts()
-            .unchanged_from(&cb.module.counts()));
+        assert!(ct.module.counts().unchanged_from(&cb.module.counts()));
         // …whereas unroll really does grow the PTX.
         let mut u = VariantCfg::thread_dist(256, 16);
         u.unroll = Some(8);
@@ -353,6 +354,9 @@ mod tests {
                 worker: 16
             }
         );
-        assert_eq!(c.plan("lud_row").unwrap().exec, ExecStrategy::DeviceParallel);
+        assert_eq!(
+            c.plan("lud_row").unwrap().exec,
+            ExecStrategy::DeviceParallel
+        );
     }
 }

@@ -173,10 +173,7 @@ mod tests {
         let e = Emitter::new("k");
         let k = e.finish();
         assert_eq!(k.len(), 1);
-        assert_eq!(
-            k.body.last().unwrap().as_inst().unwrap().op,
-            Opcode::Ret
-        );
+        assert_eq!(k.body.last().unwrap().as_inst().unwrap().op, Opcode::Ret);
     }
 
     #[test]

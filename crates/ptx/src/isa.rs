@@ -150,8 +150,9 @@ impl Opcode {
     pub fn category(self) -> Category {
         use Opcode::*;
         match self {
-            Add | Sub | Mul | Div | Max | Min | Fma | Mad | Rcp | Abs | Neg | Rem | Sqrt
-            | Ex2 => Category::Arithmetic,
+            Add | Sub | Mul | Div | Max | Min | Fma | Mad | Rcp | Abs | Neg | Rem | Sqrt | Ex2 => {
+                Category::Arithmetic
+            }
             Setp | Selp | Bra => Category::FlowControl,
             And | Or | Not | Shl | Shr => Category::LogicalShift,
             Cvt | Mov | LdParam => Category::DataMovement,

@@ -145,9 +145,9 @@ fn parse_instruction(line: &str, lineno: usize) -> Result<Instruction, ParseErro
             .split_once(' ')
             .ok_or_else(|| err(lineno, "predicate without instruction"))?;
         let digits: String = p.chars().filter(|c| c.is_ascii_digit()).collect();
-        pred = Some(Reg(digits.parse().map_err(|_| {
-            err(lineno, format!("bad predicate `{p}`"))
-        })?));
+        pred = Some(Reg(digits
+            .parse()
+            .map_err(|_| err(lineno, format!("bad predicate `{p}`")))?));
         rest = tail.trim();
     }
     // Mnemonic.suffix — the type suffix is the last dot component.
@@ -228,10 +228,7 @@ pub fn parse_module(text: &str) -> Result<PtxModule, ParseError> {
         }
         if in_params {
             if let Some(rest) = line.strip_prefix(".param ") {
-                let name = rest
-                    .trim_start_matches(".u64")
-                    .trim()
-                    .trim_end_matches(',');
+                let name = rest.trim_start_matches(".u64").trim().trim_end_matches(',');
                 if let Some(k) = current.as_mut() {
                     k.params.push(name.to_string());
                 }

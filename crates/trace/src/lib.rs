@@ -1,0 +1,206 @@
+//! # paccport-trace — lightweight structured tracing
+//!
+//! A zero-dependency span/counter layer threaded through the compile
+//! and simulation pipeline (`compilers::lower`, `compilers::transforms`,
+//! `devsim::runner`, the experiment engine). Collection is off by
+//! default and costs one relaxed atomic load per site; when enabled
+//! (`reproduce --trace`, or [`set_enabled`] in tests) every span
+//! records call count and total wall time, and every counter
+//! accumulates, into a process-global registry keyed by name.
+//!
+//! Spans aggregate by name rather than forming a tree: the consumers
+//! here want "how much time went into lowering vs. running, and how
+//! many cache hits did the sweep get", not a flamegraph.
+//!
+//! ```
+//! paccport_trace::reset();
+//! paccport_trace::set_enabled(true);
+//! {
+//!     let _g = paccport_trace::span("demo.work");
+//!     paccport_trace::add("demo.items", 3);
+//! }
+//! let s = paccport_trace::summary();
+//! assert_eq!(s.counter("demo.items"), 3);
+//! assert_eq!(s.span_count("demo.work"), 1);
+//! paccport_trace::set_enabled(false);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+#[derive(Default)]
+struct Registry {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Turn collection on or off (global; off by default).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether collection is currently on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clear all recorded spans and counters.
+pub fn reset() {
+    let mut r = registry().lock().unwrap();
+    r.spans.clear();
+    r.counters.clear();
+}
+
+/// Enter a span. The returned guard records count + elapsed time under
+/// `name` when dropped. When tracing is disabled this is two atomic
+/// loads and no allocation.
+#[must_use = "the span is recorded when the guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        armed: enabled().then(|| (name, Instant::now())),
+    }
+}
+
+pub struct SpanGuard {
+    armed: Option<(&'static str, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.armed.take() {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let mut r = registry().lock().unwrap();
+            let s = r.spans.entry(name.to_string()).or_default();
+            s.count += 1;
+            s.total_ns += ns;
+        }
+    }
+}
+
+/// Bump a named counter by `n` (no-op while tracing is disabled).
+pub fn add(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut r = registry().lock().unwrap();
+    *r.counters.entry(name.to_string()).or_default() += n;
+}
+
+/// An immutable snapshot of everything recorded so far.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    pub spans: Vec<(String, SpanStat)>,
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Summary {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.count)
+            .unwrap_or(0)
+    }
+
+    /// Human-readable report, names sorted, durations in ms.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== trace summary ==");
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<40}{:>10}{:>14}{:>14}",
+                "span", "count", "total ms", "mean us"
+            );
+            for (name, s) in &self.spans {
+                let total = Duration::from_nanos(s.total_ns);
+                let mean_us = if s.count > 0 {
+                    s.total_ns as f64 / s.count as f64 / 1e3
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<40}{:>10}{:>14.3}{:>14.2}",
+                    name,
+                    s.count,
+                    total.as_secs_f64() * 1e3,
+                    mean_us
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<40}{:>10}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<40}{v:>10}");
+            }
+        }
+        out
+    }
+}
+
+/// Snapshot the registry (sorted by name; `BTreeMap` order).
+pub fn summary() -> Summary {
+    let r = registry().lock().unwrap();
+    Summary {
+        spans: r.spans.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        counters: r.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and tests run in parallel, so
+    // each test uses its own names and never asserts global absence.
+
+    #[test]
+    fn disabled_records_nothing() {
+        set_enabled(false);
+        {
+            let _g = span("test.disabled");
+            add("test.disabled.counter", 5);
+        }
+        let s = summary();
+        assert_eq!(s.span_count("test.disabled"), 0);
+        assert_eq!(s.counter("test.disabled.counter"), 0);
+    }
+
+    #[test]
+    fn spans_and_counters_aggregate() {
+        set_enabled(true);
+        for _ in 0..3 {
+            let _g = span("test.aggregate");
+            add("test.aggregate.counter", 2);
+        }
+        let s = summary();
+        assert_eq!(s.span_count("test.aggregate"), 3);
+        assert_eq!(s.counter("test.aggregate.counter"), 6);
+        assert!(s.render().contains("test.aggregate"));
+    }
+}

@@ -36,9 +36,24 @@ fn main() {
     println!("=== Simulated-device runs (validated against the reference) ===");
     let vsteps = 10usize;
     for (label, variant, compiler, opts) in [
-        ("CAPS optimized / K40 ", HydroVariant::Optimized, CompilerId::Caps, CompileOptions::gpu()),
-        ("CAPS optimized / MIC ", HydroVariant::Optimized, CompilerId::Caps, CompileOptions::mic()),
-        ("OpenCL           / K40 ", HydroVariant::OpenCl, CompilerId::OpenClHand, CompileOptions::gpu()),
+        (
+            "CAPS optimized / K40 ",
+            HydroVariant::Optimized,
+            CompilerId::Caps,
+            CompileOptions::gpu(),
+        ),
+        (
+            "CAPS optimized / MIC ",
+            HydroVariant::Optimized,
+            CompilerId::Caps,
+            CompileOptions::mic(),
+        ),
+        (
+            "OpenCL           / K40 ",
+            HydroVariant::OpenCl,
+            CompilerId::OpenClHand,
+            CompileOptions::gpu(),
+        ),
     ] {
         let p = hydro::program(variant);
         let c = compile(compiler, &p, &opts).unwrap();
@@ -69,23 +84,61 @@ fn main() {
             .elapsed
     };
     let rows = [
-        ("OpenACC base  / K40 / GCC", HydroVariant::Baseline, CompilerId::Caps, CompileOptions::gpu()),
-        ("OpenACC opt   / K40 / GCC", HydroVariant::Optimized, CompilerId::Caps, CompileOptions::gpu()),
+        (
+            "OpenACC base  / K40 / GCC",
+            HydroVariant::Baseline,
+            CompilerId::Caps,
+            CompileOptions::gpu(),
+        ),
+        (
+            "OpenACC opt   / K40 / GCC",
+            HydroVariant::Optimized,
+            CompilerId::Caps,
+            CompileOptions::gpu(),
+        ),
         (
             "OpenACC opt   / K40 / ICC",
             HydroVariant::Optimized,
             CompilerId::Caps,
             CompileOptions::gpu().with_host_compiler(HostCompiler::Intel),
         ),
-        ("OpenACC base  / MIC / GCC", HydroVariant::Baseline, CompilerId::Caps, CompileOptions::mic()),
-        ("OpenACC opt   / MIC / GCC", HydroVariant::Optimized, CompilerId::Caps, CompileOptions::mic()),
-        ("OpenCL        / K40      ", HydroVariant::OpenCl, CompilerId::OpenClHand, CompileOptions::gpu()),
-        ("OpenCL        / MIC      ", HydroVariant::OpenCl, CompilerId::OpenClHand, CompileOptions::mic()),
+        (
+            "OpenACC base  / MIC / GCC",
+            HydroVariant::Baseline,
+            CompilerId::Caps,
+            CompileOptions::mic(),
+        ),
+        (
+            "OpenACC opt   / MIC / GCC",
+            HydroVariant::Optimized,
+            CompilerId::Caps,
+            CompileOptions::mic(),
+        ),
+        (
+            "OpenCL        / K40      ",
+            HydroVariant::OpenCl,
+            CompilerId::OpenClHand,
+            CompileOptions::gpu(),
+        ),
+        (
+            "OpenCL        / MIC      ",
+            HydroVariant::OpenCl,
+            CompilerId::OpenClHand,
+            CompileOptions::mic(),
+        ),
     ];
     for (label, v, id, o) in rows {
         println!("  {label}: {}", fmt_secs(t(v, id, &o)));
     }
-    let og = t(HydroVariant::Optimized, CompilerId::Caps, &CompileOptions::gpu());
-    let om = t(HydroVariant::Optimized, CompilerId::Caps, &CompileOptions::mic());
+    let og = t(
+        HydroVariant::Optimized,
+        CompilerId::Caps,
+        &CompileOptions::gpu(),
+    );
+    let om = t(
+        HydroVariant::Optimized,
+        CompilerId::Caps,
+        &CompileOptions::mic(),
+    );
     println!("\n  optimized OpenACC PPR (Eq. 1) = {:.2}", om / og);
 }

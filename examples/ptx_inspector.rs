@@ -30,7 +30,10 @@ fn inspect_lud() {
     let mut tile = dist;
     tile.tile = Some(32);
 
-    for (name, id) in [("CAPS 3.4.1", CompilerId::Caps), ("PGI 14.9", CompilerId::Pgi)] {
+    for (name, id) in [
+        ("CAPS 3.4.1", CompilerId::Caps),
+        ("PGI 14.9", CompilerId::Pgi),
+    ] {
         println!("--- {name} ---");
         let counts = |cfg: &VariantCfg, flags: &[Flag]| {
             let mut o = CompileOptions::gpu();
@@ -57,9 +60,9 @@ fn inspect_lud() {
             let t = counts(&tile, &[]);
             println!("  tile(32)   : {}", composition_line(&t));
             match compare_steps(&base, &t) {
-                StepVerdict::Unchanged => println!(
-                    "    -> PTX UNCHANGED: CAPS silently skipped tiling (nested body)"
-                ),
+                StepVerdict::Unchanged => {
+                    println!("    -> PTX UNCHANGED: CAPS silently skipped tiling (nested body)")
+                }
                 StepVerdict::Changed(d) => println!("    -> changed: {d:?}"),
             }
         }
@@ -91,8 +94,14 @@ fn inspect_ge() {
 
     let caps_base = compile(CompilerId::Caps, &gaussian::program(&reorg), &o).unwrap();
     let caps_unroll = compile(CompilerId::Caps, &gaussian::program(&unroll), &o).unwrap();
-    println!("CAPS reorg  : {}", composition_line(&caps_base.module.counts()));
-    println!("CAPS unroll : {}", composition_line(&caps_unroll.module.counts()));
+    println!(
+        "CAPS reorg  : {}",
+        composition_line(&caps_base.module.counts())
+    );
+    println!(
+        "CAPS unroll : {}",
+        composition_line(&caps_unroll.module.counts())
+    );
     println!(
         "  verdict: {:?} (the compiler reported success anyway — \"fake successful message\")\n",
         compare_steps(&caps_base.module.counts(), &caps_unroll.module.counts())
@@ -105,8 +114,14 @@ fn inspect_ge() {
         &o.clone().with_flag(Flag::Munroll),
     )
     .unwrap();
-    println!("PGI reorg   : {}", composition_line(&pgi_base.module.counts()));
-    println!("PGI -Munroll: {}", composition_line(&pgi_unroll.module.counts()));
+    println!(
+        "PGI reorg   : {}",
+        composition_line(&pgi_base.module.counts())
+    );
+    println!(
+        "PGI -Munroll: {}",
+        composition_line(&pgi_unroll.module.counts())
+    );
     println!(
         "  verdict: {:?} (really unrolled — arithmetic and data movement nearly double — \
          yet no speedup)",

@@ -9,7 +9,9 @@
 
 use paccport::compilers::{compile, CompileOptions, CompilerId};
 use paccport::devsim::{run, Buffer, RunConfig};
-use paccport::ir::{ld, st, Block, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar, E};
+use paccport::ir::{
+    ld, st, Block, Expr, HostStmt, Intent, Kernel, ParallelLoop, ProgramBuilder, Scalar, E,
+};
 use paccport::ptx::format_module;
 
 fn main() {
@@ -28,7 +30,10 @@ fn main() {
         Block::new(vec![st(y, i, E::from(2.5) * ld(x, i) + ld(y, i))]),
     );
     let program = b.finish(vec![HostStmt::Launch(kernel)]);
-    println!("--- source ---\n{}", paccport::ir::program_to_string(&program));
+    println!(
+        "--- source ---\n{}",
+        paccport::ir::program_to_string(&program)
+    );
 
     // 2. Compile with both personalities and compare their PTX.
     for compiler in [CompilerId::Caps, CompilerId::Pgi] {

@@ -80,13 +80,21 @@ fn lud_study() {
             .unwrap()
             .elapsed
     };
-    let base = t(&VariantCfg::baseline(), CompilerId::Caps, &CompileOptions::gpu());
+    let base = t(
+        &VariantCfg::baseline(),
+        CompilerId::Caps,
+        &CompileOptions::gpu(),
+    );
     let dist = t(
         &VariantCfg::thread_dist(256, 16),
         CompilerId::Caps,
         &CompileOptions::gpu(),
     );
-    let pgi = t(&VariantCfg::baseline(), CompilerId::Pgi, &CompileOptions::gpu());
+    let pgi = t(
+        &VariantCfg::baseline(),
+        CompilerId::Pgi,
+        &CompileOptions::gpu(),
+    );
     println!(
         "  K40: CAPS baseline {} (the gang(1) bug; {:.0}x PGI's {}), gang mode {}\n",
         fmt_secs(base),
@@ -115,10 +123,13 @@ fn ge_study() {
         n,
     );
     let res = gaussian::residual(&a0, &b0, &x, n);
-    println!("  CAPS reorganized+indep: solve residual {res:.2e}, {} launches (2N)", {
-        let l: u64 = r.kernel_stats.iter().map(|s| s.launches).sum();
-        l
-    });
+    println!(
+        "  CAPS reorganized+indep: solve residual {res:.2e}, {} launches (2N)",
+        {
+            let l: u64 = r.kernel_stats.iter().map(|s| s.launches).sum();
+            l
+        }
+    );
     let rc = RunConfig::timing(vec![("n".into(), gaussian::PAPER_N as f64)], 1);
     for (label, id, prog) in [
         (
@@ -162,7 +173,10 @@ fn bfs_study() {
         .with_input("edges", Buffer::I32(g.edges.clone()))
         .with_input("mask", Buffer::I32(mask));
         let r = run(&c, &rc).unwrap();
-        let v = compare_i32(r.buffer(&c, "cost").unwrap().as_i32(), &bfs::reference(&g, 0));
+        let v = compare_i32(
+            r.buffer(&c, "cost").unwrap().as_i32(),
+            &bfs::reference(&g, 0),
+        );
         println!(
             "  {label}: validation {}, ran on device: {}, {} levels, \
              {:.1} transfers/iter, {} transfers total",
@@ -193,11 +207,14 @@ fn bp_study() {
     ])
     .with_input("input", Buffer::F32(input.clone()))
     .with_input("w", Buffer::F32(w.clone()))
-    .with_input("delta", Buffer::F32(paccport::kernels::random_vec(n_hid + 1, 33)))
-    .with_input("oldw", Buffer::F32(paccport::kernels::random_vec(
-        (n_in + 1) * (n_hid + 1),
-        34,
-    )));
+    .with_input(
+        "delta",
+        Buffer::F32(paccport::kernels::random_vec(n_hid + 1, 33)),
+    )
+    .with_input(
+        "oldw",
+        Buffer::F32(paccport::kernels::random_vec((n_in + 1) * (n_hid + 1), 34)),
+    );
     let r = run(&c, &rc).unwrap();
     let want = backprop::reference_forward(&input, &w, n_in, n_hid);
     let got = r.buffer(&c, "hidden").unwrap().as_f32();

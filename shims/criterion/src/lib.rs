@@ -1,0 +1,141 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API shape the benches use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter` — with a plain wall-clock
+//! measurement loop (one warmup pass, then `sample_size` timed
+//! samples) and a mean/min/max report line per benchmark. No
+//! statistics, plots or baselines; good enough to smoke-run
+//! `cargo bench` offline and eyeball regressions.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench("", &name.into(), 20, f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&self.name, &name.into(), self.sample_size, f);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(group: &str, name: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples,
+        durations: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if b.durations.is_empty() {
+        println!("bench {label:<40} (no measurements)");
+        return;
+    }
+    let total: Duration = b.durations.iter().sum();
+    let mean = total / b.durations.len() as u32;
+    let min = b.durations.iter().min().unwrap();
+    let max = b.durations.iter().max().unwrap();
+    println!(
+        "bench {label:<40} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
+        b.durations.len()
+    );
+}
+
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One warmup pass (also primes caches the way criterion does).
+        black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.durations.push(t0.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_bench_runs_closure_expected_times() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("count", |b| {
+            b.iter(|| calls.fetch_add(1, Ordering::Relaxed))
+        });
+        g.finish();
+        // 1 warmup + 5 samples.
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements exactly the API surface this workspace uses — a seeded
+//! [`rngs::StdRng`] built through [`SeedableRng::seed_from_u64`] and
+//! [`Rng::gen_range`] over integer and float ranges — on top of a
+//! splitmix64 generator. The value streams differ from crates.io
+//! `rand`, but every consumer in the repo only relies on determinism
+//! per seed, never on specific values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core-RNG trait: a 64-bit output per step.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, mirroring `rand::Rng::gen_range`.
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniform value in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that knows how to draw a uniform sample from an RNG.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f32 {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        (self.start as f64 + u * (self.end as f64 - self.start as f64)) as f32
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator under the familiar name.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Avoid the all-zero fixed point and decorrelate tiny seeds.
+            StdRng {
+                state: seed ^ 0x5bf0_3635_d1f8_4d4d,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u32> = (0..16).map(|_| a.gen_range(0u32..1000)).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.gen_range(0u32..1000)).collect();
+        let vc: Vec<u32> = (0..16).map(|_| c.gen_range(0u32..1000)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(1usize..=4);
+            assert!((1..=4).contains(&w));
+            let f: f32 = r.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let i = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn float_range_hits_both_halves() {
+        let mut r = StdRng::seed_from_u64(1);
+        let vals: Vec<f64> = (0..64).map(|_| r.gen_range(0.0f64..1.0)).collect();
+        assert!(vals.iter().any(|v| *v < 0.5));
+        assert!(vals.iter().any(|v| *v >= 0.5));
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for `rayon`, covering the
+//! `slice.par_iter().map(f).collect()` shape this workspace uses.
+//!
+//! Unlike a serial polyfill, `map` really is parallel: items are
+//! claimed off a shared atomic index by `available_parallelism()`
+//! scoped threads, so the heat-map sweeps keep their speedup. The
+//! result order is the input order regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Entry point: `.par_iter()` on slices (and anything that derefs to
+/// a slice, e.g. `Vec`).
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Sync + 'data;
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Apply `f` to every item in parallel, preserving input order.
+    pub fn map<R, F>(self, f: F) -> ParMapped<R>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 {
+            return ParMapped {
+                items: self.items.iter().map(f).collect(),
+            };
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&self.items[i]);
+                    *slots[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        ParMapped {
+            items: slots
+                .into_iter()
+                .map(|m| m.into_inner().unwrap().expect("parallel map slot unfilled"))
+                .collect(),
+        }
+    }
+}
+
+/// The (already computed) results of a parallel map.
+pub struct ParMapped<R> {
+    items: Vec<R>,
+}
+
+impl<R> ParMapped<R> {
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..500).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(ys, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let xs: Vec<u32> = (0..256).collect();
+        let _: Vec<()> = xs
+            .par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                // Hold each item briefly so every worker gets to claim some.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            })
+            .collect();
+        let distinct = seen.lock().unwrap().len();
+        assert!(distinct >= 1);
+        if std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(
+                distinct > 1,
+                "expected parallel execution, saw {distinct} thread(s)"
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The repository uses serde exclusively for `#[derive(Serialize,
+//! Deserialize)]` markers on plain data types; no code serializes
+//! anything (there is no `serde_json` call site and no `T: Serialize`
+//! bound). This shim keeps those derive attributes compiling without
+//! network access by re-exporting no-op derive macros, plus empty
+//! marker traits under the usual names so `impl` blocks would still
+//! resolve if anyone writes one.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; the no-op derive does not implement it (nothing in
+/// the workspace requires the implementation).
+pub trait SerializeMarker {}
+
+/// Marker trait counterpart for deserialization.
+pub trait DeserializeMarker {}

@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace only ever uses serde for its derive macros — nothing
+//! calls `serde_json` or takes `T: Serialize` bounds — so in the
+//! offline build the derives expand to nothing. If real serialization
+//! is ever needed, swap `shims/serde` back for the crates.io packages
+//! (see shims/README.md).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,3 +14,4 @@ pub use paccport_hydro as hydro;
 pub use paccport_ir as ir;
 pub use paccport_kernels as kernels;
 pub use paccport_ptx as ptx;
+pub use paccport_trace as trace;

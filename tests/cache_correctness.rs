@@ -1,0 +1,193 @@
+//! Correctness of the content-hash compile cache: identical
+//! (program, options, device) requests hit; any changed clause, flag,
+//! device or host compiler misses; and an engine compiles each unique
+//! artifact exactly once, which the hit/miss counters make observable.
+
+use std::sync::Arc;
+
+use paccport::compilers::{
+    fingerprint, ArtifactCache, CompileOptions, CompilerId, Flag, HostCompiler, QuirkSet,
+};
+use paccport::core::engine::Engine;
+use paccport::core::{experiments as exp, Scale};
+use paccport::kernels::{gaussian, lud, VariantCfg};
+
+#[test]
+fn same_request_hits() {
+    let cache = ArtifactCache::new();
+    let p = lud::program(&VariantCfg::thread_dist(256, 16));
+    let o = CompileOptions::gpu();
+    let a = cache.compile(CompilerId::Caps, &p, &o).unwrap();
+    let b = cache.compile(CompilerId::Caps, &p, &o).unwrap();
+    assert!(Arc::ptr_eq(&a, &b), "second lookup must reuse the artifact");
+    assert_eq!((cache.misses(), cache.hits()), (1, 1));
+}
+
+#[test]
+fn changed_clause_misses() {
+    let cache = ArtifactCache::new();
+    let o = CompileOptions::gpu();
+    // gang/worker clause changes are program-content changes.
+    cache
+        .compile(
+            CompilerId::Caps,
+            &lud::program(&VariantCfg::thread_dist(256, 16)),
+            &o,
+        )
+        .unwrap();
+    cache
+        .compile(
+            CompilerId::Caps,
+            &lud::program(&VariantCfg::thread_dist(256, 32)),
+            &o,
+        )
+        .unwrap();
+    cache
+        .compile(CompilerId::Caps, &lud::program(&VariantCfg::baseline()), &o)
+        .unwrap();
+    let mut vc = VariantCfg::independent();
+    vc.tile = Some(32);
+    cache
+        .compile(CompilerId::Caps, &gaussian::program(&vc), &o)
+        .unwrap();
+    assert_eq!((cache.misses(), cache.hits()), (4, 0));
+}
+
+#[test]
+fn changed_flag_device_host_or_quirks_misses() {
+    let cache = ArtifactCache::new();
+    let p = lud::program(&VariantCfg::thread_dist(256, 16));
+    let gpu = CompileOptions::gpu();
+    let variants = [
+        gpu.clone(),
+        gpu.clone().with_flag(Flag::Munroll),
+        gpu.clone().with_flag(Flag::FastMath),
+        gpu.clone().with_host_compiler(HostCompiler::Intel),
+        CompileOptions::mic(),
+        CompileOptions::amd(),
+        {
+            let mut o = gpu.clone();
+            o.quirks = QuirkSet::none();
+            o
+        },
+    ];
+    for o in &variants {
+        cache.compile(CompilerId::Caps, &p, o).unwrap();
+    }
+    // Same program under a different personality is yet another key.
+    cache.compile(CompilerId::Pgi, &p, &gpu).unwrap();
+    assert_eq!(cache.misses(), variants.len() as u64 + 1);
+    assert_eq!(cache.hits(), 0);
+}
+
+#[test]
+fn engine_compiles_each_unique_artifact_exactly_once() {
+    let s = Scale::quick();
+    let eng = Engine::new(4);
+
+    // Fig. 3 is a 4-variant × {CAPS-gpu, CAPS-mic, PGI-gpu} matrix:
+    // all 12 (program, options, compiler) triples are distinct.
+    exp::fig3_lud_on(&eng, &s);
+    assert_eq!(
+        (eng.cache().misses(), eng.cache().hits()),
+        (12, 0),
+        "fresh engine: every fig3 cell is a unique artifact"
+    );
+
+    // Rerunning the same figure must be pure cache hits.
+    exp::fig3_lud_on(&eng, &s);
+    assert_eq!(eng.cache().misses(), 12, "rerun compiled nothing new");
+    assert_eq!(eng.cache().hits(), 12);
+
+    // Fig. 6 reuses fig. 3's CAPS/PGI GPU artifacts; only PGI's
+    // -Munroll build is a new key. (CAPS: Base, ThreadDist, Unroll,
+    // Tile; PGI: Base, ThreadDist — all already cached.)
+    let misses_before = eng.cache().misses();
+    exp::fig6_lud_ptx_on(&eng, &s);
+    assert_eq!(
+        eng.cache().misses() - misses_before,
+        1,
+        "cross-figure sharing: fig6 adds only the PGI -Munroll artifact"
+    );
+}
+
+#[test]
+fn serial_and_parallel_engines_cache_identically() {
+    let s = Scale::quick();
+    let serial = Engine::serial();
+    let parallel = Engine::new(8);
+    exp::fig7_ge_on(&serial, &s);
+    exp::fig7_ge_on(&parallel, &s);
+    assert_eq!(serial.cache().misses(), parallel.cache().misses());
+    assert_eq!(serial.cache().hits(), parallel.cache().hits());
+}
+
+mod fingerprint_properties {
+    use super::*;
+    use paccport::kernels::backprop;
+    use proptest::prelude::*;
+
+    fn lud_with(gang: u32, worker: u32, unroll: Option<u32>) -> paccport::ir::Program {
+        let mut vc = VariantCfg::thread_dist(gang, worker);
+        vc.unroll = unroll;
+        lud::program(&vc)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Building the same program twice gives the same fingerprint
+        /// (the hash is content-based, not identity-based).
+        #[test]
+        fn rebuild_is_stable(gang in 1u32..1024, worker in 1u32..64, unroll in 2u32..9) {
+            let a = lud_with(gang, worker, Some(unroll));
+            let b = lud_with(gang, worker, Some(unroll));
+            prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+        }
+
+        /// Changing any distribution clause changes the fingerprint.
+        #[test]
+        fn clause_changes_change_the_hash(gang in 1u32..1024, worker in 1u32..64) {
+            let base = lud_with(gang, worker, None);
+            prop_assert_ne!(
+                fingerprint(&base),
+                fingerprint(&lud_with(gang + 1, worker, None)),
+                "gang clause must be part of the hash"
+            );
+            prop_assert_ne!(
+                fingerprint(&base),
+                fingerprint(&lud_with(gang, worker + 1, None)),
+                "worker clause must be part of the hash"
+            );
+            prop_assert_ne!(
+                fingerprint(&base),
+                fingerprint(&lud_with(gang, worker, Some(4))),
+                "unroll clause must be part of the hash"
+            );
+        }
+
+        /// Distinct kernels never collide, whatever the clauses.
+        #[test]
+        fn distinct_programs_do_not_collide(gang in 1u32..1024, worker in 1u32..64) {
+            let a = lud_with(gang, worker, None);
+            let b = gaussian::program(&VariantCfg::thread_dist(gang, worker));
+            let c = backprop::program(&VariantCfg::independent());
+            prop_assert_ne!(fingerprint(&a), fingerprint(&b));
+            prop_assert_ne!(fingerprint(&a), fingerprint(&c));
+            prop_assert_ne!(fingerprint(&b), fingerprint(&c));
+        }
+
+        /// Cache keys see through clause differences end-to-end: two
+        /// programs differing only in one clause occupy two entries.
+        #[test]
+        fn cache_separates_random_clause_pairs(gang in 1u32..512, worker in 1u32..32) {
+            let cache = ArtifactCache::new();
+            let o = CompileOptions::gpu();
+            cache.compile(CompilerId::Caps, &lud_with(gang, worker, None), &o).unwrap();
+            cache.compile(CompilerId::Caps, &lud_with(gang, worker + 1, None), &o).unwrap();
+            cache.compile(CompilerId::Caps, &lud_with(gang, worker, None), &o).unwrap();
+            prop_assert_eq!(cache.misses(), 2);
+            prop_assert_eq!(cache.hits(), 1);
+        }
+    }
+}

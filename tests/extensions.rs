@@ -24,7 +24,10 @@ fn autotune_rediscovers_the_papers_configurations() {
         "tuning must match or beat the hand pick"
     );
     for (_, gang, worker) in &gpu.tuned_configs {
-        assert!(*gang >= 128 && *worker >= 8 && *worker <= 64, "({gang},{worker})");
+        assert!(
+            *gang >= 128 && *worker >= 8 && *worker <= 64,
+            "({gang},{worker})"
+        );
     }
     let mic = &rows[1];
     assert_eq!(mic.device, "5110P");
@@ -39,7 +42,10 @@ fn autotune_rediscovers_the_papers_configurations() {
 fn step5_data_region_insertion() {
     let rows = ext2_data_regions(&Scale::quick());
     assert_eq!(rows.len(), 2);
-    assert!(rows[0].transfers > 100, "naive port re-transfers per launch");
+    assert!(
+        rows[0].transfers > 100,
+        "naive port re-transfers per launch"
+    );
     assert_eq!(rows[1].transfers, 2, "one copy-in + one copy-out");
     assert!(rows[1].seconds < rows[0].seconds / 5.0);
 }

@@ -67,7 +67,10 @@ fn method_on_lud_uses_step2() {
         ..Default::default()
     };
     let out = apply_method(&baseline, &opts);
-    assert!(!out.any_independent_added(), "LUD must be refused by step 1");
+    assert!(
+        !out.any_independent_added(),
+        "LUD must be refused by step 1"
+    );
     let k = out.program.kernel("lud_row").unwrap();
     assert_eq!(k.loops[0].clauses.gang, Some(256));
 
@@ -111,7 +114,10 @@ fn method_on_bfs_is_partially_conservative() {
     .with_input("edges", Buffer::I32(g.edges.clone()))
     .with_input("mask", Buffer::I32(mask));
     let r = run(&c, &rc).unwrap();
-    let v = compare_i32(r.buffer(&c, "cost").unwrap().as_i32(), &bfs::reference(&g, 0));
+    let v = compare_i32(
+        r.buffer(&c, "cost").unwrap().as_i32(),
+        &bfs::reference(&g, 0),
+    );
     assert!(v.passed, "{}", v.detail);
 }
 
@@ -152,10 +158,7 @@ fn cross_product_functional_matrix() {
             assert!(
                 v.passed,
                 "{:?} on {:?} with {:?}: {}",
-                compiler,
-                opts.target,
-                vc,
-                v.detail
+                compiler, opts.target, vc, v.detail
             );
         }
     }

@@ -40,11 +40,7 @@ fn device_type_clause_selects_per_target_distributions() {
             vector: None,
         },
     ];
-    let k = Kernel::simple(
-        "k",
-        vec![lp],
-        Block::new(vec![st(a, i, ld(a, i) + 1.0)]),
-    );
+    let k = Kernel::simple("k", vec![lp], Block::new(vec![st(a, i, ld(a, i) + 1.0)]));
     let p = b.finish(vec![HostStmt::Launch(k)]);
 
     let expect = [
@@ -64,7 +60,12 @@ fn device_type_clause_selects_per_target_distributions() {
         let rc = RunConfig::functional(vec![("n".into(), 64.0)])
             .with_input("a", Buffer::F32(vec![1.0; 64]));
         let r = run(&c, &rc).unwrap();
-        assert!(r.buffer(&c, "a").unwrap().as_f32().iter().all(|v| *v == 2.0));
+        assert!(r
+            .buffer(&c, "a")
+            .unwrap()
+            .as_f32()
+            .iter()
+            .all(|v| *v == 2.0));
     }
 }
 
@@ -100,11 +101,7 @@ fn enter_exit_data_keeps_arrays_resident() {
     let i = b.var("i");
     let mut lp = ParallelLoop::new(i, Expr::iconst(0), Expr::param(n));
     lp.clauses.independent = true;
-    let k = Kernel::simple(
-        "incr",
-        vec![lp],
-        Block::new(vec![st(a, i, ld(a, i) + 1.0)]),
-    );
+    let k = Kernel::simple("incr", vec![lp], Block::new(vec![st(a, i, ld(a, i) + 1.0)]));
     let body = vec![
         HostStmt::EnterData { arrays: vec![a] },
         HostStmt::HostLoop {
@@ -121,7 +118,12 @@ fn enter_exit_data_keeps_arrays_resident() {
     let rc = RunConfig::functional(vec![("n".into(), 32.0), ("steps".into(), 10.0)])
         .with_input("a", Buffer::F32(vec![0.0; 32]));
     let r = run(&c, &rc).unwrap();
-    assert!(r.buffer(&c, "a").unwrap().as_f32().iter().all(|v| *v == 10.0));
+    assert!(r
+        .buffer(&c, "a")
+        .unwrap()
+        .as_f32()
+        .iter()
+        .all(|v| *v == 10.0));
     // Exactly one copy-in and one copy-out despite 10 launches.
     assert_eq!(r.transfers.h2d_count, 1);
     assert_eq!(r.transfers.d2h_count, 1);
@@ -166,11 +168,7 @@ fn atomics_unlock_histogram_parallelization() {
                 value: Expr::iconst(1),
             }]
         } else {
-            vec![st(
-                bins,
-                E(bin_idx.clone()),
-                ld(bins, E(bin_idx)) + 1i64,
-            )]
+            vec![st(bins, E(bin_idx.clone()), ld(bins, E(bin_idx)) + 1i64)]
         };
         let k = Kernel::simple("hist", vec![lp], Block::new(body));
         b.finish(vec![HostStmt::Launch(k)])
@@ -202,8 +200,8 @@ fn atomics_unlock_histogram_parallelization() {
         for d in &data {
             want[(*d % 16) as usize] += 1;
         }
-        let rc = RunConfig::functional(vec![("n".into(), 997.0)])
-            .with_input("data", Buffer::I32(data));
+        let rc =
+            RunConfig::functional(vec![("n".into(), 997.0)]).with_input("data", Buffer::I32(data));
         let r = run(&c, &rc).unwrap();
         assert_eq!(r.buffer(&c, "bins").unwrap().as_i32(), &want[..]);
         // The PTX carries the atomic (a Global Memory instruction).

@@ -62,7 +62,10 @@ fn claim_fig4_optima() {
     let (mg, mw, _) = maps[2].best(); // CAPS-MIC
     assert_eq!((mg, mw), (240, 1), "MIC optimum is (240, 1)");
     let (pg, pw) = paccport::core::select_portable_distribution(&maps[0], &maps[2]);
-    assert!(pg >= 128 && (8..=32).contains(&pw), "portable pick ({pg},{pw})");
+    assert!(
+        pg >= 128 && (8..=32).contains(&pw),
+        "portable pick ({pg},{pw})"
+    );
 }
 
 /// Section V-A3 / Fig. 6: PGI generates more PTX than CAPS; thread
@@ -129,8 +132,12 @@ fn claim_ge_fig9_launches_and_threads() {
     assert_eq!(bar("PGI-K40 / Indep").config, "128x1");
     assert_eq!(bar("CAPS-CUDA-K40 / Indep").config, "32x4");
     // PGI -Munroll nearly doubles arithmetic (Section V-B3).
-    let a_base = bar("PGI-K40 / Reorg").counts.get(paccport::ptx::Category::Arithmetic);
-    let a_unroll = bar("PGI-K40 / Unroll").counts.get(paccport::ptx::Category::Arithmetic);
+    let a_base = bar("PGI-K40 / Reorg")
+        .counts
+        .get(paccport::ptx::Category::Arithmetic);
+    let a_unroll = bar("PGI-K40 / Unroll")
+        .counts
+        .get(paccport::ptx::Category::Arithmetic);
     assert!(a_unroll as f64 / a_base as f64 > 1.5);
     // CAPS unroll is a fake success.
     assert_eq!(
@@ -211,11 +218,16 @@ fn claim_bp_reduction_story() {
     use paccport::ptx::Category;
     for series in ["CAPS-CUDA-K40", "PGI-K40"] {
         assert_eq!(
-            bar(&format!("{series} / Indep")).counts.get(Category::SharedMemory),
+            bar(&format!("{series} / Indep"))
+                .counts
+                .get(Category::SharedMemory),
             0
         );
         assert!(
-            bar(&format!("{series} / Reduction")).counts.get(Category::SharedMemory) > 0,
+            bar(&format!("{series} / Reduction"))
+                .counts
+                .get(Category::SharedMemory)
+                > 0,
             "{series} reduction must emit st.shared/ld.shared"
         );
         assert_eq!(
@@ -230,7 +242,10 @@ fn claim_bp_reduction_story() {
     let e = exp::fig12_bp(&scale());
     let ocl = e.get("OCL-K40", "OCL").unwrap().seconds;
     let acc = e.get("CAPS-CUDA-K40", "Indep").unwrap().seconds;
-    assert!(ocl < acc, "OpenCL (shared memory) beats OpenACC: {ocl} vs {acc}");
+    assert!(
+        ocl < acc,
+        "OpenCL (shared memory) beats OpenACC: {ocl} vs {acc}"
+    );
     let caps_red = e.get("CAPS-CUDA-K40", "Reduction").unwrap().kernel_seconds;
     let caps_ind = e.get("CAPS-CUDA-K40", "Indep").unwrap().kernel_seconds;
     assert!(caps_red > caps_ind * 0.8, "CAPS reduction gives no speedup");
@@ -269,7 +284,10 @@ fn claim_fig16_ppr() {
         );
     }
     let better = rows.iter().filter(|c| c.openacc_is_more_portable()).count();
-    assert!(better >= 2, "OpenACC more portable in some cases ({better}/4)");
+    assert!(
+        better >= 2,
+        "OpenACC more portable in some cases ({better}/4)"
+    );
 }
 
 /// Table II and Fig. 1, as data.

@@ -8,8 +8,8 @@ use paccport::compilers::transforms::{
 use paccport::compilers::DistSpec;
 use paccport::devsim::{exec_kernel, fresh_vars, Buffer, KernelFidelity, V};
 use paccport::ir::{
-    analyze_block, assign, for_, ld, let_, st, Block, Expr, HostStmt, Intent, Kernel,
-    ParallelLoop, Program, ProgramBuilder, Scalar, E,
+    analyze_block, assign, for_, ld, let_, st, Block, Expr, HostStmt, Intent, Kernel, ParallelLoop,
+    Program, ProgramBuilder, Scalar, E,
 };
 use proptest::prelude::*;
 

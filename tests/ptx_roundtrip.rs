@@ -9,11 +9,10 @@ use paccport::kernels::{backprop, bfs, gaussian, lud, VariantCfg};
 use paccport::ptx::{format_module, parse_module};
 
 fn assert_round_trip(program: &paccport::ir::Program, compiler: CompilerId, o: &CompileOptions) {
-    let c = compile(compiler, program, o)
-        .unwrap_or_else(|e| panic!("{}: {e}", program.name));
+    let c = compile(compiler, program, o).unwrap_or_else(|e| panic!("{}: {e}", program.name));
     let text = format_module(&c.module);
-    let back = parse_module(&text)
-        .unwrap_or_else(|e| panic!("{} / {compiler:?}: {e}", program.name));
+    let back =
+        parse_module(&text).unwrap_or_else(|e| panic!("{} / {compiler:?}: {e}", program.name));
     assert_eq!(
         back.counts(),
         c.module.counts(),

@@ -29,7 +29,10 @@ fn mic_with(f: impl FnOnce(&mut QuirkSet)) -> CompileOptions {
 fn quirk_caps_default_gang1() {
     let p = lud::program(&VariantCfg::baseline());
     let on = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
-    assert_eq!(on.plan("lud_row").unwrap().exec, ExecStrategy::DeviceSequential);
+    assert_eq!(
+        on.plan("lud_row").unwrap().exec,
+        ExecStrategy::DeviceSequential
+    );
     let off = compile(
         CompilerId::Caps,
         &p,
@@ -234,8 +237,6 @@ fn quirk_pgi_conservative_indirection() {
 /// with `independent` present.
 #[test]
 fn quirk_pgi_locks_distribution() {
-    let mut vc = VariantCfg::thread_dist(256, 16);
-    vc.independent = true;
     // LUD's loops would refuse independent; use GE's fan1 shape via a
     // direct program: reuse gaussian with forced clauses.
     let mut p = gaussian::program(&VariantCfg::independent());
