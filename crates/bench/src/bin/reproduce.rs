@@ -2,20 +2,31 @@
 //! simulated test bed.
 //!
 //! ```text
-//! reproduce [--quick] [--jobs N] [--trace] [--exp <id>]...
+//! reproduce [--check] [--scale smoke|quick|paper] [--quick]
+//!           [--jobs N] [--trace] [--exp <id>]...
 //! ```
 //!
-//! With no `--exp`, all experiments run. `--quick` uses CI-scale
-//! inputs instead of Table IV's paper-scale ones. `--jobs N` fans each
-//! experiment matrix out over N worker threads through a shared
-//! compile cache (`--jobs 1`, the default, is the serial reference
-//! path; stdout is byte-identical either way). `--trace` prints a
-//! pipeline trace — span timings and cache/transform/launch counters —
-//! to stderr after the run. Recognized ids:
+//! With no `--exp`, all experiments run. `--scale` picks the input
+//! sizes: `paper` (Table IV, the default), `quick` (CI scale), or
+//! `smoke` (smallest functional sizes); `--quick` is an alias for
+//! `--scale quick`. `--jobs N` fans each experiment matrix out over N
+//! worker threads through a shared compile cache (`--jobs 1`, the
+//! default, is the serial reference path; stdout is byte-identical
+//! either way). `--trace` prints a pipeline trace — span timings and
+//! cache/transform/launch counters — to stderr after the run.
+//! Recognized ids:
 //! tab1 tab2 tab3 tab4 tab5 tab6 tab7, fig1 fig3 fig4 fig6 fig7 fig8
 //! fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16, plus the future-work
 //! extensions ext1 (OpenARC auto-tuning) and ext2 (data-region
 //! insertion).
+//!
+//! `--check` runs the soundness cross-check instead of the figures:
+//! every benchmark variant × target executes *functionally* (at
+//! `smoke`-clamped sizes) under the device simulator's dynamic race
+//! detector, and the findings are compared against the static
+//! dependence analysis per kernel and loop level. Exits nonzero if
+//! any statically-independent loop races, or a known-wrong reduction
+//! plan is not caught as a write-write race.
 
 use paccport_core::engine::Engine;
 use paccport_core::experiments as exp;
@@ -24,8 +35,13 @@ use paccport_core::study::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
     let trace = args.iter().any(|a| a == "--trace");
+    let mut scale_name = if args.iter().any(|a| a == "--quick") {
+        "quick".to_string()
+    } else {
+        "paper".to_string()
+    };
     let mut jobs: usize = 1;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -42,13 +58,19 @@ fn main() {
             if jobs == 0 {
                 die("--jobs requires a positive integer");
             }
+        } else if a == "--scale" {
+            scale_name = it
+                .next()
+                .cloned()
+                .unwrap_or_else(|| die("--scale requires smoke|quick|paper"));
         }
     }
     let all = wanted.is_empty();
-    let scale = if quick {
-        Scale::quick()
-    } else {
-        Scale::paper()
+    let scale = match scale_name.as_str() {
+        "smoke" => Scale::smoke(),
+        "quick" => Scale::quick(),
+        "paper" => Scale::paper(),
+        _ => die("--scale requires smoke|quick|paper"),
     };
     let want = |id: &str| all || wanted.iter().any(|w| w == id);
 
@@ -57,10 +79,33 @@ fn main() {
     }
     let eng = Engine::new(jobs);
 
+    if check {
+        let report = exp::check_soundness_on(&eng, &scale);
+        print!("{}", report::render_soundness(&report));
+        if trace {
+            eprintln!(
+                "jobs: {}  |  unique artifacts compiled: {}  |  cache hits: {}",
+                eng.jobs(),
+                eng.cache().misses(),
+                eng.cache().hits()
+            );
+            eprint!("{}", paccport_trace::summary().render());
+        }
+        if !report.all_consistent() || !report.lost_update_caught() {
+            eprintln!("reproduce --check: soundness invariant violated");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     println!("paccport `reproduce` — Understanding Performance Portability of OpenACC");
     println!(
         "scale: {} (LUD {}, GE {}, BFS {}, BP {}x{}, Hydro {})\n",
-        if quick { "quick" } else { "paper (Table IV)" },
+        match scale_name.as_str() {
+            "paper" => "paper (Table IV)",
+            "smoke" => "smoke",
+            _ => "quick",
+        },
         scale.lud_n,
         scale.ge_n,
         scale.bfs_n,

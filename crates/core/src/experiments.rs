@@ -15,6 +15,7 @@
 use crate::engine::Engine;
 use crate::ppr::{PprComparison, PprEntry};
 use crate::ptxcmp::{PtxBar, PtxFigure};
+use crate::soundness::{check_cell, CheckCell, SoundnessReport};
 use crate::study::{CellSpec, ElapsedFigure, Measured, Scale};
 use paccport_compilers::{CompileOptions, CompilerId, Flag, HostCompiler};
 use paccport_devsim::{sweep, CostHints, HeatMap, RunConfig};
@@ -922,6 +923,266 @@ pub fn ext2_data_regions_on(eng: &Engine, scale: &Scale) -> Vec<ExtDataRegionRow
             })
         })
         .collect()
+}
+
+// ===================================================================
+// Soundness check: static dependence analysis vs dynamic races
+// ===================================================================
+
+/// The full benchmark matrix as functional soundness cells: every
+/// variant × target of the evaluation, at sizes small enough to
+/// interpret instruction-by-instruction under the race detector but
+/// large enough to execute every kernel. See [`crate::soundness`].
+pub fn soundness_cells(scale: &Scale) -> Vec<CheckCell> {
+    use paccport_devsim::Buffer;
+    use paccport_kernels::{diag_dominant_matrix, random_vec};
+
+    let mut cells = Vec::new();
+    let acc_targets = [
+        ("CAPS-CUDA-K40", CompilerId::Caps, gpu()),
+        ("CAPS-OCL-5110P", CompilerId::Caps, mic()),
+        ("PGI-K40", CompilerId::Pgi, gpu()),
+    ];
+    let ocl_targets = [("OCL-K40", gpu()), ("OCL-5110P", mic())];
+    let mut push = |benchmark: &str,
+                    series: &str,
+                    variant: &str,
+                    compiler: CompilerId,
+                    options: CompileOptions,
+                    program: paccport_ir::Program,
+                    cfg: RunConfig| {
+        cells.push(CheckCell {
+            benchmark: benchmark.into(),
+            series: series.into(),
+            variant: variant.into(),
+            compiler,
+            options,
+            program,
+            cfg,
+        });
+    };
+
+    // LUD: all four optimization steps.
+    {
+        let n = scale.lud_n.min(48);
+        let cfg = RunConfig::functional(vec![("n".into(), n as f64)])
+            .with_input("a", Buffer::F32(diag_dominant_matrix(n, 21)));
+        for (variant, vc) in lud_variants() {
+            let p = lud::program(&vc);
+            for (series, compiler, opts) in &acc_targets {
+                push(
+                    "LUD",
+                    series,
+                    &variant,
+                    *compiler,
+                    opts.clone(),
+                    p.clone(),
+                    cfg.clone(),
+                );
+            }
+        }
+    }
+
+    // GE: the OpenACC ladder plus both hand-written OpenCL versions.
+    {
+        let n = scale.ge_n.min(48);
+        let cfg = RunConfig::functional(vec![("n".into(), n as f64)])
+            .with_input("a", Buffer::F32(diag_dominant_matrix(n, 5)))
+            .with_input("b", Buffer::F32(random_vec(n, 6)));
+        for (variant, vc) in ge_variants() {
+            let p = gaussian::program(&vc);
+            for (series, compiler, opts) in &acc_targets {
+                push(
+                    "GE",
+                    series,
+                    &variant,
+                    *compiler,
+                    opts.clone(),
+                    p.clone(),
+                    cfg.clone(),
+                );
+            }
+        }
+        for (variant, adv) in [("OCL-Base", false), ("OCL-Advanced", true)] {
+            let p = gaussian::opencl_program(adv);
+            for (series, opts) in &ocl_targets {
+                push(
+                    "GE",
+                    series,
+                    variant,
+                    CompilerId::OpenClHand,
+                    opts.clone(),
+                    p.clone(),
+                    cfg.clone(),
+                );
+            }
+        }
+    }
+
+    // BFS: indirect addressing — the analysis refuses, the detector
+    // confirms the refusal was conservative but not wrong.
+    {
+        let n = scale.bfs_n.min(512);
+        let g = bfs::Graph::random(n, scale.bfs_avg_degree.max(1), 17);
+        let mut mask = vec![0i32; g.n];
+        mask[0] = 1;
+        let cfg = RunConfig::functional(vec![
+            ("n".into(), g.n as f64),
+            ("nedges".into(), g.edges.len() as f64),
+            ("source".into(), 0.0),
+        ])
+        .with_input("nodes", Buffer::I32(g.nodes.clone()))
+        .with_input("edges", Buffer::I32(g.edges.clone()))
+        .with_input("mask", Buffer::I32(mask));
+        for (variant, vc) in [
+            ("Base", VariantCfg::baseline()),
+            ("Indep", VariantCfg::independent()),
+        ] {
+            let p = bfs::program(&vc);
+            for (series, compiler, opts) in &acc_targets {
+                push(
+                    "BFS",
+                    series,
+                    variant,
+                    *compiler,
+                    opts.clone(),
+                    p.clone(),
+                    cfg.clone(),
+                );
+            }
+        }
+        let p = bfs::opencl_program();
+        for (series, opts) in &ocl_targets {
+            push(
+                "BFS",
+                series,
+                "OCL",
+                CompilerId::OpenClHand,
+                opts.clone(),
+                p.clone(),
+                cfg.clone(),
+            );
+        }
+    }
+
+    // BP: includes the Reduction (and Unroll-on-top-of-Reduction)
+    // variants whose CAPS-on-MIC plans are known-wrong — the cells the
+    // lost-update demonstration must catch.
+    {
+        let n_in = scale.bp_in.min(256);
+        let n_hid = scale.bp_hid.min(16);
+        let w_len = (n_in + 1) * (n_hid + 1);
+        let cfg = RunConfig::functional(vec![
+            ("n_in".into(), n_in as f64),
+            ("n_hid".into(), n_hid as f64),
+        ])
+        .with_input("input", Buffer::F32(random_vec(n_in + 1, 1)))
+        .with_input("w", Buffer::F32(random_vec(w_len, 2)))
+        .with_input("delta", Buffer::F32(random_vec(n_hid + 1, 3)))
+        .with_input("oldw", Buffer::F32(random_vec(w_len, 4)));
+        for (variant, vc) in bp_variants() {
+            let p = backprop::program(&vc);
+            for (series, compiler, opts) in &acc_targets {
+                push(
+                    "BP",
+                    series,
+                    &variant,
+                    *compiler,
+                    opts.clone(),
+                    p.clone(),
+                    cfg.clone(),
+                );
+            }
+        }
+        let p = backprop::opencl_program(128);
+        for (series, opts) in &ocl_targets {
+            push(
+                "BP",
+                series,
+                "OCL",
+                CompilerId::OpenClHand,
+                opts.clone(),
+                p.clone(),
+                cfg.clone(),
+            );
+        }
+    }
+
+    // Hydro: the full real application (PGI cannot compile it, as in
+    // the paper, so only CAPS and the hand-written OpenCL run).
+    {
+        let n = scale.hydro_n.min(24);
+        let steps = scale.hydro_steps.clamp(1, 2);
+        let cfg = hydro::sod_run_config(n, n, steps);
+        for (variant, hv) in [
+            ("Base", hydro::HydroVariant::Baseline),
+            ("Indep+Dist", hydro::HydroVariant::Optimized),
+        ] {
+            let p = hydro::program(hv);
+            for (series, opts) in [("ACC-K40", gpu()), ("ACC-5110P", mic())] {
+                push(
+                    "Hydro",
+                    series,
+                    variant,
+                    CompilerId::Caps,
+                    opts,
+                    p.clone(),
+                    cfg.clone(),
+                );
+            }
+        }
+        let p = hydro::program(hydro::HydroVariant::OpenCl);
+        for (series, opts) in &ocl_targets {
+            push(
+                "Hydro",
+                series,
+                "OCL",
+                CompilerId::OpenClHand,
+                opts.clone(),
+                p.clone(),
+                cfg.clone(),
+            );
+        }
+    }
+
+    cells
+}
+
+/// Run the soundness check over the whole benchmark matrix.
+pub fn check_soundness(scale: &Scale) -> SoundnessReport {
+    check_soundness_on(&Engine::serial(), scale)
+}
+
+/// [`check_soundness`] with the cells fanned out through a shared
+/// engine. Row order is identical to the serial path (submission
+/// order is preserved by the engine).
+pub fn check_soundness_on(eng: &Engine, scale: &Scale) -> SoundnessReport {
+    let _g = paccport_trace::span("soundness.matrix");
+    let cells = soundness_cells(scale);
+    let mut report = SoundnessReport {
+        cells: cells.len(),
+        ..Default::default()
+    };
+    let tasks: Vec<_> = cells
+        .into_iter()
+        .map(|cell| {
+            let cache = eng.cache();
+            move || {
+                let label = cell.label();
+                (label, check_cell(cache, &cell))
+            }
+        })
+        .collect();
+    for (label, res) in eng.run_batch(tasks) {
+        match res {
+            Ok(cc) => {
+                report.rows.extend(cc.rows);
+                report.accesses += cc.accesses;
+            }
+            Err(e) => report.failures.push(format!("{label}: {e}")),
+        }
+    }
+    report
 }
 
 // ===================================================================

@@ -38,15 +38,18 @@ pub mod method;
 pub mod ppr;
 pub mod ptxcmp;
 pub mod report;
+pub mod soundness;
 pub mod step5;
 pub mod study;
 
 pub use autotune::{autotune_distribution, default_candidates, Candidate, TuneOutcome};
 pub use engine::Engine;
 pub use method::{
-    apply_method, select_portable_distribution, MethodOptions, OptimizationOutcome, StepAction,
+    apply_method, dep_reason, select_portable_distribution, MethodOptions, OptimizationOutcome,
+    StepAction,
 };
 pub use ppr::{PprComparison, PprEntry};
 pub use ptxcmp::{compare_steps, PtxBar, PtxFigure, StepVerdict};
+pub use soundness::{check_cell, CellCheck, CheckCell, SoundnessReport, SoundnessRow};
 pub use step5::{insert_data_regions, strip_data_regions};
 pub use study::{measure, measure_cached, CellSpec, ElapsedFigure, Measured, Scale};

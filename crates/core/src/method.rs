@@ -87,6 +87,23 @@ impl OptimizationOutcome {
     }
 }
 
+/// The human-readable refusal reason for one dependence, shared by
+/// step 1's audit trail and the `reproduce --check` soundness table
+/// (so both report the same wording for the same hazard).
+pub fn dep_reason(d: &DepKind) -> String {
+    match d {
+        DepKind::Carried { array, distance } => {
+            format!(
+                "carried dependence on array {} (distance {distance})",
+                array.0
+            )
+        }
+        DepKind::Unknown { array, reason } => {
+            format!("unanalyzable access to array {} ({reason})", array.0)
+        }
+    }
+}
+
 /// Apply the systematic method to a program.
 pub fn apply_method(program: &Program, opts: &MethodOptions) -> OptimizationOutcome {
     let mut p = program.clone();
@@ -109,17 +126,7 @@ pub fn apply_method(program: &Program, opts: &MethodOptions) -> OptimizationOutc
                 let reason = rep
                     .deps
                     .iter()
-                    .map(|d| match d {
-                        DepKind::Carried { array, distance } => {
-                            format!(
-                                "carried dependence on array {} (distance {distance})",
-                                array.0
-                            )
-                        }
-                        DepKind::Unknown { array, reason } => {
-                            format!("unanalyzable access to array {} ({reason})", array.0)
-                        }
-                    })
+                    .map(dep_reason)
                     .collect::<Vec<_>>()
                     .join("; ");
                 actions.push(StepAction::RefusedIndependent {

@@ -21,9 +21,25 @@ pub struct PprEntry {
 }
 
 impl PprEntry {
-    /// Eq. 1.
+    /// Eq. 1. A ratio only makes sense over two positive, finite
+    /// timings; a zero or degenerate `gpu_seconds` yields `NaN`
+    /// rather than silently injecting `inf` into reports (all
+    /// comparison predicates are then false).
     pub fn ppr(&self) -> f64 {
-        self.mic_seconds / self.gpu_seconds
+        if self.is_valid() {
+            self.mic_seconds / self.gpu_seconds
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Both timings are positive and finite, so [`PprEntry::ppr`] is a
+    /// meaningful ratio.
+    pub fn is_valid(&self) -> bool {
+        self.gpu_seconds > 0.0
+            && self.gpu_seconds.is_finite()
+            && self.mic_seconds > 0.0
+            && self.mic_seconds.is_finite()
     }
 }
 
@@ -65,6 +81,29 @@ mod tests {
     #[test]
     fn eq1_is_mic_over_gpu() {
         assert_eq!(entry("x", 2.0, 6.0).ppr(), 3.0);
+    }
+
+    #[test]
+    fn zero_or_degenerate_gpu_time_yields_nan_not_inf() {
+        for bad in [
+            entry("x", 0.0, 6.0),
+            entry("x", -1.0, 6.0),
+            entry("x", f64::NAN, 6.0),
+            entry("x", f64::INFINITY, 6.0),
+            entry("x", 2.0, f64::NAN),
+            entry("x", 2.0, 0.0),
+        ] {
+            assert!(!bad.is_valid());
+            assert!(bad.ppr().is_nan(), "{bad:?}");
+        }
+        // The comparison predicates degrade safely rather than
+        // declaring a winner off a division by zero.
+        let c = PprComparison {
+            openacc: entry("OpenACC", 0.0, 2.0),
+            opencl: entry("OpenCL", 1.0, 9.0),
+        };
+        assert!(!c.openacc_is_more_portable());
+        assert!(!c.both_favor_gpu());
     }
 
     #[test]

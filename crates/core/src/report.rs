@@ -149,6 +149,117 @@ pub fn render_tab7(rows: &[Table7Row]) -> String {
     out
 }
 
+/// Render the `--check` soundness table: one line per (benchmark,
+/// variant, kernel, loop level), aggregated across the targets that
+/// ran it, followed by the lost-update demonstrations and a verdict.
+pub fn render_soundness(rep: &crate::soundness::SoundnessReport) -> String {
+    use std::collections::BTreeMap;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Soundness: static dependence analysis vs dynamic race detector [check] =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<10}{:<30}{:<18}{:>2} {:>6}{:>7}  static verdict / status",
+        "benchmark", "variant", "kernel", "L", "cells", "races"
+    );
+    hline(&mut out, 118);
+
+    // (benchmark, variant, kernel, level) -> (cells, races, verdict,
+    // proven, all-consistent). The static verdict only depends on the
+    // source program, so it is identical across a group's targets.
+    #[allow(clippy::type_complexity)]
+    let mut groups: BTreeMap<
+        (String, String, String, usize),
+        (usize, usize, String, bool, bool),
+    > = BTreeMap::new();
+    for r in rep.rows.iter().filter(|r| !r.lost_update_demo) {
+        let g = groups
+            .entry((
+                r.benchmark.clone(),
+                r.variant.clone(),
+                r.kernel.clone(),
+                r.level,
+            ))
+            .or_insert((0, 0, r.verdict.clone(), r.proven_independent, true));
+        g.0 += 1;
+        g.1 += r.races;
+        g.4 &= r.consistent;
+    }
+    for ((bench, variant, kernel, level), (cells, races, verdict, proven, ok)) in &groups {
+        let status = if !ok {
+            "VIOLATION"
+        } else if *proven {
+            "independent, race-free"
+        } else {
+            "not asserted"
+        };
+        let _ = writeln!(
+            out,
+            "{bench:<10}{variant:<30}{kernel:<18}{level:>2} {cells:>6}{races:>7}  {status}: {verdict}"
+        );
+    }
+
+    let demos: Vec<_> = rep.rows.iter().filter(|r| r.lost_update_demo).collect();
+    if !demos.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nknown-wrong plans, demonstrated via their effective lowering:"
+        );
+        let mut seen = Vec::new();
+        for d in demos {
+            let key = (&d.benchmark, &d.variant, &d.kernel, &d.series);
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let _ = writeln!(
+                out,
+                "  {} {} / {} -> {}",
+                d.benchmark,
+                d.variant,
+                d.series,
+                if d.races > 0 {
+                    d.race_note.as_str()
+                } else {
+                    "NOT CAUGHT"
+                }
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "\n{} cells checked, {} shadow-logged accesses, {} loop levels",
+        rep.cells,
+        rep.accesses,
+        groups.len()
+    );
+    for f in &rep.failures {
+        let _ = writeln!(out, "cell FAILED: {f}");
+    }
+    if rep.all_consistent() {
+        let _ = writeln!(
+            out,
+            "soundness invariant holds: every statically-independent loop ran race-free{}",
+            if rep.lost_update_caught() {
+                ", and every known-wrong reduction plan was caught as a write-write race"
+            } else {
+                ""
+            }
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "SOUNDNESS VIOLATIONS: {} row(s), {} failed cell(s)",
+            rep.violations().len(),
+            rep.failures.len()
+        );
+    }
+    out
+}
+
 /// Render Table I.
 pub fn render_tab1() -> String {
     let mut out = String::new();

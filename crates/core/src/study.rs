@@ -39,6 +39,23 @@ impl Scale {
         }
     }
 
+    /// Smallest sizes that still exercise every kernel: what the
+    /// functional soundness check (`reproduce --check`) interprets
+    /// instruction-by-instruction under the race detector.
+    pub fn smoke() -> Self {
+        Scale {
+            lud_n: 32,
+            ge_n: 32,
+            bfs_n: 120,
+            bfs_avg_degree: 3,
+            bfs_levels: 10,
+            bp_in: 96,
+            bp_hid: 16,
+            hydro_n: 16,
+            hydro_steps: 1,
+        }
+    }
+
     /// CI-friendly sizes with the same qualitative behaviour.
     pub fn quick() -> Self {
         Scale {

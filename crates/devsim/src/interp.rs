@@ -14,7 +14,8 @@
 //! dropping the tree-combine phases (a lost-update race), which is
 //! exactly the class of bug the paper reports.
 
-use crate::memory::Buffer;
+use crate::memory::{Buffer, MemLoc};
+use crate::race::{RaceTracker, ThreadId};
 use paccport_ir::expr::{BinOp, CmpOp, Expr, SpecialVar, UnOp};
 use paccport_ir::kernel::{Kernel, KernelBody};
 use paccport_ir::stmt::{Block, Stmt};
@@ -77,6 +78,19 @@ pub struct Scope<'a> {
     /// Work-group local arrays (grouped kernels only).
     pub locals: Option<&'a mut Vec<Buffer>>,
     pub group: GroupCtx,
+    /// Shadow access log for dynamic race detection (`None` = off).
+    pub tracker: Option<&'a RaceTracker>,
+}
+
+impl<'a> Scope<'a> {
+    /// The location a `(space, array)` access resolves to for the race
+    /// detector: local arrays are per-group instances.
+    fn mem_loc(&self, space: MemSpace, array: u32, index: i64) -> MemLoc {
+        match space {
+            MemSpace::Global => MemLoc::global(array, index),
+            MemSpace::Local => MemLoc::local(array, self.group.group_id, index),
+        }
+    }
 }
 
 impl Scope<'_> {
@@ -112,6 +126,9 @@ pub fn eval(p: &Program, params: &[V], e: &Expr, s: &Scope<'_>) -> V {
             index,
         } => {
             let i = eval(p, params, index, s).as_i();
+            if let Some(t) = s.tracker {
+                t.log_read(s.mem_loc(*space, array.0, i));
+            }
             let buf = match space {
                 MemSpace::Global => &s.bufs[array.0 as usize],
                 MemSpace::Local => {
@@ -286,6 +303,9 @@ fn exec_stmt(p: &Program, params: &[V], stmt: &Stmt, s: &mut Scope<'_>) {
         } => {
             let i = eval(p, params, index, s).as_i();
             let v = eval(p, params, value, s).as_f();
+            if let Some(t) = s.tracker {
+                t.log_write(s.mem_loc(*space, array.0, i), false);
+            }
             let buf = match space {
                 MemSpace::Global => &mut s.bufs[array.0 as usize],
                 MemSpace::Local => {
@@ -341,6 +361,9 @@ fn exec_stmt(p: &Program, params: &[V], stmt: &Stmt, s: &mut Scope<'_>) {
             // trivially atomic.
             let i = eval(p, params, index, s).as_i() as usize;
             let v = eval(p, params, value, s).as_f();
+            if let Some(t) = s.tracker {
+                t.log_write(s.mem_loc(MemSpace::Global, array.0, i as i64), true);
+            }
             let buf = &mut s.bufs[array.0 as usize];
             let old = buf.get(i);
             buf.set(i, op.combine(old, v));
@@ -381,10 +404,32 @@ pub fn exec_kernel(
     bufs: &mut [Buffer],
     fidelity: KernelFidelity,
 ) {
+    exec_kernel_traced(p, params, k, vars, bufs, fidelity, None)
+}
+
+/// [`exec_kernel`] with an optional shadow access log: every global
+/// and local memory access inside the parallel region is recorded
+/// against the logical thread performing it (iteration vector or
+/// group/lane), so the tracker can flag cross-thread conflicts.
+pub fn exec_kernel_traced(
+    p: &Program,
+    params: &[V],
+    k: &Kernel,
+    vars: &mut Vec<Option<V>>,
+    bufs: &mut [Buffer],
+    fidelity: KernelFidelity,
+    tracker: Option<&RaceTracker>,
+) {
     match &k.body {
         KernelBody::Simple(_) => {
             let mut acc = k.region_reduction.as_ref().map(|rr| rr.op.identity());
-            exec_nest(p, params, k, 0, vars, bufs, &mut acc);
+            let mut iter = Vec::with_capacity(k.loops.len());
+            exec_nest(p, params, k, 0, vars, bufs, &mut acc, tracker, &mut iter);
+            if let Some(t) = tracker {
+                // The combined reduction store is a synchronization
+                // point, not a per-iteration access.
+                t.set_thread(None);
+            }
             if let (Some(rr), Some(total)) = (&k.region_reduction, acc) {
                 bufs[rr.dest.0 as usize].set(0, total);
             }
@@ -399,6 +444,7 @@ pub fn exec_kernel(
                 bufs,
                 locals: None,
                 group: GroupCtx::default(),
+                tracker: None,
             };
             let lo = eval(p, params, &lp.lo, &scope_ro).as_i();
             let hi = eval(p, params, &lp.hi, &scope_ro).as_i();
@@ -420,9 +466,20 @@ pub fn exec_kernel(
                     if skip {
                         continue;
                     }
+                    if let Some(tr) = tracker {
+                        // Phases are separated by implicit barriers;
+                        // the phase index is the tracker's epoch.
+                        tr.set_epoch(pi as u32);
+                    }
                     for t in 0..gsz {
                         let tv = &mut thread_vars[t as usize];
                         tv[lp.var.0 as usize] = Some(V::I(lo + grp));
+                        if let Some(tr) = tracker {
+                            tr.set_thread(Some(ThreadId::Lane {
+                                group: grp,
+                                lane: t,
+                            }));
+                        }
                         let mut s = Scope {
                             vars: tv,
                             bufs,
@@ -433,16 +490,21 @@ pub fn exec_kernel(
                                 local_size: gsz,
                                 num_groups: n_groups,
                             },
+                            tracker,
                         };
                         exec_block(p, params, phase, &mut s);
                     }
                 }
+            }
+            if let Some(tr) = tracker {
+                tr.set_thread(None);
             }
         }
     }
 }
 
 /// Recursively iterate the parallel loop nest of a simple kernel.
+#[allow(clippy::too_many_arguments)]
 fn exec_nest(
     p: &Program,
     params: &[V],
@@ -451,14 +513,20 @@ fn exec_nest(
     vars: &mut Vec<Option<V>>,
     bufs: &mut [Buffer],
     acc: &mut Option<f64>,
+    tracker: Option<&RaceTracker>,
+    iter: &mut Vec<i64>,
 ) {
     if depth == k.loops.len() {
+        if let Some(t) = tracker {
+            t.set_thread(Some(ThreadId::Iter(iter.clone())));
+        }
         let body = k.simple_body().expect("simple kernel");
         let mut s = Scope {
             vars,
             bufs,
             locals: None,
             group: GroupCtx::default(),
+            tracker,
         };
         exec_block(p, params, body, &mut s);
         if let (Some(rr), Some(total)) = (&k.region_reduction, acc.as_mut()) {
@@ -474,6 +542,9 @@ fn exec_nest(
             bufs,
             locals: None,
             group: GroupCtx::default(),
+            // Loop bounds are evaluated once, before the parallel
+            // region: not per-iteration accesses.
+            tracker: None,
         };
         (
             eval(p, params, &lp.lo, &s).as_i(),
@@ -482,7 +553,9 @@ fn exec_nest(
     };
     for i in lo..hi {
         vars[lp.var.0 as usize] = Some(V::I(i));
-        exec_nest(p, params, k, depth + 1, vars, bufs, acc);
+        iter.push(i);
+        exec_nest(p, params, k, depth + 1, vars, bufs, acc, tracker, iter);
+        iter.pop();
     }
 }
 
@@ -671,6 +744,61 @@ mod tests {
             KernelFidelity::DropTreePhases,
         );
         assert_ne!(bufs2.last().unwrap().as_f32()[0], expect);
+    }
+
+    #[test]
+    fn grouped_tree_reduction_is_race_free_under_tracker() {
+        use paccport_compilers::transforms::{reduction_to_grouped, VarAlloc};
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let x = b.array("x", Scalar::F32, n, Intent::In);
+        let out = b.array("out", Scalar::F32, n, Intent::Out);
+        let j = b.var("j");
+        let kv = b.var("k");
+        let s = b.var("s");
+        let mut k = Kernel::simple(
+            "fwd",
+            vec![ParallelLoop::new(j, Expr::iconst(0), Expr::iconst(2))],
+            Block::new(vec![
+                let_(s, Scalar::F32, 0.0),
+                for_(
+                    kv,
+                    0i64,
+                    E::from(n),
+                    vec![assign(s, E::from(s) + ld(x, kv))],
+                ),
+                st(out, j, E::from(s)),
+            ]),
+        );
+        let mut p = b.finish(vec![]);
+        let mut va = VarAlloc::new(&mut p.var_names);
+        assert!(reduction_to_grouped(&mut k, 8, &mut va));
+
+        // Under exact execution the staged tree is barrier-ordered:
+        // the cross-lane reads of `sdata` all land one phase after
+        // the writes they consume, so the detector must stay silent.
+        let tracker = crate::race::RaceTracker::new(
+            "fwd",
+            vec!["x".into(), "out".into()],
+            vec!["sdata".into()],
+            false,
+        );
+        let mut bufs = vec![
+            Buffer::F32((0..32).map(|v| v as f32).collect()),
+            Buffer::zeroed(Scalar::F32, 32),
+        ];
+        let mut vars = fresh_vars(&p);
+        exec_kernel_traced(
+            &p,
+            &[V::I(32)],
+            &k,
+            &mut vars,
+            &mut bufs,
+            KernelFidelity::Exact,
+            Some(&tracker),
+        );
+        assert!(tracker.races().is_empty(), "{:?}", tracker.races());
+        assert!(tracker.accesses() > 0);
     }
 
     #[test]

@@ -51,14 +51,16 @@ pub mod heatmap;
 pub mod interp;
 pub mod memory;
 pub mod profile;
+pub mod race;
 pub mod runner;
 pub mod timing;
 
 pub use device::{amd_firepro, host_cpu, k40, phi5110p, spec_for, DeviceSpec, ParallelUnit};
 pub use dyncost::{kernel_dyn_cost, CostHints, DynCost};
 pub use heatmap::{sweep, HeatMap};
-pub use interp::{exec_kernel, fresh_vars, KernelFidelity, V};
-pub use memory::{Buffer, TransferLedger};
+pub use interp::{exec_kernel, exec_kernel_traced, fresh_vars, KernelFidelity, V};
+pub use memory::{Buffer, MemLoc, TransferLedger};
 pub use profile::render_profile;
+pub use race::{Race, RaceKind, RaceTracker, ThreadId};
 pub use runner::{run, Fidelity, KernelStat, RunConfig, RunResult};
 pub use timing::{bw_fraction, compute_rate, kernel_launch_time, transfer_time, warp_efficiency};

@@ -1,8 +1,43 @@
 //! Typed buffers and the host/device memory pair with its transfer
 //! ledger.
 
-use paccport_ir::{ArrayDecl, Scalar};
+use paccport_ir::{ArrayDecl, MemSpace, Scalar};
 use serde::{Deserialize, Serialize};
+
+/// Identity of one memory cell as seen by the race detector's shadow
+/// log. Global arrays are shared by every simulated thread, so their
+/// cells are identified by (array, index) alone; work-group local
+/// arrays are instantiated per group, so the group id is part of the
+/// location (lanes of different groups can never touch the same local
+/// cell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MemLoc {
+    pub space: MemSpace,
+    pub array: u32,
+    /// Owning group for `MemSpace::Local` cells; `-1` for global.
+    pub group: i64,
+    pub index: i64,
+}
+
+impl MemLoc {
+    pub fn global(array: u32, index: i64) -> MemLoc {
+        MemLoc {
+            space: MemSpace::Global,
+            array,
+            group: -1,
+            index,
+        }
+    }
+
+    pub fn local(array: u32, group: i64, index: i64) -> MemLoc {
+        MemLoc {
+            space: MemSpace::Local,
+            array,
+            group,
+            index,
+        }
+    }
+}
 
 /// A typed, 1-D data buffer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

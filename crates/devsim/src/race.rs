@@ -1,0 +1,526 @@
+//! Dynamic race detection for the simulated device.
+//!
+//! The interpreter executes parallel loops sequentially, so a data
+//! race never corrupts results here the way it would on hardware —
+//! but it *would* on the machines the paper used, which is exactly
+//! what the static dependence analysis (`paccport_ir::deps`) is meant
+//! to predict. This module records a shadow log of every global- and
+//! local-memory access during functional execution, tagged with the
+//! logical thread that performed it (the parallel-loop iteration
+//! vector, or the group/lane pair for work-group kernels), and flags
+//! cross-thread read-write and write-write conflicts.
+//!
+//! Synchronization model, mirroring the simulator and the analysis:
+//!
+//! - Distinct iterations of a parallel loop nest run unordered: any
+//!   conflicting pair is a race.
+//! - Lanes of one work group are ordered *across phases* (an implicit
+//!   barrier separates phases, like CUDA `__syncthreads()`), so only
+//!   same-phase conflicts race — unless the schedule dropped the
+//!   barriers ([`RaceTracker::new`]'s `barriers_dropped`).
+//! - Lanes of *different* groups are never ordered, in any phase.
+//! - `Stmt::Atomic` updates synchronize (the same modeling choice
+//!   `deps.rs` makes): atomic-atomic pairs never race, and the atomic
+//!   side of an atomic/read pair is treated as ordered. A *plain*
+//!   write against any other thread's access still races.
+//!
+//! Detection is online: each access is checked against the shadow
+//! cell's recorded first writer and (up to two distinct) readers, so
+//! memory stays proportional to the touched footprint, not the access
+//! count. Diagnostics name the kernel, the array, the element index,
+//! and both conflicting iteration ids.
+
+use crate::memory::MemLoc;
+use paccport_ir::MemSpace;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Logical identity of one simulated device thread.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ThreadId {
+    /// Iteration vector of a simple kernel's parallel loop nest.
+    Iter(Vec<i64>),
+    /// One lane of a work group (grouped kernels).
+    Lane { group: i64, lane: i64 },
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadId::Iter(v) => {
+                write!(f, "iteration (")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            ThreadId::Lane { group, lane } => write!(f, "group {group} lane {lane}"),
+        }
+    }
+}
+
+/// Kind of conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RaceKind {
+    WriteWrite,
+    ReadWrite,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaceKind::WriteWrite => write!(f, "write-write"),
+            RaceKind::ReadWrite => write!(f, "read-write"),
+        }
+    }
+}
+
+/// One detected cross-thread conflict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Race {
+    pub kernel: String,
+    pub array: String,
+    pub space: MemSpace,
+    pub index: i64,
+    pub kind: RaceKind,
+    /// The earlier access (simulation order).
+    pub first: ThreadId,
+    /// The later, conflicting access.
+    pub second: ThreadId,
+    /// Parallel-loop nest level the conflict is attributed to: the
+    /// first level where the two iteration vectors differ. Grouped
+    /// kernels' cross-group conflicts map to level 0 (their single
+    /// parallel loop); same-group lane conflicts have no level (they
+    /// sit *below* the parallel loop the static analysis judges).
+    pub level: Option<usize>,
+}
+
+impl Race {
+    /// Human-readable diagnostic naming the array, the element, and
+    /// the two conflicting iterations.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} race on `{}`[{}] between {} and {} of kernel `{}`",
+            self.kind, self.array, self.index, self.first, self.second, self.kernel
+        )
+    }
+}
+
+fn level_of(a: &ThreadId, b: &ThreadId) -> Option<usize> {
+    match (a, b) {
+        (ThreadId::Iter(x), ThreadId::Iter(y)) => x.iter().zip(y.iter()).position(|(p, q)| p != q),
+        (ThreadId::Lane { group: g1, .. }, ThreadId::Lane { group: g2, .. }) => {
+            if g1 != g2 {
+                Some(0)
+            } else {
+                None
+            }
+        }
+        // Mixed kinds never occur within one kernel launch.
+        _ => Some(0),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Access {
+    /// Index into `Inner::threads`.
+    thread: usize,
+    /// Phase index for grouped kernels; 0 for simple kernels.
+    epoch: u32,
+    atomic: bool,
+}
+
+#[derive(Debug, Default, Clone)]
+struct ShadowCell {
+    /// First plain (non-atomic) writer.
+    writer: Option<Access>,
+    /// First atomic writer.
+    atomic_writer: Option<Access>,
+    /// Up to two readers from distinct threads (latest epoch each).
+    readers: [Option<Access>; 2],
+}
+
+struct Inner {
+    kernel: String,
+    /// Global array names (by `ArrayId`) for diagnostics.
+    global_names: Vec<String>,
+    /// Local array names (by local slot) for diagnostics.
+    local_names: Vec<String>,
+    /// Interned thread ids; `Access::thread` indexes this.
+    threads: Vec<ThreadId>,
+    thread_index: BTreeMap<ThreadId, usize>,
+    current: Option<usize>,
+    epoch: u32,
+    barriers_dropped: bool,
+    shadow: BTreeMap<MemLoc, ShadowCell>,
+    races: Vec<Race>,
+    /// One recorded race per (space, array, kind, level) keeps the
+    /// report readable on large footprints; `conflicts` still counts
+    /// every detected pair.
+    seen: BTreeSet<(MemSpace, u32, RaceKind, Option<usize>)>,
+    accesses: u64,
+    conflicts: u64,
+}
+
+/// Shadow-log collector for one kernel launch.
+///
+/// Interior-mutable so the interpreter can log loads from within
+/// expression evaluation, which only holds `&Scope`. Single-threaded
+/// by construction (one launch is interpreted on one thread).
+pub struct RaceTracker {
+    inner: RefCell<Inner>,
+}
+
+impl RaceTracker {
+    pub fn new(
+        kernel: &str,
+        global_names: Vec<String>,
+        local_names: Vec<String>,
+        barriers_dropped: bool,
+    ) -> RaceTracker {
+        RaceTracker {
+            inner: RefCell::new(Inner {
+                kernel: kernel.to_string(),
+                global_names,
+                local_names,
+                threads: Vec::new(),
+                thread_index: BTreeMap::new(),
+                current: None,
+                epoch: 0,
+                barriers_dropped,
+                shadow: BTreeMap::new(),
+                races: Vec::new(),
+                seen: BTreeSet::new(),
+                accesses: 0,
+                conflicts: 0,
+            }),
+        }
+    }
+
+    /// Set the logical thread subsequent accesses belong to. `None`
+    /// suspends logging (loop-bound evaluation, region-reduction
+    /// combines — synchronization points, not racy accesses).
+    pub fn set_thread(&self, t: Option<ThreadId>) {
+        let mut inner = self.inner.borrow_mut();
+        let cur = t.map(|t| match inner.thread_index.get(&t) {
+            Some(&i) => i,
+            None => {
+                let i = inner.threads.len();
+                inner.threads.push(t.clone());
+                inner.thread_index.insert(t, i);
+                i
+            }
+        });
+        inner.current = cur;
+    }
+
+    /// Set the barrier epoch (grouped kernels: the phase index).
+    pub fn set_epoch(&self, e: u32) {
+        self.inner.borrow_mut().epoch = e;
+    }
+
+    pub fn log_read(&self, loc: MemLoc) {
+        self.log(loc, false, false);
+    }
+
+    pub fn log_write(&self, loc: MemLoc, atomic: bool) {
+        self.log(loc, true, atomic);
+    }
+
+    fn log(&self, loc: MemLoc, is_write: bool, atomic: bool) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(thread) = inner.current else {
+            return;
+        };
+        inner.accesses += 1;
+        let acc = Access {
+            thread,
+            epoch: inner.epoch,
+            atomic,
+        };
+        let cell = inner.shadow.entry(loc).or_default().clone();
+        let mut found: Vec<(Access, RaceKind)> = Vec::new();
+        if is_write {
+            // A plain write races with any other thread's prior
+            // access; an atomic write only with prior plain writes.
+            if let Some(w) = cell.writer {
+                if conflicts(&inner, w, acc) {
+                    found.push((w, RaceKind::WriteWrite));
+                }
+            }
+            if !atomic {
+                if let Some(w) = cell.atomic_writer {
+                    if conflicts(&inner, w, acc) {
+                        found.push((w, RaceKind::WriteWrite));
+                    }
+                }
+                for r in cell.readers.iter().flatten() {
+                    if conflicts(&inner, *r, acc) {
+                        found.push((*r, RaceKind::ReadWrite));
+                    }
+                }
+            }
+        } else if let Some(w) = cell.writer {
+            if conflicts(&inner, w, acc) {
+                found.push((w, RaceKind::ReadWrite));
+            }
+        }
+        for (prior, kind) in found {
+            record(&mut inner, loc, prior, acc, kind);
+        }
+        // Update the shadow cell.
+        let cell = inner.shadow.get_mut(&loc).expect("entry just created");
+        if is_write {
+            let slot = if atomic {
+                &mut cell.atomic_writer
+            } else {
+                &mut cell.writer
+            };
+            if slot.is_none() {
+                *slot = Some(acc);
+            }
+        } else {
+            // Keep the latest epoch per thread: phases are processed
+            // in order, so only the most recent read can still be
+            // unordered with a later same-group write.
+            if let Some(r) = cell
+                .readers
+                .iter_mut()
+                .flatten()
+                .find(|r| r.thread == thread)
+            {
+                r.epoch = acc.epoch;
+            } else if let Some(slot) = cell.readers.iter_mut().find(|r| r.is_none()) {
+                *slot = Some(acc);
+            }
+        }
+    }
+
+    /// All recorded (deduplicated) races, earliest first.
+    pub fn races(&self) -> Vec<Race> {
+        self.inner.borrow().races.clone()
+    }
+
+    /// Total accesses logged.
+    pub fn accesses(&self) -> u64 {
+        self.inner.borrow().accesses
+    }
+
+    /// Total conflicting pairs detected (before deduplication).
+    pub fn conflicts(&self) -> u64 {
+        self.inner.borrow().conflicts
+    }
+}
+
+/// Are two accesses by different threads unordered (hence racy if
+/// conflicting)?
+fn conflicts(inner: &Inner, a: Access, b: Access) -> bool {
+    if a.thread == b.thread {
+        return false;
+    }
+    match (&inner.threads[a.thread], &inner.threads[b.thread]) {
+        (ThreadId::Lane { group: g1, .. }, ThreadId::Lane { group: g2, .. }) if g1 == g2 => {
+            // Same group: phases are barrier-separated unless the
+            // (miscompiled) schedule dropped them.
+            inner.barriers_dropped || a.epoch == b.epoch
+        }
+        _ => true,
+    }
+}
+
+fn record(inner: &mut Inner, loc: MemLoc, prior: Access, now: Access, kind: RaceKind) {
+    inner.conflicts += 1;
+    let first = inner.threads[prior.thread].clone();
+    let second = inner.threads[now.thread].clone();
+    let level = level_of(&first, &second);
+    if !inner.seen.insert((loc.space, loc.array, kind, level)) {
+        return;
+    }
+    let array = match loc.space {
+        MemSpace::Global => inner.global_names.get(loc.array as usize),
+        MemSpace::Local => inner.local_names.get(loc.array as usize),
+    }
+    .cloned()
+    .unwrap_or_else(|| format!("#{}", loc.array));
+    inner.races.push(Race {
+        kernel: inner.kernel.clone(),
+        array,
+        space: loc.space,
+        index: loc.index,
+        kind,
+        first,
+        second,
+        level,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> RaceTracker {
+        RaceTracker::new(
+            "k",
+            vec!["a".into(), "b".into()],
+            vec!["sdata".into()],
+            false,
+        )
+    }
+
+    #[test]
+    fn disjoint_iterations_do_not_race() {
+        let t = tracker();
+        for i in 0..4 {
+            t.set_thread(Some(ThreadId::Iter(vec![i])));
+            t.log_read(MemLoc::global(0, i));
+            t.log_write(MemLoc::global(1, i), false);
+        }
+        assert!(t.races().is_empty());
+        assert_eq!(t.accesses(), 8);
+    }
+
+    #[test]
+    fn cross_iteration_read_write_is_flagged() {
+        // iteration i reads a[i+1], writes a[i]: classic RW carried.
+        let t = tracker();
+        for i in 0..3 {
+            t.set_thread(Some(ThreadId::Iter(vec![i])));
+            t.log_read(MemLoc::global(0, i + 1));
+            t.log_write(MemLoc::global(0, i), false);
+        }
+        let races = t.races();
+        assert!(!races.is_empty());
+        let r = &races[0];
+        assert_eq!(r.kind, RaceKind::ReadWrite);
+        assert_eq!(r.array, "a");
+        assert_eq!(r.level, Some(0));
+        assert_ne!(r.first, r.second);
+    }
+
+    #[test]
+    fn shared_accumulator_is_a_write_write_race() {
+        let t = tracker();
+        for i in 0..3 {
+            t.set_thread(Some(ThreadId::Iter(vec![i])));
+            t.log_read(MemLoc::global(0, 0));
+            t.log_write(MemLoc::global(0, 0), false);
+        }
+        let kinds: BTreeSet<RaceKind> = t.races().iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&RaceKind::WriteWrite));
+        assert!(kinds.contains(&RaceKind::ReadWrite));
+        let ww = t
+            .races()
+            .into_iter()
+            .find(|r| r.kind == RaceKind::WriteWrite)
+            .unwrap();
+        assert_eq!(ww.first, ThreadId::Iter(vec![0]));
+        assert_eq!(ww.second, ThreadId::Iter(vec![1]));
+        assert!(ww.describe().contains("`a`[0]"));
+    }
+
+    #[test]
+    fn atomic_updates_synchronize() {
+        let t = tracker();
+        for i in 0..4 {
+            t.set_thread(Some(ThreadId::Iter(vec![i])));
+            t.log_write(MemLoc::global(0, 0), true);
+        }
+        assert!(t.races().is_empty());
+        // …but a plain write against them still races.
+        t.set_thread(Some(ThreadId::Iter(vec![9])));
+        t.log_write(MemLoc::global(0, 0), false);
+        assert_eq!(t.races()[0].kind, RaceKind::WriteWrite);
+    }
+
+    #[test]
+    fn barrier_separated_phases_do_not_race() {
+        // Lane 0 writes sdata[1] in phase 0; lane 1 reads it in
+        // phase 1 — the classic staged-reduction handoff.
+        let t = tracker();
+        t.set_epoch(0);
+        t.set_thread(Some(ThreadId::Lane { group: 0, lane: 0 }));
+        t.log_write(MemLoc::local(0, 0, 1), false);
+        t.set_epoch(1);
+        t.set_thread(Some(ThreadId::Lane { group: 0, lane: 1 }));
+        t.log_read(MemLoc::local(0, 0, 1));
+        assert!(t.races().is_empty());
+    }
+
+    #[test]
+    fn same_phase_lane_conflict_is_flagged() {
+        let t = tracker();
+        t.set_epoch(0);
+        t.set_thread(Some(ThreadId::Lane { group: 0, lane: 0 }));
+        t.log_write(MemLoc::local(0, 0, 1), false);
+        t.set_thread(Some(ThreadId::Lane { group: 0, lane: 1 }));
+        t.log_read(MemLoc::local(0, 0, 1));
+        let races = t.races();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].array, "sdata");
+        // Same group: below the parallel loop, no nest level.
+        assert_eq!(races[0].level, None);
+    }
+
+    #[test]
+    fn dropped_barriers_expose_phase_conflicts() {
+        let t = RaceTracker::new("k", vec!["a".into()], vec!["sdata".into()], true);
+        t.set_epoch(0);
+        t.set_thread(Some(ThreadId::Lane { group: 0, lane: 0 }));
+        t.log_write(MemLoc::local(0, 0, 1), false);
+        t.set_epoch(1);
+        t.set_thread(Some(ThreadId::Lane { group: 0, lane: 1 }));
+        t.log_read(MemLoc::local(0, 0, 1));
+        assert_eq!(t.races().len(), 1);
+    }
+
+    #[test]
+    fn cross_group_conflicts_ignore_phases() {
+        let t = tracker();
+        t.set_epoch(0);
+        t.set_thread(Some(ThreadId::Lane { group: 0, lane: 0 }));
+        t.log_write(MemLoc::global(0, 7), false);
+        t.set_epoch(1);
+        t.set_thread(Some(ThreadId::Lane { group: 1, lane: 0 }));
+        t.log_write(MemLoc::global(0, 7), false);
+        let races = t.races();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].level, Some(0));
+    }
+
+    #[test]
+    fn nest_level_attribution_uses_first_differing_component() {
+        let t = tracker();
+        t.set_thread(Some(ThreadId::Iter(vec![2, 0])));
+        t.log_write(MemLoc::global(0, 5), false);
+        t.set_thread(Some(ThreadId::Iter(vec![2, 1])));
+        t.log_write(MemLoc::global(0, 5), false);
+        assert_eq!(t.races()[0].level, Some(1));
+    }
+
+    #[test]
+    fn accesses_outside_a_thread_are_not_logged() {
+        let t = tracker();
+        t.log_write(MemLoc::global(0, 0), false);
+        t.set_thread(Some(ThreadId::Iter(vec![0])));
+        t.log_write(MemLoc::global(0, 0), false);
+        t.set_thread(None);
+        t.log_write(MemLoc::global(0, 0), false);
+        assert!(t.races().is_empty());
+        assert_eq!(t.accesses(), 1);
+    }
+
+    #[test]
+    fn dedup_keeps_one_race_per_array_and_kind_but_counts_all() {
+        let t = tracker();
+        for i in 0..8 {
+            t.set_thread(Some(ThreadId::Iter(vec![i])));
+            t.log_write(MemLoc::global(0, 0), false);
+        }
+        assert_eq!(t.races().len(), 1);
+        assert_eq!(t.conflicts(), 7);
+    }
+}

@@ -5,8 +5,9 @@
 
 use crate::device::{host_cpu, spec_for, DeviceSpec};
 use crate::dyncost::{kernel_dyn_cost, CostHints, DynCost};
-use crate::interp::{exec_kernel, fresh_vars, KernelFidelity, V};
+use crate::interp::{exec_kernel_traced, fresh_vars, KernelFidelity, V};
 use crate::memory::{Buffer, TransferLedger};
+use crate::race::{Race, RaceTracker};
 use crate::timing::{kernel_launch_time, transfer_time};
 use paccport_compilers::common::dist_rank_of;
 use paccport_compilers::lower::used_arrays;
@@ -37,6 +38,10 @@ pub struct RunConfig {
     pub inputs: Vec<(String, Buffer)>,
     pub fidelity: Fidelity,
     pub hints: CostHints,
+    /// Run the dynamic race detector during functional execution,
+    /// collecting [`RunResult::races`]. Ignored in timing-only mode
+    /// (nothing executes there).
+    pub race_check: bool,
 }
 
 impl RunConfig {
@@ -46,6 +51,7 @@ impl RunConfig {
             inputs: Vec::new(),
             fidelity: Fidelity::Functional,
             hints: CostHints::default(),
+            race_check: false,
         }
     }
 
@@ -55,6 +61,7 @@ impl RunConfig {
             inputs: Vec::new(),
             fidelity: Fidelity::TimingOnly { while_iters },
             hints: CostHints::default(),
+            race_check: false,
         }
     }
 
@@ -65,6 +72,11 @@ impl RunConfig {
 
     pub fn with_hints(mut self, hints: CostHints) -> Self {
         self.hints = hints;
+        self
+    }
+
+    pub fn with_race_check(mut self, on: bool) -> Self {
+        self.race_check = on;
         self
     }
 }
@@ -103,6 +115,12 @@ pub struct RunResult {
     /// A kernel with a known-wrong plan executed (validation is
     /// expected to fail).
     pub any_known_wrong: bool,
+    /// Cross-thread conflicts found by the dynamic race detector
+    /// (empty unless [`RunConfig::race_check`] was set), deduplicated
+    /// per (kernel, array, kind, level) across launches.
+    pub races: Vec<Race>,
+    /// Accesses the race detector shadow-logged (0 when off).
+    pub race_accesses: u64,
 }
 
 impl RunResult {
@@ -151,6 +169,10 @@ struct Runner<'a> {
     transfers_in_while: u64,
     in_while: bool,
     written_in_iter: BTreeSet<ArrayId>,
+    races: Vec<Race>,
+    /// Dedup key for `races` across launches of the same kernel.
+    race_seen: BTreeSet<(String, String, crate::race::RaceKind, Option<usize>)>,
+    race_accesses: u64,
     /// Arrays touched by at least one device-executed kernel (PGI's
     /// runtime elides `update`s for arrays with no device activity).
     device_active: Vec<bool>,
@@ -196,6 +218,7 @@ impl<'a> Runner<'a> {
                     bufs: &mut no_bufs,
                     locals: None,
                     group: Default::default(),
+                    tracker: None,
                 };
                 let l = crate::interp::eval(p, &params, &a.len, &scope).as_i();
                 if l < 0 {
@@ -269,6 +292,9 @@ impl<'a> Runner<'a> {
             transfers_in_while: 0,
             in_while: false,
             written_in_iter: BTreeSet::new(),
+            races: Vec::new(),
+            race_seen: BTreeSet::new(),
+            race_accesses: 0,
             device_active,
             region_cover: vec![0; p.arrays.len()],
         })
@@ -509,6 +535,7 @@ impl<'a> Runner<'a> {
             bufs: &mut self.host,
             locals: None,
             group: Default::default(),
+            tracker: None,
         };
         crate::interp::eval(&self.c.program, &self.params, e, &scope)
     }
@@ -610,12 +637,49 @@ impl<'a> Runner<'a> {
                 Correctness::Wrong { .. } => KernelFidelity::DropTreePhases,
             };
             let p = &self.c.program;
+            let tracker = self.cfg.race_check.then(|| {
+                let global_names = p.arrays.iter().map(|a| a.name.clone()).collect();
+                let local_names = match &k.body {
+                    KernelBody::Grouped(g) => g.locals.iter().map(|l| l.name.clone()).collect(),
+                    KernelBody::Simple(_) => Vec::new(),
+                };
+                RaceTracker::new(
+                    &k.name,
+                    global_names,
+                    local_names,
+                    fidelity == KernelFidelity::DropTreePhases,
+                )
+            });
             let bufs: &mut [Buffer] = if on_device {
                 &mut self.dev
             } else {
                 &mut self.host
             };
-            exec_kernel(p, &self.params, k, &mut self.vars, bufs, fidelity);
+            exec_kernel_traced(
+                p,
+                &self.params,
+                k,
+                &mut self.vars,
+                bufs,
+                fidelity,
+                tracker.as_ref(),
+            );
+            if let Some(t) = tracker {
+                self.race_accesses += t.accesses();
+                paccport_trace::add("race.accesses", t.accesses());
+                paccport_trace::add("race.conflicts", t.conflicts());
+                for race in t.races() {
+                    let key = (
+                        race.kernel.clone(),
+                        race.array.clone(),
+                        race.kind,
+                        race.level,
+                    );
+                    if self.race_seen.insert(key) {
+                        self.races.push(race);
+                    }
+                }
+            }
         }
         if matches!(plan.correctness, Correctness::Wrong { .. }) {
             self.any_known_wrong = true;
@@ -689,6 +753,8 @@ impl<'a> Runner<'a> {
             transfers_outside_while: self.ledger.total_count() - self.transfers_in_while,
             host: self.host,
             any_known_wrong: self.any_known_wrong,
+            races: self.races,
+            race_accesses: self.race_accesses,
         })
     }
 }
@@ -862,6 +928,60 @@ mod tests {
             .all(|v| *v == 1.0));
         // No kernel-driven transfers.
         assert_eq!(r.transfers.total_count(), 0);
+    }
+
+    #[test]
+    fn race_check_is_clean_on_saxpy() {
+        let p = saxpy_program(true);
+        let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+        let cfg = RunConfig::functional(vec![("n".into(), 16.0)])
+            .with_input("x", Buffer::F32(vec![1.0; 16]))
+            .with_input("y", Buffer::F32(vec![1.0; 16]))
+            .with_race_check(true);
+        let r = run(&c, &cfg).unwrap();
+        assert!(r.races.is_empty(), "{:?}", r.races);
+        // 2 loads + 1 store per iteration.
+        assert_eq!(r.race_accesses, 48);
+    }
+
+    #[test]
+    fn race_check_flags_shared_accumulator() {
+        // out[0] = out[0] + x[i] for every parallel iteration — the
+        // effective schedule of a lost-update miscompilation.
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let x = b.array("x", Scalar::F32, n, Intent::In);
+        let out = b.array("acc", Scalar::F32, 1i64, Intent::InOut);
+        let i = b.var("i");
+        let mut lp = ParallelLoop::new(i, Expr::iconst(0), Expr::param(n));
+        lp.clauses.independent = true;
+        let k = Kernel::simple(
+            "accumulate",
+            vec![lp],
+            paccport_ir::Block::new(vec![st(out, 0i64, ld(out, 0i64) + ld(x, i))]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let c = compile(CompilerId::Caps, &p, &CompileOptions::gpu()).unwrap();
+        let cfg = RunConfig::functional(vec![("n".into(), 8.0)])
+            .with_input("x", Buffer::F32(vec![1.0; 8]))
+            .with_race_check(true);
+        let r = run(&c, &cfg).unwrap();
+        let ww = r
+            .races
+            .iter()
+            .find(|x| x.kind == crate::race::RaceKind::WriteWrite)
+            .expect("lost update must be a write-write race");
+        assert_eq!(ww.array, "acc");
+        assert_eq!(ww.level, Some(0));
+        let d = ww.describe();
+        assert!(d.contains("`acc`[0]"), "{d}");
+        assert!(d.contains("(0)") && d.contains("(1)"), "{d}");
+        // Off by default: same run without the flag records nothing.
+        let cfg_off = RunConfig::functional(vec![("n".into(), 8.0)])
+            .with_input("x", Buffer::F32(vec![1.0; 8]));
+        let r_off = run(&c, &cfg_off).unwrap();
+        assert!(r_off.races.is_empty());
+        assert_eq!(r_off.race_accesses, 0);
     }
 
     #[test]

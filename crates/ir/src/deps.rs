@@ -177,19 +177,15 @@ pub fn analyze_block(loop_var: VarId, block: &Block) -> DepReport {
                 continue;
             }
             if ca.is_zero() {
-                // Neither access moves with the loop. A write to a
-                // loop-invariant location from every iteration is a
-                // (reduction-like) carried dependence.
-                if fa == fb && (a.is_write || b.is_write) && a.is_write != b.is_write {
-                    if seen_carried.insert((array, 0)) {
-                        report.deps.push(DepKind::Carried { array, distance: 0 });
-                    }
-                } else if fa == fb
-                    && a.is_write
-                    && b.is_write
-                    && !std::ptr::eq(a, b)
-                    && seen_carried.insert((array, 0))
-                {
+                // Neither access moves with the loop, so every
+                // iteration touches the same location. Any pair with a
+                // write is a carried dependence — including a single
+                // store statement paired with itself, because two
+                // *different iterations* both execute it (the
+                // `bfs_kernel2` stop-flag store: a lone loop-invariant
+                // write the detector observes as a write-write race).
+                // Read-read pairs were already filtered above.
+                if fa == fb && seen_carried.insert((array, 0)) {
                     report.deps.push(DepKind::Carried { array, distance: 0 });
                 }
                 continue;
@@ -364,6 +360,140 @@ mod tests {
         }]);
         let r = analyze_block(v(0), &body);
         assert!(r.is_independent(), "got {:?}", r);
+    }
+
+    /// A store buried in a sequential inner `For` body is still a
+    /// hazard of the enclosing parallel loop: `for i: for k:
+    /// A[i+1] = A[i]` carries distance 1.
+    #[test]
+    fn store_inside_sequential_inner_loop_is_analyzed() {
+        let i = v(0);
+        let k = v(1);
+        let body = Block::new(vec![Stmt::For {
+            var: k,
+            lo: Expr::iconst(0),
+            hi: Expr::iconst(4),
+            step: 1,
+            body: Block::new(vec![Stmt::Store {
+                space: MemSpace::Global,
+                array: ArrayId(0),
+                index: Expr::bin(BinOp::Add, Expr::var(i), Expr::iconst(1)),
+                value: Expr::load(ArrayId(0), Expr::var(i)),
+            }]),
+        }]);
+        let r = analyze_block(i, &body);
+        assert!(!r.is_independent());
+        assert!(r
+            .deps
+            .iter()
+            .any(|d| matches!(d, DepKind::Carried { distance, .. } if distance.abs() == 1)));
+    }
+
+    /// Accumulating into the iteration's own slot from inside a
+    /// sequential inner loop (`for i: for k: A[i] += B[k]`) is
+    /// independent w.r.t. the parallel loop.
+    #[test]
+    fn per_iteration_accumulation_in_inner_loop_is_independent() {
+        let i = v(0);
+        let k = v(1);
+        let body = Block::new(vec![Stmt::For {
+            var: k,
+            lo: Expr::iconst(0),
+            hi: Expr::iconst(4),
+            step: 1,
+            body: Block::new(vec![Stmt::Store {
+                space: MemSpace::Global,
+                array: ArrayId(0),
+                index: Expr::var(i),
+                value: Expr::bin(
+                    BinOp::Add,
+                    Expr::load(ArrayId(0), Expr::var(i)),
+                    Expr::load(ArrayId(1), Expr::var(k)),
+                ),
+            }]),
+        }]);
+        let r = analyze_block(i, &body);
+        assert!(r.is_independent(), "got {r:?}");
+    }
+
+    /// Atomic updates synchronize: a histogram-style kernel whose only
+    /// write is `atomic hist[0] += x[i]` is reported independent.
+    #[test]
+    fn atomic_only_updates_are_independent() {
+        use crate::kernel::ReduceOp;
+        let body = Block::new(vec![Stmt::Atomic {
+            op: ReduceOp::Add,
+            array: ArrayId(0),
+            index: Expr::iconst(0),
+            value: Expr::load(ArrayId(1), Expr::var(v(0))),
+        }]);
+        let r = analyze_block(v(0), &body);
+        assert!(r.is_independent(), "got {r:?}");
+    }
+
+    /// …but the atomic's index/value expressions still *read*: a load
+    /// of `A[i+1]` inside an atomic pairs with a plain store of `A[i]`
+    /// into a carried dependence.
+    #[test]
+    fn atomic_operands_are_read_collected() {
+        use crate::kernel::ReduceOp;
+        let i = v(0);
+        let body = Block::new(vec![
+            Stmt::Store {
+                space: MemSpace::Global,
+                array: ArrayId(0),
+                index: Expr::var(i),
+                value: Expr::fconst(1.0),
+            },
+            Stmt::Atomic {
+                op: ReduceOp::Add,
+                array: ArrayId(1),
+                index: Expr::iconst(0),
+                value: Expr::load(
+                    ArrayId(0),
+                    Expr::bin(BinOp::Add, Expr::var(i), Expr::iconst(1)),
+                ),
+            },
+        ]);
+        let r = analyze_block(i, &body);
+        assert!(!r.is_independent());
+        assert!(r.deps.iter().any(
+            |d| matches!(d, DepKind::Carried { array: ArrayId(0), distance } if distance.abs() == 1)
+        ));
+    }
+
+    /// A single loop-invariant store (BFS's `stop[0] = 1`) conflicts
+    /// with *itself* across iterations: two different iterations both
+    /// write the same location. Found by the dynamic race detector —
+    /// the old analysis only compared distinct store statements, so a
+    /// lone flag store was silently "proven" independent.
+    #[test]
+    fn lone_loop_invariant_store_is_carried() {
+        let i = v(0);
+        // if (mask[i] != 0) { stop[0] = 1 }
+        let body = Block::new(vec![Stmt::If {
+            cond: Expr::cmp(
+                crate::expr::CmpOp::Ne,
+                Expr::load(ArrayId(0), Expr::var(i)),
+                Expr::iconst(0),
+            ),
+            then_blk: Block::new(vec![Stmt::Store {
+                space: MemSpace::Global,
+                array: ArrayId(1),
+                index: Expr::iconst(0),
+                value: Expr::iconst(1),
+            }]),
+            else_blk: Block::new(vec![]),
+        }]);
+        let r = analyze_block(i, &body);
+        assert!(!r.is_independent());
+        assert!(r.deps.iter().any(|d| matches!(
+            d,
+            DepKind::Carried {
+                array: ArrayId(1),
+                distance: 0
+            }
+        )));
     }
 
     /// Read-read pairs never constitute a dependence.

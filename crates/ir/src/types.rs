@@ -66,7 +66,7 @@ pub struct VarId(pub u32);
 /// part of the paper hinges on this distinction: OpenACC tiling never
 /// produced `ld.shared`/`st.shared` instructions, while the
 /// hand-written OpenCL and the `reduction` directive did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MemSpace {
     Global,
     Local,

@@ -29,6 +29,7 @@ pub fn validate(p: &Program) -> Result<(), Vec<ValidationError>> {
         p,
         errors: Vec::new(),
         defined_vars: Default::default(),
+        local_scope: None,
     };
     // Array length expressions may only use parameters.
     for (i, a) in p.arrays.iter().enumerate() {
@@ -51,6 +52,10 @@ struct Ctx<'a> {
     p: &'a Program,
     errors: Vec<ValidationError>,
     defined_vars: std::collections::BTreeSet<VarId>,
+    /// `Some(n_locals)` while validating a grouped phase body; local
+    /// memory accesses are only legal there, and their array ids index
+    /// the kernel's own local table of that size.
+    local_scope: Option<usize>,
 }
 
 impl<'a> Ctx<'a> {
@@ -221,16 +226,30 @@ impl<'a> Ctx<'a> {
                     else_blk,
                 } => {
                     self.expr(cond, loc, grouped);
+                    // Each branch opens its own scope: a `Let` in one
+                    // branch must not legitimize an `Assign` in the
+                    // other branch or after the `If`.
+                    let saved = self.defined_vars.clone();
                     self.block(then_blk, loc, grouped, in_local_scope);
+                    self.defined_vars = saved.clone();
                     self.block(else_blk, loc, grouped, in_local_scope);
+                    self.defined_vars = saved;
                 }
                 Stmt::For {
                     var, lo, hi, body, ..
                 } => {
                     self.expr(lo, loc, grouped);
                     self.expr(hi, loc, grouped);
+                    // `Let`s inside the body are scoped to the body.
+                    // The loop variable itself stays bound afterwards
+                    // (the interpreter's variable slots persist, like
+                    // a C89 `for` with the induction variable declared
+                    // outside).
+                    let saved = self.defined_vars.clone();
                     self.defined_vars.insert(*var);
                     self.block(body, loc, grouped, in_local_scope);
+                    self.defined_vars = saved;
+                    self.defined_vars.insert(*var);
                 }
                 Stmt::Barrier => {
                     if !grouped {
@@ -268,7 +287,9 @@ impl<'a> Ctx<'a> {
                 check_local(self, *array);
             }
         });
+        let prev = self.local_scope.replace(n_locals);
         self.block(b, loc, true, true);
+        self.local_scope = prev;
     }
 
     fn expr(&mut self, e: &Expr, loc: &str, grouped: bool) {
@@ -279,6 +300,19 @@ impl<'a> Ctx<'a> {
                 array,
                 ..
             } => self.check_array(*array, loc),
+            Expr::Load {
+                space: MemSpace::Local,
+                array,
+                ..
+            } => match self.local_scope {
+                // Mirrors the `Store` checks: local memory only exists
+                // inside a grouped phase, and ids index its table.
+                None => self.err(loc, "local-memory load outside a grouped body".into()),
+                Some(n) if array.0 as usize >= n => {
+                    self.err(loc, format!("local array id {} out of range", array.0));
+                }
+                Some(_) => {}
+            },
             Expr::Special(sv) if !grouped => {
                 self.err(
                     loc,
@@ -370,6 +404,146 @@ mod tests {
         assert!(errs
             .iter()
             .any(|e| e.message.contains("only reference parameters")));
+    }
+
+    #[test]
+    fn let_in_then_branch_does_not_reach_else_branch() {
+        use crate::builder::{assign, if_else, let_};
+        let (mut b, n, a, i) = base();
+        let tmp = b.var("tmp");
+        let k = Kernel::simple(
+            "k",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            Block::new(vec![
+                if_else(
+                    Expr::BConst(true),
+                    vec![let_(tmp, Scalar::F32, 1.0)],
+                    vec![assign(tmp, 2.0)],
+                ),
+                st(a, i, 0.0),
+            ]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared")));
+    }
+
+    #[test]
+    fn let_in_if_branch_does_not_leak_past_the_if() {
+        use crate::builder::{assign, if_, let_};
+        let (mut b, n, a, i) = base();
+        let tmp = b.var("tmp");
+        let k = Kernel::simple(
+            "k",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            Block::new(vec![
+                if_(Expr::BConst(true), vec![let_(tmp, Scalar::F32, 1.0)]),
+                assign(tmp, 2.0),
+                st(a, i, 0.0),
+            ]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared")));
+    }
+
+    #[test]
+    fn let_in_for_body_does_not_leak_past_the_loop() {
+        use crate::builder::{assign, for_, let_};
+        let (mut b, n, a, i) = base();
+        let kv = b.var("kv");
+        let tmp = b.var("tmp");
+        let k = Kernel::simple(
+            "k",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            Block::new(vec![
+                for_(kv, 0i64, 4i64, vec![let_(tmp, Scalar::F32, 1.0)]),
+                assign(tmp, 2.0),
+                st(a, i, 0.0),
+            ]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared")));
+    }
+
+    #[test]
+    fn for_loop_var_stays_bound_after_the_loop() {
+        // Matches the interpreter, whose variable slots persist.
+        use crate::builder::{assign, for_};
+        let (mut b, n, a, i) = base();
+        let kv = b.var("kv");
+        let k = Kernel::simple(
+            "k",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            Block::new(vec![
+                for_(kv, 0i64, 4i64, vec![st(a, i, 0.0)]),
+                assign(kv, 0i64),
+            ]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn local_load_outside_grouped_body_caught() {
+        use crate::builder::ld_local;
+        let (b, n, a, i) = base();
+        let k = Kernel::simple(
+            "k",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            Block::new(vec![st(a, i, ld_local(ArrayId(0), 0i64))]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("local-memory load outside")));
+    }
+
+    #[test]
+    fn out_of_range_local_load_caught_like_the_store() {
+        use crate::builder::{ld_local, st_local};
+        use crate::kernel::{GroupedBody, KernelBody};
+        use crate::types::LocalArrayDecl;
+        let (b, n, _a, i) = base();
+        let sdata = LocalArrayDecl {
+            name: "sdata".into(),
+            elem: Scalar::F32,
+            len: 8,
+        };
+        let mk = |body: Block| {
+            let mut k = Kernel::simple(
+                "k",
+                vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+                Block::default(),
+            );
+            k.body = KernelBody::Grouped(GroupedBody {
+                group_size: 8,
+                locals: vec![sdata.clone()],
+                phases: vec![body],
+            });
+            k
+        };
+        // In-range local load and store: fine.
+        let ok = mk(Block::new(vec![st_local(
+            ArrayId(0),
+            0i64,
+            ld_local(ArrayId(0), 1i64),
+        )]));
+        let p = base().0.finish(vec![HostStmt::Launch(ok)]);
+        assert!(validate(&p).is_ok(), "{:?}", validate(&p));
+        // Out-of-range local *load* now errors like the store does.
+        let bad = mk(Block::new(vec![st_local(
+            ArrayId(0),
+            0i64,
+            ld_local(ArrayId(3), 1i64),
+        )]));
+        let p = b.finish(vec![HostStmt::Launch(bad)]);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("local array id 3 out of range")));
     }
 
     #[test]

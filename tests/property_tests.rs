@@ -268,6 +268,7 @@ proptest! {
                     bufs: &mut rev,
                     locals: None,
                     group: Default::default(),
+                    tracker: None,
                 };
                 paccport::devsim::interp::exec_block(
                     &p,
