@@ -4,6 +4,7 @@
 //! ```text
 //! reproduce [--check] [--scale smoke|quick|paper] [--quick]
 //!           [--jobs N] [--trace] [--exp <id>]...
+//!           [--inject SPEC] [--fault-seed N]
 //! ```
 //!
 //! With no `--exp`, all experiments run. `--scale` picks the input
@@ -27,11 +28,36 @@
 //! dependence analysis per kernel and loop level. Exits nonzero if
 //! any statically-independent loop races, or a known-wrong reduction
 //! plan is not caught as a write-write race.
+//!
+//! `--inject SPEC` turns on deterministic fault injection (chaos
+//! testing): `SPEC` is a comma-separated list of
+//! `kind[:target][:rate]` clauses — kinds `compile`, `slow`, `device`,
+//! `hang`, `corrupt-cache` — or the `chaos` preset. `--fault-seed N`
+//! (default 0) seeds the pure decision hash, so a given (spec, seed)
+//! injects exactly the same faults every run. The engine retries
+//! injected faults with exponential backoff on a virtual clock and
+//! quarantines cells that exhaust their attempts; the run completes
+//! with partial results, prints a fault ledger, and exits nonzero only
+//! if a cell failed for a reason that was *not* injected.
 
 use paccport_core::engine::Engine;
 use paccport_core::experiments as exp;
 use paccport_core::report;
 use paccport_core::study::Scale;
+
+/// Flush the pipeline trace even when a panic unwinds out of `main` —
+/// a normal return or `process::exit` skips this (the happy path
+/// prints its own summary), so the guard only fires while panicking.
+struct TraceFlushGuard;
+
+impl Drop for TraceFlushGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() && paccport_trace::enabled() {
+            eprintln!("reproduce: panicked — flushing pipeline trace");
+            eprint!("{}", paccport_trace::summary().render());
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,12 +70,25 @@ fn main() {
     };
     let mut jobs: usize = 1;
     let mut wanted: Vec<String> = Vec::new();
+    let mut inject: Option<String> = None;
+    let mut fault_seed: u64 = 0;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--exp" {
             if let Some(id) = it.next() {
                 wanted.push(id.clone());
             }
+        } else if a == "--inject" {
+            inject = Some(
+                it.next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--inject requires a fault spec (try `chaos`)")),
+            );
+        } else if a == "--fault-seed" {
+            fault_seed = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--fault-seed requires an unsigned integer"));
         } else if a == "--jobs" {
             jobs = it
                 .next()
@@ -77,11 +116,18 @@ fn main() {
     if trace {
         paccport_trace::set_enabled(true);
     }
+    let _flush_guard = TraceFlushGuard;
+    if let Some(spec) = &inject {
+        let spec = paccport_faults::FaultSpec::parse(spec)
+            .unwrap_or_else(|e| die(&format!("--inject: {e}")));
+        paccport_faults::configure(spec, fault_seed);
+    }
     let eng = Engine::new(jobs);
 
     if check {
         let report = exp::check_soundness_on(&eng, &scale);
         print!("{}", report::render_soundness(&report));
+        print!("{}", report::render_fault_ledger(&eng.quarantined()));
         if trace {
             eprintln!(
                 "jobs: {}  |  unique artifacts compiled: {}  |  cache hits: {}",
@@ -258,6 +304,10 @@ fn main() {
         println!();
     }
 
+    // The fault ledger renders only when injection is configured, so
+    // fault-free stdout is untouched.
+    print!("{}", report::render_fault_ledger(&eng.quarantined()));
+
     // The trace goes to stderr so stdout stays byte-identical between
     // --jobs 1 and --jobs N.
     if trace {
@@ -268,6 +318,19 @@ fn main() {
             eng.cache().hits()
         );
         eprint!("{}", paccport_trace::summary().render());
+    }
+
+    // Partial results are fine under chaos, but a cell that failed for
+    // a reason we did NOT inject is a real bug: exit nonzero.
+    let genuine = eng.uninjected_failures();
+    if !genuine.is_empty() {
+        for q in &genuine {
+            eprintln!(
+                "reproduce: genuine failure in {}: {} [{} attempts]",
+                q.label, q.reason, q.attempts
+            );
+        }
+        std::process::exit(1);
     }
 }
 

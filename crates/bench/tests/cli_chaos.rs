@@ -1,0 +1,77 @@
+//! End-to-end chaos checks on the `reproduce` binary: a fixed
+//! (--inject, --fault-seed) pair must reproduce byte-identically, the
+//! fault ledger must land on stdout, and exit codes must distinguish
+//! injected chaos from genuine breakage.
+
+use std::process::{Command, Output};
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("run reproduce")
+}
+
+const CHAOS: &[&str] = &[
+    "--scale",
+    "smoke",
+    "--inject",
+    "chaos",
+    "--fault-seed",
+    "42",
+];
+
+#[test]
+fn same_seed_chaos_runs_are_byte_identical() {
+    let a = reproduce(CHAOS);
+    let b = reproduce(CHAOS);
+    assert!(a.status.success(), "injected-only failures exit 0");
+    assert_eq!(a.stdout, b.stdout, "chaos must be deterministic");
+}
+
+#[test]
+fn chaos_stdout_is_independent_of_job_count() {
+    let serial = reproduce(CHAOS);
+    let parallel = reproduce(&[CHAOS, &["--jobs", "8"]].concat());
+    assert!(parallel.status.success());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "fault decisions must not depend on worker scheduling"
+    );
+}
+
+#[test]
+fn chaos_report_carries_a_fault_ledger() {
+    let out = reproduce(CHAOS);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("== Fault ledger: --inject chaos --fault-seed 42"),
+        "ledger header missing"
+    );
+    assert!(text.contains("fault(s) injected"));
+    // Fault-free runs must not mention faults at all.
+    let clean = reproduce(&["--scale", "smoke"]);
+    let clean_text = String::from_utf8(clean.stdout).unwrap();
+    assert!(!clean_text.contains("Fault ledger"));
+    assert!(!clean_text.contains("FAILED"));
+}
+
+#[test]
+fn chaos_soundness_check_passes_and_is_deterministic() {
+    let a = reproduce(&[&["--check"], CHAOS].concat());
+    let b = reproduce(&[&["--check"], CHAOS].concat());
+    assert!(
+        a.status.success(),
+        "injected faults must not fail --check: {}",
+        String::from_utf8_lossy(&a.stderr)
+    );
+    assert_eq!(a.stdout, b.stdout);
+}
+
+#[test]
+fn bad_inject_spec_is_a_usage_error() {
+    let out = reproduce(&["--inject", "gremlins:1.0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--inject"), "{err}");
+}

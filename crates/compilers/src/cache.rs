@@ -70,12 +70,55 @@ fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
     h
 }
 
-type Slot = Arc<OnceLock<Result<Arc<CompiledProgram>, CompileError>>>;
+/// Content checksum of an artifact — same FNV construction as the key
+/// fingerprint, over the artifact's structural dump. Stored when an
+/// entry is built, re-verified on every read.
+pub fn artifact_checksum(c: &CompiledProgram) -> u64 {
+    fnv1a64(format!("{c:?}").as_bytes(), 0xcbf2_9ce4_8422_2325)
+}
 
-/// Thread-safe, singleflight compile cache.
+/// One cache entry: a singleflight slot plus the checksum recorded
+/// when the artifact was built. `stored_sum` is written inside the
+/// slot's initializer (so the `OnceLock`'s release/acquire ordering
+/// publishes it); the `corrupt-cache` fault flips it *at write time*
+/// to simulate an artifact going stale on disk, and every read
+/// re-verifies it.
+struct Entry {
+    slot: OnceLock<Result<Arc<CompiledProgram>, CompileError>>,
+    stored_sum: AtomicU64,
+    /// Bumped per *key* on every (re)insertion, so fault decisions
+    /// about "this physical copy" are keyed per generation — and,
+    /// because the counter is per key rather than global, the decision
+    /// sequence is identical no matter how worker threads interleave.
+    generation: u64,
+}
+
+impl Entry {
+    fn new(generation: u64) -> Self {
+        Entry {
+            slot: OnceLock::new(),
+            stored_sum: AtomicU64::new(0),
+            generation,
+        }
+    }
+}
+
+/// Bounded evict-and-recompile rounds before a persistently faulty
+/// key is given up on. Each round rolls fresh fault decisions (the
+/// generation advances), so with realistic injection rates a key
+/// recovers in one or two rounds; exhausting all of them needs rates
+/// near 1.
+const MAX_CORRUPT_ROUNDS: usize = 4;
+
+/// Thread-safe, singleflight compile cache with read-side integrity
+/// verification: every hit re-checksums the artifact against the sum
+/// recorded at build time, and a mismatch evicts and recompiles
+/// instead of serving the poisoned entry.
 #[derive(Default)]
 pub struct ArtifactCache {
-    entries: Mutex<HashMap<CacheKey, Slot>>,
+    entries: Mutex<HashMap<CacheKey, Arc<Entry>>>,
+    /// Next generation number per key (kept across evictions).
+    generations: Mutex<HashMap<CacheKey, u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -87,32 +130,138 @@ impl ArtifactCache {
 
     /// Compile through the cache. The first caller for a key runs
     /// [`crate::compile`] and every later (or concurrent) caller gets
-    /// the shared artifact; errors are cached the same way, since a
-    /// deterministic compiler fails identically on retry.
+    /// the shared artifact. Genuine errors are cached the same way,
+    /// since a deterministic compiler fails identically on retry.
+    ///
+    /// Injected faults are recovered *inside* the cache: a transient
+    /// compile failure or a corrupted artifact evicts the entry and
+    /// rolls a fresh round, with the fault-decision attempt pinned to
+    /// the entry's per-key generation. That makes the cache's outcome
+    /// for a key a pure function of (key, fault seed) — which thread
+    /// warms the cache, or how many jobs race on it, cannot change
+    /// what anyone is served. Read-side integrity is still verified on
+    /// every hit via [`artifact_checksum`].
     pub fn compile(
         &self,
         id: CompilerId,
         program: &Program,
         options: &CompileOptions,
     ) -> Result<Arc<CompiledProgram>, CompileError> {
+        let saved = paccport_faults::current_attempt();
+        let r = self.compile_rounds(id, program, options);
+        paccport_faults::set_attempt(saved);
+        r
+    }
+
+    fn compile_rounds(
+        &self,
+        id: CompilerId,
+        program: &Program,
+        options: &CompileOptions,
+    ) -> Result<Arc<CompiledProgram>, CompileError> {
         let key = CacheKey::new(id, program, options);
-        let slot: Slot = {
-            let mut entries = self.entries.lock().unwrap();
-            Arc::clone(entries.entry(key).or_default())
-        };
-        let mut fresh = false;
-        let result = slot.get_or_init(|| {
-            fresh = true;
-            crate::compile(id, program, options).map(Arc::new)
-        });
-        if fresh {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            paccport_trace::add("cache.miss", 1);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            paccport_trace::add("cache.hit", 1);
+        let mut last_injected: Option<CompileError> = None;
+        for _ in 0..MAX_CORRUPT_ROUNDS {
+            let entry = self.entry(&key);
+            let mut fresh = false;
+            let result = entry.slot.get_or_init(|| {
+                fresh = true;
+                // Fault decisions made while compiling (compile-fail,
+                // slow-compile, write-time corruption) are keyed by
+                // the entry's generation, not the calling job's retry
+                // attempt: the compiler runs once per generation no
+                // matter who triggers it.
+                paccport_faults::set_attempt(entry.generation as u32);
+                let r = crate::compile(id, program, options).map(Arc::new);
+                if let Ok(c) = &r {
+                    let mut sum = artifact_checksum(c);
+                    // The corrupt-cache fault strikes the physical
+                    // copy as it is written; readers detect the
+                    // mismatch below and evict.
+                    let fault_key = format!("cache:{:#034x}:gen{}", key.program, entry.generation);
+                    if paccport_faults::inject(paccport_faults::FaultKind::CorruptCache, &fault_key)
+                    {
+                        sum = !sum;
+                    }
+                    entry.stored_sum.store(sum, Ordering::Relaxed);
+                }
+                r
+            });
+            if fresh {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                paccport_trace::add("cache.miss", 1);
+            } else {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                paccport_trace::add("cache.hit", 1);
+            }
+            match result {
+                Ok(c) => {
+                    if artifact_checksum(c) == entry.stored_sum.load(Ordering::Relaxed) {
+                        return Ok(Arc::clone(c));
+                    }
+                    // Integrity failure: never serve the entry — evict
+                    // and recompile under the next generation.
+                    paccport_trace::add("cache.corrupt_evicted", 1);
+                    self.evict(&key, &entry);
+                }
+                Err(e) if paccport_faults::is_injected(&e.message) => {
+                    // Transient by construction: evict so the next
+                    // round recompiles under a fresh generation.
+                    self.evict(&key, &entry);
+                    last_injected = Some(e.clone());
+                }
+                Err(e) => return Err(e.clone()),
+            }
         }
-        result.clone()
+        Err(last_injected.unwrap_or_else(|| CompileError {
+            compiler: id,
+            message: format!(
+                "{} persistent artifact corruption for `{}` ({MAX_CORRUPT_ROUNDS} rebuilds discarded)",
+                paccport_faults::INJECTED,
+                program.name
+            ),
+        }))
+    }
+
+    /// The live entry for `key`, inserted fresh (with the key's next
+    /// generation) if absent.
+    fn entry(&self, key: &CacheKey) -> Arc<Entry> {
+        let mut entries = self.entries.lock().unwrap();
+        Arc::clone(entries.entry(key.clone()).or_insert_with(|| {
+            let mut gens = self.generations.lock().unwrap();
+            let g = gens.entry(key.clone()).or_insert(0);
+            let this = *g;
+            *g += 1;
+            Arc::new(Entry::new(this))
+        }))
+    }
+
+    /// Remove `key` iff it still maps to this exact entry (a racing
+    /// evictor may already have replaced it).
+    fn evict(&self, key: &CacheKey, entry: &Arc<Entry>) {
+        let mut entries = self.entries.lock().unwrap();
+        if entries.get(key).is_some_and(|cur| Arc::ptr_eq(cur, entry)) {
+            entries.remove(key);
+        }
+    }
+
+    /// Flip the stored checksum of an existing entry — the test
+    /// handle simulating a truncated/poisoned artifact on disk.
+    /// Returns whether the entry existed.
+    pub fn poison(&self, id: CompilerId, program: &Program, options: &CompileOptions) -> bool {
+        let key = CacheKey::new(id, program, options);
+        let entry = {
+            let entries = self.entries.lock().unwrap();
+            entries.get(&key).cloned()
+        };
+        match entry {
+            Some(e) => {
+                let sum = e.stored_sum.load(Ordering::Relaxed);
+                e.stored_sum.store(!sum, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Lookups that found an existing artifact.
@@ -205,6 +354,36 @@ mod tests {
             .unwrap();
         assert_eq!((cache.misses(), cache.hits()), (4, 0));
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn poisoned_entry_is_evicted_and_recompiled() {
+        let cache = ArtifactCache::new();
+        let p = saxpy("saxpy");
+        let opts = CompileOptions::gpu();
+        let a = cache.compile(CompilerId::Caps, &p, &opts).unwrap();
+        assert!(cache.poison(CompilerId::Caps, &p, &opts));
+        let b = cache.compile(CompilerId::Caps, &p, &opts).unwrap();
+        assert_eq!(a, b, "recompiled artifact is byte-identical");
+        assert!(!Arc::ptr_eq(&a, &b), "the poisoned copy was not served");
+        assert_eq!(cache.misses(), 2, "eviction forced a recompile");
+        let c = cache.compile(CompilerId::Caps, &p, &opts).unwrap();
+        assert!(Arc::ptr_eq(&b, &c), "the fresh copy verifies clean");
+    }
+
+    #[test]
+    fn poisoning_an_absent_key_reports_false() {
+        let cache = ArtifactCache::new();
+        assert!(!cache.poison(CompilerId::Caps, &saxpy("saxpy"), &CompileOptions::gpu()));
+    }
+
+    #[test]
+    fn checksum_distinguishes_artifacts() {
+        let opts = CompileOptions::gpu();
+        let a = crate::compile(CompilerId::Caps, &saxpy("a"), &opts).unwrap();
+        let b = crate::compile(CompilerId::Caps, &saxpy("b"), &opts).unwrap();
+        assert_eq!(artifact_checksum(&a), artifact_checksum(&a));
+        assert_ne!(artifact_checksum(&a), artifact_checksum(&b));
     }
 
     #[test]

@@ -39,6 +39,18 @@ pub fn compile(
     program: &Program,
     options: &CompileOptions,
 ) -> Result<CompiledProgram, CompileError> {
+    let site = format!("{}:{}", CompilerId::Caps.label(), program.name);
+    if paccport_faults::inject(paccport_faults::FaultKind::CompileFail, &site) {
+        return Err(CompileError {
+            compiler: CompilerId::Caps,
+            message: format!(
+                "{} simulated toolchain crash compiling `{}`",
+                paccport_faults::INJECTED,
+                program.name
+            ),
+        });
+    }
+    paccport_faults::maybe_slow_compile(&site);
     let mut prog = program.clone();
     let q = options.quirks.clone();
     let (bx, by) = options.grid_block_size();

@@ -95,6 +95,7 @@ pub fn lower_kernel(
     style: &LoweringStyle,
 ) -> LoweredKernel {
     let _span = paccport_trace::span("compilers.lower_kernel");
+    paccport_faults::maybe_slow_compile(&format!("lower:{}", k.name));
     let mut lw = Lowerer::new(p, style, format!("{}_kernel", k.name));
     lw.prologue(k, dist_rank);
     let prologue_counts = lw.emitter.counts_since(0);

@@ -40,6 +40,18 @@ pub fn compile(
     program: &Program,
     options: &CompileOptions,
 ) -> Result<CompiledProgram, CompileError> {
+    let site = format!("{}:{}", CompilerId::Pgi.label(), program.name);
+    if paccport_faults::inject(paccport_faults::FaultKind::CompileFail, &site) {
+        return Err(CompileError {
+            compiler: CompilerId::Pgi,
+            message: format!(
+                "{} simulated toolchain crash compiling `{}`",
+                paccport_faults::INJECTED,
+                program.name
+            ),
+        });
+    }
+    paccport_faults::maybe_slow_compile(&site);
     if options.target == DeviceKind::Mic5110P {
         return Err(CompileError {
             compiler: CompilerId::Pgi,

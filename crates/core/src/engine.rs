@@ -22,11 +22,66 @@
 //! compare against.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 
 use paccport_compilers::ArtifactCache;
 
-use crate::study::{measure_cached, CellSpec, Measured};
+use crate::study::{measure_cached, CellFailure, CellSpec, Measured};
+
+/// How the engine retries failing jobs.
+///
+/// Backoff runs on the *virtual* clock (`paccport_faults::vclock`):
+/// a retry "sleeps" by advancing it, so schedules are deterministic
+/// and tests never wall-sleep. Each attempt runs under a step-budget
+/// watchdog (the per-job timeout) and `catch_unwind` panic isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (first run + retries), ≥ 1.
+    pub max_attempts: u32,
+    /// Base backoff delay (virtual ns); doubles per retry.
+    pub backoff_base_ns: u64,
+    /// Backoff ceiling (virtual ns), applied after jitter.
+    pub backoff_cap_ns: u64,
+    /// Watchdog step budget per attempt — the per-job timeout.
+    pub step_budget: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ns: 50_000_000,   // 50 virtual ms
+            backoff_cap_ns: 2_000_000_000, // 2 virtual s
+            step_budget: paccport_faults::DEFAULT_STEP_BUDGET,
+        }
+    }
+}
+
+/// A job that exhausted its retry budget and was quarantined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobFailure {
+    pub label: String,
+    /// The last error (or panic message) observed.
+    pub reason: String,
+    /// Attempts consumed (== the policy's `max_attempts`).
+    pub attempts: u32,
+    /// Whether the final failure carried the injected-fault marker —
+    /// chaos we asked for, as opposed to a genuine bug.
+    pub injected: bool,
+}
+
+/// The engine's record of one quarantined job. (Only quarantines are
+/// ledgered: whether a *recovery* needed 1 or 2 attempts can depend on
+/// which worker warmed the compile cache first, but the quarantine set
+/// is a pure function of the fault seed — see `paccport-faults`.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    pub label: String,
+    pub reason: String,
+    pub attempts: u32,
+    pub injected: bool,
+}
 
 /// A batch executor with a shared compile cache.
 ///
@@ -35,6 +90,8 @@ use crate::study::{measure_cached, CellSpec, Measured};
 pub struct Engine {
     jobs: usize,
     cache: Arc<ArtifactCache>,
+    policy: RetryPolicy,
+    quarantine: Mutex<Vec<QuarantineRecord>>,
 }
 
 impl Default for Engine {
@@ -49,7 +106,22 @@ impl Engine {
         Engine {
             jobs: jobs.max(1),
             cache: Arc::new(ArtifactCache::new()),
+            policy: RetryPolicy::default(),
+            quarantine: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Replace the retry policy (builder style).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = RetryPolicy {
+            max_attempts: policy.max_attempts.max(1),
+            ..policy
+        };
+        self
+    }
+
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
     }
 
     /// The reference single-threaded engine.
@@ -97,8 +169,14 @@ impl Engine {
                     loop {
                         // Own work first (front: preserves submission
                         // locality), then steal from the back of the
-                        // longest other queue.
-                        let job = queues[w].lock().unwrap().pop_front().or_else(|| {
+                        // longest other queue. The own-queue pop must
+                        // be its own statement: chaining `.or_else`
+                        // onto it keeps the own-queue guard alive
+                        // through the steal (temporaries live to the
+                        // end of the statement), and two workers
+                        // stealing from each other then deadlock.
+                        let own = queues[w].lock().unwrap().pop_front();
+                        let job = own.or_else(|| {
                             let victim = (0..workers)
                                 .filter(|&v| v != w)
                                 .max_by_key(|&v| queues[v].lock().unwrap().len())?;
@@ -127,15 +205,77 @@ impl Engine {
             .collect()
     }
 
+    /// Run labeled fallible jobs with per-job panic isolation, a
+    /// step-budget watchdog, bounded retry with exponential backoff on
+    /// the virtual clock, and quarantine on exhaustion. Results come
+    /// back in submission order; quarantined jobs are also appended to
+    /// [`Engine::quarantined`].
+    pub fn run_resilient<T, F>(&self, jobs: Vec<(String, F)>) -> Vec<Result<T, JobFailure>>
+    where
+        T: Send,
+        F: Fn() -> Result<T, String> + Send,
+    {
+        paccport_faults::install_quiet_panic_hook();
+        let policy = self.policy;
+        let quarantine = &self.quarantine;
+        let tasks: Vec<_> = jobs
+            .into_iter()
+            .map(|(label, f)| move || run_with_retry(label, f, policy, quarantine))
+            .collect();
+        self.run_batch(tasks)
+    }
+
+    /// Jobs quarantined by [`Engine::run_resilient`] so far, sorted by
+    /// label (deterministic regardless of worker scheduling).
+    pub fn quarantined(&self) -> Vec<QuarantineRecord> {
+        let mut q = self.quarantine.lock().unwrap().clone();
+        q.sort_by(|a, b| (&a.label, &a.reason).cmp(&(&b.label, &b.reason)));
+        q
+    }
+
+    /// Quarantined jobs whose failure was *not* an injected fault —
+    /// genuine breakage the `reproduce` CLI must exit nonzero for.
+    pub fn uninjected_failures(&self) -> Vec<QuarantineRecord> {
+        self.quarantined()
+            .into_iter()
+            .filter(|r| !r.injected)
+            .collect()
+    }
+
     /// Measure every cell of an experiment matrix through the shared
-    /// cache, results in `cells` order.
+    /// cache, results in `cells` order. Failures are the rendered
+    /// string form of [`CellFailure`]; use
+    /// [`Engine::measure_matrix_detailed`] for the structured form.
     pub fn measure_matrix(&self, cells: Vec<CellSpec>) -> Vec<Result<Measured, String>> {
+        self.measure_matrix_detailed(cells)
+            .into_iter()
+            .map(|r| r.map_err(|f| f.to_string()))
+            .collect()
+    }
+
+    /// [`Engine::measure_matrix`] with structured failures: each
+    /// quarantined cell comes back as a [`CellFailure`] carrying its
+    /// series/variant, final error, attempt count and whether the
+    /// fault was injected.
+    pub fn measure_matrix_detailed(
+        &self,
+        cells: Vec<CellSpec>,
+    ) -> Vec<Result<Measured, CellFailure>> {
         let _span = paccport_trace::span("engine.measure_matrix");
         let cache = &self.cache;
-        let tasks: Vec<_> = cells
+        let names: Vec<(String, String)> = cells
+            .iter()
+            .map(|c| (c.series.clone(), c.variant.clone()))
+            .collect();
+        let jobs: Vec<_> = cells
             .into_iter()
             .map(|cell| {
-                move || {
+                let label = format!("{}/{}", cell.series, cell.variant);
+                let mut cfg = cell.cfg.clone();
+                if cfg.fault_scope.is_none() {
+                    cfg.fault_scope = Some(label.clone());
+                }
+                let task = move || {
                     measure_cached(
                         cache,
                         &cell.series,
@@ -143,13 +283,111 @@ impl Engine {
                         cell.compiler,
                         &cell.options,
                         &cell.program,
-                        &cell.cfg,
+                        &cfg,
                     )
-                }
+                };
+                (label, task)
             })
             .collect();
-        self.run_batch(tasks)
+        self.run_resilient(jobs)
+            .into_iter()
+            .zip(names)
+            .map(|(r, (series, variant))| {
+                r.map_err(|f| CellFailure {
+                    series,
+                    variant,
+                    reason: f.reason,
+                    attempts: f.attempts,
+                    injected: f.injected,
+                })
+            })
+            .collect()
     }
+
+    /// Compile through the shared cache, retrying injected faults under
+    /// the engine's policy. For generators that need an artifact on the
+    /// calling thread (figs. 1 and 13) and would otherwise abort a
+    /// chaos run on a transient fault; genuine errors return on the
+    /// first attempt, exactly like [`ArtifactCache::compile`].
+    pub fn compile_resilient(
+        &self,
+        id: paccport_compilers::CompilerId,
+        program: &paccport_ir::Program,
+        options: &paccport_compilers::CompileOptions,
+    ) -> Result<Arc<paccport_compilers::CompiledProgram>, String> {
+        let mut last = String::new();
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            paccport_faults::set_attempt(attempt);
+            let r = self.cache.compile(id, program, options);
+            paccport_faults::set_attempt(0);
+            match r {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = e.to_string();
+                    if !paccport_faults::is_injected(&last) {
+                        break;
+                    }
+                }
+            }
+        }
+        Err(last)
+    }
+}
+
+/// One job's attempt loop: watchdog + `catch_unwind` around every
+/// attempt, virtual-clock backoff between attempts, quarantine at the
+/// end. Transient injected faults clear because the fault-decision
+/// hash includes the attempt counter set here.
+fn run_with_retry<T, F>(
+    label: String,
+    f: F,
+    policy: RetryPolicy,
+    quarantine: &Mutex<Vec<QuarantineRecord>>,
+) -> Result<T, JobFailure>
+where
+    F: Fn() -> Result<T, String>,
+{
+    let backoff = paccport_faults::Backoff {
+        base_ns: policy.backoff_base_ns,
+        cap_ns: policy.backoff_cap_ns,
+        seed: paccport_faults::seed(),
+    };
+    let mut last = String::new();
+    for attempt in 0..policy.max_attempts.max(1) {
+        if attempt > 0 {
+            let delay = backoff.delay_ns(&label, attempt);
+            paccport_faults::vclock::advance(delay);
+            paccport_trace::add("retry.attempts", 1);
+            paccport_trace::add("retry.backoff_ns", delay);
+        }
+        paccport_faults::set_attempt(attempt);
+        paccport_faults::arm_watchdog(policy.step_budget);
+        let guard = paccport_faults::job_guard();
+        let outcome = catch_unwind(AssertUnwindSafe(&f));
+        drop(guard);
+        paccport_faults::disarm_watchdog();
+        paccport_faults::set_attempt(0);
+        match outcome {
+            Ok(Ok(v)) => return Ok(v),
+            Ok(Err(e)) => last = e,
+            Err(payload) => last = paccport_faults::describe_panic(payload.as_ref()),
+        }
+    }
+    paccport_trace::add("job.quarantined", 1);
+    let injected = paccport_faults::is_injected(&last);
+    let record = QuarantineRecord {
+        label: label.clone(),
+        reason: last.clone(),
+        attempts: policy.max_attempts.max(1),
+        injected,
+    };
+    quarantine.lock().unwrap().push(record);
+    Err(JobFailure {
+        label,
+        reason: last,
+        attempts: policy.max_attempts.max(1),
+        injected,
+    })
 }
 
 #[cfg(test)]
@@ -203,5 +441,55 @@ mod tests {
     #[test]
     fn zero_jobs_clamps_to_one() {
         assert_eq!(Engine::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn resilient_jobs_succeed_and_quarantine_genuine_failures() {
+        let eng = Engine::new(2);
+        let jobs: Vec<(String, Box<dyn Fn() -> Result<u32, String> + Send>)> = vec![
+            ("ok".into(), Box::new(|| Ok(7u32))),
+            ("bad".into(), Box::new(|| Err("deliberate breakage".into()))),
+        ];
+        let results = eng.run_resilient(jobs);
+        assert_eq!(results[0], Ok(7));
+        let f = results[1].as_ref().unwrap_err();
+        assert_eq!(f.label, "bad");
+        assert_eq!(f.attempts, eng.policy().max_attempts);
+        assert!(!f.injected, "a genuine error is not an injected fault");
+        let q = eng.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].label, "bad");
+        assert_eq!(eng.uninjected_failures().len(), 1);
+    }
+
+    #[test]
+    fn resilient_jobs_isolate_panics() {
+        let eng = Engine::serial();
+        let jobs: Vec<(String, Box<dyn Fn() -> Result<u32, String> + Send>)> = vec![
+            ("panics".into(), Box::new(|| panic!("kaboom"))),
+            ("fine".into(), Box::new(|| Ok(1u32))),
+        ];
+        let results = eng.run_resilient(jobs);
+        let f = results[0].as_ref().unwrap_err();
+        assert!(f.reason.contains("kaboom"), "{}", f.reason);
+        assert_eq!(results[1], Ok(1));
+    }
+
+    #[test]
+    fn retry_backoff_advances_virtual_clock_only() {
+        let eng = Engine::serial();
+        let before = paccport_faults::vclock::now_ns();
+        let wall = std::time::Instant::now();
+        let jobs: Vec<(String, Box<dyn Fn() -> Result<u32, String> + Send>)> =
+            vec![("always-fails".into(), Box::new(|| Err("nope".into())))];
+        let _ = eng.run_resilient(jobs);
+        assert!(
+            paccport_faults::vclock::now_ns() > before,
+            "backoff must advance the virtual clock"
+        );
+        assert!(
+            wall.elapsed() < std::time::Duration::from_secs(1),
+            "backoff must never wall-sleep"
+        );
     }
 }

@@ -41,6 +41,32 @@ fn bar_from(m: &Measured) -> PtxBar {
     }
 }
 
+/// Run an experiment matrix and build an [`ElapsedFigure`] that
+/// completes with partial results: quarantined cells land in
+/// `failures` (rendered as explicit `FAILED(reason, attempts)`
+/// entries) instead of aborting the figure.
+fn elapsed_figure(eng: &Engine, id: &str, title: &str, cells: Vec<CellSpec>) -> ElapsedFigure {
+    let order: Vec<(String, String)> = cells
+        .iter()
+        .map(|c| (c.series.clone(), c.variant.clone()))
+        .collect();
+    let mut points = Vec::new();
+    let mut failures = Vec::new();
+    for r in eng.measure_matrix_detailed(cells) {
+        match r {
+            Ok(m) => points.push(m),
+            Err(f) => failures.push(f),
+        }
+    }
+    ElapsedFigure {
+        id: id.into(),
+        title: title.into(),
+        points,
+        failures,
+        order,
+    }
+}
+
 // ===================================================================
 // LUD (Figures 3, 4, 6)
 // ===================================================================
@@ -86,11 +112,12 @@ pub fn fig3_lud_on(eng: &Engine, scale: &Scale) -> ElapsedFigure {
             ));
         }
     }
-    ElapsedFigure {
-        id: "fig3".into(),
-        title: "Elapsed time of LUD OpenACC on GPU and MIC".into(),
-        points: eng.measure_matrix(cells).into_iter().flatten().collect(),
-    }
+    elapsed_figure(
+        eng,
+        "fig3",
+        "Elapsed time of LUD OpenACC on GPU and MIC",
+        cells,
+    )
 }
 
 /// Figure 4: the three thread-distribution heat maps for LUD.
@@ -249,11 +276,12 @@ pub fn fig7_ge_on(eng: &Engine, scale: &Scale) -> ElapsedFigure {
             ));
         }
     }
-    ElapsedFigure {
-        id: "fig7".into(),
-        title: "Elapsed time of GE OpenACC on GPU and MIC".into(),
-        points: eng.measure_matrix(cells).into_iter().flatten().collect(),
-    }
+    elapsed_figure(
+        eng,
+        "fig7",
+        "Elapsed time of GE OpenACC on GPU and MIC",
+        cells,
+    )
 }
 
 /// Figure 8: the advanced thread-distribution configuration lifted
@@ -391,11 +419,7 @@ pub fn fig10_bfs_on(eng: &Engine, scale: &Scale) -> ElapsedFigure {
             cfg.clone(),
         ));
     }
-    ElapsedFigure {
-        id: "fig10".into(),
-        title: "Elapsed time of BFS on GPU and MIC".into(),
-        points: eng.measure_matrix(cells).into_iter().flatten().collect(),
-    }
+    elapsed_figure(eng, "fig10", "Elapsed time of BFS on GPU and MIC", cells)
 }
 
 /// Figure 11: BFS PTX composition (incl. the PGI stub discovery).
@@ -485,8 +509,14 @@ pub fn tab7_bfs_on(eng: &Engine, scale: &Scale) -> Vec<Table7Row> {
     let mut measured = eng.measure_matrix(cells).into_iter();
     let mut rows = Vec::new();
     for (name, _) in [("CAPS", CompilerId::Caps), ("PGI", CompilerId::Pgi)] {
-        let base = measured.next().unwrap().expect("bfs base");
-        let indep = measured.next().unwrap().expect("bfs indep");
+        // A quarantined cell drops its row (it is already in the
+        // engine's quarantine ledger) instead of aborting the table.
+        let (Ok(base), Ok(indep)) = (
+            measured.next().expect("matrix preserves arity"),
+            measured.next().expect("matrix preserves arity"),
+        ) else {
+            continue;
+        };
         let transfers = if indep.transfers_per_while_iter >= 1.0 {
             format!(
                 "{:.0} times in each iteration",
@@ -571,11 +601,7 @@ pub fn fig12_bp_on(eng: &Engine, scale: &Scale) -> ElapsedFigure {
             cfg.clone(),
         ));
     }
-    ElapsedFigure {
-        id: "fig12".into(),
-        title: "Elapsed time of BP on GPU and MIC".into(),
-        points: eng.measure_matrix(cells).into_iter().flatten().collect(),
-    }
+    elapsed_figure(eng, "fig12", "Elapsed time of BP on GPU and MIC", cells)
 }
 
 /// Figure 13: the shared-memory tree reduction, as lowered by the
@@ -591,8 +617,7 @@ pub fn fig13_reduction_listing_on(eng: &Engine) -> String {
     vc.reduction = true;
     let p = backprop::program(&vc);
     let c = eng
-        .cache()
-        .compile(CompilerId::Caps, &p, &gpu())
+        .compile_resilient(CompilerId::Caps, &p, &gpu())
         .expect("compile");
     let k = c.program.kernel("layer_forward").expect("forward kernel");
     paccport_ir::kernel_to_string(&c.program, k)
@@ -694,11 +719,12 @@ pub fn fig15_hydro_on(eng: &Engine, scale: &Scale) -> ElapsedFigure {
             cfg.clone(),
         ));
     }
-    ElapsedFigure {
-        id: "fig15".into(),
-        title: "Elapsed time of Hydro: OpenCL vs CAPS OpenACC".into(),
-        points: eng.measure_matrix(cells).into_iter().flatten().collect(),
-    }
+    elapsed_figure(
+        eng,
+        "fig15",
+        "Elapsed time of Hydro: OpenCL vs CAPS OpenACC",
+        cells,
+    )
 }
 
 // ===================================================================
@@ -750,14 +776,14 @@ pub fn fig16_ppr_on(eng: &Engine, scale: &Scale) -> Vec<PprComparison> {
 
     let mut cells = Vec::new();
     for (bench, acc_prog, ocl_prog, cfg) in &benches {
-        for (prog, id) in [
-            (acc_prog, CompilerId::Caps),
-            (ocl_prog, CompilerId::OpenClHand),
+        for (prog, id, model) in [
+            (acc_prog, CompilerId::Caps, "ACC"),
+            (ocl_prog, CompilerId::OpenClHand, "OCL"),
         ] {
-            for opts in [gpu(), mic()] {
+            for (opts, dev) in [(gpu(), "GPU"), (mic(), "MIC")] {
                 cells.push(CellSpec::new(
                     *bench,
-                    "x",
+                    format!("{model}-{dev}"),
                     id,
                     opts,
                     prog.clone(),
@@ -829,15 +855,14 @@ pub fn ext1_autotune_vs_hand_on(eng: &Engine, scale: &Scale) -> Vec<ExtAutotuneR
     let hand = lud::program(&VariantCfg::thread_dist(256, 16));
     let base = lud::program(&VariantCfg::baseline());
     let (cfg, hand, base) = (&cfg, &hand, &base);
-    let tasks: Vec<_> = [("K40", gpu()), ("5110P", mic())]
+    let jobs: Vec<_> = [("K40", gpu()), ("5110P", mic())]
         .into_iter()
         .map(|(device, opts)| {
             let cache = eng.cache();
-            move || -> Option<ExtAutotuneRow> {
+            let task = move || -> Result<ExtAutotuneRow, String> {
                 let t_hand =
                     measure_cached(cache, "x", "hand", CompilerId::OpenArc, &opts, hand, cfg)
-                        .map(|m| m.seconds)
-                        .unwrap_or(f64::NAN);
+                        .map(|m| m.seconds)?;
                 let tuned = autotune_distribution(
                     base,
                     CompilerId::OpenArc,
@@ -845,7 +870,7 @@ pub fn ext1_autotune_vs_hand_on(eng: &Engine, scale: &Scale) -> Vec<ExtAutotuneR
                     cfg,
                     &default_candidates(),
                 )
-                .ok()?;
+                .map_err(|e| e.to_string())?;
                 let t_tuned = measure_cached(
                     cache,
                     "x",
@@ -855,9 +880,8 @@ pub fn ext1_autotune_vs_hand_on(eng: &Engine, scale: &Scale) -> Vec<ExtAutotuneR
                     &tuned.program,
                     cfg,
                 )
-                .map(|m| m.seconds)
-                .unwrap_or(f64::NAN);
-                Some(ExtAutotuneRow {
+                .map(|m| m.seconds)?;
+                Ok(ExtAutotuneRow {
                     device: device.into(),
                     hand_seconds: t_hand,
                     tuned_seconds: t_tuned,
@@ -868,10 +892,11 @@ pub fn ext1_autotune_vs_hand_on(eng: &Engine, scale: &Scale) -> Vec<ExtAutotuneR
                         .collect(),
                     tuning_runs: tuned.total_runs,
                 })
-            }
+            };
+            (format!("ext1/{device}"), task)
         })
         .collect();
-    eng.run_batch(tasks).into_iter().flatten().collect()
+    eng.run_resilient(jobs).into_iter().flatten().collect()
 }
 
 /// Extension 2 (Section VII: "inserting the data region directives"):
@@ -1163,23 +1188,27 @@ pub fn check_soundness_on(eng: &Engine, scale: &Scale) -> SoundnessReport {
         cells: cells.len(),
         ..Default::default()
     };
-    let tasks: Vec<_> = cells
+    let jobs: Vec<_> = cells
         .into_iter()
-        .map(|cell| {
+        .map(|mut cell| {
             let cache = eng.cache();
-            move || {
-                let label = cell.label();
-                (label, check_cell(cache, &cell))
+            let label = cell.label();
+            if cell.cfg.fault_scope.is_none() {
+                cell.cfg.fault_scope = Some(label.clone());
             }
+            (label, move || check_cell(cache, &cell))
         })
         .collect();
-    for (label, res) in eng.run_batch(tasks) {
+    for res in eng.run_resilient(jobs) {
         match res {
             Ok(cc) => {
                 report.rows.extend(cc.rows);
                 report.accesses += cc.accesses;
             }
-            Err(e) => report.failures.push(format!("{label}: {e}")),
+            Err(f) => report.failures.push(format!(
+                "{}: {} [{} attempts]",
+                f.label, f.reason, f.attempts
+            )),
         }
     }
     report
@@ -1202,8 +1231,7 @@ pub fn fig1_tiling_shared_ops_on(eng: &Engine) -> (u64, u64) {
     // through __local memory.
     let ocl = backprop::opencl_program(128);
     let c_ocl = eng
-        .cache()
-        .compile(CompilerId::OpenClHand, &ocl, &gpu())
+        .compile_resilient(CompilerId::OpenClHand, &ocl, &gpu())
         .expect("ocl compile");
     let cuda_style = c_ocl
         .module
@@ -1214,8 +1242,7 @@ pub fn fig1_tiling_shared_ops_on(eng: &Engine) -> (u64, u64) {
     vc.tile = Some(32);
     let acc = gaussian::program(&vc);
     let c_acc = eng
-        .cache()
-        .compile(CompilerId::Caps, &acc, &gpu())
+        .compile_resilient(CompilerId::Caps, &acc, &gpu())
         .expect("acc compile");
     let acc_tile = c_acc
         .module

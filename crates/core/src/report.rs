@@ -45,6 +45,9 @@ pub fn render_elapsed(f: &ElapsedFigure) -> String {
                 Some(m) => {
                     let _ = write!(out, "{:>16}", fmt_secs(m.seconds));
                 }
+                None if f.failure(&s, v).is_some() => {
+                    let _ = write!(out, "{:>16}", "FAILED");
+                }
                 None => {
                     let _ = write!(out, "{:>16}", "-");
                 }
@@ -64,6 +67,53 @@ pub fn render_elapsed(f: &ElapsedFigure) -> String {
             }
         }
         out.push('\n');
+    }
+    // Quarantined cells, spelled out. Absent entirely on clean runs,
+    // so fault-free reports are byte-identical to the pre-chaos path.
+    for fail in &f.failures {
+        let _ = writeln!(out, "  {}/{} {}", fail.series, fail.variant, fail);
+    }
+    out
+}
+
+/// Render the fault ledger: the chaos configuration, every injected
+/// fault event, and every quarantined job. Both sets are pure
+/// functions of (spec, seed) — see `paccport-faults` — so this renders
+/// byte-identically across runs and job counts.
+pub fn render_fault_ledger(quarantined: &[crate::engine::QuarantineRecord]) -> String {
+    let mut out = String::new();
+    let Some((spec, seed)) = paccport_faults::config_summary() else {
+        return out;
+    };
+    let _ = writeln!(
+        out,
+        "== Fault ledger: --inject {spec} --fault-seed {seed} [faults] =="
+    );
+    let events = paccport_faults::ledger();
+    let _ = writeln!(out, "{} fault(s) injected:", events.len());
+    for e in &events {
+        let _ = writeln!(
+            out,
+            "  {:<14}{} (attempt {})",
+            e.kind.tag(),
+            e.key,
+            e.attempt
+        );
+    }
+    if quarantined.is_empty() {
+        let _ = writeln!(out, "0 job(s) quarantined: every fault was retried away");
+    } else {
+        let _ = writeln!(out, "{} job(s) quarantined:", quarantined.len());
+        for q in quarantined {
+            let _ = writeln!(
+                out,
+                "  {}: {} [{} attempts{}]",
+                q.label,
+                q.reason,
+                q.attempts,
+                if q.injected { "" } else { ", NOT injected" }
+            );
+        }
     }
     out
 }
@@ -249,12 +299,19 @@ pub fn render_soundness(rep: &crate::soundness::SoundnessReport) -> String {
                 ""
             }
         );
+        if !rep.failures.is_empty() {
+            let _ = writeln!(
+                out,
+                "({} cell(s) quarantined by injected faults; see the fault ledger)",
+                rep.failures.len()
+            );
+        }
     } else {
         let _ = writeln!(
             out,
-            "SOUNDNESS VIOLATIONS: {} row(s), {} failed cell(s)",
+            "SOUNDNESS VIOLATIONS: {} row(s), {} genuinely failed cell(s)",
             rep.violations().len(),
-            rep.failures.len()
+            rep.uninjected_failures().len()
         );
     }
     out

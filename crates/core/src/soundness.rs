@@ -109,8 +109,22 @@ impl SoundnessReport {
     }
 
     /// The check passes: every row consistent and every cell ran.
+    ///
+    /// Cells quarantined by an *injected* fault (chaos testing) do not
+    /// fail the check — they are chaos we asked for, reported in the
+    /// fault ledger instead. Genuine failures still fail it.
     pub fn all_consistent(&self) -> bool {
-        self.failures.is_empty() && !self.rows.is_empty() && self.rows.iter().all(|r| r.consistent)
+        self.uninjected_failures().is_empty()
+            && !self.rows.is_empty()
+            && self.rows.iter().all(|r| r.consistent)
+    }
+
+    /// Failures that were *not* injected faults — genuine breakage.
+    pub fn uninjected_failures(&self) -> Vec<&String> {
+        self.failures
+            .iter()
+            .filter(|f| !paccport_faults::is_injected(f))
+            .collect()
     }
 
     /// Races on loops the static analysis proved independent (the

@@ -208,12 +208,39 @@ fn measure_compiled(
     })
 }
 
-/// A figure of elapsed-time bars: series × variants.
+/// A cell that exhausted its retries and was quarantined: the figure
+/// completes with partial results and renders this as an explicit
+/// `FAILED(reason, attempts)` entry instead of dying.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellFailure {
+    pub series: String,
+    pub variant: String,
+    /// Final error (or panic message). Injected faults carry the
+    /// `paccport_faults::INJECTED` marker.
+    pub reason: String,
+    pub attempts: u32,
+    pub injected: bool,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FAILED({}, {} attempts)", self.reason, self.attempts)
+    }
+}
+
+/// A figure of elapsed-time bars: series × variants, plus the cells
+/// that failed out of the matrix (graceful degradation: a figure with
+/// quarantined cells still renders everything that succeeded).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ElapsedFigure {
     pub id: String,
     pub title: String,
     pub points: Vec<Measured>,
+    pub failures: Vec<CellFailure>,
+    /// Every (series, variant) pair in matrix submission order —
+    /// successes and failures alike — so grid layout is stable no
+    /// matter which cells were quarantined.
+    pub order: Vec<(String, String)>,
 }
 
 impl ElapsedFigure {
@@ -223,26 +250,56 @@ impl ElapsedFigure {
             .find(|m| m.series == series && m.variant == variant)
     }
 
-    /// All distinct series labels in insertion order.
+    /// The failure record for a quarantined cell, if any.
+    pub fn failure(&self, series: &str, variant: &str) -> Option<&CellFailure> {
+        self.failures
+            .iter()
+            .find(|f| f.series == series && f.variant == variant)
+    }
+
+    /// All distinct series labels in matrix order (failed cells
+    /// included, so a quarantined series still appears in the grid).
     pub fn series(&self) -> Vec<String> {
         let mut out = Vec::new();
-        for p in &self.points {
-            if !out.contains(&p.series) {
-                out.push(p.series.clone());
+        for s in self.label_stream(|o| &o.0, |m| &m.series, |f| &f.series) {
+            if !out.contains(&s) {
+                out.push(s);
             }
         }
         out
     }
 
-    /// All distinct variant labels in insertion order.
+    /// All distinct variant labels in matrix order (failed cells
+    /// included).
     pub fn variants(&self) -> Vec<String> {
         let mut out = Vec::new();
-        for p in &self.points {
-            if !out.contains(&p.variant) {
-                out.push(p.variant.clone());
+        for v in self.label_stream(|o| &o.1, |m| &m.variant, |f| &f.variant) {
+            if !out.contains(&v) {
+                out.push(v);
             }
         }
         out
+    }
+
+    /// Labels in `order` when recorded, otherwise points then
+    /// failures (hand-built figures without an explicit order).
+    fn label_stream<'a>(
+        &'a self,
+        from_order: impl Fn(&'a (String, String)) -> &'a String + 'a,
+        from_point: impl Fn(&'a Measured) -> &'a String + 'a,
+        from_failure: impl Fn(&'a CellFailure) -> &'a String + 'a,
+    ) -> Box<dyn Iterator<Item = String> + 'a> {
+        if self.order.is_empty() {
+            Box::new(
+                self.points
+                    .iter()
+                    .map(from_point)
+                    .chain(self.failures.iter().map(from_failure))
+                    .cloned(),
+            )
+        } else {
+            Box::new(self.order.iter().map(from_order).cloned())
+        }
     }
 }
 
@@ -293,6 +350,8 @@ mod tests {
             id: "fig3".into(),
             title: "t".into(),
             points: vec![mk("A", "Base"), mk("A", "Opt"), mk("B", "Base")],
+            failures: Vec::new(),
+            order: Vec::new(),
         };
         assert!(f.get("A", "Opt").is_some());
         assert!(f.get("B", "Opt").is_none());

@@ -89,13 +89,28 @@ pub fn sweep(
                 .map(|w| {
                     let mut p = program.clone();
                     configure(&mut p, *g, *w);
-                    match compile(compiler, &p, options) {
-                        Ok(c) => match run(&c, cfg) {
-                            Ok(r) => r.elapsed,
-                            Err(_) => f64::NAN,
-                        },
-                        Err(_) => f64::NAN,
+                    // Transient injected faults clear on a later
+                    // attempt (the decision hash includes the attempt
+                    // counter), so a short retry loop keeps chaos runs
+                    // lossless; genuine errors fail identically every
+                    // time and fall through to NaN as before.
+                    let mut elapsed = f64::NAN;
+                    for attempt in 0..3 {
+                        paccport_faults::set_attempt(attempt);
+                        let r = compile(compiler, &p, options)
+                            .map_err(|e| e.to_string())
+                            .and_then(|c| run(&c, cfg));
+                        match r {
+                            Ok(r) => {
+                                elapsed = r.elapsed;
+                                break;
+                            }
+                            Err(e) if paccport_faults::is_injected(&e) => continue,
+                            Err(_) => break,
+                        }
                     }
+                    paccport_faults::set_attempt(0);
+                    elapsed
                 })
                 .collect()
         })

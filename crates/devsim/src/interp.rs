@@ -285,6 +285,10 @@ pub fn exec_block(p: &Program, params: &[V], b: &Block, s: &mut Scope<'_>) {
 }
 
 fn exec_stmt(p: &Program, params: &[V], stmt: &Stmt, s: &mut Scope<'_>) {
+    // One watchdog step per interpreted statement: a runaway loop
+    // exhausts the armed budget and unwinds as a typed timeout
+    // (caught in `runner::run`) instead of hanging the worker.
+    paccport_faults::charge(1);
     match stmt {
         Stmt::Let { var, ty, init } => {
             let v = eval(p, params, init, s);

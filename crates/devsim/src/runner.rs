@@ -42,6 +42,10 @@ pub struct RunConfig {
     /// collecting [`RunResult::races`]. Ignored in timing-only mode
     /// (nothing executes there).
     pub race_check: bool,
+    /// Label for fault-injection site keys (the engine sets it to the
+    /// cell label). `None` falls back to the program name, so direct
+    /// `run` callers still get per-program fault determinism.
+    pub fault_scope: Option<String>,
 }
 
 impl RunConfig {
@@ -52,6 +56,7 @@ impl RunConfig {
             fidelity: Fidelity::Functional,
             hints: CostHints::default(),
             race_check: false,
+            fault_scope: None,
         }
     }
 
@@ -62,6 +67,7 @@ impl RunConfig {
             fidelity: Fidelity::TimingOnly { while_iters },
             hints: CostHints::default(),
             race_check: false,
+            fault_scope: None,
         }
     }
 
@@ -77,6 +83,11 @@ impl RunConfig {
 
     pub fn with_race_check(mut self, on: bool) -> Self {
         self.race_check = on;
+        self
+    }
+
+    pub fn with_fault_scope(mut self, scope: impl Into<String>) -> Self {
+        self.fault_scope = Some(scope.into());
         self
     }
 }
@@ -132,8 +143,33 @@ impl RunResult {
 }
 
 /// Execute a compiled program.
+///
+/// When fault injection is active the run is bounded by a step-budget
+/// watchdog (armed here unless the engine already armed one around
+/// the whole job): a hung interpreter loop or an injected kernel hang
+/// unwinds with a typed [`paccport_faults::WatchdogTimeout`] payload
+/// that is caught and converted into a `Timeout` error instead of
+/// wedging the study.
 pub fn run(c: &CompiledProgram, cfg: &RunConfig) -> Result<RunResult, String> {
     let _span = paccport_trace::span("devsim.run");
+    let armed_here = paccport_faults::active() && !paccport_faults::watchdog_armed();
+    if armed_here {
+        paccport_faults::arm_watchdog(paccport_faults::DEFAULT_STEP_BUDGET);
+    }
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_inner(c, cfg)));
+    if armed_here {
+        paccport_faults::disarm_watchdog();
+    }
+    match out {
+        Ok(r) => r,
+        Err(payload) => match paccport_faults::timeout_of(payload.as_ref()) {
+            Some(_) => Err(paccport_faults::describe_panic(payload.as_ref())),
+            None => std::panic::resume_unwind(payload),
+        },
+    }
+}
+
+fn run_inner(c: &CompiledProgram, cfg: &RunConfig) -> Result<RunResult, String> {
     let spec = spec_for(c.options.target, c.options.host_compiler);
     let host_spec = host_cpu(c.options.host_compiler);
     let mut r = Runner::new(c, cfg, spec, host_spec)?;
@@ -550,6 +586,25 @@ impl<'a> Runner<'a> {
     }
 
     fn launch(&mut self, k: &Kernel) -> Result<(), String> {
+        if paccport_faults::active() {
+            let scope = self
+                .cfg
+                .fault_scope
+                .as_deref()
+                .unwrap_or(&self.c.program.name);
+            let site = format!("{scope}#{}", k.name);
+            if paccport_faults::inject(paccport_faults::FaultKind::DeviceFault, &site) {
+                return Err(format!(
+                    "{} transient device fault launching `{}`",
+                    paccport_faults::INJECTED,
+                    k.name
+                ));
+            }
+            if paccport_faults::should_inject(paccport_faults::FaultKind::KernelHang, &site) {
+                paccport_faults::record(paccport_faults::FaultKind::KernelHang, &site);
+                paccport_faults::hang();
+            }
+        }
         let plan = self
             .c
             .plan(&k.name)

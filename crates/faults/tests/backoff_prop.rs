@@ -1,0 +1,68 @@
+//! Property tests for the retry backoff schedule: monotone in the
+//! attempt number, capped, and a pure function of (seed, key,
+//! attempt).
+
+use paccport_faults::Backoff;
+use proptest::prelude::*;
+
+fn backoff(base: u64, cap: u64, seed: u64) -> Backoff {
+    Backoff {
+        base_ns: base,
+        cap_ns: cap,
+        seed,
+    }
+}
+
+proptest! {
+    #[test]
+    fn delays_are_monotone_nondecreasing_until_capped(
+        base in 1u64..1_000_000,
+        seed in 0u64..u64::MAX,
+        key_n in 0u64..1_000_000,
+    ) {
+        let key = format!("k{key_n}");
+        let cap = base * 64;
+        let b = backoff(base, cap, seed);
+        prop_assert_eq!(b.delay_ns(&key, 0), 0, "first attempt never waits");
+        let mut prev = 0u64;
+        for attempt in 1..12u32 {
+            let d = b.delay_ns(&key, attempt);
+            prop_assert!(
+                d >= prev || d == cap,
+                "attempt {} delay {} dropped below {} before the cap",
+                attempt, d, prev
+            );
+            prop_assert!(d <= cap, "delay {} exceeds cap {}", d, cap);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn delays_are_deterministic_per_seed(
+        base in 1u64..1_000_000,
+        seed in 0u64..u64::MAX,
+        key_n in 0u64..1_000_000,
+        attempt in 1u32..16,
+    ) {
+        let key = format!("k{key_n}");
+        let cap = base * 1024;
+        let a = backoff(base, cap, seed).delay_ns(&key, attempt);
+        let b = backoff(base, cap, seed).delay_ns(&key, attempt);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jitter_stays_within_one_base_of_the_exponential(
+        base in 1u64..1_000_000,
+        seed in 0u64..u64::MAX,
+        key_n in 0u64..1_000_000,
+        attempt in 1u32..10,
+    ) {
+        let key = format!("k{key_n}");
+        let cap = u64::MAX;
+        let d = backoff(base, cap, seed).delay_ns(&key, attempt);
+        let exp = base << (attempt - 1).min(32);
+        prop_assert!(d >= exp, "delay {} below the exponential floor {}", d, exp);
+        prop_assert!(d < exp + base, "jitter must stay within one base");
+    }
+}

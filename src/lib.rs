@@ -10,6 +10,7 @@
 pub use paccport_compilers as compilers;
 pub use paccport_core as core;
 pub use paccport_devsim as devsim;
+pub use paccport_faults as faults;
 pub use paccport_hydro as hydro;
 pub use paccport_ir as ir;
 pub use paccport_kernels as kernels;

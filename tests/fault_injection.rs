@@ -1,0 +1,120 @@
+//! End-to-end properties of the deterministic fault-injection
+//! subsystem: chaos runs are reproducible from (spec, seed), lossless
+//! modulo quarantine, and the watchdog turns hangs into typed
+//! timeouts.
+//!
+//! Fault configuration is process-global, so every test here holds a
+//! shared lock while a spec is active (this file is its own test
+//! binary, so the lock never contends with the rest of the suite).
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use paccport::core::engine::Engine;
+use paccport::core::study::{CellSpec, ElapsedFigure, Scale};
+use paccport::core::{experiments as exp, report};
+use paccport::faults::{self, FaultSpec};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run fig. 3 under the given fault configuration on a fresh engine.
+fn fig3_under(spec: Option<(&str, u64)>) -> ElapsedFigure {
+    match spec {
+        Some((s, seed)) => faults::configure(FaultSpec::parse(s).unwrap(), seed),
+        None => faults::deconfigure(),
+    }
+    let fig = exp::fig3_lud_on(&Engine::serial(), &Scale::smoke());
+    faults::deconfigure();
+    fig
+}
+
+#[test]
+fn chaos_study_is_lossless_modulo_quarantine() {
+    let _g = lock();
+    let baseline = fig3_under(None);
+    assert!(baseline.failures.is_empty(), "baseline must be fault-free");
+
+    // A compile-fault rate high enough to quarantine something across
+    // seeds is not guaranteed, so pick a seed known to quarantine at
+    // least one cell AND recover others; the assertions below hold for
+    // any seed regardless.
+    let faulted = fig3_under(Some(("compile:0.35", 9)));
+
+    for m in &faulted.points {
+        let b = baseline
+            .get(&m.series, &m.variant)
+            .expect("cell exists in baseline");
+        assert_eq!(b, m, "non-quarantined cell must match fault-free run");
+    }
+    assert_eq!(
+        faulted.points.len() + faulted.failures.len(),
+        baseline.points.len(),
+        "every cell is either measured or explicitly quarantined"
+    );
+    for f in &faulted.failures {
+        assert!(f.injected, "only injected chaos may quarantine: {f:?}");
+        assert!(faults::is_injected(&f.reason), "{}", f.reason);
+        assert!(f.attempts >= 1);
+    }
+}
+
+#[test]
+fn same_seed_reproduces_the_same_figure() {
+    let _g = lock();
+    let a = fig3_under(Some(("chaos", 1234)));
+    let b = fig3_under(Some(("chaos", 1234)));
+    assert_eq!(a.points, b.points);
+    assert_eq!(a.failures, b.failures);
+    assert_eq!(report::render_elapsed(&a), report::render_elapsed(&b));
+
+    let c = fig3_under(Some(("chaos", 1235)));
+    assert!(
+        a.points != c.points || a.failures != c.failures,
+        "a different seed should perturb at least one fault decision"
+    );
+}
+
+#[test]
+fn hung_kernel_times_out_and_is_quarantined() {
+    let _g = lock();
+    faults::configure(FaultSpec::parse("hang:lud:1.0").unwrap(), 0);
+    let eng = Engine::serial();
+    let (variant, vc) = &exp::lud_variants()[0];
+    let cells = vec![CellSpec::new(
+        "CAPS-CUDA-K40",
+        variant.clone(),
+        paccport::compilers::CompilerId::Caps,
+        paccport::compilers::CompileOptions::gpu(),
+        paccport::kernels::lud::program(vc),
+        paccport::devsim::RunConfig::timing(vec![("n".into(), 32.0)], 1),
+    )];
+    let results = eng.measure_matrix_detailed(cells);
+    faults::deconfigure();
+
+    let f = results[0].as_ref().expect_err("rate-1.0 hang must fail");
+    assert!(f.reason.contains("Timeout"), "{}", f.reason);
+    assert!(f.injected);
+    assert_eq!(f.attempts, eng.policy().max_attempts);
+    let q = eng.quarantined();
+    assert_eq!(q.len(), 1);
+    assert!(q[0].reason.contains("Timeout"));
+}
+
+#[test]
+fn fault_ledger_names_every_injected_event() {
+    let _g = lock();
+    faults::configure(FaultSpec::parse("compile:0.35").unwrap(), 9);
+    let fig = exp::fig3_lud_on(&Engine::serial(), &Scale::smoke());
+    let events = faults::ledger();
+    faults::deconfigure();
+    assert!(!fig.points.is_empty());
+    assert!(!events.is_empty(), "rate 0.35 must fire somewhere");
+    for e in &events {
+        assert_eq!(e.kind.tag(), "compile");
+        assert!(e.key.to_lowercase().contains("lud"), "{}", e.key);
+    }
+}
