@@ -5,6 +5,7 @@
 //! reproduce [--check] [--scale smoke|quick|paper] [--quick]
 //!           [--jobs N] [--trace] [--exp <id>]...
 //!           [--inject SPEC] [--fault-seed N]
+//! reproduce conform [--programs N] [--seed S]
 //! ```
 //!
 //! With no `--exp`, all experiments run. `--scale` picks the input
@@ -28,6 +29,17 @@
 //! dependence analysis per kernel and loop level. Exits nonzero if
 //! any statically-independent loop races, or a known-wrong reduction
 //! plan is not caught as a write-write race.
+//!
+//! `conform` runs the differential conformance harness instead of the
+//! figures: `--programs N` (default 50) seeded random IR programs
+//! (`--seed S`, default 42) each execute under the reference oracle,
+//! the functional simulator across every compiler personality ×
+//! device, and every semantics-preserving transform, asserting
+//! bitwise-equal observables. Known miscompilation quirks (the CAPS
+//! MIC reduction lowering) must surface as *expected* divergence.
+//! Any genuine mismatch is shrunk to a minimal program, printed as a
+//! paste-ready regression test, and the run exits nonzero. Output is
+//! deterministic: same arguments, byte-identical stdout.
 //!
 //! `--inject SPEC` turns on deterministic fault injection (chaos
 //! testing): `SPEC` is a comma-separated list of
@@ -61,6 +73,10 @@ impl Drop for TraceFlushGuard {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("conform") {
+        conform(&args[1..]);
+        return;
+    }
     let check = args.iter().any(|a| a == "--check");
     let trace = args.iter().any(|a| a == "--trace");
     let mut scale_name = if args.iter().any(|a| a == "--quick") {
@@ -330,6 +346,36 @@ fn main() {
                 q.label, q.reason, q.attempts
             );
         }
+        std::process::exit(1);
+    }
+}
+
+/// `reproduce conform [--programs N] [--seed S]` — differential
+/// conformance fuzzing. Exits 0 iff every program either matched the
+/// oracle bitwise on every leg or diverged only through a modeled
+/// compiler quirk.
+fn conform(args: &[String]) {
+    let mut programs: u64 = 50;
+    let mut seed: u64 = 42;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--programs" {
+            programs = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--programs requires an unsigned integer"));
+        } else if a == "--seed" {
+            seed = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--seed requires an unsigned integer"));
+        } else {
+            die(&format!("conform: unknown argument `{a}`"));
+        }
+    }
+    let report = paccport_conformance::run_conformance(programs, seed);
+    print!("{}", report.render());
+    if !report.ok() {
         std::process::exit(1);
     }
 }

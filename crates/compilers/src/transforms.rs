@@ -28,6 +28,82 @@ impl<'a> VarAlloc<'a> {
     }
 }
 
+/// One semantics-preserving whole-program rewrite, as enumerated by
+/// the differential conformance harness: every variant must leave the
+/// observable output of a program bitwise unchanged (that is the
+/// invariant the fuzzer checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformVariant {
+    /// [`unroll_inner_loops`] with the given factor on every kernel.
+    Unroll(u32),
+    /// [`unroll_grouped_phases`] (unroll-and-jam of staged bodies).
+    UnrollGrouped(u32),
+    /// [`strip_mine`] (the `tile` clause's effect) with the given tile.
+    StripMine(u32),
+    /// [`serialize_inner_loops`] keeping one parallel level.
+    SerializeInner,
+    /// [`reduction_to_grouped`] with the given group size (must be a
+    /// power of two).
+    ReductionToGrouped(u32),
+    /// [`paccport_ir::simplify_kernel`] over every kernel.
+    Simplify,
+}
+
+impl TransformVariant {
+    /// The canonical list the conformance driver iterates.
+    pub fn all() -> Vec<TransformVariant> {
+        vec![
+            TransformVariant::Unroll(2),
+            TransformVariant::Unroll(3),
+            TransformVariant::UnrollGrouped(2),
+            TransformVariant::StripMine(4),
+            TransformVariant::SerializeInner,
+            TransformVariant::ReductionToGrouped(8),
+            TransformVariant::Simplify,
+        ]
+    }
+
+    /// Stable label used in conformance reports.
+    pub fn label(&self) -> String {
+        match self {
+            TransformVariant::Unroll(f) => format!("unroll(x{f})"),
+            TransformVariant::UnrollGrouped(f) => format!("unroll-grouped(x{f})"),
+            TransformVariant::StripMine(t) => format!("strip-mine({t})"),
+            TransformVariant::SerializeInner => "serialize-inner".to_string(),
+            TransformVariant::ReductionToGrouped(g) => format!("reduction-to-grouped({g})"),
+            TransformVariant::Simplify => "simplify".to_string(),
+        }
+    }
+
+    /// Apply the rewrite to every kernel of `p`. Returns whether any
+    /// kernel changed. Transforms that do not match a kernel's shape
+    /// (e.g. strip-mining a rank-2 nest) skip it, exactly as the
+    /// simulated compilers do.
+    pub fn apply(&self, p: &mut paccport_ir::Program) -> bool {
+        let mut names = std::mem::take(&mut p.var_names);
+        let mut changed = false;
+        {
+            let mut va = VarAlloc::new(&mut names);
+            p.map_kernels(|k| {
+                changed |= match self {
+                    TransformVariant::Unroll(f) => unroll_inner_loops(k, *f),
+                    TransformVariant::UnrollGrouped(f) => unroll_grouped_phases(k, *f),
+                    TransformVariant::StripMine(t) => strip_mine(k, *t, &mut va),
+                    TransformVariant::SerializeInner => serialize_inner_loops(k, 1),
+                    TransformVariant::ReductionToGrouped(g) => reduction_to_grouped(k, *g, &mut va),
+                    TransformVariant::Simplify => {
+                        let before = k.clone();
+                        paccport_ir::simplify_kernel(k);
+                        *k != before
+                    }
+                };
+            });
+        }
+        p.var_names = names;
+        changed
+    }
+}
+
 /// Does the block contain any sequential inner loop?
 pub fn has_inner_loop(b: &Block) -> bool {
     let mut found = false;
@@ -250,6 +326,14 @@ pub fn unroll_grouped_phases(k: &mut Kernel, factor: u32) -> bool {
 /// Returns whether the kernel was transformed.
 pub fn strip_mine(k: &mut Kernel, tile: u32, va: &mut VarAlloc<'_>) -> bool {
     if k.loops.len() != 1 {
+        return false;
+    }
+    // A region reduction combines its value once per parallel
+    // iteration — including the guard-padded iterations strip-mining
+    // introduces when the range does not divide by the tile size,
+    // which would corrupt the reduced result (and can read the guard
+    // variable out of bounds). Refuse, as serialize_inner_loops does.
+    if k.region_reduction.is_some() {
         return false;
     }
     let KernelBody::Simple(body) = &k.body else {

@@ -1,0 +1,491 @@
+//! Differential driver: one generated program, many execution legs.
+//!
+//! Every case is executed by the reference [`oracle`](crate::oracle)
+//! first; its `copyout` arrays (compared bit-for-bit via
+//! [`Buffer::bits`](paccport_devsim::Buffer::bits)) are the ground
+//! truth. The case then runs through:
+//!
+//! * the full **compiler matrix** — every personality × device the
+//!   paper used (CAPS on K40/FirePro/5110P, PGI on K40/FirePro,
+//!   hand-OpenCL on all three, OpenARC on K40), each compiled and
+//!   executed on the device simulator;
+//! * every **semantics-preserving transform variant** (unrolling,
+//!   grouped-phase unrolling, strip-mining, serialization, reduction
+//!   lowering, `simplify`), checked both oracle-vs-oracle and through
+//!   a CAPS/K40 compile-and-run of the transformed program.
+//!
+//! Outcomes are classified rather than boolean: a modeled
+//! miscompilation (the CAPS `reduction`-on-MIC bug) must show up as
+//! [`Outcome::ExpectedDivergence`] — if the quirk model flags a kernel
+//! wrong and the values nevertheless match bit-for-bit, that is
+//! recorded separately as [`Outcome::BenignMatch`]. Only an
+//! *unexpected* difference is a [`Outcome::Mismatch`], and those are
+//! shrunk to a minimal reproducer before being reported.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::generate::{generate, Case};
+use crate::oracle::run_oracle;
+use crate::printer::case_to_test;
+use crate::shrink::shrink;
+use paccport_compilers::transforms::TransformVariant;
+use paccport_compilers::{compile, CompileOptions, CompiledProgram, CompilerId};
+use paccport_devsim::{run, RunConfig};
+use paccport_ir::program_to_string;
+
+/// Broad category of a conformance failure. Shrinking preserves the
+/// (leg, kind) pair so a bitwise divergence cannot quietly morph into
+/// an unrelated runtime error while being minimized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailKind {
+    /// Observable arrays differ bit-for-bit with no quirk excusing it.
+    Diverged,
+    /// The simulator refused to run the compiled program.
+    RunError,
+    /// The simulator panicked.
+    Panicked,
+    /// The reference oracle itself failed — a harness or generator bug.
+    OracleError,
+    /// A transform produced a program `validate` rejects.
+    TransformInvalid,
+}
+
+/// Classified result of one execution leg.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Bitwise equal to the oracle.
+    Match,
+    /// A kernel was flagged known-wrong, yet the values match — the
+    /// quirk model is over-cautious on this shape (e.g. a grouped body
+    /// with no interior tree phases to drop).
+    BenignMatch,
+    /// A kernel was flagged known-wrong and the values differ: the
+    /// modeled 2014-era miscompilation, reproduced as documented.
+    ExpectedDivergence,
+    /// The personality refused the program (e.g. PGI targeting MIC).
+    CompileRejected(String),
+    /// The transform variant did not apply to this program's kernels.
+    SkippedTransform,
+    /// Unexcused difference from the oracle — a conformance bug.
+    Mismatch { kind: FailKind, detail: String },
+}
+
+/// One execution leg of a case: a label like `caps/5110P` or
+/// `transform/unroll2` plus its classified outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Leg {
+    pub label: String,
+    pub outcome: Outcome,
+}
+
+/// First unexcused failure of a case, if any.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub leg: String,
+    pub kind: FailKind,
+    pub detail: String,
+}
+
+/// The compiler-personality × device matrix from the paper.
+fn matrix() -> Vec<(CompilerId, CompileOptions, &'static str)> {
+    vec![
+        (CompilerId::Caps, CompileOptions::gpu(), "caps/K40"),
+        (CompilerId::Caps, CompileOptions::amd(), "caps/FirePro"),
+        (CompilerId::Caps, CompileOptions::mic(), "caps/5110P"),
+        (CompilerId::Pgi, CompileOptions::gpu(), "pgi/K40"),
+        (CompilerId::Pgi, CompileOptions::amd(), "pgi/FirePro"),
+        (CompilerId::OpenClHand, CompileOptions::gpu(), "opencl/K40"),
+        (
+            CompilerId::OpenClHand,
+            CompileOptions::amd(),
+            "opencl/FirePro",
+        ),
+        (
+            CompilerId::OpenClHand,
+            CompileOptions::mic(),
+            "opencl/5110P",
+        ),
+        (CompilerId::OpenArc, CompileOptions::gpu(), "openarc/K40"),
+    ]
+}
+
+/// Run every leg of a case and classify each outcome.
+pub fn check_case(case: &Case) -> Vec<Leg> {
+    let mut legs = Vec::new();
+    let base = match run_oracle(&case.program, &case.params, &case.inputs) {
+        Ok(o) => o,
+        Err(e) => {
+            legs.push(Leg {
+                label: "oracle".into(),
+                outcome: Outcome::Mismatch {
+                    kind: FailKind::OracleError,
+                    detail: e,
+                },
+            });
+            return legs;
+        }
+    };
+    let want = base.observable(&case.program);
+    for (id, opts, label) in matrix() {
+        let outcome = compile_leg(case, id, &opts, &want);
+        legs.push(Leg {
+            label: label.to_string(),
+            outcome,
+        });
+    }
+    for v in TransformVariant::all() {
+        let outcome = transform_leg(case, v, &want);
+        legs.push(Leg {
+            label: format!("transform/{}", v.label()),
+            outcome,
+        });
+    }
+    legs
+}
+
+fn compile_leg(
+    case: &Case,
+    id: CompilerId,
+    opts: &CompileOptions,
+    want: &[(String, Vec<u64>)],
+) -> Outcome {
+    match compile(id, &case.program, opts) {
+        Ok(cp) => exec_and_compare(&cp, case, want),
+        Err(e) => Outcome::CompileRejected(e.message),
+    }
+}
+
+/// A transform variant must (a) keep the program valid, (b) preserve
+/// big-step semantics under the oracle, and (c) still compile and run
+/// bitwise-identically through CAPS on the K40.
+fn transform_leg(case: &Case, v: TransformVariant, want: &[(String, Vec<u64>)]) -> Outcome {
+    let mut p = case.program.clone();
+    if !v.apply(&mut p) {
+        return Outcome::SkippedTransform;
+    }
+    if let Err(e) = paccport_ir::validate(&p) {
+        return Outcome::Mismatch {
+            kind: FailKind::TransformInvalid,
+            detail: format!("{} broke validation: {e:?}", v.label()),
+        };
+    }
+    let t = match run_oracle(&p, &case.params, &case.inputs) {
+        Ok(o) => o,
+        Err(e) => {
+            return Outcome::Mismatch {
+                kind: FailKind::OracleError,
+                detail: format!("oracle failed on transformed program: {e}"),
+            }
+        }
+    };
+    if let Some(d) = diff_observables(want, &t.observable(&p)) {
+        return Outcome::Mismatch {
+            kind: FailKind::Diverged,
+            detail: format!("oracle-vs-oracle after {}: {d}", v.label()),
+        };
+    }
+    match compile(CompilerId::Caps, &p, &CompileOptions::gpu()) {
+        Ok(cp) => exec_and_compare(&cp, case, want),
+        Err(e) => Outcome::CompileRejected(e.message),
+    }
+}
+
+fn exec_and_compare(cp: &CompiledProgram, case: &Case, want: &[(String, Vec<u64>)]) -> Outcome {
+    let mut cfg = RunConfig::functional(case.params.clone());
+    for (name, buf) in &case.inputs {
+        cfg = cfg.with_input(name, buf.clone());
+    }
+    let res = match catch_unwind(AssertUnwindSafe(|| run(cp, &cfg))) {
+        Ok(Ok(r)) => r,
+        Ok(Err(e)) => {
+            return Outcome::Mismatch {
+                kind: FailKind::RunError,
+                detail: e,
+            }
+        }
+        Err(payload) => {
+            return Outcome::Mismatch {
+                kind: FailKind::Panicked,
+                detail: panic_message(payload),
+            }
+        }
+    };
+    let mut got = Vec::with_capacity(want.len());
+    for (name, _) in want {
+        match res.buffer(cp, name) {
+            Some(b) => got.push((name.clone(), b.bits())),
+            None => {
+                return Outcome::Mismatch {
+                    kind: FailKind::RunError,
+                    detail: format!("observable array `{name}` missing from run result"),
+                }
+            }
+        }
+    }
+    match diff_observables(want, &got) {
+        None => {
+            if res.any_known_wrong {
+                Outcome::BenignMatch
+            } else {
+                Outcome::Match
+            }
+        }
+        Some(d) => {
+            if res.any_known_wrong {
+                Outcome::ExpectedDivergence
+            } else {
+                Outcome::Mismatch {
+                    kind: FailKind::Diverged,
+                    detail: d,
+                }
+            }
+        }
+    }
+}
+
+/// First bit-level difference between two observable snapshots.
+fn diff_observables(want: &[(String, Vec<u64>)], got: &[(String, Vec<u64>)]) -> Option<String> {
+    for (name, wbits) in want {
+        let Some((_, gbits)) = got.iter().find(|(n, _)| n == name) else {
+            return Some(format!("array `{name}` absent"));
+        };
+        if wbits.len() != gbits.len() {
+            return Some(format!(
+                "array `{name}` length {} vs {}",
+                wbits.len(),
+                gbits.len()
+            ));
+        }
+        for (i, (w, g)) in wbits.iter().zip(gbits).enumerate() {
+            if w != g {
+                return Some(format!(
+                    "{name}[{i}]: oracle bits {w:#018x} vs observed {g:#018x}"
+                ));
+            }
+        }
+    }
+    None
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// First unexcused failure of a case across all legs, if any.
+pub fn failure_of(case: &Case) -> Option<Failure> {
+    check_case(case)
+        .into_iter()
+        .find_map(|leg| match leg.outcome {
+            Outcome::Mismatch { kind, detail } => Some(Failure {
+                leg: leg.label,
+                kind,
+                detail,
+            }),
+            _ => None,
+        })
+}
+
+/// Shrink a failing case while preserving the failing (leg, kind)
+/// pair, so the minimized program still exhibits the *same* bug.
+pub fn shrink_failure(case: &Case, f: &Failure) -> Case {
+    let leg = f.leg.clone();
+    let kind = f.kind;
+    shrink(
+        case,
+        &|c: &Case| matches!(failure_of(c), Some(g) if g.leg == leg && g.kind == kind),
+    )
+}
+
+/// Assert a single case conforms on every leg; on failure, panic with
+/// the shrunk reproducer and a paste-ready regression test.
+pub fn assert_conforms(case: &Case) {
+    if let Some(f) = failure_of(case) {
+        let shrunk = shrink_failure(case, &f);
+        panic!(
+            "conformance failure on leg `{}` ({:?}): {}\n\
+             shrunk reproducer ({} statements):\n{}\n\
+             paste-ready regression test:\n{}",
+            f.leg,
+            f.kind,
+            f.detail,
+            shrunk.program.stmt_count(),
+            program_to_string(&shrunk.program),
+            case_to_test(&shrunk),
+        );
+    }
+}
+
+/// One minimized, reportable conformance failure.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    pub index: u64,
+    pub leg: String,
+    pub kind: FailKind,
+    pub detail: String,
+    /// `program_to_string` of the shrunk program.
+    pub shrunk_program: String,
+    /// Paste-ready `#[test]` source reproducing the failure.
+    pub regression: String,
+    pub shrunk_stmts: usize,
+}
+
+/// Aggregated result of a conformance run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub programs: u64,
+    pub seed: u64,
+    pub matches: u64,
+    pub benign: u64,
+    pub expected_divergence: u64,
+    pub compile_rejected: u64,
+    pub transforms_applied: u64,
+    pub transforms_skipped: u64,
+    /// Distinct legs on which expected divergence was observed — the
+    /// quirk model must actually fire over a healthy corpus.
+    pub divergence_legs: Vec<String>,
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl Report {
+    pub fn ok(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+
+    /// Deterministic text rendering (no timing, no paths): two runs
+    /// with the same (programs, seed) must render byte-identically.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "differential conformance: {} programs, seed {}\n",
+            self.programs, self.seed
+        ));
+        s.push_str(&format!(
+            "  legs: {} compiler targets + {} transform variants per program\n",
+            matrix().len(),
+            TransformVariant::all().len()
+        ));
+        s.push_str(&format!("  match              : {}\n", self.matches));
+        s.push_str(&format!(
+            "  benign match       : {}  (flagged known-wrong, values bitwise equal)\n",
+            self.benign
+        ));
+        s.push_str(&format!(
+            "  expected divergence: {}  (modeled miscompilation fired)\n",
+            self.expected_divergence
+        ));
+        for leg in &self.divergence_legs {
+            s.push_str(&format!("      on {leg}\n"));
+        }
+        s.push_str(&format!(
+            "  compile rejected   : {}  (e.g. PGI cannot target MIC)\n",
+            self.compile_rejected
+        ));
+        s.push_str(&format!(
+            "  transforms applied : {}  (skipped {} not-applicable)\n",
+            self.transforms_applied, self.transforms_skipped
+        ));
+        s.push_str(&format!(
+            "  mismatches         : {}\n",
+            self.counterexamples.len()
+        ));
+        for ce in &self.counterexamples {
+            s.push_str(&format!(
+                "\nMISMATCH program {} leg `{}` ({:?}): {}\n",
+                ce.index, ce.leg, ce.kind, ce.detail
+            ));
+            s.push_str(&format!(
+                "shrunk to {} statements:\n{}\n",
+                ce.shrunk_stmts, ce.shrunk_program
+            ));
+            s.push_str(&format!("regression test:\n{}\n", ce.regression));
+        }
+        s
+    }
+}
+
+/// Generate `programs` cases from `seed` and run each through every
+/// leg. Mismatches are shrunk and reported; everything else is
+/// tallied.
+pub fn run_conformance(programs: u64, seed: u64) -> Report {
+    let mut r = Report {
+        programs,
+        seed,
+        ..Report::default()
+    };
+    for index in 0..programs {
+        let case = generate(seed, index);
+        for leg in check_case(&case) {
+            let is_transform = leg.label.starts_with("transform/");
+            match leg.outcome {
+                Outcome::Match | Outcome::BenignMatch if is_transform => {
+                    r.transforms_applied += 1;
+                    if matches!(leg.outcome, Outcome::BenignMatch) {
+                        r.benign += 1;
+                    } else {
+                        r.matches += 1;
+                    }
+                }
+                Outcome::Match => r.matches += 1,
+                Outcome::BenignMatch => r.benign += 1,
+                Outcome::ExpectedDivergence => {
+                    if is_transform {
+                        r.transforms_applied += 1;
+                    }
+                    r.expected_divergence += 1;
+                    if !r.divergence_legs.contains(&leg.label) {
+                        r.divergence_legs.push(leg.label.clone());
+                    }
+                }
+                Outcome::CompileRejected(_) => r.compile_rejected += 1,
+                Outcome::SkippedTransform => r.transforms_skipped += 1,
+                Outcome::Mismatch { kind, detail } => {
+                    if is_transform {
+                        r.transforms_applied += 1;
+                    }
+                    let failure = Failure {
+                        leg: leg.label.clone(),
+                        kind,
+                        detail: detail.clone(),
+                    };
+                    let shrunk = shrink_failure(&case, &failure);
+                    r.counterexamples.push(Counterexample {
+                        index,
+                        leg: leg.label,
+                        kind,
+                        detail,
+                        shrunk_program: program_to_string(&shrunk.program),
+                        regression: case_to_test(&shrunk),
+                        shrunk_stmts: shrunk.program.stmt_count(),
+                    });
+                }
+            }
+        }
+    }
+    r.divergence_legs.sort();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The first few generated programs must conform on every leg —
+    /// the cheap smoke tier of `reproduce conform`.
+    #[test]
+    fn generated_programs_conform_smoke() {
+        for index in 0..6 {
+            assert_conforms(&generate(42, index));
+        }
+    }
+
+    #[test]
+    fn report_render_is_deterministic() {
+        let a = run_conformance(4, 42).render();
+        let b = run_conformance(4, 42).render();
+        assert_eq!(a, b);
+    }
+}

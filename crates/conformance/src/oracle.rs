@@ -1,0 +1,850 @@
+//! The reference oracle: a big-step interpreter over the directive IR
+//! that is deliberately *clause-blind*.
+//!
+//! Where the device simulator routes every array access through a
+//! host/device buffer pair, honours data-region transfer intents, and
+//! executes whatever plan a simulated compiler produced (grouped
+//! lowerings, host fallbacks, dropped phases), the oracle executes the
+//! program *as written*: one flat memory, sequential loops in source
+//! order, data directives as no-ops. It shares no code with
+//! `paccport_devsim::interp` — that independence is the point of a
+//! differential harness; a bug in common evaluation code would
+//! otherwise cancel out of the comparison.
+//!
+//! Numeric semantics intentionally match the simulated devices
+//! (f32 arithmetic when either operand is a float, f32 `fma`,
+//! `Let`-coercion only), so a divergence against the simulator is a
+//! *semantic* bug in a lowering or transform, never a rounding
+//! mismatch. Unlike the simulator the oracle never panics: malformed
+//! programs (out-of-bounds access, division by zero, undefined
+//! variable reads, runaway loops) surface as `Err`, which the driver
+//! and shrinker treat as "candidate rejected", not as a divergence.
+
+use paccport_devsim::Buffer;
+use paccport_ir::expr::{BinOp, CmpOp, Expr, SpecialVar, UnOp};
+use paccport_ir::kernel::{Kernel, KernelBody, ReduceOp};
+use paccport_ir::stmt::{Block, Stmt};
+use paccport_ir::types::{MemSpace, Scalar};
+use paccport_ir::{HostStmt, Program};
+
+/// Hard cap on interpreted statements per program: generated programs
+/// finish in a few thousand steps, so hitting this means a runaway
+/// loop (reported as `Err`, never a hang).
+const STEP_BUDGET: u64 = 50_000_000;
+
+/// A runtime scalar value (the oracle's own — not `devsim::V`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Val {
+    I(i64),
+    F(f64),
+    B(bool),
+}
+
+impl Val {
+    fn as_f(self) -> f64 {
+        match self {
+            Val::I(v) => v as f64,
+            Val::F(v) => v,
+            Val::B(v) => v as i64 as f64,
+        }
+    }
+    fn as_i(self) -> i64 {
+        match self {
+            Val::I(v) => v,
+            Val::F(v) => v as i64,
+            Val::B(v) => v as i64,
+        }
+    }
+    fn as_b(self) -> bool {
+        match self {
+            Val::I(v) => v != 0,
+            Val::F(v) => v != 0.0,
+            Val::B(v) => v,
+        }
+    }
+    fn is_float(self) -> bool {
+        matches!(self, Val::F(_))
+    }
+}
+
+/// What the oracle says the program computes.
+#[derive(Debug, Clone)]
+pub struct OracleOutput {
+    /// Final contents of every program array, by declaration order.
+    pub arrays: Vec<Buffer>,
+    /// Interpreted statement count (for budget diagnostics).
+    pub steps: u64,
+    /// Iterations taken by `WhileFlag` loops, summed.
+    pub while_iterations: u64,
+}
+
+impl OracleOutput {
+    /// The *observable* slice of the final state: arrays whose intent
+    /// copies out (`Out`/`InOut`), as `(name, bit pattern)` pairs.
+    /// This is exactly what the device simulator is obliged to agree
+    /// on; `In`/`Scratch` arrays are free to differ (the simulator
+    /// never copies them back).
+    pub fn observable(&self, p: &Program) -> Vec<(String, Vec<u64>)> {
+        p.arrays
+            .iter()
+            .zip(&self.arrays)
+            .filter(|(d, _)| d.intent.copies_out())
+            .map(|(d, b)| (d.name.clone(), b.bits()))
+            .collect()
+    }
+}
+
+struct Interp {
+    params: Vec<Val>,
+    vars: Vec<Option<Val>>,
+    arrays: Vec<Buffer>,
+    steps: u64,
+    while_iterations: u64,
+}
+
+/// Per-thread work-group context for grouped bodies.
+#[derive(Clone, Copy)]
+struct Grp {
+    local_id: i64,
+    group_id: i64,
+    local_size: i64,
+    num_groups: i64,
+}
+
+/// Evaluation context: which variable environment and (optionally)
+/// which group's local arrays an expression sees.
+struct Ctx<'b> {
+    vars: &'b [Option<Val>],
+    locals: Option<&'b [Buffer]>,
+    group: Option<Grp>,
+}
+
+/// Run the reference oracle over a program.
+///
+/// `params` binds scalar parameters by name; `inputs` seeds initial
+/// array contents by name (arrays not listed start zeroed, matching
+/// the simulator's functional-mode allocation).
+pub fn run_oracle(
+    p: &Program,
+    params: &[(String, f64)],
+    inputs: &[(String, Buffer)],
+) -> Result<OracleOutput, String> {
+    // Bind parameters exactly as the simulator's runner does: by the
+    // declared type, floats kept as-is, everything else truncated.
+    let mut bound = Vec::with_capacity(p.params.len());
+    for d in &p.params {
+        let v = params
+            .iter()
+            .find(|(n, _)| *n == d.name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("missing parameter {:?}", d.name))?;
+        bound.push(match d.ty {
+            Scalar::F32 | Scalar::F64 => Val::F(v),
+            _ => Val::I(v as i64),
+        });
+    }
+
+    // Array lengths are parameter-only expressions.
+    let mut arrays = Vec::with_capacity(p.arrays.len());
+    {
+        let it = Interp {
+            params: bound.clone(),
+            vars: vec![None; p.var_names.len()],
+            arrays: Vec::new(),
+            steps: 0,
+            while_iterations: 0,
+        };
+        for d in &p.arrays {
+            let ctx = Ctx {
+                vars: &it.vars,
+                locals: None,
+                group: None,
+            };
+            let len = it.eval(&d.len, &ctx)?.as_i();
+            if len < 0 {
+                return Err(format!("array {:?} has negative length {len}", d.name));
+            }
+            arrays.push(Buffer::zeroed(d.elem, len as usize));
+        }
+    }
+    for (name, buf) in inputs {
+        let id = p
+            .array_id(name)
+            .ok_or_else(|| format!("input for unknown array {name:?}"))?;
+        let slot = &mut arrays[id.0 as usize];
+        if slot.len() != buf.len() || slot.elem() != buf.elem() {
+            return Err(format!(
+                "input {name:?}: expected {:?}×{}, got {:?}×{}",
+                slot.elem(),
+                slot.len(),
+                buf.elem(),
+                buf.len()
+            ));
+        }
+        *slot = buf.clone();
+    }
+
+    let mut it = Interp {
+        params: bound,
+        vars: vec![None; p.var_names.len()],
+        arrays,
+        steps: 0,
+        while_iterations: 0,
+    };
+    it.exec_host_body(&p.body)?;
+    Ok(OracleOutput {
+        arrays: it.arrays,
+        steps: it.steps,
+        while_iterations: it.while_iterations,
+    })
+}
+
+impl Interp {
+    fn charge(&mut self) -> Result<(), String> {
+        self.steps += 1;
+        if self.steps > STEP_BUDGET {
+            return Err(format!("oracle step budget exhausted ({STEP_BUDGET})"));
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Expressions
+    // ---------------------------------------------------------------
+
+    fn eval(&self, e: &Expr, ctx: &Ctx<'_>) -> Result<Val, String> {
+        Ok(match e {
+            Expr::FConst(v) => Val::F(*v),
+            Expr::IConst(v) => Val::I(*v),
+            Expr::BConst(v) => Val::B(*v),
+            Expr::Param(id) => self.params[id.0 as usize],
+            Expr::Var(id) => ctx.vars[id.0 as usize]
+                .ok_or_else(|| format!("read of undefined variable v{}", id.0))?,
+            Expr::Special(sv) => {
+                let g = ctx
+                    .group
+                    .ok_or("work-group builtin outside a grouped body")?;
+                Val::I(match sv {
+                    SpecialVar::LocalId(_) => g.local_id,
+                    SpecialVar::GroupId(_) => g.group_id,
+                    SpecialVar::LocalSize(_) => g.local_size,
+                    SpecialVar::NumGroups(_) => g.num_groups,
+                })
+            }
+            Expr::Load {
+                space,
+                array,
+                index,
+            } => {
+                let i = self.eval(index, ctx)?.as_i();
+                let buf = match space {
+                    MemSpace::Global => &self.arrays[array.0 as usize],
+                    MemSpace::Local => {
+                        &ctx.locals.ok_or("local load outside a grouped body")?[array.0 as usize]
+                    }
+                };
+                if i < 0 || i as usize >= buf.len() {
+                    return Err(format!(
+                        "load index {i} out of bounds for array of length {}",
+                        buf.len()
+                    ));
+                }
+                match buf.elem() {
+                    Scalar::F32 | Scalar::F64 => Val::F(buf.get(i as usize)),
+                    Scalar::Bool => Val::B(buf.get(i as usize) != 0.0),
+                    _ => Val::I(buf.get(i as usize) as i64),
+                }
+            }
+            Expr::Un(op, a) => {
+                let va = self.eval(a, ctx)?;
+                match op {
+                    UnOp::Neg => match va {
+                        Val::I(v) => Val::I(v.wrapping_neg()),
+                        other => Val::F(-other.as_f()),
+                    },
+                    UnOp::Abs => match va {
+                        Val::I(v) => Val::I(v.wrapping_abs()),
+                        other => Val::F(other.as_f().abs()),
+                    },
+                    UnOp::Rcp => Val::F(1.0 / va.as_f()),
+                    UnOp::Sqrt => Val::F(va.as_f().sqrt()),
+                    UnOp::Not => Val::B(!va.as_b()),
+                    UnOp::Exp => Val::F(va.as_f().exp()),
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let va = self.eval(a, ctx)?;
+                let vb = self.eval(b, ctx)?;
+                bin(*op, va, vb)?
+            }
+            Expr::Cmp(op, a, b) => {
+                let va = self.eval(a, ctx)?;
+                let vb = self.eval(b, ctx)?;
+                Val::B(cmp(*op, va, vb))
+            }
+            Expr::Fma(a, b, c) => {
+                let va = self.eval(a, ctx)?.as_f();
+                let vb = self.eval(b, ctx)?.as_f();
+                let vc = self.eval(c, ctx)?.as_f();
+                // f32 fused multiply-add, like the devices.
+                Val::F(((va as f32).mul_add(vb as f32, vc as f32)) as f64)
+            }
+            Expr::Select(c, a, b) => {
+                if self.eval(c, ctx)?.as_b() {
+                    self.eval(a, ctx)?
+                } else {
+                    self.eval(b, ctx)?
+                }
+            }
+            Expr::Cast(ty, a) => {
+                let v = self.eval(a, ctx)?;
+                match ty {
+                    Scalar::F32 => Val::F(v.as_f() as f32 as f64),
+                    Scalar::F64 => Val::F(v.as_f()),
+                    Scalar::I32 => Val::I(v.as_i() as i32 as i64),
+                    Scalar::U32 => Val::I(v.as_i() as u32 as i64),
+                    Scalar::Bool => Val::B(v.as_b()),
+                }
+            }
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Kernel-body statements
+    // ---------------------------------------------------------------
+
+    /// Execute a block against one variable environment. `locals` and
+    /// `group` are `Some` only inside grouped bodies.
+    fn exec_block(
+        &mut self,
+        b: &Block,
+        vars: &mut Vec<Option<Val>>,
+        locals: &mut Option<Vec<Buffer>>,
+        group: Option<Grp>,
+    ) -> Result<(), String> {
+        for s in &b.0 {
+            self.exec_stmt(s, vars, locals, group)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(
+        &mut self,
+        s: &Stmt,
+        vars: &mut Vec<Option<Val>>,
+        locals: &mut Option<Vec<Buffer>>,
+        group: Option<Grp>,
+    ) -> Result<(), String> {
+        self.charge()?;
+        match s {
+            Stmt::Let { var, ty, init } => {
+                let v = {
+                    let ctx = Ctx {
+                        vars,
+                        locals: locals.as_deref(),
+                        group,
+                    };
+                    self.eval(init, &ctx)?
+                };
+                vars[var.0 as usize] = Some(coerce(v, *ty));
+            }
+            Stmt::Assign { var, value } => {
+                let v = {
+                    let ctx = Ctx {
+                        vars,
+                        locals: locals.as_deref(),
+                        group,
+                    };
+                    self.eval(value, &ctx)?
+                };
+                // Like the device simulator, `Assign` does not coerce.
+                vars[var.0 as usize] = Some(v);
+            }
+            Stmt::Store {
+                space,
+                array,
+                index,
+                value,
+            } => {
+                let (i, v) = {
+                    let ctx = Ctx {
+                        vars,
+                        locals: locals.as_deref(),
+                        group,
+                    };
+                    (
+                        self.eval(index, &ctx)?.as_i(),
+                        self.eval(value, &ctx)?.as_f(),
+                    )
+                };
+                let buf = match space {
+                    MemSpace::Global => &mut self.arrays[array.0 as usize],
+                    MemSpace::Local => &mut locals
+                        .as_mut()
+                        .ok_or("local store outside a grouped body")?[array.0 as usize],
+                };
+                if i < 0 || i as usize >= buf.len() {
+                    return Err(format!(
+                        "store index {i} out of bounds for array of length {}",
+                        buf.len()
+                    ));
+                }
+                buf.set(i as usize, v);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = {
+                    let ctx = Ctx {
+                        vars,
+                        locals: locals.as_deref(),
+                        group,
+                    };
+                    self.eval(cond, &ctx)?.as_b()
+                };
+                if c {
+                    self.exec_block(then_blk, vars, locals, group)?;
+                } else {
+                    self.exec_block(else_blk, vars, locals, group)?;
+                }
+            }
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                let (lo, hi) = {
+                    let ctx = Ctx {
+                        vars,
+                        locals: locals.as_deref(),
+                        group,
+                    };
+                    (self.eval(lo, &ctx)?.as_i(), self.eval(hi, &ctx)?.as_i())
+                };
+                if *step <= 0 {
+                    return Err(format!("non-positive sequential loop step {step}"));
+                }
+                let mut i = lo;
+                while i < hi {
+                    vars[var.0 as usize] = Some(Val::I(i));
+                    self.exec_block(body, vars, locals, group)?;
+                    i += *step;
+                }
+            }
+            Stmt::Barrier => {
+                // Implicit between grouped phases; a no-op under the
+                // oracle's sequential in-phase-order execution.
+            }
+            Stmt::Atomic {
+                op,
+                array,
+                index,
+                value,
+            } => {
+                let (i, v) = {
+                    let ctx = Ctx {
+                        vars,
+                        locals: locals.as_deref(),
+                        group,
+                    };
+                    (
+                        self.eval(index, &ctx)?.as_i(),
+                        self.eval(value, &ctx)?.as_f(),
+                    )
+                };
+                let buf = &mut self.arrays[array.0 as usize];
+                if i < 0 || i as usize >= buf.len() {
+                    return Err(format!(
+                        "atomic index {i} out of bounds for array of length {}",
+                        buf.len()
+                    ));
+                }
+                let old = buf.get(i as usize);
+                buf.set(i as usize, op.combine(old, v));
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Kernels
+    // ---------------------------------------------------------------
+
+    fn exec_kernel(&mut self, k: &Kernel) -> Result<(), String> {
+        match &k.body {
+            KernelBody::Simple(_) => {
+                let mut acc = k.region_reduction.as_ref().map(|rr| (rr, rr.op.identity()));
+                self.exec_nest(k, 0, &mut acc)?;
+                if let Some((rr, total)) = acc {
+                    let buf = &mut self.arrays[rr.dest.0 as usize];
+                    if buf.is_empty() {
+                        return Err("region reduction into empty array".into());
+                    }
+                    buf.set(0, total);
+                }
+            }
+            KernelBody::Grouped(g) => {
+                if k.loops.len() != 1 {
+                    return Err("grouped kernels must be rank-1".into());
+                }
+                let lp = &k.loops[0];
+                let (lo, hi) = {
+                    let ctx = Ctx {
+                        vars: &self.vars,
+                        locals: None,
+                        group: None,
+                    };
+                    (
+                        self.eval(&lp.lo, &ctx)?.as_i(),
+                        self.eval(&lp.hi, &ctx)?.as_i(),
+                    )
+                };
+                let n_groups = (hi - lo).max(0);
+                let gsz = g.group_size as usize;
+                if gsz == 0 {
+                    return Err("grouped kernel with zero group size".into());
+                }
+                for grp in 0..n_groups {
+                    let mut locals: Option<Vec<Buffer>> = Some(
+                        g.locals
+                            .iter()
+                            .map(|l| Buffer::zeroed(l.elem, l.len))
+                            .collect(),
+                    );
+                    // Per-lane variable environments persist across
+                    // phases (like registers across barriers), but
+                    // lane-local writes never escape to the host.
+                    let mut thread_vars = vec![self.vars.clone(); gsz];
+                    for phase in &g.phases {
+                        for (t, tv) in thread_vars.iter_mut().enumerate() {
+                            tv[lp.var.0 as usize] = Some(Val::I(lo + grp));
+                            let grp_ctx = Grp {
+                                local_id: t as i64,
+                                group_id: grp,
+                                local_size: gsz as i64,
+                                num_groups: n_groups,
+                            };
+                            self.exec_block(phase, tv, &mut locals, Some(grp_ctx))?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recurse through a simple kernel's loop nest, outermost first.
+    /// Bounds are re-evaluated at each level with the outer loop
+    /// variables bound (triangular nests).
+    fn exec_nest(
+        &mut self,
+        k: &Kernel,
+        depth: usize,
+        acc: &mut Option<(&paccport_ir::kernel::RegionReduction, f64)>,
+    ) -> Result<(), String> {
+        if depth == k.loops.len() {
+            let body = match &k.body {
+                KernelBody::Simple(b) => b.clone(),
+                KernelBody::Grouped(_) => unreachable!(),
+            };
+            let mut vars = std::mem::take(&mut self.vars);
+            let mut no_locals = None;
+            let r = self.exec_block(&body, &mut vars, &mut no_locals, None);
+            self.vars = vars;
+            r?;
+            if let Some((rr, total)) = acc {
+                let v = {
+                    let ctx = Ctx {
+                        vars: &self.vars,
+                        locals: None,
+                        group: None,
+                    };
+                    self.eval(&rr.value, &ctx)?.as_f()
+                };
+                *total = rr.op.combine(*total, v);
+            }
+            return Ok(());
+        }
+        let lp = &k.loops[depth];
+        let (lo, hi) = {
+            let ctx = Ctx {
+                vars: &self.vars,
+                locals: None,
+                group: None,
+            };
+            (
+                self.eval(&lp.lo, &ctx)?.as_i(),
+                self.eval(&lp.hi, &ctx)?.as_i(),
+            )
+        };
+        for i in lo..hi.max(lo) {
+            self.vars[lp.var.0 as usize] = Some(Val::I(i));
+            self.exec_nest(k, depth + 1, acc)?;
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Host statements — all data directives are value-level no-ops.
+    // ---------------------------------------------------------------
+
+    fn exec_host_body(&mut self, body: &[HostStmt]) -> Result<(), String> {
+        for s in body {
+            self.exec_host_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn exec_host_stmt(&mut self, s: &HostStmt) -> Result<(), String> {
+        self.charge()?;
+        match s {
+            // The oracle has a single flat memory, so data movement
+            // directives carry no meaning: only their bodies execute.
+            HostStmt::DataRegion { body, .. } => self.exec_host_body(body)?,
+            HostStmt::EnterData { .. }
+            | HostStmt::ExitData { .. }
+            | HostStmt::Update { .. }
+            | HostStmt::HostCompute { .. } => {}
+            HostStmt::Launch(k) => self.exec_kernel(k)?,
+            HostStmt::HostLoop { var, lo, hi, body } => {
+                let (lo, hi) = {
+                    let ctx = Ctx {
+                        vars: &self.vars,
+                        locals: None,
+                        group: None,
+                    };
+                    (self.eval(lo, &ctx)?.as_i(), self.eval(hi, &ctx)?.as_i())
+                };
+                for i in lo..hi.max(lo) {
+                    self.vars[var.0 as usize] = Some(Val::I(i));
+                    self.exec_host_body(body)?;
+                }
+            }
+            HostStmt::WhileFlag {
+                flag,
+                max_iters,
+                body,
+            } => {
+                let mut iters = 0u32;
+                loop {
+                    self.exec_host_body(body)?;
+                    iters += 1;
+                    self.while_iterations += 1;
+                    let buf = &self.arrays[flag.0 as usize];
+                    if buf.is_empty() {
+                        return Err("while flag array is empty".into());
+                    }
+                    let go = buf.get(0) != 0.0;
+                    if !go || iters >= *max_iters {
+                        break;
+                    }
+                }
+            }
+            HostStmt::HostAssign { var, value, .. } => {
+                let v = {
+                    let ctx = Ctx {
+                        vars: &self.vars,
+                        locals: None,
+                        group: None,
+                    };
+                    self.eval(value, &ctx)?
+                };
+                // The runner does not coerce host assignments either.
+                self.vars[var.0 as usize] = Some(v);
+            }
+            HostStmt::HostStore {
+                array,
+                index,
+                value,
+            } => {
+                let (i, v) = {
+                    let ctx = Ctx {
+                        vars: &self.vars,
+                        locals: None,
+                        group: None,
+                    };
+                    (
+                        self.eval(index, &ctx)?.as_i(),
+                        self.eval(value, &ctx)?.as_f(),
+                    )
+                };
+                let buf = &mut self.arrays[array.0 as usize];
+                if i < 0 || i as usize >= buf.len() {
+                    return Err(format!(
+                        "host store index {i} out of bounds for array of length {}",
+                        buf.len()
+                    ));
+                }
+                buf.set(i as usize, v);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn bin(op: BinOp, a: Val, b: Val) -> Result<Val, String> {
+    use BinOp::*;
+    let float = a.is_float() || b.is_float();
+    Ok(match op {
+        Add | Sub | Mul | Div | Rem | Min | Max => {
+            if float {
+                // f32 arithmetic, matching the simulated devices.
+                let x = a.as_f() as f32;
+                let y = b.as_f() as f32;
+                let r = match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                    Rem => x % y,
+                    Min => x.min(y),
+                    Max => x.max(y),
+                    _ => unreachable!(),
+                };
+                Val::F(r as f64)
+            } else {
+                let x = a.as_i();
+                let y = b.as_i();
+                let r = match op {
+                    Add => x.wrapping_add(y),
+                    Sub => x.wrapping_sub(y),
+                    Mul => x.wrapping_mul(y),
+                    Div => {
+                        if y == 0 {
+                            return Err("integer division by zero".into());
+                        }
+                        x.wrapping_div(y)
+                    }
+                    Rem => {
+                        if y == 0 {
+                            return Err("integer remainder by zero".into());
+                        }
+                        x.wrapping_rem(y)
+                    }
+                    Min => x.min(y),
+                    Max => x.max(y),
+                    _ => unreachable!(),
+                };
+                Val::I(r)
+            }
+        }
+        And => Val::B(a.as_b() && b.as_b()),
+        Or => Val::B(a.as_b() || b.as_b()),
+        Shl | Shr => {
+            let x = a.as_i();
+            let s = b.as_i();
+            if !(0..64).contains(&s) {
+                return Err(format!("shift amount {s} out of range"));
+            }
+            Val::I(match op {
+                Shl => x << s,
+                Shr => x >> s,
+                _ => unreachable!(),
+            })
+        }
+    })
+}
+
+fn cmp(op: CmpOp, a: Val, b: Val) -> bool {
+    if a.is_float() || b.is_float() {
+        let (x, y) = (a.as_f(), b.as_f());
+        match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        }
+    } else {
+        let (x, y) = (a.as_i(), b.as_i());
+        match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        }
+    }
+}
+
+fn coerce(v: Val, ty: Scalar) -> Val {
+    match ty {
+        Scalar::F32 => Val::F(v.as_f() as f32 as f64),
+        Scalar::F64 => Val::F(v.as_f()),
+        Scalar::I32 | Scalar::U32 => Val::I(v.as_i()),
+        Scalar::Bool => Val::B(v.as_b()),
+    }
+}
+
+/// Convenience: the same grouped tree reduction a compiler would
+/// produce must agree with `ReduceOp::combine` folding — exposed for
+/// tests.
+pub fn fold(op: ReduceOp, xs: &[f64]) -> f64 {
+    xs.iter().fold(op.identity(), |a, &b| op.combine(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paccport_ir::builder::ProgramBuilder;
+    use paccport_ir::{ld, st, Intent, ParallelLoop, E};
+
+    #[test]
+    fn saxpy_matches_hand_computation() {
+        let mut b = ProgramBuilder::new("saxpy");
+        let n = b.iparam("n");
+        let x = b.array("x", Scalar::F32, n, Intent::In);
+        let y = b.array("y", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        let k = Kernel::simple(
+            "saxpy",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            Block::new(vec![st(y, i, E::from(2.0) * ld(x, i) + ld(y, i))]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let out = run_oracle(
+            &p,
+            &[("n".into(), 4.0)],
+            &[
+                ("x".into(), Buffer::F32(vec![1.0, 2.0, 3.0, 4.0])),
+                ("y".into(), Buffer::F32(vec![5.0, 5.0, 5.0, 5.0])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            out.arrays[1],
+            Buffer::F32(vec![7.0, 9.0, 11.0, 13.0]),
+            "y = 2x + y"
+        );
+    }
+
+    #[test]
+    fn oob_is_an_error_not_a_panic() {
+        let mut b = ProgramBuilder::new("oob");
+        let n = b.iparam("n");
+        let a = b.array("a", Scalar::F32, n, Intent::InOut);
+        let i = b.var("i");
+        let k = Kernel::simple(
+            "oob",
+            vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+            Block::new(vec![st(a, E::from(i) + 100i64, 1.0)]),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let r = run_oracle(&p, &[("n".into(), 4.0)], &[]);
+        assert!(r.is_err());
+        assert!(r.unwrap_err().contains("out of bounds"));
+    }
+
+    #[test]
+    fn fold_matches_identities() {
+        assert_eq!(fold(ReduceOp::Add, &[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(fold(ReduceOp::Max, &[]), f64::NEG_INFINITY);
+        assert_eq!(fold(ReduceOp::Min, &[2.0, -1.0]), -1.0);
+    }
+}

@@ -1,0 +1,396 @@
+//! Greedy structural shrinking of failing conformance cases.
+//!
+//! The shim `proptest` intentionally has no shrinking (its `TestRng`
+//! only replays seeds), and integrated shrinking would not help here
+//! anyway: a [`Case`] is a whole *program*, and the informative
+//! reductions are structural — delete a host statement, unwrap a data
+//! region, collapse a loop to one iteration, flatten an expression —
+//! not "try a smaller integer". So the harness carries its own
+//! minimizer: a classic greedy delta-debugger over the IR.
+//!
+//! Every candidate is a single structural edit of the current case.
+//! A candidate is accepted iff it still passes `validate` *and* the
+//! caller's failure predicate still holds (the driver pins the
+//! predicate to the original failing (leg, kind) pair so the bug
+//! cannot morph while being minimized). Each accepted edit strictly
+//! shrinks the program (fewer statements, or strictly fewer
+//! expression nodes), so the fixpoint loop terminates; a global
+//! evaluation budget bounds the worst case since every probe re-runs
+//! the differential legs.
+
+use crate::generate::Case;
+use paccport_ir::expr::Expr;
+use paccport_ir::kernel::{Kernel, KernelBody, LoopClauses};
+use paccport_ir::stmt::{Block, Stmt};
+use paccport_ir::types::Scalar;
+use paccport_ir::HostStmt;
+
+/// Upper bound on failure-predicate evaluations per shrink. Each
+/// evaluation replays the whole differential matrix, so this is the
+/// real cost knob.
+const EVAL_BUDGET: usize = 400;
+
+/// Greedily minimize `case` while `failing` keeps returning true.
+/// Returns the smallest accepted case (possibly `case` itself).
+pub fn shrink(case: &Case, failing: &dyn Fn(&Case) -> bool) -> Case {
+    let mut current = case.clone();
+    let mut budget = EVAL_BUDGET;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&current) {
+            if budget == 0 {
+                return current;
+            }
+            if paccport_ir::validate(&cand.program).is_err() {
+                continue; // free: no legs were run
+            }
+            budget -= 1;
+            if failing(&cand) {
+                current = cand;
+                improved = true;
+                break; // restart enumeration from the smaller case
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// All single-edit reductions of a case, most aggressive first.
+fn candidates(case: &Case) -> Vec<Case> {
+    host_edits(&case.program.body)
+        .into_iter()
+        .map(|body| {
+            let mut program = case.program.clone();
+            program.body = body;
+            Case {
+                program,
+                ..case.clone()
+            }
+        })
+        .collect()
+}
+
+fn host_edits(stmts: &[HostStmt]) -> Vec<Vec<HostStmt>> {
+    let mut out = Vec::new();
+    for i in 0..stmts.len() {
+        // Delete statement i outright.
+        let mut v = stmts.to_vec();
+        v.remove(i);
+        out.push(v);
+
+        match &stmts[i] {
+            HostStmt::DataRegion { arrays, body } => {
+                // Unwrap: the directives are supposed to be
+                // value-neutral, so the body alone should still fail.
+                let mut v = stmts.to_vec();
+                v.splice(i..=i, body.clone());
+                out.push(v);
+                for inner in host_edits(body) {
+                    let mut v = stmts.to_vec();
+                    v[i] = HostStmt::DataRegion {
+                        arrays: arrays.clone(),
+                        body: inner,
+                    };
+                    out.push(v);
+                }
+            }
+            HostStmt::HostLoop { var, lo, body, .. } => {
+                // Single trip: pin the loop variable, splice the body.
+                let mut repl = vec![HostStmt::HostAssign {
+                    var: *var,
+                    ty: Scalar::I32,
+                    value: lo.clone(),
+                }];
+                repl.extend(body.clone());
+                let mut v = stmts.to_vec();
+                v.splice(i..=i, repl);
+                out.push(v);
+                for inner in host_edits(body) {
+                    let mut v = stmts.to_vec();
+                    if let HostStmt::HostLoop { body, .. } = &mut v[i] {
+                        *body = inner;
+                    }
+                    out.push(v);
+                }
+            }
+            HostStmt::WhileFlag {
+                flag,
+                max_iters,
+                body,
+            } => {
+                let mut v = stmts.to_vec();
+                v.splice(i..=i, body.clone());
+                out.push(v);
+                if *max_iters > 1 {
+                    let mut v = stmts.to_vec();
+                    v[i] = HostStmt::WhileFlag {
+                        flag: *flag,
+                        max_iters: 1,
+                        body: body.clone(),
+                    };
+                    out.push(v);
+                }
+                for inner in host_edits(body) {
+                    let mut v = stmts.to_vec();
+                    if let HostStmt::WhileFlag { body, .. } = &mut v[i] {
+                        *body = inner;
+                    }
+                    out.push(v);
+                }
+            }
+            HostStmt::Launch(k) => {
+                for kk in kernel_edits(k) {
+                    let mut v = stmts.to_vec();
+                    v[i] = HostStmt::Launch(kk);
+                    out.push(v);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn kernel_edits(k: &Kernel) -> Vec<Kernel> {
+    let mut out = Vec::new();
+    if k.reduction.is_some() {
+        let mut kk = k.clone();
+        kk.reduction = None;
+        out.push(kk);
+    }
+    if k.region_reduction.is_some() {
+        let mut kk = k.clone();
+        kk.region_reduction = None;
+        out.push(kk);
+    }
+    if k.launch_hint.is_some() {
+        let mut kk = k.clone();
+        kk.launch_hint = None;
+        out.push(kk);
+    }
+    for (li, lp) in k.loops.iter().enumerate() {
+        if lp.clauses != LoopClauses::default() {
+            let mut kk = k.clone();
+            kk.loops[li].clauses = LoopClauses::default();
+            out.push(kk);
+        }
+        if !(lp.lo == Expr::iconst(0) && lp.hi == Expr::iconst(1)) {
+            let mut kk = k.clone();
+            kk.loops[li].lo = Expr::iconst(0);
+            kk.loops[li].hi = Expr::iconst(1);
+            out.push(kk);
+        }
+    }
+    if k.loops.len() > 1 {
+        // Drop the innermost parallel level, pinning its variable.
+        let mut kk = k.clone();
+        let lp = kk.loops.pop().unwrap();
+        if let KernelBody::Simple(b) = &mut kk.body {
+            b.0.insert(
+                0,
+                Stmt::Let {
+                    var: lp.var,
+                    ty: Scalar::I32,
+                    init: lp.lo,
+                },
+            );
+        }
+        out.push(kk);
+    }
+    match &k.body {
+        KernelBody::Simple(b) => {
+            for nb in block_edits(b) {
+                let mut kk = k.clone();
+                kk.body = KernelBody::Simple(nb);
+                out.push(kk);
+            }
+        }
+        KernelBody::Grouped(g) => {
+            if g.phases.len() > 1 {
+                for pi in 0..g.phases.len() {
+                    let mut kk = k.clone();
+                    if let KernelBody::Grouped(gg) = &mut kk.body {
+                        gg.phases.remove(pi);
+                    }
+                    out.push(kk);
+                }
+            }
+            for (pi, ph) in g.phases.iter().enumerate() {
+                for nb in block_edits(ph) {
+                    let mut kk = k.clone();
+                    if let KernelBody::Grouped(gg) = &mut kk.body {
+                        gg.phases[pi] = nb;
+                    }
+                    out.push(kk);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn block_edits(b: &Block) -> Vec<Block> {
+    let mut out = Vec::new();
+    for i in 0..b.0.len() {
+        let mut v = b.0.clone();
+        v.remove(i);
+        out.push(Block(v));
+
+        match &b.0[i] {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                let mut v = b.0.clone();
+                v.splice(i..=i, then_blk.0.clone());
+                out.push(Block(v));
+                if !else_blk.is_empty() {
+                    let mut v = b.0.clone();
+                    v.splice(i..=i, else_blk.0.clone());
+                    out.push(Block(v));
+                }
+                for nb in block_edits(then_blk) {
+                    let mut v = b.0.clone();
+                    if let Stmt::If { then_blk, .. } = &mut v[i] {
+                        *then_blk = nb;
+                    }
+                    out.push(Block(v));
+                }
+                for nb in block_edits(else_blk) {
+                    let mut v = b.0.clone();
+                    if let Stmt::If { else_blk, .. } = &mut v[i] {
+                        *else_blk = nb;
+                    }
+                    out.push(Block(v));
+                }
+            }
+            Stmt::For { var, lo, body, .. } => {
+                // Single trip: Let var = lo; body.
+                let mut repl = vec![Stmt::Let {
+                    var: *var,
+                    ty: Scalar::I32,
+                    init: lo.clone(),
+                }];
+                repl.extend(body.0.clone());
+                let mut v = b.0.clone();
+                v.splice(i..=i, repl);
+                out.push(Block(v));
+                for nb in block_edits(body) {
+                    let mut v = b.0.clone();
+                    if let Stmt::For { body, .. } = &mut v[i] {
+                        *body = nb;
+                    }
+                    out.push(Block(v));
+                }
+            }
+            Stmt::Let { var, ty, init } if expr_size(init) > 1 => {
+                let mut v = b.0.clone();
+                v[i] = Stmt::Let {
+                    var: *var,
+                    ty: *ty,
+                    init: leaf_for(*ty),
+                };
+                out.push(Block(v));
+            }
+            Stmt::Assign { var, value } if expr_size(value) > 1 => {
+                for leaf in [Expr::iconst(1), Expr::fconst(2.0)] {
+                    let mut v = b.0.clone();
+                    v[i] = Stmt::Assign {
+                        var: *var,
+                        value: leaf,
+                    };
+                    out.push(Block(v));
+                }
+            }
+            Stmt::Store {
+                space,
+                array,
+                index,
+                value,
+            } => {
+                if *index != Expr::iconst(0) {
+                    let mut v = b.0.clone();
+                    v[i] = Stmt::Store {
+                        space: *space,
+                        array: *array,
+                        index: Expr::iconst(0),
+                        value: value.clone(),
+                    };
+                    out.push(Block(v));
+                }
+                if expr_size(value) > 1 {
+                    let mut v = b.0.clone();
+                    v[i] = Stmt::Store {
+                        space: *space,
+                        array: *array,
+                        index: index.clone(),
+                        value: Expr::fconst(2.0),
+                    };
+                    out.push(Block(v));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn leaf_for(ty: Scalar) -> Expr {
+    match ty {
+        Scalar::F32 | Scalar::F64 => Expr::fconst(2.0),
+        Scalar::Bool => Expr::BConst(true),
+        _ => Expr::iconst(1),
+    }
+}
+
+fn expr_size(e: &Expr) -> usize {
+    match e {
+        Expr::FConst(_)
+        | Expr::IConst(_)
+        | Expr::BConst(_)
+        | Expr::Param(_)
+        | Expr::Var(_)
+        | Expr::Special(_) => 1,
+        Expr::Load { index, .. } => 1 + expr_size(index),
+        Expr::Un(_, a) | Expr::Cast(_, a) => 1 + expr_size(a),
+        Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => 1 + expr_size(a) + expr_size(b),
+        Expr::Fma(a, b, c) | Expr::Select(a, b, c) => {
+            1 + expr_size(a) + expr_size(b) + expr_size(c)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+
+    /// Shrinking with a structural predicate must reach a tiny program
+    /// — this is the engine the mutation-catching test relies on.
+    #[test]
+    fn shrinks_to_minimal_program_under_structural_predicate() {
+        for idx in 0..4 {
+            let case = generate(11, idx);
+            let small = shrink(&case, &|c| c.program.kernel_count() >= 1);
+            assert!(
+                small.program.stmt_count() <= 3,
+                "idx {idx}: shrunk program still has {} stmts:\n{}",
+                small.program.stmt_count(),
+                paccport_ir::program_to_string(&small.program)
+            );
+            paccport_ir::validate(&small.program).expect("shrunk program must stay valid");
+        }
+    }
+
+    #[test]
+    fn shrink_is_identity_when_nothing_smaller_fails() {
+        let case = generate(11, 0);
+        // Predicate that only the full original satisfies.
+        let full = paccport_ir::program_to_string(&case.program);
+        let out = shrink(&case, &|c| {
+            paccport_ir::program_to_string(&c.program) == full
+        });
+        assert_eq!(paccport_ir::program_to_string(&out.program), full);
+    }
+}

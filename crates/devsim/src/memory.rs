@@ -134,6 +134,20 @@ impl Buffer {
             other => panic!("expected I32 buffer, got {:?}", other.elem()),
         }
     }
+
+    /// Bit-exact element fingerprints. The conformance harness compares
+    /// buffers through this rather than `PartialEq`: float `==` treats
+    /// `NaN != NaN` and `-0.0 == 0.0`, both of which would mask (or
+    /// fake) real divergence between execution paths.
+    pub fn bits(&self) -> Vec<u64> {
+        match self {
+            Buffer::F32(v) => v.iter().map(|x| x.to_bits() as u64).collect(),
+            Buffer::F64(v) => v.iter().map(|x| x.to_bits()).collect(),
+            Buffer::I32(v) => v.iter().map(|x| *x as u32 as u64).collect(),
+            Buffer::U32(v) => v.iter().map(|x| *x as u64).collect(),
+            Buffer::Bool(v) => v.iter().map(|x| *x as u64).collect(),
+        }
+    }
 }
 
 /// Direction-tagged transfer ledger — what `nvprof` would show, and
@@ -195,6 +209,17 @@ mod tests {
             assert_eq!(b.get(0), 0.0);
             assert_eq!(b.len(), 4);
         }
+    }
+
+    #[test]
+    fn bits_distinguish_what_float_eq_cannot() {
+        let a = Buffer::F32(vec![f32::NAN, 0.0]);
+        let b = Buffer::F32(vec![f32::NAN, -0.0]);
+        // NaN is bitwise-stable under `bits`…
+        assert_eq!(a.bits()[0], b.bits()[0]);
+        // …and signed zeros are told apart, unlike float `==`.
+        assert_ne!(a.bits()[1], b.bits()[1]);
+        assert_eq!(Buffer::I32(vec![-1]).bits(), vec![u32::MAX as u64]);
     }
 
     #[test]

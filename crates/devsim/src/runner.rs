@@ -576,9 +576,17 @@ impl<'a> Runner<'a> {
         crate::interp::eval(&self.c.program, &self.params, e, &scope)
     }
 
-    /// Host evaluation that tolerates timing-only mode (no buffers).
+    /// Host evaluation that tolerates timing-only mode (no buffers) and
+    /// expressions that are not host-evaluable at all. Kernel loop
+    /// bounds may reference *outer kernel loop variables* (triangular
+    /// nests); those variables only exist per-lane inside the launch,
+    /// so launch-time extent estimation must return `None` for them
+    /// instead of tripping the interpreter's undefined-variable panic.
     fn try_eval_host_f(&mut self, e: &paccport_ir::Expr) -> Option<f64> {
         if self.functional {
+            if !vars_defined(e, &self.vars) {
+                return None;
+            }
             Some(self.eval_host(e).as_f())
         } else {
             crate::dyncost::try_eval_pub(e, &self.params, &self.host_vars_f)
@@ -811,6 +819,23 @@ impl<'a> Runner<'a> {
             races: self.races,
             race_accesses: self.race_accesses,
         })
+    }
+}
+
+/// True iff every `Var` the expression reads is defined in `vars`.
+fn vars_defined(e: &paccport_ir::Expr, vars: &[Option<crate::interp::V>]) -> bool {
+    use paccport_ir::Expr;
+    match e {
+        Expr::FConst(_) | Expr::IConst(_) | Expr::BConst(_) | Expr::Param(_) | Expr::Special(_) => {
+            true
+        }
+        Expr::Var(id) => vars.get(id.0 as usize).is_some_and(|slot| slot.is_some()),
+        Expr::Load { index, .. } => vars_defined(index, vars),
+        Expr::Un(_, a) | Expr::Cast(_, a) => vars_defined(a, vars),
+        Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => vars_defined(a, vars) && vars_defined(b, vars),
+        Expr::Fma(a, b, c) | Expr::Select(a, b, c) => {
+            vars_defined(a, vars) && vars_defined(b, vars) && vars_defined(c, vars)
+        }
     }
 }
 

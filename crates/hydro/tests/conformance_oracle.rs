@@ -1,0 +1,100 @@
+//! The conformance oracle against the reference solver.
+//!
+//! Two fully independent implementations of the Hydro step exist in
+//! this workspace: the hand-written Rust solver in
+//! `paccport_hydro::solver` and the directive-annotated IR pipeline in
+//! `paccport_hydro::acc`, which the conformance oracle can execute
+//! directly — no compiler personality, no simulated device, no
+//! lowering. Agreement here pins the IR program itself as a faithful
+//! transcription of the numerics, so any downstream divergence is the
+//! toolchain's fault, not the program's.
+
+use paccport_conformance::run_oracle;
+use paccport_devsim::Buffer;
+use paccport_hydro::{program, run_reference, HydroVariant, State};
+use paccport_ir::Program;
+
+const NX: usize = 12;
+const NY: usize = 6;
+const STEPS: usize = 3;
+
+const FIELDS: [&str; 4] = ["rho", "rhou", "rhov", "e"];
+
+fn oracle_fields(p: &Program) -> Vec<(&'static str, Vec<f32>)> {
+    let s = State::sod(NX, NY);
+    let params = vec![
+        ("nx".to_string(), NX as f64),
+        ("ny".to_string(), NY as f64),
+        ("dx".to_string(), s.dx as f64),
+        ("nsteps".to_string(), STEPS as f64),
+    ];
+    let inputs = vec![
+        ("rho".to_string(), Buffer::F32(s.rho.clone())),
+        ("rhou".to_string(), Buffer::F32(s.rhou.clone())),
+        ("rhov".to_string(), Buffer::F32(s.rhov.clone())),
+        ("e".to_string(), Buffer::F32(s.e.clone())),
+    ];
+    let out = run_oracle(p, &params, &inputs).expect("oracle must execute the hydro program");
+    FIELDS
+        .iter()
+        .map(|name| {
+            let idx = p
+                .arrays
+                .iter()
+                .position(|a| a.name == *name)
+                .unwrap_or_else(|| panic!("hydro program declares no array `{name}`"));
+            (*name, out.arrays[idx].as_f32().to_vec())
+        })
+        .collect()
+}
+
+fn max_rel_err(got: &[f32], want: &[f32]) -> f64 {
+    assert_eq!(got.len(), want.len());
+    got.iter()
+        .zip(want)
+        .map(|(g, w)| ((*g as f64) - (*w as f64)).abs() / 1.0f64.max(w.abs() as f64))
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn oracle_matches_reference_solver_on_tiny_grid() {
+    let mut want = State::sod(NX, NY);
+    run_reference(&mut want, STEPS);
+    let refs: [(&str, &[f32]); 4] = [
+        ("rho", &want.rho),
+        ("rhou", &want.rhou),
+        ("rhov", &want.rhov),
+        ("e", &want.e),
+    ];
+    let got = oracle_fields(&program(HydroVariant::Optimized));
+    for ((name, g), (_, w)) in got.iter().zip(refs) {
+        let err = max_rel_err(g, w);
+        assert!(
+            err <= 1e-4,
+            "{name}: oracle diverges from reference solver, max rel err {err}"
+        );
+    }
+}
+
+#[test]
+fn oracle_is_clause_blind_across_hydro_variants() {
+    // Baseline / Optimized / OpenCl differ only in directives and
+    // thread distribution — semantics-neutral by definition. The
+    // oracle ignores all of it, so the three variants must agree
+    // *bitwise*, not merely within tolerance.
+    let base = oracle_fields(&program(HydroVariant::Baseline));
+    let opt = oracle_fields(&program(HydroVariant::Optimized));
+    let ocl = oracle_fields(&program(HydroVariant::OpenCl));
+    for i in 0..FIELDS.len() {
+        assert_eq!(
+            base[i], opt[i],
+            "{}: baseline vs optimized differ under the oracle",
+            FIELDS[i]
+        );
+        assert_eq!(
+            opt[i], ocl[i],
+            "{}: optimized vs opencl differ under the oracle",
+            FIELDS[i]
+        );
+    }
+}

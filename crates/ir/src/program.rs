@@ -169,6 +169,29 @@ impl Program {
         }
         found
     }
+
+    /// Total IR statement count: every host statement (nested ones
+    /// included) plus every kernel-body statement (nested `If`/`For`
+    /// bodies included; all phases of a grouped body). This is the
+    /// size metric shrunk conformance counterexamples are judged by.
+    pub fn stmt_count(&self) -> usize {
+        let mut n = 0usize;
+        for s in &self.body {
+            s.walk(&mut |s| {
+                n += 1;
+                if let HostStmt::Launch(k) = s {
+                    let blocks: Vec<&crate::stmt::Block> = match &k.body {
+                        crate::kernel::KernelBody::Simple(b) => vec![b],
+                        crate::kernel::KernelBody::Grouped(g) => g.phases.iter().collect(),
+                    };
+                    for b in blocks {
+                        b.walk(&mut |_| n += 1);
+                    }
+                }
+            });
+        }
+        n
+    }
 }
 
 fn collect_kernels<'a>(body: &'a [HostStmt], out: &mut Vec<&'a Kernel>) {

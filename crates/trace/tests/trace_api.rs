@@ -1,0 +1,106 @@
+//! Black-box tests of the tracing surface: span nesting, counter
+//! arithmetic, snapshot and render behavior.
+//!
+//! The registry and the enabled flag are process-global, so the tests
+//! serialize on a file-local mutex and reset state up front rather
+//! than relying on unique names alone.
+
+use std::sync::Mutex;
+
+use paccport_trace::{add, enabled, reset, set_enabled, span, summary};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn nested_spans_each_record_and_inner_time_is_contained() {
+    let _l = guard();
+    reset();
+    set_enabled(true);
+    {
+        let _outer = span("api.outer");
+        for _ in 0..4 {
+            let _inner = span("api.inner");
+            std::hint::black_box(0u64);
+        }
+    }
+    let s = summary();
+    assert_eq!(s.span_count("api.outer"), 1);
+    assert_eq!(s.span_count("api.inner"), 4);
+    let ns = |name: &str| {
+        s.spans
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, st)| st.total_ns)
+            .unwrap()
+    };
+    // Spans aggregate by name, not as a tree, but wall time is still
+    // wall time: the four inner spans ran strictly inside the outer
+    // one, so their total cannot exceed it.
+    assert!(
+        ns("api.inner") <= ns("api.outer"),
+        "inner total {} ns exceeds enclosing outer span {} ns",
+        ns("api.inner"),
+        ns("api.outer")
+    );
+    set_enabled(false);
+}
+
+#[test]
+fn counters_accumulate_and_missing_names_read_zero() {
+    let _l = guard();
+    reset();
+    set_enabled(true);
+    add("api.counter", 3);
+    add("api.counter", 0);
+    add("api.counter", 39);
+    let s = summary();
+    assert_eq!(s.counter("api.counter"), 42);
+    assert_eq!(s.counter("api.never-bumped"), 0);
+    assert_eq!(s.span_count("api.never-entered"), 0);
+    set_enabled(false);
+}
+
+#[test]
+fn disabled_sites_record_nothing_and_reset_clears() {
+    let _l = guard();
+    reset();
+    set_enabled(false);
+    assert!(!enabled());
+    {
+        let _g = span("api.dark");
+        add("api.dark.counter", 7);
+    }
+    let s = summary();
+    assert_eq!(s.span_count("api.dark"), 0);
+    assert_eq!(s.counter("api.dark.counter"), 0);
+
+    set_enabled(true);
+    add("api.cleared", 1);
+    assert_eq!(summary().counter("api.cleared"), 1);
+    reset();
+    assert_eq!(summary().counter("api.cleared"), 0);
+    set_enabled(false);
+}
+
+#[test]
+fn render_lists_spans_and_counters_in_name_order() {
+    let _l = guard();
+    reset();
+    set_enabled(true);
+    {
+        let _b = span("api.render.b");
+        let _a = span("api.render.a");
+    }
+    add("api.render.hits", 2);
+    let text = summary().render();
+    assert!(text.contains("== trace summary =="));
+    let a = text.find("api.render.a").expect("span a rendered");
+    let b = text.find("api.render.b").expect("span b rendered");
+    assert!(a < b, "spans must render in sorted name order");
+    assert!(text.contains("api.render.hits"));
+    set_enabled(false);
+}

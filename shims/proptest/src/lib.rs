@@ -10,6 +10,17 @@
 //! Sampling is deterministic: the RNG is seeded from the test name,
 //! so failures reproduce without a persistence file. There is no
 //! shrinking — the case index and the assert message locate failures.
+//!
+//! That gap is deliberate. Real proptest shrinks by walking a value's
+//! strategy tree ("try a smaller integer"), which works for the
+//! scalar inputs these macros generate but is useless for the one
+//! consumer that genuinely needs minimization: the differential
+//! harness in `crates/conformance`, whose test inputs are whole IR
+//! *programs*. Informative reductions there are structural — delete a
+//! statement, unwrap a data region, pin a loop to one trip — so that
+//! crate carries its own greedy delta-debugger (`conformance::shrink`)
+//! instead of routing programs through a value-shrinking API that
+//! cannot express those edits.
 
 use std::ops::{Range, RangeInclusive};
 

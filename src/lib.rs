@@ -8,6 +8,7 @@
 //! Portability of OpenACC for Supercomputers"* (IPPS 2015).
 
 pub use paccport_compilers as compilers;
+pub use paccport_conformance as conformance;
 pub use paccport_core as core;
 pub use paccport_devsim as devsim;
 pub use paccport_faults as faults;

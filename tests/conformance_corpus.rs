@@ -1,0 +1,85 @@
+//! Previously hand-found bugs, pinned as conformance regressions.
+//!
+//! Each of these started life as a real defect caught during earlier
+//! PRs. The IR-expressible ones live in the conformance corpus and are
+//! replayed through the full differential matrix here via the facade;
+//! the one numeric guard that is not an IR program (`PprEntry::ppr`)
+//! is pinned directly.
+
+use paccport::conformance::corpus::corpus;
+use paccport::conformance::{assert_conforms, check_case, Outcome};
+use paccport::core::PprEntry;
+
+/// The whole pinned corpus must stay green through every oracle /
+/// simulator / compiler / transform leg. Covers, among others:
+/// * `lone_store` — the dependence analyzer once paired a lone store
+///   with itself and flagged a self-conflict;
+/// * `if_scope` — the validator once leaked `let` bindings out of
+///   `if` arms instead of save/restoring block scope.
+#[test]
+fn pinned_corpus_conforms_via_facade() {
+    for (name, case) in corpus() {
+        println!("corpus case `{name}`");
+        assert_conforms(&case);
+    }
+}
+
+/// The CAPS MIC reduction miscompilation is *modeled*, so the corpus
+/// dot-product must diverge on exactly that leg — and the divergence
+/// must be classified as expected, never as a mismatch.
+#[test]
+fn caps_mic_reduction_is_expected_divergence_not_mismatch() {
+    let (_, case) = corpus()
+        .into_iter()
+        .find(|(n, _)| *n == "caps_mic_reduction")
+        .expect("corpus has the CAPS MIC reduction case");
+    let legs = check_case(&case);
+    let mic = legs
+        .iter()
+        .find(|l| l.label == "caps/5110P")
+        .expect("matrix includes caps/5110P");
+    assert_eq!(
+        mic.outcome,
+        Outcome::ExpectedDivergence,
+        "the modeled CAPS MIC reduction bug must fire as expected divergence"
+    );
+    assert!(
+        !legs
+            .iter()
+            .any(|l| matches!(l.outcome, Outcome::Mismatch { .. })),
+        "no leg may report a genuine mismatch: {legs:?}"
+    );
+}
+
+/// `PprEntry::ppr` (Eq. 1) once divided blindly: a zero or non-finite
+/// GPU timing injected `inf`/garbage ratios into Fig.-16 reports. The
+/// guard must yield NaN — which every comparison predicate rejects —
+/// for all degenerate inputs, and stay exact for valid ones.
+#[test]
+fn ppr_nan_guard_regression() {
+    let entry = |gpu: f64, mic: f64| PprEntry {
+        benchmark: "lud".into(),
+        version: "OpenACC (CAPS)".into(),
+        gpu_seconds: gpu,
+        mic_seconds: mic,
+    };
+    assert_eq!(entry(2.0, 5.0).ppr(), 2.5);
+    for (gpu, mic) in [
+        (0.0, 5.0),
+        (-1.0, 5.0),
+        (f64::NAN, 5.0),
+        (f64::INFINITY, 5.0),
+        (2.0, 0.0),
+        (2.0, -3.0),
+        (2.0, f64::NAN),
+        (2.0, f64::INFINITY),
+    ] {
+        let e = entry(gpu, mic);
+        assert!(!e.is_valid(), "({gpu}, {mic}) must be invalid");
+        assert!(
+            e.ppr().is_nan(),
+            "({gpu}, {mic}) must yield NaN, got {}",
+            e.ppr()
+        );
+    }
+}

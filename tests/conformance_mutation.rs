@@ -1,0 +1,206 @@
+//! Mutation sensitivity: the harness must *catch* seeded semantics
+//! bugs, and the shrinker must minimize what it catches.
+//!
+//! This is the differential harness's own fire drill. We play a buggy
+//! optimizer: a rewrite that flips `+` to `-` in the values kernels
+//! compute — the classic off-by-a-sign a botched `simplify`
+//! canonicalization or strength-reduction pass would introduce. The
+//! rewrite preserves well-typedness (it still validates) and touches
+//! only computed values, never indices or bounds, so the *only* way to
+//! notice it is to compare observable results. The test asserts that
+//! (a) the oracle-differential predicate notices it within a handful
+//! of generated programs, and (b) greedy shrinking reduces the
+//! witness to a program of at most 10 IR statements.
+
+use paccport::conformance::{generate, shrink, Case};
+use paccport::ir::{
+    program_to_string, validate, BinOp, Block, Expr, HostStmt, Kernel, KernelBody, Program, Stmt,
+};
+
+// ---------------------------------------------------------------
+// The seeded bug: Add -> Sub inside kernel-computed values.
+// ---------------------------------------------------------------
+
+fn mut_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Bin(BinOp::Add, a, b) => {
+            Expr::Bin(BinOp::Sub, Box::new(mut_expr(a)), Box::new(mut_expr(b)))
+        }
+        Expr::Bin(op, a, b) => Expr::Bin(*op, Box::new(mut_expr(a)), Box::new(mut_expr(b))),
+        Expr::Un(op, a) => Expr::Un(*op, Box::new(mut_expr(a))),
+        Expr::Cast(ty, a) => Expr::Cast(*ty, Box::new(mut_expr(a))),
+        Expr::Cmp(op, a, b) => Expr::Cmp(*op, Box::new(mut_expr(a)), Box::new(mut_expr(b))),
+        Expr::Fma(a, b, c) => Expr::Fma(
+            Box::new(mut_expr(a)),
+            Box::new(mut_expr(b)),
+            Box::new(mut_expr(c)),
+        ),
+        Expr::Select(c, t, f) => Expr::Select(
+            Box::new(mut_expr(c)),
+            Box::new(mut_expr(t)),
+            Box::new(mut_expr(f)),
+        ),
+        // Loads keep their index untouched: the bug corrupts values,
+        // not addresses, so every mutant stays in bounds.
+        other => other.clone(),
+    }
+}
+
+fn mut_block(b: &Block) -> Block {
+    Block(b.0.iter().map(mut_stmt).collect())
+}
+
+fn mut_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Let { var, ty, init } => Stmt::Let {
+            var: *var,
+            ty: *ty,
+            init: mut_expr(init),
+        },
+        Stmt::Assign { var, value } => Stmt::Assign {
+            var: *var,
+            value: mut_expr(value),
+        },
+        Stmt::Store {
+            space,
+            array,
+            index,
+            value,
+        } => Stmt::Store {
+            space: *space,
+            array: *array,
+            index: index.clone(),
+            value: mut_expr(value),
+        },
+        Stmt::Atomic {
+            op,
+            array,
+            index,
+            value,
+        } => Stmt::Atomic {
+            op: *op,
+            array: *array,
+            index: index.clone(),
+            value: mut_expr(value),
+        },
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => Stmt::If {
+            cond: cond.clone(),
+            then_blk: mut_block(then_blk),
+            else_blk: mut_block(else_blk),
+        },
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => Stmt::For {
+            var: *var,
+            lo: lo.clone(),
+            hi: hi.clone(),
+            step: *step,
+            body: mut_block(body),
+        },
+        Stmt::Barrier => Stmt::Barrier,
+    }
+}
+
+fn mut_kernel(k: &Kernel) -> Kernel {
+    let mut kk = k.clone();
+    kk.body = match &k.body {
+        KernelBody::Simple(b) => KernelBody::Simple(mut_block(b)),
+        KernelBody::Grouped(g) => {
+            let mut gg = g.clone();
+            gg.phases = g.phases.iter().map(mut_block).collect();
+            KernelBody::Grouped(gg)
+        }
+    };
+    kk
+}
+
+fn mut_host(stmts: &[HostStmt]) -> Vec<HostStmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            HostStmt::Launch(k) => HostStmt::Launch(mut_kernel(k)),
+            HostStmt::DataRegion { arrays, body } => HostStmt::DataRegion {
+                arrays: arrays.clone(),
+                body: mut_host(body),
+            },
+            HostStmt::HostLoop { var, lo, hi, body } => HostStmt::HostLoop {
+                var: *var,
+                lo: lo.clone(),
+                hi: hi.clone(),
+                body: mut_host(body),
+            },
+            HostStmt::WhileFlag {
+                flag,
+                max_iters,
+                body,
+            } => HostStmt::WhileFlag {
+                flag: *flag,
+                max_iters: *max_iters,
+                body: mut_host(body),
+            },
+            other => other.clone(),
+        })
+        .collect()
+}
+
+fn mutate(p: &Program) -> Program {
+    let mut m = p.clone();
+    m.body = mut_host(&p.body);
+    m
+}
+
+// ---------------------------------------------------------------
+// The detector: oracle(original) vs oracle(mutant), bitwise.
+// ---------------------------------------------------------------
+
+/// True iff the seeded bug is observable on this case.
+fn bug_caught(case: &Case) -> bool {
+    use paccport::conformance::run_oracle;
+    let Ok(want) = run_oracle(&case.program, &case.params, &case.inputs) else {
+        return false;
+    };
+    match run_oracle(&mutate(&case.program), &case.params, &case.inputs) {
+        // A mutant that traps (e.g. a budget blow-up) is also caught.
+        Err(_) => true,
+        Ok(got) => want.observable(&case.program) != got.observable(&case.program),
+    }
+}
+
+#[test]
+fn seeded_add_to_sub_bug_is_caught_and_shrinks_small() {
+    // (a) The bug must be visible within a handful of programs.
+    let witness = (0..20)
+        .map(|i| generate(1234, i))
+        .find(bug_caught)
+        .expect("Add->Sub mutation invisible across 20 generated programs — generator too weak");
+
+    // (b) The witness must shrink to a small program while the bug
+    // stays observable, and the minimum must still validate.
+    let small = shrink(&witness, &|c| bug_caught(c));
+    assert!(bug_caught(&small), "shrinking lost the bug");
+    validate(&small.program).expect("shrunk witness must stay valid");
+    assert!(
+        small.program.stmt_count() <= 10,
+        "shrunk witness still has {} statements:\n{}",
+        small.program.stmt_count(),
+        program_to_string(&small.program)
+    );
+}
+
+#[test]
+fn mutants_still_validate() {
+    // The rewrite must seed a *semantic* bug, not a malformed program:
+    // if mutants failed validation, catching them would prove nothing.
+    for i in 0..10 {
+        let case = generate(1234, i);
+        validate(&mutate(&case.program)).expect("mutant must remain well-formed");
+    }
+}
