@@ -3,9 +3,13 @@
 //!
 //! ```text
 //! reproduce [--check] [--scale smoke|quick|paper] [--quick]
-//!           [--jobs N] [--trace] [--exp <id>]...
+//!           [--jobs N] [--trace] [--profile] [--exp <id>]...
 //!           [--inject SPEC] [--fault-seed N]
-//! reproduce conform [--programs N] [--seed S]
+//!           [--trace-out FILE] [--trace-format chrome|jsonl|folded]
+//!           [--metrics-out FILE]
+//! reproduce conform [--programs N] [--seed S] [telemetry flags]
+//! reproduce profile [--scale ...] [--jobs N] [--inject SPEC]
+//!                   [--fault-seed N] [telemetry flags]
 //! ```
 //!
 //! With no `--exp`, all experiments run. `--scale` picks the input
@@ -41,6 +45,26 @@
 //! paste-ready regression test, and the run exits nonzero. Output is
 //! deterministic: same arguments, byte-identical stdout.
 //!
+//! `profile` runs every benchmark variant × target functionally and
+//! prints the `nvprof`-style per-kernel profile for each cell — the
+//! view that exposed PGI's BFS kernels silently running on the host
+//! (Section V-C1). `--profile` appends the same sweep to a normal
+//! figure run, sharing its compile cache.
+//!
+//! Structured telemetry (every subcommand): `--trace-out FILE` records
+//! the run as a timestamped span event stream and exports it in
+//! `--trace-format` — `chrome` (trace-event JSON, loadable in Perfetto
+//! or `chrome://tracing`, one lane per engine worker), `jsonl` (one
+//! JSON object per line), or `folded` (flamegraph folded stacks).
+//! `--metrics-out FILE` writes a Prometheus-style text exposition of
+//! the run's metrics registry: simulated hardware counters per kernel
+//! (launches, device time, memory traffic, divergence, occupancy),
+//! engine job lifecycle (cache hits, retries, quarantines), compiler
+//! invocations, and conformance leg outcomes. Both exports are
+//! structurally deterministic — same flags, same structure; only
+//! wall-clock timestamp fields vary, and under `--inject` even those
+//! come from the virtual clock.
+//!
 //! `--inject SPEC` turns on deterministic fault injection (chaos
 //! testing): `SPEC` is a comma-separated list of
 //! `kind[:target][:rate]` clauses — kinds `compile`, `slow`, `device`,
@@ -56,6 +80,80 @@ use paccport_core::engine::Engine;
 use paccport_core::experiments as exp;
 use paccport_core::report;
 use paccport_core::study::Scale;
+use paccport_trace::export::TraceFormat;
+
+/// Telemetry sinks shared by every subcommand: where to write the
+/// event-stream export and the metrics exposition, if anywhere.
+#[derive(Default)]
+struct Telemetry {
+    trace_out: Option<String>,
+    trace_format: Option<TraceFormat>,
+    metrics_out: Option<String>,
+}
+
+impl Telemetry {
+    /// Consume `a` (and its value from `it`) if it is a telemetry
+    /// flag; `false` means the flag belongs to someone else.
+    fn consume(&mut self, a: &str, it: &mut std::slice::Iter<String>) -> bool {
+        match a {
+            "--trace-out" => {
+                self.trace_out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace-out requires a file path")),
+                );
+            }
+            "--trace-format" => {
+                let name = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--trace-format requires chrome|jsonl|folded"));
+                self.trace_format = Some(TraceFormat::parse(&name).unwrap_or_else(|e| die(&e)));
+            }
+            "--metrics-out" => {
+                self.metrics_out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--metrics-out requires a file path")),
+                );
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// Validate the combination and switch on the recorders. Must run
+    /// before the engine does any work.
+    fn arm(&self) {
+        if self.trace_format.is_some() && self.trace_out.is_none() {
+            die("--trace-format requires --trace-out");
+        }
+        if self.trace_out.is_some() {
+            paccport_trace::set_events_enabled(true);
+        }
+        if self.metrics_out.is_some() {
+            paccport_trace::metrics::set_metrics_enabled(true);
+        }
+    }
+
+    /// Write the configured exports after the run.
+    fn flush(&self) {
+        if let Some(path) = &self.trace_out {
+            let format = self.trace_format.unwrap_or(TraceFormat::Chrome);
+            let text = paccport_trace::export::render(
+                format,
+                &paccport_trace::events(),
+                &paccport_trace::summary(),
+            );
+            std::fs::write(path, text)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, paccport_trace::metrics::render_prometheus())
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        }
+    }
+}
 
 /// Flush the pipeline trace even when a panic unwinds out of `main` —
 /// a normal return or `process::exit` skips this (the happy path
@@ -77,8 +175,13 @@ fn main() {
         conform(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("profile") {
+        profile_cmd(&args[1..]);
+        return;
+    }
     let check = args.iter().any(|a| a == "--check");
     let trace = args.iter().any(|a| a == "--trace");
+    let profile = args.iter().any(|a| a == "--profile");
     let mut scale_name = if args.iter().any(|a| a == "--quick") {
         "quick".to_string()
     } else {
@@ -88,9 +191,11 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut inject: Option<String> = None;
     let mut fault_seed: u64 = 0;
+    let mut tele = Telemetry::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--exp" {
+        if tele.consume(a, &mut it) {
+        } else if a == "--exp" {
             if let Some(id) = it.next() {
                 wanted.push(id.clone());
             }
@@ -132,6 +237,7 @@ fn main() {
     if trace {
         paccport_trace::set_enabled(true);
     }
+    tele.arm();
     let _flush_guard = TraceFlushGuard;
     if let Some(spec) = &inject {
         let spec = paccport_faults::FaultSpec::parse(spec)
@@ -153,6 +259,7 @@ fn main() {
             );
             eprint!("{}", paccport_trace::summary().render());
         }
+        tele.flush();
         if !report.all_consistent() || !report.lost_update_caught() {
             eprintln!("reproduce --check: soundness invariant violated");
             std::process::exit(1);
@@ -320,6 +427,15 @@ fn main() {
         println!();
     }
 
+    // ---------------- Profile sweep ----------------
+    if profile {
+        println!("== Per-kernel profiles (functional matrix) ==");
+        print!(
+            "{}",
+            paccport_core::profile::profile_matrix_on(&eng, &scale).render()
+        );
+    }
+
     // The fault ledger renders only when injection is configured, so
     // fault-free stdout is untouched.
     print!("{}", report::render_fault_ledger(&eng.quarantined()));
@@ -335,6 +451,7 @@ fn main() {
         );
         eprint!("{}", paccport_trace::summary().render());
     }
+    tele.flush();
 
     // Partial results are fine under chaos, but a cell that failed for
     // a reason we did NOT inject is a real bug: exit nonzero.
@@ -357,9 +474,11 @@ fn main() {
 fn conform(args: &[String]) {
     let mut programs: u64 = 50;
     let mut seed: u64 = 42;
+    let mut tele = Telemetry::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--programs" {
+        if tele.consume(a, &mut it) {
+        } else if a == "--programs" {
             programs = it
                 .next()
                 .and_then(|v| v.parse().ok())
@@ -373,9 +492,75 @@ fn conform(args: &[String]) {
             die(&format!("conform: unknown argument `{a}`"));
         }
     }
+    tele.arm();
     let report = paccport_conformance::run_conformance(programs, seed);
     print!("{}", report.render());
+    tele.flush();
     if !report.ok() {
+        std::process::exit(1);
+    }
+}
+
+/// `reproduce profile [--scale ...] [--jobs N] [--inject SPEC]
+/// [--fault-seed N]` — the per-kernel profile sweep over the
+/// functional benchmark matrix.
+fn profile_cmd(args: &[String]) {
+    let mut scale_name = "smoke".to_string();
+    let mut jobs: usize = 1;
+    let mut inject: Option<String> = None;
+    let mut fault_seed: u64 = 0;
+    let mut tele = Telemetry::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if tele.consume(a, &mut it) {
+        } else if a == "--scale" {
+            scale_name = it
+                .next()
+                .cloned()
+                .unwrap_or_else(|| die("--scale requires smoke|quick|paper"));
+        } else if a == "--quick" {
+            scale_name = "quick".to_string();
+        } else if a == "--jobs" {
+            jobs = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&j| j > 0)
+                .unwrap_or_else(|| die("--jobs requires a positive integer"));
+        } else if a == "--inject" {
+            inject = Some(
+                it.next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--inject requires a fault spec (try `chaos`)")),
+            );
+        } else if a == "--fault-seed" {
+            fault_seed = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--fault-seed requires an unsigned integer"));
+        } else {
+            die(&format!("profile: unknown argument `{a}`"));
+        }
+    }
+    let scale = match scale_name.as_str() {
+        "smoke" => Scale::smoke(),
+        "quick" => Scale::quick(),
+        "paper" => Scale::paper(),
+        _ => die("--scale requires smoke|quick|paper"),
+    };
+    tele.arm();
+    let _flush_guard = TraceFlushGuard;
+    if let Some(spec) = &inject {
+        let spec = paccport_faults::FaultSpec::parse(spec)
+            .unwrap_or_else(|e| die(&format!("--inject: {e}")));
+        paccport_faults::configure(spec, fault_seed);
+    }
+    let eng = Engine::new(jobs);
+    let report = paccport_core::profile::profile_matrix_on(&eng, &scale);
+    print!("{}", report.render());
+    print!("{}", report::render_fault_ledger(&eng.quarantined()));
+    tele.flush();
+    if !eng.uninjected_failures().is_empty() || !report.uninjected_failures().is_empty() {
+        eprintln!("reproduce profile: genuine failures occurred");
         std::process::exit(1);
     }
 }

@@ -63,7 +63,16 @@ pub fn compile(
     program: &Program,
     options: &CompileOptions,
 ) -> Result<CompiledProgram, CompileError> {
-    let _span = paccport_trace::span("compilers.compile");
+    let _span = paccport_trace::span_attrs(
+        "compilers.compile",
+        vec![
+            ("compiler".into(), id.label().into()),
+            ("program".into(), program.name.clone()),
+        ],
+    );
+    if paccport_trace::metrics::metrics_enabled() {
+        paccport_trace::metrics::counter_add("compile_total", &[("compiler", id.label())], 1);
+    }
     match id {
         CompilerId::Caps => caps::compile(program, options),
         CompilerId::Pgi => pgi::compile(program, options),

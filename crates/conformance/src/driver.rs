@@ -407,6 +407,19 @@ impl Report {
     }
 }
 
+/// Stable metric label for a leg outcome
+/// (`conformance_legs_total{outcome=...}`).
+fn outcome_label(o: &Outcome) -> &'static str {
+    match o {
+        Outcome::Match => "match",
+        Outcome::BenignMatch => "benign",
+        Outcome::ExpectedDivergence => "expected-divergence",
+        Outcome::CompileRejected(_) => "compile-rejected",
+        Outcome::SkippedTransform => "skipped-transform",
+        Outcome::Mismatch { .. } => "mismatch",
+    }
+}
+
 /// Generate `programs` cases from `seed` and run each through every
 /// leg. Mismatches are shrunk and reported; everything else is
 /// tallied.
@@ -417,9 +430,18 @@ pub fn run_conformance(programs: u64, seed: u64) -> Report {
         ..Report::default()
     };
     for index in 0..programs {
+        let _case_span =
+            paccport_trace::span_attrs("conform.case", vec![("index".into(), index.to_string())]);
         let case = generate(seed, index);
         for leg in check_case(&case) {
             let is_transform = leg.label.starts_with("transform/");
+            if paccport_trace::metrics::metrics_enabled() {
+                paccport_trace::metrics::counter_add(
+                    "conformance_legs_total",
+                    &[("outcome", outcome_label(&leg.outcome))],
+                    1,
+                );
+            }
             match leg.outcome {
                 Outcome::Match | Outcome::BenignMatch if is_transform => {
                     r.transforms_applied += 1;

@@ -154,6 +154,10 @@ impl Engine {
         }
 
         let workers = self.jobs.min(n);
+        // Task ordinals are allocated here, on the submitting thread,
+        // so the telemetry lane/task layout is a pure function of
+        // submission order — not of which worker steals which job.
+        let task_base = paccport_trace::alloc_tasks(n as u64);
         let queues: Vec<Mutex<VecDeque<(usize, F)>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (i, f) in tasks.into_iter().enumerate() {
@@ -185,6 +189,13 @@ impl Engine {
                         match job {
                             Some((i, f)) => {
                                 paccport_trace::add("engine.jobs_run", 1);
+                                // Canonical home lane: job i belongs
+                                // to worker i % workers no matter who
+                                // actually ran it after stealing.
+                                let _scope = paccport_trace::task_scope(
+                                    (i % workers) as u32 + 1,
+                                    task_base + i as u64,
+                                );
                                 *slots[i].lock().unwrap() = Some(f());
                             }
                             None => break,
@@ -347,6 +358,7 @@ fn run_with_retry<T, F>(
 where
     F: Fn() -> Result<T, String>,
 {
+    let _job_span = paccport_trace::span_attrs("engine.job", vec![("label".into(), label.clone())]);
     let backoff = paccport_faults::Backoff {
         base_ns: policy.backoff_base_ns,
         cap_ns: policy.backoff_cap_ns,
@@ -359,7 +371,15 @@ where
             paccport_faults::vclock::advance(delay);
             paccport_trace::add("retry.attempts", 1);
             paccport_trace::add("retry.backoff_ns", delay);
+            paccport_trace::metrics::counter_add("engine_retries_total", &[], 1);
         }
+        let _attempt_span = paccport_trace::span_attrs(
+            "engine.attempt",
+            vec![
+                ("label".into(), label.clone()),
+                ("attempt".into(), attempt.to_string()),
+            ],
+        );
         paccport_faults::set_attempt(attempt);
         paccport_faults::arm_watchdog(policy.step_budget);
         let guard = paccport_faults::job_guard();
@@ -375,6 +395,11 @@ where
     }
     paccport_trace::add("job.quarantined", 1);
     let injected = paccport_faults::is_injected(&last);
+    paccport_trace::metrics::counter_add(
+        "engine_quarantined_total",
+        &[("injected", if injected { "true" } else { "false" })],
+        1,
+    );
     let record = QuarantineRecord {
         label: label.clone(),
         reason: last.clone(),

@@ -36,6 +36,7 @@ pub mod engine;
 pub mod experiments;
 pub mod method;
 pub mod ppr;
+pub mod profile;
 pub mod ptxcmp;
 pub mod report;
 pub mod soundness;
@@ -49,6 +50,7 @@ pub use method::{
     StepAction,
 };
 pub use ppr::{PprComparison, PprEntry};
+pub use profile::{profile_matrix_on, CellProfile, ProfileReport};
 pub use ptxcmp::{compare_steps, PtxBar, PtxFigure, StepVerdict};
 pub use soundness::{check_cell, CellCheck, CheckCell, SoundnessReport, SoundnessRow};
 pub use step5::{insert_data_regions, strip_data_regions};

@@ -88,6 +88,25 @@ pub fn kernel_launch_time(
     per_iter: &DynCost,
 ) -> f64 {
     paccport_trace::add("timing.kernel_launches", 1);
+    // Per-launch simulated hardware counters: SIMD lane fill and
+    // resident-thread occupancy — the divergence/occupancy numbers a
+    // real profiler would report for this launch shape.
+    if paccport_trace::metrics::metrics_enabled() && plan.exec == ExecStrategy::DeviceParallel {
+        let eff = warp_efficiency(spec, dims);
+        let units = parallel_units(spec, dims);
+        let occupancy = (units.min(spec.max_concurrent_threads as f64)
+            / spec.max_concurrent_threads as f64)
+            .clamp(0.0, 1.0);
+        paccport_trace::metrics::observe("devsim_warp_efficiency", &[("device", &spec.name)], eff);
+        paccport_trace::metrics::observe("devsim_occupancy", &[("device", &spec.name)], occupancy);
+        if eff < 1.0 {
+            paccport_trace::metrics::counter_add(
+                "devsim_divergent_launches_total",
+                &[("device", &spec.name)],
+                1,
+            );
+        }
+    }
     let total_issue =
         n_par as f64 * per_iter.issue_slots() + dims.total_threads() as f64 * prologue_slots(plan);
     let total_bytes = n_par as f64 * per_iter.mem_bytes();

@@ -244,6 +244,9 @@ fn config() -> &'static Mutex<Option<Config>> {
 pub fn configure(spec: FaultSpec, seed: u64) {
     *config().lock().unwrap() = Some(Config { spec, seed });
     ledger_set().lock().unwrap().clear();
+    // Telemetry timestamps follow the virtual clock while injection is
+    // active, so trace exports of a chaos run are fully deterministic.
+    paccport_trace::set_clock(Some(vclock::now_ns));
     ACTIVE.store(true, Ordering::Relaxed);
 }
 
@@ -252,6 +255,7 @@ pub fn deconfigure() {
     ACTIVE.store(false, Ordering::Relaxed);
     *config().lock().unwrap() = None;
     ledger_set().lock().unwrap().clear();
+    paccport_trace::set_clock(None);
 }
 
 /// Whether a fault spec is currently installed.
@@ -378,6 +382,9 @@ fn ledger_set() -> &'static Mutex<BTreeSet<(&'static str, String, u32)>> {
 /// independent of scheduling.
 pub fn record(kind: FaultKind, key: &str) {
     paccport_trace::add("fault.injected", 1);
+    if paccport_trace::metrics::metrics_enabled() {
+        paccport_trace::metrics::counter_add("faults_injected_total", &[("kind", kind.tag())], 1);
+    }
     ledger_set()
         .lock()
         .unwrap()

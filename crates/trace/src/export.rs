@@ -1,0 +1,298 @@
+//! Event-stream exporters: Chrome trace-event JSON, JSONL, and
+//! folded flamegraph stacks.
+//!
+//! All three serialize the merged stream returned by
+//! [`crate::events`] (already sorted by canonical `(lane, task,
+//! seq)`), so the *structure* of an export — event order, names,
+//! lanes, attributes — is a pure function of the run's submission
+//! order. Only the timestamp fields (`ts`/`dur` in Chrome,
+//! `start_ns`/`dur_ns` in JSONL, the sample values in folded output)
+//! carry wall-clock readings; under fault injection they come from
+//! the virtual clock instead and are deterministic too.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::json::escape;
+use crate::{SpanEvent, Summary};
+
+/// Which exporter `--trace-format` selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    Chrome,
+    Jsonl,
+    Folded,
+}
+
+impl TraceFormat {
+    pub fn parse(name: &str) -> Result<TraceFormat, String> {
+        match name {
+            "chrome" => Ok(TraceFormat::Chrome),
+            "jsonl" => Ok(TraceFormat::Jsonl),
+            "folded" => Ok(TraceFormat::Folded),
+            other => Err(format!(
+                "unknown trace format `{other}` (expected chrome|jsonl|folded)"
+            )),
+        }
+    }
+}
+
+/// Render the stream in the selected format.
+pub fn render(format: TraceFormat, events: &[SpanEvent], summary: &Summary) -> String {
+    match format {
+        TraceFormat::Chrome => chrome_trace(events, summary),
+        TraceFormat::Jsonl => jsonl(events, summary),
+        TraceFormat::Folded => folded(events),
+    }
+}
+
+fn lane_name(lane: u32) -> String {
+    if lane == 0 {
+        "main".to_string()
+    } else {
+        format!("worker {lane}")
+    }
+}
+
+/// Chrome trace-event JSON (the "JSON Array Format" with a
+/// `traceEvents` wrapper), loadable in Perfetto or `chrome://tracing`.
+///
+/// * one metadata `thread_name` event per lane (lane 0 = "main",
+///   lane *n* = "worker *n*", the canonical home lane of engine jobs),
+/// * one complete (`"ph":"X"`) event per span, `tid` = lane, `args` =
+///   the span's attributes plus its task ordinal,
+/// * one counter (`"ph":"C"`) event per aggregate counter, carrying
+///   the final total.
+///
+/// Timestamps are microseconds with nanosecond precision; everything
+/// else is schedule-independent.
+pub fn chrome_trace(events: &[SpanEvent], summary: &Summary) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+
+    let mut lanes: Vec<u32> = events.iter().map(|e| e.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for lane in &lanes {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                lane_name(*lane)
+            ),
+        );
+    }
+
+    let mut end_ns: u64 = 0;
+    for e in events {
+        end_ns = end_ns.max(e.start_ns + e.dur_ns);
+        let mut args = format!("\"task\":{}", e.task);
+        for (k, v) in &e.attrs {
+            let _ = write!(args, ",\"{}\":\"{}\"", escape(k), escape(v));
+        }
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"{}\",\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{{{args}}}}}",
+                e.lane,
+                escape(&e.name),
+                e.start_ns as f64 / 1e3,
+                e.dur_ns as f64 / 1e3,
+            ),
+        );
+    }
+
+    for (name, value) in &summary.counters {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"{}\",\
+                 \"ts\":{:.3},\"args\":{{\"value\":{value}}}}}",
+                escape(name),
+                end_ns as f64 / 1e3,
+            ),
+        );
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// JSONL structured log: one self-contained JSON object per line —
+/// `type:"span"` records in canonical order, then `type:"counter"`
+/// totals. Grep-able and trivially machine-readable without loading
+/// the whole document.
+pub fn jsonl(events: &[SpanEvent], summary: &Summary) -> String {
+    let mut out = String::new();
+    for e in events {
+        let stack: Vec<String> = e
+            .stack
+            .iter()
+            .map(|s| format!("\"{}\"", escape(s)))
+            .collect();
+        let attrs: Vec<String> = e
+            .attrs
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"name\":\"{}\",\"lane\":{},\"task\":{},\"seq\":{},\
+             \"depth\":{},\"stack\":[{}],\"start_ns\":{},\"dur_ns\":{},\"attrs\":{{{}}}}}",
+            escape(&e.name),
+            e.lane,
+            e.task,
+            e.seq,
+            e.depth,
+            stack.join(","),
+            e.start_ns,
+            e.dur_ns,
+            attrs.join(","),
+        );
+    }
+    for (name, value) in &summary.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            escape(name)
+        );
+    }
+    out
+}
+
+/// Folded-stack flamegraph text (`a;b;c 1234` — one line per distinct
+/// stack, value = *self* nanoseconds, i.e. inclusive duration minus
+/// the time attributed to child spans), ready for
+/// `flamegraph.pl --countname=ns` or speedscope.
+pub fn folded(events: &[SpanEvent]) -> String {
+    let mut incl: BTreeMap<String, u64> = BTreeMap::new();
+    let mut child_sum: BTreeMap<String, u64> = BTreeMap::new();
+    for e in events {
+        let mut path = e.stack.join(";");
+        if !path.is_empty() {
+            path.push(';');
+        }
+        path.push_str(&e.name);
+        *incl.entry(path.clone()).or_default() += e.dur_ns;
+        if !e.stack.is_empty() {
+            *child_sum.entry(e.stack.join(";")).or_default() += e.dur_ns;
+        }
+    }
+    let mut out = String::new();
+    for (path, total) in &incl {
+        let self_ns = total.saturating_sub(child_sum.get(path).copied().unwrap_or(0));
+        let _ = writeln!(out, "{path} {self_ns}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn ev(
+        name: &str,
+        stack: &[&str],
+        lane: u32,
+        task: u64,
+        seq: u64,
+        start: u64,
+        dur: u64,
+    ) -> SpanEvent {
+        SpanEvent {
+            name: name.into(),
+            lane,
+            task,
+            seq,
+            depth: stack.len() as u32,
+            stack: stack.iter().map(|s| s.to_string()).collect(),
+            thread: 0,
+            start_ns: start,
+            dur_ns: dur,
+            attrs: vec![("label".into(), "LUD Base".into())],
+        }
+    }
+
+    fn sample() -> (Vec<SpanEvent>, Summary) {
+        let events = vec![
+            ev("engine.job", &[], 1, 1, 0, 0, 10_000),
+            ev("devsim.run", &["engine.job"], 1, 1, 1, 2_000, 6_000),
+            ev("engine.job", &[], 2, 2, 0, 500, 9_000),
+        ];
+        let summary = Summary {
+            spans: Vec::new(),
+            counters: vec![("cache.hit".into(), 3)],
+        };
+        (events, summary)
+    }
+
+    #[test]
+    fn chrome_export_parses_and_names_lanes() {
+        let (events, summary) = sample();
+        let text = chrome_trace(&events, &summary);
+        let doc = json::parse(&text).expect("chrome export must be valid JSON");
+        let arr = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 lane metadata + 3 spans + 1 counter.
+        assert_eq!(arr.len(), 6);
+        let names: Vec<&str> = arr
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(names, vec!["worker 1", "worker 2"]);
+        let x: Vec<_> = arr
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(x.len(), 3);
+        assert_eq!(
+            x[1].get("args").unwrap().get("label").unwrap().as_str(),
+            Some("LUD Base")
+        );
+        assert_eq!(x[0].get("dur").unwrap().as_f64(), Some(10.0));
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let (events, summary) = sample();
+        let text = jsonl(&events, &summary);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            json::parse(line).expect("every JSONL line parses");
+        }
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str(), Some("span"));
+        let last = json::parse(lines[3]).unwrap();
+        assert_eq!(last.get("type").unwrap().as_str(), Some("counter"));
+        assert_eq!(last.get("value").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn folded_subtracts_child_time() {
+        let (events, _) = sample();
+        let text = folded(&events);
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.sort();
+        // engine.job inclusive 19000 across both lanes, minus the
+        // 6000 in the nested devsim.run.
+        assert!(lines.contains(&"engine.job 13000"), "{text}");
+        assert!(lines.contains(&"engine.job;devsim.run 6000"), "{text}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the log₂ histogram bucketing: exact index
+//! placement, bound bracketing, monotonicity, and conservation of
+//! observations. Pure functions only — no registry state, so no
+//! serialization with the other telemetry tests is needed.
+
+use paccport_trace::metrics::{bucket_bound, bucket_index, Histogram, HIST_BUCKETS};
+use proptest::prelude::*;
+
+#[test]
+fn bounds_are_strictly_increasing_powers_of_two() {
+    let mut prev = 0.0f64;
+    for i in 0..HIST_BUCKETS - 1 {
+        let b = bucket_bound(i).unwrap();
+        assert!(b > prev, "bound {i} not increasing: {b} vs {prev}");
+        assert_eq!(b.log2().fract(), 0.0, "bound {i} is not a power of two");
+        prev = b;
+    }
+    assert_eq!(
+        bucket_bound(HIST_BUCKETS - 1),
+        None,
+        "overflow bucket is unbounded"
+    );
+    assert_eq!(bucket_bound(0), Some(2.0f64.powi(-31)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Constructing v as mantissa × 2^exponent (exact in binary
+    // floating point for these ranges) pins the expected bucket
+    // analytically: bucket i covers [2^(i-32), 2^(i-31)).
+    #[test]
+    fn index_matches_the_binary_exponent(m in 1.0f64..2.0, e in -48i32..48) {
+        let v = m * 2.0f64.powi(e);
+        let expect = (e as i64 + 32).clamp(0, HIST_BUCKETS as i64 - 1) as usize;
+        prop_assert_eq!(bucket_index(v), expect, "v = {m} * 2^{e}");
+    }
+
+    #[test]
+    fn bounds_bracket_every_value(v in 1e-9f64..1e9) {
+        let i = bucket_index(v);
+        prop_assert!(i < HIST_BUCKETS);
+        if let Some(hi) = bucket_bound(i) {
+            prop_assert!(v < hi, "{v} at or above its bucket bound {hi}");
+        }
+        if i > 0 {
+            let lo = bucket_bound(i - 1).unwrap();
+            prop_assert!(v >= lo, "{v} below the previous bound {lo}");
+        }
+    }
+
+    #[test]
+    fn index_is_monotone(a in 1e-12f64..1e12, b in 1e-12f64..1e12) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            bucket_index(lo) <= bucket_index(hi),
+            "index({lo}) > index({hi})"
+        );
+    }
+
+    // Every observation lands in exactly one bucket: the bucket totals
+    // and the count stay in lockstep, and the sum tracks arithmetic.
+    #[test]
+    fn observations_are_conserved(n in 1u64..200, v in 1e-3f64..100.0) {
+        let mut h = Histogram::default();
+        let mut expect_sum = 0.0;
+        for j in 0..n {
+            let x = v * (j + 1) as f64;
+            h.observe(x);
+            expect_sum += x;
+        }
+        prop_assert_eq!(h.count, n);
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), n);
+        prop_assert!(
+            (h.sum - expect_sum).abs() <= 1e-9 * expect_sum,
+            "sum drifted: {} vs {}", h.sum, expect_sum
+        );
+    }
+
+    // Boundary values: an exact power of two opens its bucket (the
+    // interval is closed below, open above).
+    #[test]
+    fn powers_of_two_open_their_bucket(e in -30i32..30) {
+        let v = 2.0f64.powi(e);
+        let i = bucket_index(v);
+        prop_assert_eq!(i, (e + 32) as usize);
+        prop_assert_eq!(bucket_bound(i - 1).unwrap(), v, "lower bound is inclusive");
+        // The largest double below 2^e still belongs one bucket down.
+        let below = f64::from_bits(v.to_bits() - 1);
+        prop_assert_eq!(bucket_index(below), i - 1, "ulp below {v}");
+    }
+}
+
+#[test]
+fn out_of_range_values_land_in_the_edge_buckets() {
+    assert_eq!(bucket_index(0.0), 0);
+    assert_eq!(bucket_index(-3.5), 0);
+    assert_eq!(bucket_index(f64::NAN), 0);
+    assert_eq!(bucket_index(1e-300), 0, "underflow clamps to bucket 0");
+    assert_eq!(
+        bucket_index(1e300),
+        HIST_BUCKETS - 1,
+        "overflow clamps to +Inf bucket"
+    );
+    assert_eq!(bucket_index(f64::INFINITY), HIST_BUCKETS - 1);
+}

@@ -1,0 +1,215 @@
+//! Event-stream telemetry under real threads: the merged stream must
+//! be structurally identical no matter which OS thread ran which job
+//! (canonical lanes + submission-time task ordinals), and the three
+//! exporters must round-trip a live recording.
+//!
+//! Recording state is process-global, so the tests serialize on a
+//! file-local mutex and reset up front.
+
+use std::sync::Mutex;
+
+use paccport_trace::export::{render, TraceFormat};
+use paccport_trace::{
+    add, alloc_tasks, events, json, reset, set_enabled, set_events_enabled, span, span_attrs,
+    summary, task_scope, SpanEvent,
+};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Everything about an event except the schedule-dependent fields
+/// (timestamps and the physical recording thread).
+type Shape = (
+    String,
+    u32,
+    u64,
+    u64,
+    u32,
+    Vec<String>,
+    Vec<(String, String)>,
+);
+
+fn shape(ev: &[SpanEvent]) -> Vec<Shape> {
+    ev.iter()
+        .map(|e| {
+            (
+                e.name.clone(),
+                e.lane,
+                e.task,
+                e.seq,
+                e.depth,
+                e.stack.clone(),
+                e.attrs.clone(),
+            )
+        })
+        .collect()
+}
+
+/// Simulate the engine's job wrapping: 6 jobs on 2 canonical lanes,
+/// task ordinals allocated at submission, each job run on its own OS
+/// thread. `spawn_reversed` scrambles the scheduling without touching
+/// the submission order.
+fn run_workload(spawn_reversed: bool) -> Vec<SpanEvent> {
+    reset();
+    const JOBS: usize = 6;
+    const WORKERS: u32 = 2;
+    let base = alloc_tasks(JOBS as u64);
+    let mut order: Vec<usize> = (0..JOBS).collect();
+    if spawn_reversed {
+        order.reverse();
+    }
+    let handles: Vec<_> = order
+        .into_iter()
+        .map(|i| {
+            std::thread::spawn(move || {
+                let _scope = task_scope(i as u32 % WORKERS + 1, base + i as u64);
+                let _job = span_attrs("tel.job", vec![("index".into(), i.to_string())]);
+                let _inner = span("tel.job.step");
+                add("tel.jobs_done", 1);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    events()
+        .into_iter()
+        .filter(|e| e.name.starts_with("tel."))
+        .collect()
+}
+
+#[test]
+fn merged_stream_is_schedule_independent() {
+    let _l = guard();
+    set_enabled(true);
+    set_events_enabled(true);
+    let forward = run_workload(false);
+    let reversed = run_workload(true);
+    assert_eq!(
+        shape(&forward),
+        shape(&reversed),
+        "event structure must not depend on thread scheduling"
+    );
+
+    // 6 jobs × 2 spans each, sorted by (lane, task, seq).
+    assert_eq!(forward.len(), 12);
+    let mut lanes: Vec<u32> = forward.iter().map(|e| e.lane).collect();
+    lanes.dedup();
+    assert_eq!(lanes, vec![1, 2], "jobs land on their home lanes in order");
+    for pair in forward.chunks(2) {
+        assert_eq!(pair[0].name, "tel.job");
+        assert_eq!(pair[1].name, "tel.job.step");
+        assert_eq!(pair[1].stack, vec!["tel.job".to_string()]);
+        assert_eq!((pair[0].seq, pair[1].seq), (0, 1));
+        assert_eq!(pair[0].task, pair[1].task);
+    }
+    // Lane 1 holds even submission indexes in order, lane 2 odd ones.
+    let idx = |e: &SpanEvent| e.attrs[0].1.parse::<usize>().unwrap();
+    let lane1: Vec<usize> = forward
+        .iter()
+        .filter(|e| e.lane == 1 && e.name == "tel.job")
+        .map(idx)
+        .collect();
+    assert_eq!(lane1, vec![0, 2, 4]);
+    set_events_enabled(false);
+    set_enabled(false);
+}
+
+#[test]
+fn chrome_export_of_a_live_recording_parses_with_named_lanes() {
+    let _l = guard();
+    set_enabled(true);
+    set_events_enabled(true);
+    run_workload(false);
+    let text = render(TraceFormat::Chrome, &events(), &summary());
+    set_events_enabled(false);
+    set_enabled(false);
+
+    let doc = json::parse(&text).expect("chrome export must be valid JSON");
+    let arr = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let lane_names: Vec<&str> = arr
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+        .map(|e| {
+            e.get("args")
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str()
+                .unwrap()
+        })
+        .collect();
+    assert!(lane_names.contains(&"worker 1"), "{lane_names:?}");
+    assert!(lane_names.contains(&"worker 2"), "{lane_names:?}");
+    let spans = arr
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+        .count();
+    assert_eq!(spans, 12, "one complete event per recorded span");
+    let counter = arr
+        .iter()
+        .find(|e| {
+            e.get("ph").unwrap().as_str() == Some("C")
+                && e.get("name").unwrap().as_str() == Some("tel.jobs_done")
+        })
+        .expect("aggregate counters export as counter events");
+    assert_eq!(
+        counter.get("args").unwrap().get("value").unwrap().as_f64(),
+        Some(6.0)
+    );
+}
+
+#[test]
+fn jsonl_export_round_trips_line_by_line() {
+    let _l = guard();
+    set_enabled(true);
+    set_events_enabled(true);
+    run_workload(false);
+    let text = render(TraceFormat::Jsonl, &events(), &summary());
+    set_events_enabled(false);
+    set_enabled(false);
+
+    let mut span_lines = 0;
+    let mut counter_lines = 0;
+    for line in text.lines() {
+        let obj = json::parse(line).expect("every JSONL line is one JSON object");
+        match obj.get("type").unwrap().as_str().unwrap() {
+            "span" => {
+                span_lines += 1;
+                assert!(obj.get("lane").unwrap().as_f64().is_some());
+                assert!(obj.get("start_ns").unwrap().as_f64().is_some());
+            }
+            "counter" => counter_lines += 1,
+            other => panic!("unexpected record type {other}"),
+        }
+    }
+    assert_eq!(span_lines, 12);
+    assert!(counter_lines >= 1);
+}
+
+#[test]
+fn folded_export_has_one_stack_per_line_with_nanosecond_self_time() {
+    let _l = guard();
+    set_enabled(true);
+    set_events_enabled(true);
+    run_workload(false);
+    let text = render(TraceFormat::Folded, &events(), &summary());
+    set_events_enabled(false);
+    set_enabled(false);
+
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let (path, value) = line.rsplit_once(' ').expect("`stack;path VALUE` format");
+        assert!(!path.is_empty());
+        value
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("self-time must be integer ns: {line}"));
+    }
+    assert!(
+        text.lines().any(|l| l.starts_with("tel.job;tel.job.step ")),
+        "nested span folds under its parent:\n{text}"
+    );
+}

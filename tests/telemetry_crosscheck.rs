@@ -1,0 +1,117 @@
+//! Cross-checks between the metrics registry and the ground truth it
+//! mirrors: the engine's artifact-cache statistics, and the device
+//! simulator's own `RunResult` accounting. If an exporter ever shows
+//! numbers these tests would catch drifting, the telemetry is lying.
+//!
+//! The registry is process-global, so the tests serialize on a
+//! file-local mutex and reset it around each collection window.
+
+use std::sync::Mutex;
+
+use paccport::core::study::Scale;
+use paccport::core::{profile_matrix_on, Engine};
+use paccport::trace::metrics;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn family_sum(name: &str) -> f64 {
+    metrics::histogram_sums(name)
+        .iter()
+        .map(|(_, s, _)| s)
+        .sum()
+}
+
+#[test]
+fn cache_hit_metric_matches_the_engine_cache_stats() {
+    let _l = guard();
+    metrics::reset_metrics();
+    metrics::set_metrics_enabled(true);
+    let eng = Engine::new(4);
+    let report = profile_matrix_on(&eng, &Scale::smoke());
+    metrics::set_metrics_enabled(false);
+
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert!(
+        eng.cache().misses() > 0,
+        "the sweep must actually have compiled something"
+    );
+    // The `cache.hit` / `cache.miss` trace counters mirror into the
+    // registry under their sanitized names; the cache's own atomic
+    // stats are the ground truth they must agree with.
+    assert_eq!(
+        metrics::counter_value("cache_hit", &[]),
+        eng.cache().hits(),
+        "cache_hit metric out of sync with ArtifactCache::hits"
+    );
+    assert_eq!(
+        metrics::counter_value("cache_miss", &[]),
+        eng.cache().misses(),
+        "cache_miss metric out of sync with ArtifactCache::misses"
+    );
+    metrics::reset_metrics();
+}
+
+#[test]
+fn devsim_metrics_reproduce_the_run_results_own_accounting() {
+    let _l = guard();
+    let cells = paccport::core::experiments::soundness_cells(&Scale::smoke());
+
+    metrics::reset_metrics();
+    metrics::set_metrics_enabled(true);
+    let mut elapsed_total = 0.0;
+    let mut kernel_total = 0.0;
+    let mut transfer_total = 0.0;
+    for cell in &cells {
+        let c = paccport::compilers::compile(cell.compiler, &cell.program, &cell.options)
+            .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
+        let r = paccport::devsim::run(&c, &cell.cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
+        elapsed_total += r.elapsed;
+        kernel_total += r.kernel_stats.iter().map(|s| s.device_time).sum::<f64>();
+        transfer_total += r.transfer_time_s;
+    }
+    metrics::set_metrics_enabled(false);
+
+    let close = |a: f64, b: f64, what: &str| {
+        assert!(
+            (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+            "{what}: metric {a} vs ground truth {b}"
+        );
+    };
+    // One observation per run: every run lands in `devsim_run_seconds`.
+    let runs: u64 = metrics::histogram_sums("devsim_run_seconds")
+        .iter()
+        .map(|(_, _, n)| n)
+        .sum();
+    assert_eq!(runs as usize, cells.len());
+    close(
+        family_sum("devsim_run_seconds"),
+        elapsed_total,
+        "run seconds",
+    );
+    close(
+        family_sum("devsim_kernel_seconds"),
+        kernel_total,
+        "per-kernel device time",
+    );
+    close(
+        family_sum("devsim_transfer_seconds"),
+        transfer_total,
+        "transfer time",
+    );
+    // The headline invariant: the per-kernel series, the transfer
+    // series and the non-kernel host series partition total run time —
+    // nothing the simulator charges falls outside the registry.
+    close(
+        family_sum("devsim_kernel_seconds")
+            + family_sum("devsim_transfer_seconds")
+            + family_sum("devsim_host_seconds"),
+        elapsed_total,
+        "kernel + transfer + host vs elapsed",
+    );
+    metrics::reset_metrics();
+}
