@@ -4,12 +4,16 @@
 //! ```text
 //! reproduce [--check] [--scale smoke|quick|paper] [--quick]
 //!           [--jobs N] [--trace] [--profile] [--exp <id>]...
+//!           [--tier tree|bytecode|both]
 //!           [--inject SPEC] [--fault-seed N]
 //!           [--trace-out FILE] [--trace-format chrome|jsonl|folded]
 //!           [--metrics-out FILE]
-//! reproduce conform [--programs N] [--seed S] [telemetry flags]
+//! reproduce conform [--programs N] [--seed S] [--tier tree|bytecode|both]
+//!           [telemetry flags]
 //! reproduce profile [--scale ...] [--jobs N] [--inject SPEC]
 //!                   [--fault-seed N] [telemetry flags]
+//! reproduce bench-devsim [--seed S] [--samples N] [--json FILE]
+//!                        [--against FILE]
 //! ```
 //!
 //! With no `--exp`, all experiments run. `--scale` picks the input
@@ -64,6 +68,26 @@
 //! structurally deterministic — same flags, same structure; only
 //! wall-clock timestamp fields vary, and under `--inject` even those
 //! come from the virtual clock.
+//!
+//! `--tier tree|bytecode|both` selects the devsim execution tier for
+//! every functional kernel execution: `tree` (the default) is the
+//! tree-walking reference interpreter, `bytecode` the compile-once
+//! bytecode VM — the two are bitwise-equivalent by contract, so
+//! stdout is byte-identical either way. `both` additionally runs the
+//! tier-equivalence sweep: every soundness cell executes under *both*
+//! tiers and the complete observable run state (buffers, race sets,
+//! transfer ledgers, timings) is compared bit-for-bit, appending a
+//! `tier equivalence` section and exiting nonzero on any mismatch.
+//! On `conform`, `--tier` picks the tier the compiler-matrix legs run
+//! under; the always-on `tier/bytecode` leg cross-checks the two
+//! tiers on every generated program regardless.
+//!
+//! `bench-devsim` measures kernel-execution throughput of the two
+//! tiers on the hydro and matmul workloads (median-of-`--samples`
+//! wall time, bitwise cross-check before timing) and optionally
+//! writes a JSON report (`--json`). `--against FILE` compares the
+//! fresh speedups with a previously committed report and exits
+//! nonzero if any workload regressed more than 10% below it.
 //!
 //! `--inject SPEC` turns on deterministic fault injection (chaos
 //! testing): `SPEC` is a comma-separated list of
@@ -179,6 +203,10 @@ fn main() {
         profile_cmd(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("bench-devsim") {
+        bench_devsim(&args[1..]);
+        return;
+    }
     let check = args.iter().any(|a| a == "--check");
     let trace = args.iter().any(|a| a == "--trace");
     let profile = args.iter().any(|a| a == "--profile");
@@ -191,10 +219,16 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut inject: Option<String> = None;
     let mut fault_seed: u64 = 0;
+    let mut tier_name = "tree".to_string();
     let mut tele = Telemetry::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if tele.consume(a, &mut it) {
+        } else if a == "--tier" {
+            tier_name = it
+                .next()
+                .cloned()
+                .unwrap_or_else(|| die("--tier requires tree|bytecode|both"));
         } else if a == "--exp" {
             if let Some(id) = it.next() {
                 wanted.push(id.clone());
@@ -233,6 +267,7 @@ fn main() {
         _ => die("--scale requires smoke|quick|paper"),
     };
     let want = |id: &str| all || wanted.iter().any(|w| w == id);
+    let tier_both = apply_tier(&tier_name);
 
     if trace {
         paccport_trace::set_enabled(true);
@@ -249,6 +284,12 @@ fn main() {
     if check {
         let report = exp::check_soundness_on(&eng, &scale);
         print!("{}", report::render_soundness(&report));
+        let mut tiers_ok = true;
+        if tier_both {
+            let tr = paccport_core::tierdiff::tier_equivalence_on(eng.cache(), &scale);
+            print!("{}", tr.render());
+            tiers_ok = tr.ok();
+        }
         print!("{}", report::render_fault_ledger(&eng.quarantined()));
         if trace {
             eprintln!(
@@ -262,6 +303,10 @@ fn main() {
         tele.flush();
         if !report.all_consistent() || !report.lost_update_caught() {
             eprintln!("reproduce --check: soundness invariant violated");
+            std::process::exit(1);
+        }
+        if !tiers_ok {
+            eprintln!("reproduce --check: execution tiers diverged");
             std::process::exit(1);
         }
         return;
@@ -436,6 +481,16 @@ fn main() {
         );
     }
 
+    // `--tier both` on a figure run appends the same equivalence
+    // sweep `--check --tier both` performs (at the clamped functional
+    // sizes), sharing the engine's compile cache.
+    let mut tiers_ok = true;
+    if tier_both {
+        let tr = paccport_core::tierdiff::tier_equivalence_on(eng.cache(), &scale);
+        print!("{}", tr.render());
+        tiers_ok = tr.ok();
+    }
+
     // The fault ledger renders only when injection is configured, so
     // fault-free stdout is untouched.
     print!("{}", report::render_fault_ledger(&eng.quarantined()));
@@ -465,6 +520,25 @@ fn main() {
         }
         std::process::exit(1);
     }
+    if !tiers_ok {
+        eprintln!("reproduce: execution tiers diverged");
+        std::process::exit(1);
+    }
+}
+
+/// Parse `--tier` and set the process-wide default execution tier.
+/// Returns whether the caller should additionally run the two-tier
+/// equivalence sweep (`both`).
+fn apply_tier(name: &str) -> bool {
+    match name {
+        "both" => true,
+        _ => {
+            let t = paccport_devsim::ExecTier::parse(name)
+                .unwrap_or_else(|| die("--tier requires tree|bytecode|both"));
+            paccport_devsim::set_default_tier(t);
+            false
+        }
+    }
 }
 
 /// `reproduce conform [--programs N] [--seed S]` — differential
@@ -488,6 +562,14 @@ fn conform(args: &[String]) {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| die("--seed requires an unsigned integer"));
+        } else if a == "--tier" {
+            let name = it
+                .next()
+                .cloned()
+                .unwrap_or_else(|| die("--tier requires tree|bytecode|both"));
+            // `both` keeps the matrix legs on the tree reference; the
+            // always-on `tier/bytecode` leg covers the comparison.
+            apply_tier(&name);
         } else {
             die(&format!("conform: unknown argument `{a}`"));
         }
@@ -562,6 +644,77 @@ fn profile_cmd(args: &[String]) {
     if !eng.uninjected_failures().is_empty() || !report.uninjected_failures().is_empty() {
         eprintln!("reproduce profile: genuine failures occurred");
         std::process::exit(1);
+    }
+}
+
+/// `reproduce bench-devsim [--seed S] [--samples N] [--json FILE]
+/// [--against FILE]` — kernel-execution throughput of the two devsim
+/// tiers, with a bitwise cross-check before any timing.
+fn bench_devsim(args: &[String]) {
+    let mut seed: u64 = 42;
+    let mut samples: usize = 7;
+    let mut json_out: Option<String> = None;
+    let mut against: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            seed = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--seed requires an unsigned integer"));
+        } else if a == "--samples" {
+            samples = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| die("--samples requires a positive integer"));
+        } else if a == "--json" {
+            json_out = Some(
+                it.next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--json requires a file path")),
+            );
+        } else if a == "--against" {
+            against = Some(
+                it.next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--against requires a file path")),
+            );
+        } else {
+            die(&format!("bench-devsim: unknown argument `{a}`"));
+        }
+    }
+    let report = paccport_bench::devbench::run_devsim_bench(seed, samples);
+    print!("{}", report.render());
+    if let Some(path) = &json_out {
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    }
+    if let Some(path) = &against {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let want = paccport_bench::devbench::parse_speedups(&baseline);
+        if want.is_empty() {
+            die(&format!("{path} contains no speedup entries"));
+        }
+        let mut regressed = false;
+        for e in &report.entries {
+            if let Some((_, w)) = want.iter().find(|(n, _)| *n == e.name) {
+                let floor = w * 0.9;
+                if e.speedup() < floor {
+                    eprintln!(
+                        "bench-devsim: `{}` speedup {:.2}x regressed below 90% of committed {:.2}x",
+                        e.name,
+                        e.speedup(),
+                        w
+                    );
+                    regressed = true;
+                }
+            }
+        }
+        if regressed {
+            std::process::exit(1);
+        }
     }
 }
 

@@ -12,4 +12,6 @@
 //!   out (quirk toggles, roofline vs pure-compute model, sampled vs
 //!   exact dynamic costs).
 
+pub mod devbench;
+
 pub use paccport_core::study::Scale;

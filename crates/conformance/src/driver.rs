@@ -30,7 +30,7 @@ use crate::printer::case_to_test;
 use crate::shrink::shrink;
 use paccport_compilers::transforms::TransformVariant;
 use paccport_compilers::{compile, CompileOptions, CompiledProgram, CompilerId};
-use paccport_devsim::{run, RunConfig};
+use paccport_devsim::{run, ExecTier, RunConfig, RunResult};
 use paccport_ir::program_to_string;
 
 /// Broad category of a conformance failure. Shrinking preserves the
@@ -140,7 +140,168 @@ pub fn check_case(case: &Case) -> Vec<Leg> {
             outcome,
         });
     }
+    legs.push(Leg {
+        label: "tier/bytecode".into(),
+        outcome: tier_leg(case),
+    });
     legs
+}
+
+/// The tenth leg: execute the CAPS/K40 compilation of the case under
+/// both execution tiers — tree-walker and bytecode VM — with the race
+/// detector shadow-logging, and require the *entire* observable run
+/// state to agree bitwise: every host buffer (f64 bit patterns), the
+/// deduplicated race set, the shadow-log access count, transfer
+/// ledger, while-loop iteration count, per-kernel stats and every
+/// modeled timing. A panic is only excused if both tiers panic with
+/// the same message.
+fn tier_leg(case: &Case) -> Outcome {
+    let cp = match compile(CompilerId::Caps, &case.program, &CompileOptions::gpu()) {
+        Ok(cp) => cp,
+        Err(e) => return Outcome::CompileRejected(e.message),
+    };
+    let run_tier = |tier: ExecTier| {
+        let mut cfg = RunConfig::functional(case.params.clone())
+            .with_race_check(true)
+            .with_tier(tier);
+        for (name, buf) in &case.inputs {
+            cfg = cfg.with_input(name, buf.clone());
+        }
+        catch_unwind(AssertUnwindSafe(|| run(&cp, &cfg)))
+    };
+    let tree = run_tier(ExecTier::Tree);
+    let byte = run_tier(ExecTier::Bytecode);
+    match (tree, byte) {
+        (Err(pt), Err(pb)) => {
+            let (mt, mb) = (panic_message(pt), panic_message(pb));
+            if mt == mb {
+                Outcome::Match
+            } else {
+                Outcome::Mismatch {
+                    kind: FailKind::Panicked,
+                    detail: format!("tiers panicked differently: tree `{mt}` vs bytecode `{mb}`"),
+                }
+            }
+        }
+        (Err(pt), Ok(_)) => Outcome::Mismatch {
+            kind: FailKind::Panicked,
+            detail: format!(
+                "tree tier panicked (`{}`), bytecode did not",
+                panic_message(pt)
+            ),
+        },
+        (Ok(_), Err(pb)) => Outcome::Mismatch {
+            kind: FailKind::Panicked,
+            detail: format!(
+                "bytecode tier panicked (`{}`), tree did not",
+                panic_message(pb)
+            ),
+        },
+        (Ok(Err(et)), Ok(Err(eb))) => {
+            if et == eb {
+                Outcome::Match
+            } else {
+                Outcome::Mismatch {
+                    kind: FailKind::RunError,
+                    detail: format!("tiers erred differently: tree `{et}` vs bytecode `{eb}`"),
+                }
+            }
+        }
+        (Ok(Err(e)), Ok(Ok(_))) => Outcome::Mismatch {
+            kind: FailKind::RunError,
+            detail: format!("tree tier erred (`{e}`), bytecode succeeded"),
+        },
+        (Ok(Ok(_)), Ok(Err(e))) => Outcome::Mismatch {
+            kind: FailKind::RunError,
+            detail: format!("bytecode tier erred (`{e}`), tree succeeded"),
+        },
+        (Ok(Ok(rt)), Ok(Ok(rb))) => match diff_run_results(&rt, &rb) {
+            None => Outcome::Match,
+            Some(d) => Outcome::Mismatch {
+                kind: FailKind::Diverged,
+                detail: format!("tree vs bytecode: {d}"),
+            },
+        },
+    }
+}
+
+/// First difference between two tier runs, comparing every observable
+/// field; floats are compared by bit pattern, not numeric equality.
+fn diff_run_results(a: &RunResult, b: &RunResult) -> Option<String> {
+    if a.host.len() != b.host.len() {
+        return Some(format!("buffer count {} vs {}", a.host.len(), b.host.len()));
+    }
+    for (i, (ba, bb)) in a.host.iter().zip(&b.host).enumerate() {
+        let (wa, wb) = (ba.bits(), bb.bits());
+        if wa.len() != wb.len() {
+            return Some(format!("buffer {i} length {} vs {}", wa.len(), wb.len()));
+        }
+        if let Some(j) = (0..wa.len()).find(|&j| wa[j] != wb[j]) {
+            return Some(format!(
+                "buffer {i}[{j}]: bits {:#018x} vs {:#018x}",
+                wa[j], wb[j]
+            ));
+        }
+    }
+    if a.races != b.races {
+        return Some(format!("race sets differ: {:?} vs {:?}", a.races, b.races));
+    }
+    if a.race_accesses != b.race_accesses {
+        return Some(format!(
+            "shadow-logged access counts differ: {} vs {}",
+            a.race_accesses, b.race_accesses
+        ));
+    }
+    if a.while_iterations != b.while_iterations {
+        return Some(format!(
+            "while iterations {} vs {}",
+            a.while_iterations, b.while_iterations
+        ));
+    }
+    if a.transfers != b.transfers {
+        return Some(format!(
+            "transfer ledgers differ: {:?} vs {:?}",
+            a.transfers, b.transfers
+        ));
+    }
+    if a.transfers_outside_while != b.transfers_outside_while {
+        return Some("transfers outside while differ".into());
+    }
+    if a.any_known_wrong != b.any_known_wrong {
+        return Some(format!(
+            "known-wrong flags differ: {} vs {}",
+            a.any_known_wrong, b.any_known_wrong
+        ));
+    }
+    if a.kernel_stats.len() != b.kernel_stats.len() {
+        return Some("kernel stat counts differ".into());
+    }
+    for (sa, sb) in a.kernel_stats.iter().zip(&b.kernel_stats) {
+        if sa.name != sb.name
+            || sa.launches != sb.launches
+            || sa.ran_on_device != sb.ran_on_device
+            || sa.config_label != sb.config_label
+            || sa.device_time.to_bits() != sb.device_time.to_bits()
+        {
+            return Some(format!("kernel stats differ: {sa:?} vs {sb:?}"));
+        }
+    }
+    for (label, fa, fb) in [
+        ("elapsed", a.elapsed, b.elapsed),
+        ("kernel_time", a.kernel_time, b.kernel_time),
+        ("transfer_time_s", a.transfer_time_s, b.transfer_time_s),
+        ("host_time", a.host_time, b.host_time),
+        (
+            "transfers_per_while_iter",
+            a.transfers_per_while_iter,
+            b.transfers_per_while_iter,
+        ),
+    ] {
+        if fa.to_bits() != fb.to_bits() {
+            return Some(format!("{label}: {fa} vs {fb} (bit-level)"));
+        }
+    }
+    None
 }
 
 fn compile_leg(
@@ -364,7 +525,7 @@ impl Report {
             self.programs, self.seed
         ));
         s.push_str(&format!(
-            "  legs: {} compiler targets + {} transform variants per program\n",
+            "  legs: {} compiler targets + {} transform variants + 1 tier-equivalence leg per program\n",
             matrix().len(),
             TransformVariant::all().len()
         ));

@@ -42,6 +42,7 @@ pub mod report;
 pub mod soundness;
 pub mod step5;
 pub mod study;
+pub mod tierdiff;
 
 pub use autotune::{autotune_distribution, default_candidates, Candidate, TuneOutcome};
 pub use engine::Engine;

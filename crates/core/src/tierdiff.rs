@@ -1,0 +1,198 @@
+//! Execution-tier equivalence sweep over the soundness matrix.
+//!
+//! `reproduce --check --tier both` runs every functional soundness
+//! cell twice — once under the tree-walking interpreter and once under
+//! the bytecode VM ([`paccport_devsim::bytecode`]) — and requires the
+//! complete observable run state to agree **bitwise**: every host
+//! buffer (f64 bit patterns), the deduplicated race set and shadow-log
+//! access count, the transfer ledger, while-loop iteration counts,
+//! per-kernel launch statistics and every modeled timing. The
+//! tree-walker is the semantic reference; any difference here is a
+//! bytecode-tier bug, never a tolerance question.
+
+use crate::experiments::soundness_cells;
+use crate::study::Scale;
+use paccport_compilers::ArtifactCache;
+use paccport_devsim::{run, ExecTier, RunResult};
+
+/// One cell's tier comparison.
+#[derive(Debug, Clone)]
+pub struct TierCell {
+    pub label: String,
+    /// `None` when the tiers agree bitwise; otherwise the first
+    /// difference found.
+    pub mismatch: Option<String>,
+}
+
+/// Aggregated result of a tier-equivalence sweep.
+#[derive(Debug, Clone, Default)]
+pub struct TierReport {
+    pub cells: Vec<TierCell>,
+}
+
+impl TierReport {
+    pub fn ok(&self) -> bool {
+        self.cells.iter().all(|c| c.mismatch.is_none())
+    }
+
+    pub fn mismatches(&self) -> usize {
+        self.cells.iter().filter(|c| c.mismatch.is_some()).count()
+    }
+
+    /// Deterministic rendering — the CI gate greps this for
+    /// `tier mismatches: 0`.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "tier equivalence (tree vs bytecode): {} cells, tier mismatches: {}\n",
+            self.cells.len(),
+            self.mismatches()
+        );
+        for c in &self.cells {
+            if let Some(d) = &c.mismatch {
+                s.push_str(&format!("  MISMATCH {}: {}\n", c.label, d));
+            }
+        }
+        s
+    }
+}
+
+/// Run every soundness cell under both tiers and compare bitwise.
+pub fn tier_equivalence(scale: &Scale) -> TierReport {
+    tier_equivalence_on(&ArtifactCache::new(), scale)
+}
+
+/// [`tier_equivalence`] compiling through a shared artifact cache.
+pub fn tier_equivalence_on(cache: &ArtifactCache, scale: &Scale) -> TierReport {
+    tier_equivalence_with(cache, scale, true)
+}
+
+/// Tier sweep with an explicit race-check setting. Shadow-logging
+/// forces the bytecode VM onto its per-thread scalar path; running
+/// with `race_check = false` additionally covers the tracker-less
+/// batched dispatch, so the suite runs both configurations.
+pub fn tier_equivalence_with(cache: &ArtifactCache, scale: &Scale, race_check: bool) -> TierReport {
+    let _g = paccport_trace::span("tierdiff.matrix");
+    let mut report = TierReport::default();
+    for cell in soundness_cells(scale) {
+        let label = cell.label();
+        let mismatch = match cache.compile(cell.compiler, &cell.program, &cell.options) {
+            Err(e) => Some(format!("compile failed: {e}")),
+            Ok(cp) => {
+                let run_tier = |tier: ExecTier| {
+                    run(
+                        &cp,
+                        &cell.cfg.clone().with_race_check(race_check).with_tier(tier),
+                    )
+                };
+                match (run_tier(ExecTier::Tree), run_tier(ExecTier::Bytecode)) {
+                    (Err(et), Err(eb)) if et == eb => None,
+                    (Err(et), Err(eb)) => {
+                        Some(format!("tiers erred differently: `{et}` vs `{eb}`"))
+                    }
+                    (Err(e), Ok(_)) => Some(format!("tree erred (`{e}`), bytecode succeeded")),
+                    (Ok(_), Err(e)) => Some(format!("bytecode erred (`{e}`), tree succeeded")),
+                    (Ok(rt), Ok(rb)) => diff_results(&rt, &rb),
+                }
+            }
+        };
+        report.cells.push(TierCell { label, mismatch });
+    }
+    report
+}
+
+/// First bit-level difference between two tier runs, if any.
+pub fn diff_results(a: &RunResult, b: &RunResult) -> Option<String> {
+    if a.host.len() != b.host.len() {
+        return Some(format!("buffer count {} vs {}", a.host.len(), b.host.len()));
+    }
+    for (i, (ba, bb)) in a.host.iter().zip(&b.host).enumerate() {
+        let (wa, wb) = (ba.bits(), bb.bits());
+        if wa.len() != wb.len() {
+            return Some(format!("buffer {i} length {} vs {}", wa.len(), wb.len()));
+        }
+        if let Some(j) = (0..wa.len()).find(|&j| wa[j] != wb[j]) {
+            return Some(format!(
+                "buffer {i}[{j}]: bits {:#018x} vs {:#018x}",
+                wa[j], wb[j]
+            ));
+        }
+    }
+    if a.races != b.races {
+        return Some(format!(
+            "race sets differ ({} vs {} races)",
+            a.races.len(),
+            b.races.len()
+        ));
+    }
+    if a.race_accesses != b.race_accesses {
+        return Some(format!(
+            "shadow-logged access counts differ: {} vs {}",
+            a.race_accesses, b.race_accesses
+        ));
+    }
+    if a.while_iterations != b.while_iterations {
+        return Some(format!(
+            "while iterations {} vs {}",
+            a.while_iterations, b.while_iterations
+        ));
+    }
+    if a.transfers != b.transfers {
+        return Some("transfer ledgers differ".into());
+    }
+    if a.transfers_outside_while != b.transfers_outside_while {
+        return Some("transfers outside while differ".into());
+    }
+    if a.any_known_wrong != b.any_known_wrong {
+        return Some("known-wrong flags differ".into());
+    }
+    if a.kernel_stats.len() != b.kernel_stats.len() {
+        return Some("kernel stat counts differ".into());
+    }
+    for (sa, sb) in a.kernel_stats.iter().zip(&b.kernel_stats) {
+        if sa.name != sb.name
+            || sa.launches != sb.launches
+            || sa.ran_on_device != sb.ran_on_device
+            || sa.config_label != sb.config_label
+            || sa.device_time.to_bits() != sb.device_time.to_bits()
+        {
+            return Some(format!("kernel stats differ: {sa:?} vs {sb:?}"));
+        }
+    }
+    for (label, fa, fb) in [
+        ("elapsed", a.elapsed, b.elapsed),
+        ("kernel_time", a.kernel_time, b.kernel_time),
+        ("transfer_time_s", a.transfer_time_s, b.transfer_time_s),
+        ("host_time", a.host_time, b.host_time),
+        (
+            "transfers_per_while_iter",
+            a.transfers_per_while_iter,
+            b.transfers_per_while_iter,
+        ),
+    ] {
+        if fa.to_bits() != fb.to_bits() {
+            return Some(format!("{label}: {fa} vs {fb} (bit-level)"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every smoke-scale soundness cell must agree bitwise across
+    /// tiers — this is the same sweep `--check --tier both` runs.
+    #[test]
+    fn smoke_matrix_is_tier_equivalent() {
+        let r = tier_equivalence(&Scale::smoke());
+        assert!(!r.cells.is_empty());
+        assert!(r.ok(), "{}", r.render());
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let a = tier_equivalence(&Scale::smoke()).render();
+        let b = tier_equivalence(&Scale::smoke()).render();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,2832 @@
+//! Batched lane execution of the innermost parallel loop.
+//!
+//! The scalar VM still dispatches one instruction per value per lane;
+//! for the hot kernels that cost is the whole runtime. This module
+//! compiles a *second* form of a simple kernel's body — a straight
+//! batch program over the entire innermost iteration space — executed
+//! once per inner loop instead of once per lane.
+//!
+//! Values are classified at compile time:
+//!
+//! * **S** — lane-invariant scalars (one [`V`] slot, computed once);
+//! * **A** — affine lane integers `base + stride·lane` (one `(i64,
+//!   i64)` pair — never materialized per lane);
+//! * **LF/LB** — genuinely lane-varying floats / bools, held in flat
+//!   vectors and processed by tight per-op loops.
+//!
+//! The "hoisting of loop-invariant operand resolution" happens in this
+//! classification: a scalar operand of a float lane op is `as_f()`'d
+//! (and, for arithmetic, f32-narrowed) exactly once per batch, not per
+//! lane; a fully scalar load index becomes a single [`BOp::SLoad`]
+//! per sequential-loop trip instead of one per lane per trip.
+//!
+//! **Bitwise equivalence is non-negotiable.** Every lane op replicates
+//! [`interp::bin`]/[`interp::cmp`]/[`interp::coerce`] semantics for
+//! the value classes it is compiled against (the compiler only picks
+//! the float path where a lane operand is *guaranteed* tag-`F`, etc.).
+//! Reordering effects across lanes is handled by construction:
+//!
+//! * arrays written by a batch may only be read by the *same* affine
+//!   index they are written at (checked at runtime, per batch, with a
+//!   nonzero stride — every lane then owns a disjoint slice, so
+//!   lane-major and op-major orders commute);
+//! * every panic the tree-walker could raise mid-batch (bounds,
+//!   integer division by zero, undefined variable reads, parameter
+//!   type confusion) is detected by a **validation walk** that runs
+//!   the scalar/affine/control half of the program first, touching no
+//!   buffer; on any hazard the batch is abandoned *before any side
+//!   effect* and the caller falls back to the scalar VM, which
+//!   reproduces the tree-walker's partial effects and panic exactly.
+//!
+//! Anything the classifier cannot prove — `If` statements, atomics,
+//! local memory, lane-varying non-affine integers, stores inside
+//! sequential loops, ambiguous types — simply fails to compile
+//! (`build` returns `None`) and the kernel keeps the scalar VM path.
+//!
+//! [`interp::bin`]: crate::interp
+//! [`interp::cmp`]: crate::interp
+//! [`interp::coerce`]: crate::interp
+
+use crate::interp::{self, V};
+use crate::memory::Buffer;
+use paccport_ir::expr::{BinOp, CmpOp, Expr, UnOp};
+use paccport_ir::kernel::{Kernel, KernelBody, ReduceOp};
+use paccport_ir::stmt::{Block, Stmt};
+use paccport_ir::types::{ArrayId, MemSpace, ParamId, Scalar, VarId};
+use paccport_ir::Program;
+
+/// Where a value lives during batch execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// Scalar slot (`BatchState::sv`). Slots `0..n_vars` mirror the
+    /// VM's variable registers.
+    S(u16),
+    /// Affine lane integer: `av[i] = (base, stride)`, lane `b` holds
+    /// `base + stride·b`.
+    A(u16),
+    /// f64 lane vector.
+    LF(u16),
+    /// bool lane vector.
+    LB(u16),
+}
+
+/// One batch operation. Scalar/affine/control ops run in both the
+/// validation and execution walks; lane ops (`LF`/`LB` producers,
+/// gathers, scatters) run only in the execution walk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BOp {
+    // ---- scalar (lane-invariant) ----
+    SConst {
+        dst: u16,
+        v: V,
+    },
+    /// Parameter read; `tag` is the declared type's runtime tag
+    /// (0 = F, 1 = I, 2 = B), checked by the validation walk wherever
+    /// the compiler leaned on the declaration for typing.
+    SParam {
+        dst: u16,
+        p: u16,
+        tag: u8,
+    },
+    SUn {
+        op: UnOp,
+        dst: u16,
+        a: u16,
+    },
+    /// Generic binary op ([`interp::bin`]); the validation walk
+    /// pre-checks integer division by zero so execution cannot panic.
+    SBin {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    SCmp {
+        op: CmpOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    SFma {
+        dst: u16,
+        a: u16,
+        b: u16,
+        c: u16,
+    },
+    SCast {
+        ty: Scalar,
+        dst: u16,
+        a: u16,
+    },
+    /// Eager scalar select (arms are pure in batchable bodies).
+    SSelect {
+        dst: u16,
+        c: u16,
+        a: u16,
+        b: u16,
+    },
+    SToInt {
+        dst: u16,
+        a: u16,
+    },
+    /// `Let`: coerce into the variable slot, mark defined.
+    SLet {
+        ty: Scalar,
+        var: u16,
+        src: u16,
+    },
+    /// `Assign`: raw store into the variable slot, mark defined.
+    SSet {
+        var: u16,
+        src: u16,
+    },
+    /// Scalar-indexed load (both walks; hazard: bounds).
+    SLoad {
+        array: u16,
+        idx: u16,
+        dst: u16,
+    },
+    /// Validation-only: fall back unless the variable is defined.
+    VDefCheck {
+        var: u16,
+    },
+    /// Mark a lane-assigned variable runtime-defined.
+    DefMark {
+        var: u16,
+    },
+
+    // ---- affine ----
+    AAddS {
+        dst: u16,
+        a: u16,
+        s: u16,
+    },
+    ASubAS {
+        dst: u16,
+        a: u16,
+        s: u16,
+    },
+    ASubSA {
+        dst: u16,
+        s: u16,
+        a: u16,
+    },
+    AAddA {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    ASubAA {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    AMulS {
+        dst: u16,
+        a: u16,
+        s: u16,
+    },
+    ANeg {
+        dst: u16,
+        a: u16,
+    },
+    /// Degenerate affine from a scalar: `(sv[s].as_i(), 0)`.
+    AFromS {
+        dst: u16,
+        s: u16,
+    },
+
+    // ---- conversions into lane vectors (execution walk only) ----
+    /// Broadcast `sv[s].as_f()`.
+    BcastF {
+        dst: u16,
+        s: u16,
+    },
+    /// Broadcast `sv[s].as_b()`.
+    BcastB {
+        dst: u16,
+        s: u16,
+    },
+    /// Affine → f64 lanes (`as_f` of the exact integer).
+    CvtAtoF {
+        dst: u16,
+        a: u16,
+    },
+    /// Affine → bool lanes (`!= 0`).
+    CvtAtoB {
+        dst: u16,
+        a: u16,
+    },
+    /// Bool lanes → f64 lanes (0.0 / 1.0).
+    CvtBtoF {
+        dst: u16,
+        a: u16,
+    },
+    /// f64 lanes → bool lanes (`!= 0.0`).
+    CvtFtoB {
+        dst: u16,
+        a: u16,
+    },
+    /// `v as f32 as f64` per lane (the F32 `Let` coercion / cast).
+    CvtFtoF32 {
+        dst: u16,
+        a: u16,
+    },
+    LCopyF {
+        dst: u16,
+        a: u16,
+    },
+
+    // ---- float lane ops (f32-narrowed, exactly `interp::bin`) ----
+    FBinLL {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    /// Lane ⊕ scalar: the scalar is resolved (`as_f() as f32`) once.
+    FBinLS {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        s: u16,
+    },
+    FBinSL {
+        op: BinOp,
+        dst: u16,
+        s: u16,
+        b: u16,
+    },
+    FFma {
+        dst: u16,
+        a: u16,
+        b: u16,
+        c: u16,
+    },
+    UnF {
+        op: UnOp,
+        dst: u16,
+        a: u16,
+    },
+    /// Full-f64 comparisons, exactly `interp::cmp`'s float path.
+    FCmpLL {
+        op: CmpOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    FCmpLS {
+        op: CmpOp,
+        dst: u16,
+        a: u16,
+        s: u16,
+    },
+    FCmpSL {
+        op: CmpOp,
+        dst: u16,
+        s: u16,
+        b: u16,
+    },
+    /// Integer comparisons with affine operands.
+    ICmpAS {
+        op: CmpOp,
+        dst: u16,
+        a: u16,
+        s: u16,
+    },
+    ICmpSA {
+        op: CmpOp,
+        dst: u16,
+        s: u16,
+        a: u16,
+    },
+    ICmpAA {
+        op: CmpOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+
+    // ---- bool lane ops ----
+    BAnd {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    BOr {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    BNot {
+        dst: u16,
+        a: u16,
+    },
+    /// `cond ? a : b` per lane (eager; taken-arm laziness is restored
+    /// by the purity restrictions on batchable bodies).
+    SelF {
+        dst: u16,
+        c: u16,
+        a: u16,
+        b: u16,
+    },
+
+    // ---- memory ----
+    /// Affine gather from an F32/F64 array. Hazard: bounds (checked at
+    /// the affine endpoints by the validation walk).
+    GatherF {
+        array: u16,
+        aff: u16,
+        dst: u16,
+        f32src: bool,
+    },
+    /// Affine scatter of f64 lanes. `guard` indexes
+    /// [`BatchPlan::guards`] (`u32::MAX` = unguarded): all listed
+    /// affine values must equal this one, with nonzero stride, or the
+    /// batch falls back.
+    Scatter {
+        array: u16,
+        aff: u16,
+        src: u16,
+        guard: u32,
+    },
+    /// Affine scatter of one resolved scalar value.
+    ScatterS {
+        array: u16,
+        aff: u16,
+        s: u16,
+        guard: u32,
+    },
+
+    // ---- control (both walks) ----
+    /// `if sv[cnt] >= sv[hi] jump exit` (both always `V::I`).
+    ForHead {
+        cnt: u16,
+        hi: u16,
+        exit: u32,
+    },
+    ForStep {
+        cnt: u16,
+        step: i64,
+        back: u32,
+    },
+}
+
+/// A compiled batch program for one kernel's innermost parallel loop.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    pub ops: Vec<BOp>,
+    /// Scalar slots `0..n_vars` mirror the VM variable registers.
+    pub n_vars: u16,
+    /// The innermost parallel loop variable: the tree-walker marks it
+    /// defined on every lane, so a non-empty batch does too.
+    pub lane_var: u16,
+    pub n_s: u16,
+    pub n_a: u16,
+    pub n_f: u16,
+    pub n_b: u16,
+    /// Lane-valued variables written back as the last lane's value
+    /// (the state the tree-walker leaves after its final iteration).
+    pub outs: Vec<(u16, Loc)>,
+    /// Region-reduction value location and operator, folded
+    /// lane-ascending.
+    pub reduce: Option<(Loc, ReduceOp)>,
+    /// Affine-equality guard sets for read/written arrays.
+    pub guards: Vec<Vec<u16>>,
+}
+
+/// Reusable batch scratch state (allocated once per kernel exec).
+#[derive(Debug, Default)]
+pub struct BatchState {
+    sv: Vec<V>,
+    vdef: Vec<bool>,
+    av: Vec<(i64, i64)>,
+    fl: Vec<Vec<f64>>,
+    bl: Vec<Vec<bool>>,
+    /// Snapshot buffers for restoring between the walks.
+    sv_snap: Vec<V>,
+    vdef_snap: Vec<bool>,
+    av_snap: Vec<(i64, i64)>,
+}
+
+/// Largest batch the lane vectors will materialize.
+const MAX_BATCH: i64 = 1 << 22;
+
+/// Execute `plan` over lanes `lo..hi`. Returns `false` (having touched
+/// nothing) if the batch must fall back to the scalar VM.
+#[allow(clippy::too_many_arguments)]
+pub fn run_batch(
+    plan: &BatchPlan,
+    state: &mut Option<Box<BatchState>>,
+    lo: i64,
+    hi: i64,
+    regs: &mut [V],
+    defined: &mut [bool],
+    params: &[V],
+    bufs: &mut [Buffer],
+    acc: &mut Option<f64>,
+) -> bool {
+    if hi <= lo {
+        // Zero-trip inner loop: the tree-walker does nothing.
+        return true;
+    }
+    if hi - lo > MAX_BATCH {
+        return false;
+    }
+    let bn = (hi - lo) as usize;
+    let st = state.get_or_insert_with(Default::default);
+    let nv = plan.n_vars as usize;
+
+    // Prepare scalar/affine state and size the lane vectors.
+    st.sv.clear();
+    st.sv.extend_from_slice(&regs[..nv]);
+    st.sv.resize(plan.n_s as usize, V::I(0));
+    st.vdef.clear();
+    st.vdef.extend_from_slice(&defined[..nv]);
+    st.vdef[plan.lane_var as usize] = true;
+    st.av.resize(plan.n_a as usize, (0, 0));
+    st.av[0] = (lo, 1);
+    st.fl.resize(plan.n_f as usize, Vec::new());
+    for v in &mut st.fl {
+        v.resize(bn, 0.0);
+    }
+    st.bl.resize(plan.n_b as usize, Vec::new());
+    for v in &mut st.bl {
+        v.resize(bn, false);
+    }
+
+    // Validation walk: scalar/affine/control only, hazard checks, no
+    // buffer writes. Fall back on any hazard.
+    st.sv_snap.clone_from(&st.sv);
+    st.vdef_snap.clone_from(&st.vdef);
+    st.av_snap.clone_from(&st.av);
+    if !walk::<true>(plan, st, bn, params, bufs) {
+        return false;
+    }
+    // Restore and run for real.
+    st.sv.clone_from(&st.sv_snap);
+    st.vdef.clone_from(&st.vdef_snap);
+    st.av.clone_from(&st.av_snap);
+    let ok = walk::<false>(plan, st, bn, params, bufs);
+    debug_assert!(ok, "execution walk failed after validation passed");
+
+    // Fold the region reduction, lane-ascending like the tree-walker.
+    if let (Some((loc, op)), Some(total)) = (plan.reduce, acc.as_mut()) {
+        match loc {
+            Loc::LF(r) => {
+                for &v in &st.fl[r as usize][..bn] {
+                    *total = op.combine(*total, v);
+                }
+            }
+            Loc::S(r) => {
+                let v = st.sv[r as usize].as_f();
+                for _ in 0..bn {
+                    *total = op.combine(*total, v);
+                }
+            }
+            Loc::A(r) => {
+                let (base, stride) = st.av[r as usize];
+                for b in 0..bn {
+                    *total = op.combine(*total, (base + stride * b as i64) as f64);
+                }
+            }
+            Loc::LB(r) => {
+                for &v in &st.bl[r as usize][..bn] {
+                    *total = op.combine(*total, v as i64 as f64);
+                }
+            }
+        }
+    }
+
+    // Write the environment back: scalar slots wholesale, lane-valued
+    // variables as their final lane's value.
+    regs[..nv].copy_from_slice(&st.sv[..nv]);
+    defined[..nv].copy_from_slice(&st.vdef[..nv]);
+    for &(var, loc) in &plan.outs {
+        regs[var as usize] = match loc {
+            Loc::S(r) => st.sv[r as usize],
+            Loc::A(r) => {
+                let (base, stride) = st.av[r as usize];
+                V::I(base + stride * (bn as i64 - 1))
+            }
+            Loc::LF(r) => V::F(st.fl[r as usize][bn - 1]),
+            Loc::LB(r) => V::B(st.bl[r as usize][bn - 1]),
+        };
+        // Definedness is NOT forced here: the wholesale `vdef` copy
+        // above already carries the exact runtime answer (`DefMark`
+        // runs iff the assignment executed, so a lane temp assigned
+        // only inside a zero-trip sequential loop stays undefined,
+        // exactly like the tree-walker). An undefined variable's
+        // written-back value is never observed.
+    }
+    true
+}
+
+// ---------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------
+
+/// Lane binary op with full destination-aliasing support (the
+/// pin-redirect peephole may point an op's destination at one of its
+/// operands).
+fn lbin<T: Copy + Default>(
+    v: &mut [Vec<T>],
+    bn: usize,
+    dst: u16,
+    a: u16,
+    b: u16,
+    f: impl Fn(T, T) -> T,
+) {
+    let (d, a, b) = (dst as usize, a as usize, b as usize);
+    let mut dv = std::mem::take(&mut v[d]);
+    if d == a && d == b {
+        for x in &mut dv[..bn] {
+            *x = f(*x, *x);
+        }
+    } else if d == a {
+        for (x, &y) in dv[..bn].iter_mut().zip(&v[b][..bn]) {
+            *x = f(*x, y);
+        }
+    } else if d == b {
+        for (x, &y) in dv[..bn].iter_mut().zip(&v[a][..bn]) {
+            *x = f(y, *x);
+        }
+    } else {
+        for ((x, &y), &z) in dv[..bn].iter_mut().zip(&v[a][..bn]).zip(&v[b][..bn]) {
+            *x = f(y, z);
+        }
+    }
+    v[d] = dv;
+}
+
+/// Lane unary op, destination possibly aliasing the operand.
+fn lmap<T: Copy + Default>(v: &mut [Vec<T>], bn: usize, dst: u16, a: u16, f: impl Fn(T) -> T) {
+    let (d, a) = (dst as usize, a as usize);
+    if d == a {
+        for x in &mut v[d][..bn] {
+            *x = f(*x);
+        }
+    } else {
+        let mut dv = std::mem::take(&mut v[d]);
+        for (x, &y) in dv[..bn].iter_mut().zip(&v[a][..bn]) {
+            *x = f(y);
+        }
+        v[d] = dv;
+    }
+}
+
+/// `interp::bin`'s f32-narrowed float arithmetic, one element.
+#[inline(always)]
+fn f32_arith(op: BinOp, x: f64, y: f64) -> f64 {
+    let (x, y) = (x as f32, y as f32);
+    (match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::Rem => x % y,
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+        _ => unreachable!("float lane ops are arithmetic-only"),
+    }) as f64
+}
+
+/// `interp::cmp`'s full-f64 float comparison, one element.
+#[inline(always)]
+fn fcmp(op: CmpOp, x: f64, y: f64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+#[inline(always)]
+fn icmp(op: CmpOp, x: i64, y: i64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+/// Affine bounds hazard: every lane index must be a valid `usize`
+/// element index. Affine ⇒ the extremes sit at the endpoints.
+fn affine_in_bounds(base: i64, stride: i64, bn: usize, len: usize) -> bool {
+    let last = base + stride * (bn as i64 - 1);
+    let (min, max) = (base.min(last), base.max(last));
+    min >= 0 && (max as usize) < len
+}
+
+/// One walk over the op stream. `VALIDATE = true` runs only the
+/// scalar/affine/control half plus hazard checks (no buffer writes, no
+/// lane compute) and returns `false` on any hazard; `VALIDATE = false`
+/// executes everything and always returns `true`.
+fn walk<const VALIDATE: bool>(
+    plan: &BatchPlan,
+    st: &mut BatchState,
+    bn: usize,
+    params: &[V],
+    bufs: &mut [Buffer],
+) -> bool {
+    let sv = &mut st.sv;
+    let vdef = &mut st.vdef;
+    let av = &mut st.av;
+    let fl = &mut st.fl;
+    let bl = &mut st.bl;
+    let mut pc = 0usize;
+    while let Some(op) = plan.ops.get(pc) {
+        pc += 1;
+        match *op {
+            // ---- scalar ----
+            BOp::SConst { dst, v } => sv[dst as usize] = v,
+            BOp::SParam { dst, p, tag } => {
+                let v = params[p as usize];
+                if VALIDATE {
+                    let ok = matches!(
+                        (v, tag),
+                        (V::F(_), 0) | (V::I(_), 1) | (V::B(_), 2) | (_, 3)
+                    );
+                    if !ok {
+                        return false;
+                    }
+                }
+                sv[dst as usize] = v;
+            }
+            BOp::SUn { op, dst, a } => {
+                let va = sv[a as usize];
+                sv[dst as usize] = match op {
+                    UnOp::Neg => match va {
+                        V::I(v) => V::I(-v),
+                        other => V::F(-other.as_f()),
+                    },
+                    UnOp::Abs => match va {
+                        V::I(v) => V::I(v.abs()),
+                        other => V::F(other.as_f().abs()),
+                    },
+                    UnOp::Rcp => V::F(1.0 / va.as_f()),
+                    UnOp::Sqrt => V::F(va.as_f().sqrt()),
+                    UnOp::Not => V::B(!va.as_b()),
+                    UnOp::Exp => V::F(va.as_f().exp()),
+                };
+            }
+            BOp::SBin { op, dst, a, b } => {
+                let (va, vb) = (sv[a as usize], sv[b as usize]);
+                if VALIDATE
+                    && matches!(op, BinOp::Div | BinOp::Rem)
+                    && !va.is_float()
+                    && !vb.is_float()
+                    && vb.as_i() == 0
+                {
+                    return false;
+                }
+                sv[dst as usize] = interp::bin(op, va, vb);
+            }
+            BOp::SCmp { op, dst, a, b } => {
+                sv[dst as usize] = V::B(interp::cmp(op, sv[a as usize], sv[b as usize]));
+            }
+            BOp::SFma { dst, a, b, c } => {
+                let (x, y, z) = (
+                    sv[a as usize].as_f(),
+                    sv[b as usize].as_f(),
+                    sv[c as usize].as_f(),
+                );
+                sv[dst as usize] = V::F(((x as f32).mul_add(y as f32, z as f32)) as f64);
+            }
+            BOp::SCast { ty, dst, a } => {
+                let v = sv[a as usize];
+                sv[dst as usize] = match ty {
+                    Scalar::F32 => V::F(v.as_f() as f32 as f64),
+                    Scalar::F64 => V::F(v.as_f()),
+                    Scalar::I32 => V::I(v.as_i() as i32 as i64),
+                    Scalar::U32 => V::I(v.as_i() as u32 as i64),
+                    Scalar::Bool => V::B(v.as_b()),
+                };
+            }
+            BOp::SSelect { dst, c, a, b } => {
+                sv[dst as usize] = if sv[c as usize].as_b() {
+                    sv[a as usize]
+                } else {
+                    sv[b as usize]
+                };
+            }
+            BOp::SToInt { dst, a } => sv[dst as usize] = V::I(sv[a as usize].as_i()),
+            BOp::SLet { ty, var, src } => {
+                sv[var as usize] = interp::coerce(sv[src as usize], ty);
+                vdef[var as usize] = true;
+            }
+            BOp::SSet { var, src } => {
+                sv[var as usize] = sv[src as usize];
+                vdef[var as usize] = true;
+            }
+            BOp::SLoad { array, idx, dst } => {
+                let i = sv[idx as usize].as_i();
+                let buf = &bufs[array as usize];
+                if VALIDATE && !(i >= 0 && (i as usize) < buf.len()) {
+                    return false;
+                }
+                sv[dst as usize] = match buf.elem() {
+                    Scalar::F32 | Scalar::F64 => V::F(buf.get(i as usize)),
+                    Scalar::Bool => V::B(buf.get(i as usize) != 0.0),
+                    _ => V::I(buf.get(i as usize) as i64),
+                };
+            }
+            BOp::VDefCheck { var } => {
+                if VALIDATE && !vdef[var as usize] {
+                    return false;
+                }
+            }
+            BOp::DefMark { var } => vdef[var as usize] = true,
+
+            // ---- affine ----
+            BOp::AAddS { dst, a, s } => {
+                let (b0, s0) = av[a as usize];
+                av[dst as usize] = (b0 + sv[s as usize].as_i(), s0);
+            }
+            BOp::ASubAS { dst, a, s } => {
+                let (b0, s0) = av[a as usize];
+                av[dst as usize] = (b0 - sv[s as usize].as_i(), s0);
+            }
+            BOp::ASubSA { dst, s, a } => {
+                let (b0, s0) = av[a as usize];
+                av[dst as usize] = (sv[s as usize].as_i() - b0, -s0);
+            }
+            BOp::AAddA { dst, a, b } => {
+                let ((b0, s0), (b1, s1)) = (av[a as usize], av[b as usize]);
+                av[dst as usize] = (b0 + b1, s0 + s1);
+            }
+            BOp::ASubAA { dst, a, b } => {
+                let ((b0, s0), (b1, s1)) = (av[a as usize], av[b as usize]);
+                av[dst as usize] = (b0 - b1, s0 - s1);
+            }
+            BOp::AMulS { dst, a, s } => {
+                let (b0, s0) = av[a as usize];
+                let m = sv[s as usize].as_i();
+                av[dst as usize] = (b0 * m, s0 * m);
+            }
+            BOp::ANeg { dst, a } => {
+                let (b0, s0) = av[a as usize];
+                av[dst as usize] = (-b0, -s0);
+            }
+            BOp::AFromS { dst, s } => {
+                av[dst as usize] = (sv[s as usize].as_i(), 0);
+            }
+
+            // ---- control ----
+            BOp::ForHead { cnt, hi, exit } => {
+                if sv[cnt as usize].as_i() >= sv[hi as usize].as_i() {
+                    pc = exit as usize;
+                }
+            }
+            BOp::ForStep { cnt, step, back } => {
+                sv[cnt as usize] = V::I(sv[cnt as usize].as_i() + step);
+                pc = back as usize;
+            }
+
+            // ---- scatters: hazard checks in validate, writes in exec ----
+            BOp::Scatter {
+                array,
+                aff,
+                src,
+                guard,
+            }
+            | BOp::ScatterS {
+                array,
+                aff,
+                s: src,
+                guard,
+            } => {
+                let (base, stride) = av[aff as usize];
+                if VALIDATE {
+                    if !affine_in_bounds(base, stride, bn, bufs[array as usize].len()) {
+                        return false;
+                    }
+                    if guard != u32::MAX {
+                        let me = (base, stride);
+                        if stride == 0
+                            || !plan.guards[guard as usize]
+                                .iter()
+                                .all(|&r| av[r as usize] == me)
+                        {
+                            return false;
+                        }
+                    }
+                    continue;
+                }
+                let scalar = matches!(op, BOp::ScatterS { .. });
+                let sval = if scalar { sv[src as usize].as_f() } else { 0.0 };
+                let lanes: &[f64] = if scalar { &[] } else { &fl[src as usize][..bn] };
+                let val = |b: usize| if scalar { sval } else { lanes[b] };
+                match &mut bufs[array as usize] {
+                    Buffer::F32(v) => {
+                        for b in 0..bn {
+                            v[(base + stride * b as i64) as usize] = val(b) as f32;
+                        }
+                    }
+                    Buffer::F64(v) => {
+                        for b in 0..bn {
+                            v[(base + stride * b as i64) as usize] = val(b);
+                        }
+                    }
+                    Buffer::I32(v) => {
+                        for b in 0..bn {
+                            v[(base + stride * b as i64) as usize] = val(b) as i32;
+                        }
+                    }
+                    Buffer::U32(v) => {
+                        for b in 0..bn {
+                            v[(base + stride * b as i64) as usize] = val(b) as u32;
+                        }
+                    }
+                    Buffer::Bool(v) => {
+                        for b in 0..bn {
+                            v[(base + stride * b as i64) as usize] = (val(b) != 0.0) as u8;
+                        }
+                    }
+                }
+            }
+            BOp::GatherF {
+                array,
+                aff,
+                dst,
+                f32src,
+            } => {
+                let (base, stride) = av[aff as usize];
+                if VALIDATE {
+                    if !affine_in_bounds(base, stride, bn, bufs[array as usize].len()) {
+                        return false;
+                    }
+                    continue;
+                }
+                let dv = &mut fl[dst as usize][..bn];
+                if f32src {
+                    let src = match &bufs[array as usize] {
+                        Buffer::F32(v) => v,
+                        _ => unreachable!("GatherF/f32 source type pinned at compile"),
+                    };
+                    if stride == 1 {
+                        let s = &src[base as usize..base as usize + bn];
+                        for (x, &y) in dv.iter_mut().zip(s) {
+                            *x = y as f64;
+                        }
+                    } else {
+                        for (b, x) in dv.iter_mut().enumerate() {
+                            *x = src[(base + stride * b as i64) as usize] as f64;
+                        }
+                    }
+                } else {
+                    let src = match &bufs[array as usize] {
+                        Buffer::F64(v) => v,
+                        _ => unreachable!("GatherF/f64 source type pinned at compile"),
+                    };
+                    if stride == 1 {
+                        dv.copy_from_slice(&src[base as usize..base as usize + bn]);
+                    } else {
+                        for (b, x) in dv.iter_mut().enumerate() {
+                            *x = src[(base + stride * b as i64) as usize];
+                        }
+                    }
+                }
+            }
+
+            // ---- lane compute: execution walk only ----
+            _ if VALIDATE => {}
+            BOp::BcastF { dst, s } => fl[dst as usize][..bn].fill(sv[s as usize].as_f()),
+            BOp::BcastB { dst, s } => bl[dst as usize][..bn].fill(sv[s as usize].as_b()),
+            BOp::CvtAtoF { dst, a } => {
+                let (base, stride) = av[a as usize];
+                for (b, x) in fl[dst as usize][..bn].iter_mut().enumerate() {
+                    *x = (base + stride * b as i64) as f64;
+                }
+            }
+            BOp::CvtAtoB { dst, a } => {
+                let (base, stride) = av[a as usize];
+                for (b, x) in bl[dst as usize][..bn].iter_mut().enumerate() {
+                    *x = base + stride * b as i64 != 0;
+                }
+            }
+            BOp::CvtBtoF { dst, a } => {
+                for (x, &y) in fl[dst as usize][..bn].iter_mut().zip(&bl[a as usize][..bn]) {
+                    *x = y as i64 as f64;
+                }
+            }
+            BOp::CvtFtoB { dst, a } => {
+                for (x, &y) in bl[dst as usize][..bn].iter_mut().zip(&fl[a as usize][..bn]) {
+                    *x = y != 0.0;
+                }
+            }
+            BOp::CvtFtoF32 { dst, a } => lmap(fl, bn, dst, a, |x| x as f32 as f64),
+            BOp::LCopyF { dst, a } => {
+                if dst != a {
+                    let mut dv = std::mem::take(&mut fl[dst as usize]);
+                    dv[..bn].copy_from_slice(&fl[a as usize][..bn]);
+                    fl[dst as usize] = dv;
+                }
+            }
+            BOp::FBinLL { op, dst, a, b } => match op {
+                BinOp::Add => lbin(fl, bn, dst, a, b, |x, y| f32_arith(BinOp::Add, x, y)),
+                BinOp::Sub => lbin(fl, bn, dst, a, b, |x, y| f32_arith(BinOp::Sub, x, y)),
+                BinOp::Mul => lbin(fl, bn, dst, a, b, |x, y| f32_arith(BinOp::Mul, x, y)),
+                BinOp::Div => lbin(fl, bn, dst, a, b, |x, y| f32_arith(BinOp::Div, x, y)),
+                _ => lbin(fl, bn, dst, a, b, move |x, y| f32_arith(op, x, y)),
+            },
+            BOp::FBinLS { op, dst, a, s } => {
+                let y = sv[s as usize].as_f();
+                match op {
+                    BinOp::Add => lmap(fl, bn, dst, a, |x| f32_arith(BinOp::Add, x, y)),
+                    BinOp::Sub => lmap(fl, bn, dst, a, |x| f32_arith(BinOp::Sub, x, y)),
+                    BinOp::Mul => lmap(fl, bn, dst, a, |x| f32_arith(BinOp::Mul, x, y)),
+                    BinOp::Max => lmap(fl, bn, dst, a, |x| f32_arith(BinOp::Max, x, y)),
+                    _ => lmap(fl, bn, dst, a, move |x| f32_arith(op, x, y)),
+                }
+            }
+            BOp::FBinSL { op, dst, s, b } => {
+                let x = sv[s as usize].as_f();
+                match op {
+                    BinOp::Mul => lmap(fl, bn, dst, b, |y| f32_arith(BinOp::Mul, x, y)),
+                    BinOp::Sub => lmap(fl, bn, dst, b, |y| f32_arith(BinOp::Sub, x, y)),
+                    _ => lmap(fl, bn, dst, b, move |y| f32_arith(op, x, y)),
+                }
+            }
+            BOp::FFma { dst, a, b, c } => {
+                let d = dst as usize;
+                let mut dv = std::mem::take(&mut fl[d]);
+                for i in 0..bn {
+                    let pick = |r: u16, dv: &[f64]| {
+                        if r as usize == d {
+                            dv[i]
+                        } else {
+                            fl[r as usize][i]
+                        }
+                    };
+                    let (x, y, z) = (pick(a, &dv), pick(b, &dv), pick(c, &dv));
+                    dv[i] = ((x as f32).mul_add(y as f32, z as f32)) as f64;
+                }
+                fl[d] = dv;
+            }
+            BOp::UnF { op, dst, a } => match op {
+                UnOp::Neg => lmap(fl, bn, dst, a, |x| -x),
+                UnOp::Abs => lmap(fl, bn, dst, a, f64::abs),
+                UnOp::Rcp => lmap(fl, bn, dst, a, |x| 1.0 / x),
+                UnOp::Sqrt => lmap(fl, bn, dst, a, f64::sqrt),
+                UnOp::Exp => lmap(fl, bn, dst, a, f64::exp),
+                UnOp::Not => unreachable!("Not lowers to CvtFtoB + BNot"),
+            },
+            BOp::FCmpLL { op, dst, a, b } => {
+                let dv = &mut bl[dst as usize][..bn];
+                for ((x, &y), &z) in dv
+                    .iter_mut()
+                    .zip(&fl[a as usize][..bn])
+                    .zip(&fl[b as usize][..bn])
+                {
+                    *x = fcmp(op, y, z);
+                }
+            }
+            BOp::FCmpLS { op, dst, a, s } => {
+                let y = sv[s as usize].as_f();
+                let dv = &mut bl[dst as usize][..bn];
+                for (x, &z) in dv.iter_mut().zip(&fl[a as usize][..bn]) {
+                    *x = fcmp(op, z, y);
+                }
+            }
+            BOp::FCmpSL { op, dst, s, b } => {
+                let x0 = sv[s as usize].as_f();
+                let dv = &mut bl[dst as usize][..bn];
+                for (x, &z) in dv.iter_mut().zip(&fl[b as usize][..bn]) {
+                    *x = fcmp(op, x0, z);
+                }
+            }
+            BOp::ICmpAS { op, dst, a, s } => {
+                let (base, stride) = av[a as usize];
+                let y = sv[s as usize].as_i();
+                for (b, x) in bl[dst as usize][..bn].iter_mut().enumerate() {
+                    *x = icmp(op, base + stride * b as i64, y);
+                }
+            }
+            BOp::ICmpSA { op, dst, s, a } => {
+                let (base, stride) = av[a as usize];
+                let y = sv[s as usize].as_i();
+                for (b, x) in bl[dst as usize][..bn].iter_mut().enumerate() {
+                    *x = icmp(op, y, base + stride * b as i64);
+                }
+            }
+            BOp::ICmpAA { op, dst, a, b } => {
+                let ((b0, s0), (b1, s1)) = (av[a as usize], av[b as usize]);
+                for (b, x) in bl[dst as usize][..bn].iter_mut().enumerate() {
+                    *x = icmp(op, b0 + s0 * b as i64, b1 + s1 * b as i64);
+                }
+            }
+            BOp::BAnd { dst, a, b } => lbin(bl, bn, dst, a, b, |x, y| x && y),
+            BOp::BOr { dst, a, b } => lbin(bl, bn, dst, a, b, |x, y| x || y),
+            BOp::BNot { dst, a } => lmap(bl, bn, dst, a, |x| !x),
+            BOp::SelF { dst, c, a, b } => {
+                let d = dst as usize;
+                let cv = &bl[c as usize];
+                let mut dv = std::mem::take(&mut fl[d]);
+                if a as usize == d || b as usize == d {
+                    for i in 0..bn {
+                        let (x, y) = (
+                            if a as usize == d {
+                                dv[i]
+                            } else {
+                                fl[a as usize][i]
+                            },
+                            if b as usize == d {
+                                dv[i]
+                            } else {
+                                fl[b as usize][i]
+                            },
+                        );
+                        dv[i] = if cv[i] { x } else { y };
+                    }
+                } else {
+                    let (av_, bv_) = (&fl[a as usize][..bn], &fl[b as usize][..bn]);
+                    for (i, x) in dv[..bn].iter_mut().enumerate() {
+                        *x = if cv[i] { av_[i] } else { bv_[i] };
+                    }
+                }
+                fl[d] = dv;
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------
+
+/// Statically known runtime tag of a scalar slot. `Unk` is only used
+/// where the compiler does not *need* the tag — generic scalar ops
+/// re-dispatch on the runtime tag exactly like the tree-walker; lane
+/// classification decisions demand a certain tag or reject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum STy {
+    F,
+    I,
+    B,
+    Unk,
+}
+
+/// A compiled value: where it lives plus what the compiler can prove.
+/// `f32v` means "guaranteed f32-representable f64", which lets the
+/// F32 `Let` coercion skip a redundant narrowing pass.
+#[derive(Debug, Clone, Copy)]
+struct Val {
+    loc: Loc,
+    sty: STy,
+    f32v: bool,
+}
+
+/// Per-array access record, the input to scatter-guard construction.
+#[derive(Debug, Clone, Default)]
+struct ArrAcc {
+    /// Every affine register used to access the array.
+    affs: Vec<u16>,
+    /// `ops` indices of the array's scatters.
+    scatter_ops: Vec<usize>,
+    gathers: usize,
+    sloads: bool,
+    /// Any access from inside a sequential loop (affine registers are
+    /// then recomputed per trip, so guard values would be stale).
+    in_for: bool,
+}
+
+/// Rollback point for the sequential-loop pin fixpoint.
+#[derive(Clone)]
+struct BcSnap {
+    ops_len: usize,
+    env: Vec<Val>,
+    pinned: Vec<bool>,
+    pin_len: usize,
+    sdef: Vec<bool>,
+    n_s: u16,
+    n_a: u16,
+    n_f: u16,
+    n_b: u16,
+    acc: Vec<ArrAcc>,
+    pslots: Vec<Option<u16>>,
+    consts: Vec<(u8, u64, u16)>,
+}
+
+struct Bc<'a> {
+    p: &'a Program,
+    ops: Vec<BOp>,
+    env: Vec<Val>,
+    /// Variables currently pinned to a mutable `LF` slot by an
+    /// enclosing sequential loop (loop-carried lane values).
+    pinned: Vec<bool>,
+    /// Every pin slot ever allocated: a lane value living in one may
+    /// mutate later, so capturing it in another variable must copy.
+    pin_slots: Vec<u16>,
+    /// Static definite-assignment (false ⇒ reads emit `VDefCheck`).
+    sdef: Vec<bool>,
+    n_s: u16,
+    n_a: u16,
+    n_f: u16,
+    n_b: u16,
+    acc: Vec<ArrAcc>,
+    /// Parameter → scalar-slot cache.
+    pslots: Vec<Option<u16>>,
+    /// Constant pool keyed by (tag, bit pattern) — bit-keyed so that
+    /// `-0.0` and `0.0` stay distinct.
+    consts: Vec<(u8, u64, u16)>,
+    /// Sequential-loop nesting depth.
+    depth: u32,
+}
+
+/// Compile the innermost parallel loop of `k` into a batch plan, or
+/// `None` if anything falls outside the provably-bitwise subset.
+pub(crate) fn build(p: &Program, k: &Kernel) -> Option<BatchPlan> {
+    let body = match &k.body {
+        KernelBody::Simple(b) => b,
+        KernelBody::Grouped(_) => return None,
+    };
+    let nv = p.var_names.len();
+    let n_vars = u16::try_from(nv).ok()?;
+    let lane = k.loops.last()?.var;
+    let mut c = Bc {
+        p,
+        ops: Vec::new(),
+        env: (0..nv)
+            .map(|i| Val {
+                loc: Loc::S(i as u16),
+                sty: STy::Unk,
+                f32v: false,
+            })
+            .collect(),
+        pinned: vec![false; nv],
+        pin_slots: Vec::new(),
+        sdef: vec![false; nv],
+        n_s: n_vars,
+        n_a: 1, // av[0] is the lane affine (lo, 1)
+        n_f: 0,
+        n_b: 0,
+        acc: vec![ArrAcc::default(); p.arrays.len()],
+        pslots: vec![None; p.params.len()],
+        consts: Vec::new(),
+        depth: 0,
+    };
+    // Outer parallel loop variables are defined integer scalars; the
+    // innermost one is the lane itself.
+    for lp in &k.loops[..k.loops.len() - 1] {
+        let i = lp.var.0 as usize;
+        c.env[i].sty = STy::I;
+        c.sdef[i] = true;
+    }
+    c.env[lane.0 as usize] = Val {
+        loc: Loc::A(0),
+        sty: STy::I,
+        f32v: false,
+    };
+    c.sdef[lane.0 as usize] = true;
+
+    c.block(body)?;
+
+    // The region-reduction value is evaluated after the body, in the
+    // same environment (it may reference body locals).
+    let reduce = match &k.region_reduction {
+        Some(rr) => {
+            let v = c.expr(&rr.value)?;
+            Some((v.loc, rr.op))
+        }
+        None => None,
+    };
+
+    // Scatter guards. An array that is scattered *and* otherwise
+    // accessed is only batchable when every access provably hits the
+    // same per-lane index — checked at runtime by affine equality
+    // with nonzero stride (each lane then owns a disjoint slice, so
+    // lane-major and op-major orders commute). A sole scatter with no
+    // other access needs no guard: ascending-lane writes make the
+    // last lane win, exactly like the tree's lane-major order.
+    let mut guards: Vec<Vec<u16>> = Vec::new();
+    for a in &c.acc {
+        if a.scatter_ops.is_empty() {
+            continue;
+        }
+        if a.sloads || a.in_for {
+            return None;
+        }
+        if a.gathers == 0 && a.scatter_ops.len() == 1 {
+            continue;
+        }
+        let gi = u32::try_from(guards.len()).ok()?;
+        guards.push(a.affs.clone());
+        for &oi in &a.scatter_ops {
+            match &mut c.ops[oi] {
+                BOp::Scatter { guard, .. } | BOp::ScatterS { guard, .. } => *guard = gi,
+                _ => unreachable!("scatter_ops points at a non-scatter"),
+            }
+        }
+    }
+
+    // Lane-valued variables need an explicit last-lane writeback.
+    let mut outs = Vec::new();
+    for (i, v) in c.env.iter().enumerate() {
+        match v.loc {
+            Loc::S(_) => {}
+            loc => outs.push((i as u16, loc)),
+        }
+    }
+
+    Some(BatchPlan {
+        ops: c.ops,
+        n_vars,
+        lane_var: u16::try_from(lane.0).ok()?,
+        n_s: c.n_s,
+        n_a: c.n_a,
+        n_f: c.n_f,
+        n_b: c.n_b,
+        outs,
+        reduce,
+        guards,
+    })
+}
+
+impl<'a> Bc<'a> {
+    fn snap(&self) -> BcSnap {
+        BcSnap {
+            ops_len: self.ops.len(),
+            env: self.env.clone(),
+            pinned: self.pinned.clone(),
+            pin_len: self.pin_slots.len(),
+            sdef: self.sdef.clone(),
+            n_s: self.n_s,
+            n_a: self.n_a,
+            n_f: self.n_f,
+            n_b: self.n_b,
+            acc: self.acc.clone(),
+            pslots: self.pslots.clone(),
+            consts: self.consts.clone(),
+        }
+    }
+
+    fn restore(&mut self, s: &BcSnap) {
+        self.ops.truncate(s.ops_len);
+        self.env.clone_from(&s.env);
+        self.pinned.clone_from(&s.pinned);
+        self.pin_slots.truncate(s.pin_len);
+        self.sdef.clone_from(&s.sdef);
+        self.n_s = s.n_s;
+        self.n_a = s.n_a;
+        self.n_f = s.n_f;
+        self.n_b = s.n_b;
+        self.acc.clone_from(&s.acc);
+        self.pslots.clone_from(&s.pslots);
+        self.consts.clone_from(&s.consts);
+    }
+
+    fn s_slot(&mut self) -> Option<u16> {
+        let r = self.n_s;
+        self.n_s = self.n_s.checked_add(1)?;
+        Some(r)
+    }
+    fn a_slot(&mut self) -> Option<u16> {
+        let r = self.n_a;
+        self.n_a = self.n_a.checked_add(1)?;
+        Some(r)
+    }
+    fn f_slot(&mut self) -> Option<u16> {
+        let r = self.n_f;
+        self.n_f = self.n_f.checked_add(1)?;
+        Some(r)
+    }
+    fn b_slot(&mut self) -> Option<u16> {
+        let r = self.n_b;
+        self.n_b = self.n_b.checked_add(1)?;
+        Some(r)
+    }
+
+    fn konst(&mut self, tag: u8, bits: u64, v: V) -> Option<u16> {
+        if let Some(&(_, _, s)) = self.consts.iter().find(|&&(t, b, _)| t == tag && b == bits) {
+            return Some(s);
+        }
+        let dst = self.s_slot()?;
+        self.ops.push(BOp::SConst { dst, v });
+        self.consts.push((tag, bits, dst));
+        Some(dst)
+    }
+
+    fn param(&mut self, p: ParamId) -> Option<Val> {
+        let i = p.0 as usize;
+        let decl_ty = self.p.params[i].ty;
+        let (tag, sty) = match decl_ty {
+            Scalar::F32 | Scalar::F64 => (0, STy::F),
+            Scalar::I32 | Scalar::U32 => (1, STy::I),
+            Scalar::Bool => (2, STy::B),
+        };
+        let dst = match self.pslots[i] {
+            Some(s) => s,
+            None => {
+                let dst = self.s_slot()?;
+                self.ops.push(BOp::SParam {
+                    dst,
+                    p: u16::try_from(p.0).ok()?,
+                    tag,
+                });
+                self.pslots[i] = Some(dst);
+                dst
+            }
+        };
+        Some(Val {
+            loc: Loc::S(dst),
+            sty,
+            f32v: false,
+        })
+    }
+
+    /// `as_f()` of any value class into an f64 lane vector.
+    fn lane_f(&mut self, v: &Val) -> Option<u16> {
+        match v.loc {
+            Loc::LF(r) => Some(r),
+            Loc::S(s) => {
+                let dst = self.f_slot()?;
+                self.ops.push(BOp::BcastF { dst, s });
+                Some(dst)
+            }
+            Loc::A(a) => {
+                let dst = self.f_slot()?;
+                self.ops.push(BOp::CvtAtoF { dst, a });
+                Some(dst)
+            }
+            Loc::LB(b) => {
+                let dst = self.f_slot()?;
+                self.ops.push(BOp::CvtBtoF { dst, a: b });
+                Some(dst)
+            }
+        }
+    }
+
+    /// `as_b()` of any value class into a bool lane vector.
+    fn lane_b(&mut self, v: &Val) -> Option<u16> {
+        match v.loc {
+            Loc::LB(r) => Some(r),
+            Loc::S(s) => {
+                let dst = self.b_slot()?;
+                self.ops.push(BOp::BcastB { dst, s });
+                Some(dst)
+            }
+            Loc::LF(f) => {
+                let dst = self.b_slot()?;
+                self.ops.push(BOp::CvtFtoB { dst, a: f });
+                Some(dst)
+            }
+            Loc::A(a) => {
+                let dst = self.b_slot()?;
+                self.ops.push(BOp::CvtAtoB { dst, a });
+                Some(dst)
+            }
+        }
+    }
+
+    /// Guaranteed runtime-`F` operand? (The condition for committing
+    /// to `interp::bin`/`cmp`'s float path at compile time.)
+    fn float_certain(v: &Val) -> bool {
+        match v.loc {
+            Loc::LF(_) => true,
+            Loc::S(_) => v.sty == STy::F,
+            Loc::A(_) | Loc::LB(_) => false,
+        }
+    }
+
+    fn block(&mut self, b: &Block) -> Option<()> {
+        for s in &b.0 {
+            self.stmt(s)?;
+        }
+        Some(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Option<()> {
+        match s {
+            Stmt::Let { var, ty, init } => {
+                let v = self.expr(init)?;
+                self.assign(*var, Some(*ty), v)
+            }
+            Stmt::Assign { var, value } => {
+                let v = self.expr(value)?;
+                self.assign(*var, None, v)
+            }
+            Stmt::Store {
+                space,
+                array,
+                index,
+                value,
+            } => self.store(*space, *array, index, value),
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => self.for_loop(*var, lo, hi, *step, body),
+            // No-op under sequential per-thread execution, same as the
+            // tree-walker.
+            Stmt::Barrier => Some(()),
+            // Control-divergent or synchronizing constructs keep the
+            // scalar VM path.
+            Stmt::If { .. } | Stmt::Atomic { .. } => None,
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Option<Val> {
+        match e {
+            Expr::FConst(v) => {
+                let s = self.konst(0, v.to_bits(), V::F(*v))?;
+                Some(Val {
+                    loc: Loc::S(s),
+                    sty: STy::F,
+                    f32v: (*v as f32 as f64) == *v,
+                })
+            }
+            Expr::IConst(v) => {
+                let s = self.konst(1, *v as u64, V::I(*v))?;
+                Some(Val {
+                    loc: Loc::S(s),
+                    sty: STy::I,
+                    f32v: false,
+                })
+            }
+            Expr::BConst(v) => {
+                let s = self.konst(2, *v as u64, V::B(*v))?;
+                Some(Val {
+                    loc: Loc::S(s),
+                    sty: STy::B,
+                    f32v: false,
+                })
+            }
+            Expr::Param(p) => self.param(*p),
+            Expr::Var(v) => {
+                let i = v.0 as usize;
+                if !self.sdef[i] {
+                    self.ops.push(BOp::VDefCheck {
+                        var: u16::try_from(v.0).ok()?,
+                    });
+                }
+                Some(self.env[i])
+            }
+            Expr::Special(_) => None,
+            Expr::Load {
+                space,
+                array,
+                index,
+            } => self.load(*space, *array, index),
+            Expr::Un(op, a) => {
+                let va = self.expr(a)?;
+                self.unop(*op, va)
+            }
+            Expr::Bin(op, a, b) => {
+                let va = self.expr(a)?;
+                let vb = self.expr(b)?;
+                self.binop(*op, va, vb)
+            }
+            Expr::Cmp(op, a, b) => {
+                let va = self.expr(a)?;
+                let vb = self.expr(b)?;
+                self.cmpop(*op, va, vb)
+            }
+            Expr::Fma(a, b, c) => {
+                let va = self.expr(a)?;
+                let vb = self.expr(b)?;
+                let vc = self.expr(c)?;
+                self.fma(va, vb, vc)
+            }
+            Expr::Select(c, a, b) => {
+                let vc = self.expr(c)?;
+                let va = self.expr(a)?;
+                let vb = self.expr(b)?;
+                self.select(vc, va, vb)
+            }
+            Expr::Cast(ty, a) => {
+                let va = self.expr(a)?;
+                self.cast(*ty, va)
+            }
+        }
+    }
+
+    fn load(&mut self, space: MemSpace, array: ArrayId, index: &Expr) -> Option<Val> {
+        if space != MemSpace::Global {
+            return None;
+        }
+        let idx = self.expr(index)?;
+        let ai = array.0 as usize;
+        let elem = self.p.arrays[ai].elem;
+        let arr = u16::try_from(array.0).ok()?;
+        match idx.loc {
+            Loc::S(si) => {
+                let rec = &mut self.acc[ai];
+                rec.sloads = true;
+                rec.in_for |= self.depth > 0;
+                let dst = self.s_slot()?;
+                self.ops.push(BOp::SLoad {
+                    array: arr,
+                    idx: si,
+                    dst,
+                });
+                let (sty, f32v) = match elem {
+                    Scalar::F32 => (STy::F, true),
+                    Scalar::F64 => (STy::F, false),
+                    Scalar::Bool => (STy::B, false),
+                    Scalar::I32 | Scalar::U32 => (STy::I, false),
+                };
+                Some(Val {
+                    loc: Loc::S(dst),
+                    sty,
+                    f32v,
+                })
+            }
+            Loc::A(aff) => {
+                if !elem.is_float() {
+                    // Int/bool lane loads would need a general lane-int
+                    // class; keep the scalar VM for those kernels.
+                    return None;
+                }
+                let rec = &mut self.acc[ai];
+                rec.affs.push(aff);
+                rec.gathers += 1;
+                rec.in_for |= self.depth > 0;
+                let dst = self.f_slot()?;
+                self.ops.push(BOp::GatherF {
+                    array: arr,
+                    aff,
+                    dst,
+                    f32src: elem == Scalar::F32,
+                });
+                Some(Val {
+                    loc: Loc::LF(dst),
+                    sty: STy::F,
+                    f32v: elem == Scalar::F32,
+                })
+            }
+            Loc::LF(_) | Loc::LB(_) => None,
+        }
+    }
+
+    fn unop(&mut self, op: UnOp, a: Val) -> Option<Val> {
+        match a.loc {
+            Loc::S(s) => {
+                let dst = self.s_slot()?;
+                self.ops.push(BOp::SUn { op, dst, a: s });
+                let sty = match op {
+                    UnOp::Not => STy::B,
+                    UnOp::Rcp | UnOp::Sqrt | UnOp::Exp => STy::F,
+                    // Neg/Abs dispatch on the runtime tag: int stays
+                    // int, everything else takes the float path.
+                    UnOp::Neg | UnOp::Abs => match a.sty {
+                        STy::I => STy::I,
+                        STy::F | STy::B => STy::F,
+                        STy::Unk => STy::Unk,
+                    },
+                };
+                let f32v = matches!(op, UnOp::Neg | UnOp::Abs) && a.f32v;
+                Some(Val {
+                    loc: Loc::S(dst),
+                    sty,
+                    f32v,
+                })
+            }
+            Loc::LF(f) => match op {
+                UnOp::Not => {
+                    let t = self.b_slot()?;
+                    self.ops.push(BOp::CvtFtoB { dst: t, a: f });
+                    let dst = self.b_slot()?;
+                    self.ops.push(BOp::BNot { dst, a: t });
+                    Some(Val {
+                        loc: Loc::LB(dst),
+                        sty: STy::B,
+                        f32v: false,
+                    })
+                }
+                _ => {
+                    let dst = self.f_slot()?;
+                    self.ops.push(BOp::UnF { op, dst, a: f });
+                    Some(Val {
+                        loc: Loc::LF(dst),
+                        sty: STy::F,
+                        f32v: matches!(op, UnOp::Neg | UnOp::Abs) && a.f32v,
+                    })
+                }
+            },
+            Loc::A(aff) => match op {
+                UnOp::Neg => {
+                    let dst = self.a_slot()?;
+                    self.ops.push(BOp::ANeg { dst, a: aff });
+                    Some(Val {
+                        loc: Loc::A(dst),
+                        sty: STy::I,
+                        f32v: false,
+                    })
+                }
+                UnOp::Not => {
+                    let t = self.b_slot()?;
+                    self.ops.push(BOp::CvtAtoB { dst: t, a: aff });
+                    let dst = self.b_slot()?;
+                    self.ops.push(BOp::BNot { dst, a: t });
+                    Some(Val {
+                        loc: Loc::LB(dst),
+                        sty: STy::B,
+                        f32v: false,
+                    })
+                }
+                // |base + s·b| is not affine.
+                UnOp::Abs => None,
+                UnOp::Rcp | UnOp::Sqrt | UnOp::Exp => {
+                    let t = self.f_slot()?;
+                    self.ops.push(BOp::CvtAtoF { dst: t, a: aff });
+                    let dst = self.f_slot()?;
+                    self.ops.push(BOp::UnF { op, dst, a: t });
+                    Some(Val {
+                        loc: Loc::LF(dst),
+                        sty: STy::F,
+                        f32v: false,
+                    })
+                }
+            },
+            Loc::LB(b) => match op {
+                UnOp::Not => {
+                    let dst = self.b_slot()?;
+                    self.ops.push(BOp::BNot { dst, a: b });
+                    Some(Val {
+                        loc: Loc::LB(dst),
+                        sty: STy::B,
+                        f32v: false,
+                    })
+                }
+                // Runtime tag is B, so Neg/Abs/Rcp/Sqrt/Exp all take
+                // the tree's float path over as_f().
+                _ => {
+                    let t = self.f_slot()?;
+                    self.ops.push(BOp::CvtBtoF { dst: t, a: b });
+                    let dst = self.f_slot()?;
+                    self.ops.push(BOp::UnF { op, dst, a: t });
+                    Some(Val {
+                        loc: Loc::LF(dst),
+                        sty: STy::F,
+                        f32v: false,
+                    })
+                }
+            },
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, a: Val, b: Val) -> Option<Val> {
+        use BinOp::*;
+        if let (Loc::S(sa), Loc::S(sb)) = (a.loc, b.loc) {
+            // Scalar × scalar: one generic op, runtime-dispatched
+            // exactly like the tree.
+            let dst = self.s_slot()?;
+            self.ops.push(BOp::SBin {
+                op,
+                dst,
+                a: sa,
+                b: sb,
+            });
+            let sty = match op {
+                And | Or => STy::B,
+                Shl | Shr => STy::I,
+                _ => {
+                    if a.sty == STy::F || b.sty == STy::F {
+                        STy::F
+                    } else if matches!(a.sty, STy::I | STy::B) && matches!(b.sty, STy::I | STy::B) {
+                        STy::I
+                    } else {
+                        STy::Unk
+                    }
+                }
+            };
+            return Some(Val {
+                loc: Loc::S(dst),
+                sty,
+                // The float arith path narrows to f32.
+                f32v: sty == STy::F && !matches!(op, And | Or | Shl | Shr),
+            });
+        }
+        match op {
+            And | Or => {
+                let ba = self.lane_b(&a)?;
+                let bb = self.lane_b(&b)?;
+                let dst = self.b_slot()?;
+                self.ops.push(if op == And {
+                    BOp::BAnd { dst, a: ba, b: bb }
+                } else {
+                    BOp::BOr { dst, a: ba, b: bb }
+                });
+                Some(Val {
+                    loc: Loc::LB(dst),
+                    sty: STy::B,
+                    f32v: false,
+                })
+            }
+            Shl | Shr => None,
+            _ => {
+                if Self::float_certain(&a) || Self::float_certain(&b) {
+                    self.fbin(op, a, b)
+                } else {
+                    self.abin(op, a, b)
+                }
+            }
+        }
+    }
+
+    /// Float-path lane arithmetic; the caller guarantees at least one
+    /// operand is runtime-`F`, which is what commits the tree to this
+    /// path. Scalar operands stay scalar (resolved once per batch).
+    fn fbin(&mut self, op: BinOp, a: Val, b: Val) -> Option<Val> {
+        let dst = self.f_slot()?;
+        match (a.loc, b.loc) {
+            (Loc::S(sa), _) => {
+                let lb = self.lane_f(&b)?;
+                self.ops.push(BOp::FBinSL {
+                    op,
+                    dst,
+                    s: sa,
+                    b: lb,
+                });
+            }
+            (_, Loc::S(sb)) => {
+                let la = self.lane_f(&a)?;
+                self.ops.push(BOp::FBinLS {
+                    op,
+                    dst,
+                    a: la,
+                    s: sb,
+                });
+            }
+            _ => {
+                let la = self.lane_f(&a)?;
+                let lb = self.lane_f(&b)?;
+                self.ops.push(BOp::FBinLL {
+                    op,
+                    dst,
+                    a: la,
+                    b: lb,
+                });
+            }
+        }
+        Some(Val {
+            loc: Loc::LF(dst),
+            sty: STy::F,
+            f32v: true,
+        })
+    }
+
+    /// Integer-path lane arithmetic: closed affine forms only. Both
+    /// operands must be provably runtime-integers.
+    fn abin(&mut self, op: BinOp, a: Val, b: Val) -> Option<Val> {
+        use BinOp::*;
+        let int_scalar = |v: &Val| matches!(v.sty, STy::I | STy::B);
+        let dst = self.a_slot()?;
+        match (a.loc, b.loc) {
+            (Loc::A(aa), Loc::A(ab)) => match op {
+                Add => self.ops.push(BOp::AAddA { dst, a: aa, b: ab }),
+                Sub => self.ops.push(BOp::ASubAA { dst, a: aa, b: ab }),
+                _ => return None,
+            },
+            (Loc::A(aa), Loc::S(sb)) if int_scalar(&b) => match op {
+                Add => self.ops.push(BOp::AAddS { dst, a: aa, s: sb }),
+                Sub => self.ops.push(BOp::ASubAS { dst, a: aa, s: sb }),
+                Mul => self.ops.push(BOp::AMulS { dst, a: aa, s: sb }),
+                _ => return None,
+            },
+            (Loc::S(sa), Loc::A(ab)) if int_scalar(&a) => match op {
+                Add => self.ops.push(BOp::AAddS { dst, a: ab, s: sa }),
+                Sub => self.ops.push(BOp::ASubSA { dst, s: sa, a: ab }),
+                Mul => self.ops.push(BOp::AMulS { dst, a: ab, s: sa }),
+                _ => return None,
+            },
+            _ => return None,
+        }
+        Some(Val {
+            loc: Loc::A(dst),
+            sty: STy::I,
+            f32v: false,
+        })
+    }
+
+    fn cmpop(&mut self, op: CmpOp, a: Val, b: Val) -> Option<Val> {
+        if let (Loc::S(sa), Loc::S(sb)) = (a.loc, b.loc) {
+            let dst = self.s_slot()?;
+            self.ops.push(BOp::SCmp {
+                op,
+                dst,
+                a: sa,
+                b: sb,
+            });
+            return Some(Val {
+                loc: Loc::S(dst),
+                sty: STy::B,
+                f32v: false,
+            });
+        }
+        if Self::float_certain(&a) || Self::float_certain(&b) {
+            // Full-f64 float compare — exact for every operand class.
+            let dst = self.b_slot()?;
+            match (a.loc, b.loc) {
+                (Loc::S(sa), _) => {
+                    let lb = self.lane_f(&b)?;
+                    self.ops.push(BOp::FCmpSL {
+                        op,
+                        dst,
+                        s: sa,
+                        b: lb,
+                    });
+                }
+                (_, Loc::S(sb)) => {
+                    let la = self.lane_f(&a)?;
+                    self.ops.push(BOp::FCmpLS {
+                        op,
+                        dst,
+                        a: la,
+                        s: sb,
+                    });
+                }
+                _ => {
+                    let la = self.lane_f(&a)?;
+                    let lb = self.lane_f(&b)?;
+                    self.ops.push(BOp::FCmpLL {
+                        op,
+                        dst,
+                        a: la,
+                        b: lb,
+                    });
+                }
+            }
+            return Some(Val {
+                loc: Loc::LB(dst),
+                sty: STy::B,
+                f32v: false,
+            });
+        }
+        let int_scalar = |v: &Val| matches!(v.sty, STy::I | STy::B);
+        let dst = self.b_slot()?;
+        match (a.loc, b.loc) {
+            (Loc::A(aa), Loc::A(ab)) => {
+                self.ops.push(BOp::ICmpAA {
+                    op,
+                    dst,
+                    a: aa,
+                    b: ab,
+                });
+            }
+            (Loc::A(aa), Loc::S(sb)) if int_scalar(&b) => {
+                self.ops.push(BOp::ICmpAS {
+                    op,
+                    dst,
+                    a: aa,
+                    s: sb,
+                });
+            }
+            (Loc::S(sa), Loc::A(ab)) if int_scalar(&a) => {
+                self.ops.push(BOp::ICmpSA {
+                    op,
+                    dst,
+                    s: sa,
+                    a: ab,
+                });
+            }
+            _ => return None,
+        }
+        Some(Val {
+            loc: Loc::LB(dst),
+            sty: STy::B,
+            f32v: false,
+        })
+    }
+
+    fn fma(&mut self, a: Val, b: Val, c: Val) -> Option<Val> {
+        // The tree's Fma takes as_f() of all three operands
+        // unconditionally, so any class mix is exact here.
+        if let (Loc::S(sa), Loc::S(sb), Loc::S(sc)) = (a.loc, b.loc, c.loc) {
+            let dst = self.s_slot()?;
+            self.ops.push(BOp::SFma {
+                dst,
+                a: sa,
+                b: sb,
+                c: sc,
+            });
+            return Some(Val {
+                loc: Loc::S(dst),
+                sty: STy::F,
+                f32v: true,
+            });
+        }
+        let la = self.lane_f(&a)?;
+        let lb = self.lane_f(&b)?;
+        let lc = self.lane_f(&c)?;
+        let dst = self.f_slot()?;
+        self.ops.push(BOp::FFma {
+            dst,
+            a: la,
+            b: lb,
+            c: lc,
+        });
+        Some(Val {
+            loc: Loc::LF(dst),
+            sty: STy::F,
+            f32v: true,
+        })
+    }
+
+    fn select(&mut self, c: Val, a: Val, b: Val) -> Option<Val> {
+        if let (Loc::S(sc), Loc::S(sa), Loc::S(sb)) = (c.loc, a.loc, b.loc) {
+            let dst = self.s_slot()?;
+            self.ops.push(BOp::SSelect {
+                dst,
+                c: sc,
+                a: sa,
+                b: sb,
+            });
+            let sty = if a.sty == b.sty { a.sty } else { STy::Unk };
+            return Some(Val {
+                loc: Loc::S(dst),
+                sty,
+                f32v: a.f32v && b.f32v,
+            });
+        }
+        // Lane select: both arms must be guaranteed-F so that the
+        // merged lanes carry the tag the tree would produce on either
+        // path. (Select is lazy in the tree but all batchable
+        // sub-expressions are pure, so eager evaluation is sound; a
+        // hazard in the untaken arm merely forces a fallback.)
+        if !Self::float_certain(&a) || !Self::float_certain(&b) {
+            return None;
+        }
+        let lc = self.lane_b(&c)?;
+        let la = self.lane_f(&a)?;
+        let lb = self.lane_f(&b)?;
+        let dst = self.f_slot()?;
+        self.ops.push(BOp::SelF {
+            dst,
+            c: lc,
+            a: la,
+            b: lb,
+        });
+        Some(Val {
+            loc: Loc::LF(dst),
+            sty: STy::F,
+            f32v: a.f32v && b.f32v,
+        })
+    }
+
+    fn cast(&mut self, ty: Scalar, a: Val) -> Option<Val> {
+        match a.loc {
+            Loc::S(s) => {
+                let dst = self.s_slot()?;
+                self.ops.push(BOp::SCast { ty, dst, a: s });
+                let (sty, f32v) = match ty {
+                    Scalar::F32 => (STy::F, true),
+                    Scalar::F64 => (STy::F, a.f32v),
+                    Scalar::I32 | Scalar::U32 => (STy::I, false),
+                    Scalar::Bool => (STy::B, false),
+                };
+                Some(Val {
+                    loc: Loc::S(dst),
+                    sty,
+                    f32v,
+                })
+            }
+            Loc::LF(f) => match ty {
+                Scalar::F32 => {
+                    if a.f32v {
+                        return Some(a);
+                    }
+                    let dst = self.f_slot()?;
+                    self.ops.push(BOp::CvtFtoF32 { dst, a: f });
+                    Some(Val {
+                        loc: Loc::LF(dst),
+                        sty: STy::F,
+                        f32v: true,
+                    })
+                }
+                // cast F64 on a runtime-F value is as_f(): identity.
+                Scalar::F64 => Some(a),
+                Scalar::Bool => {
+                    let dst = self.b_slot()?;
+                    self.ops.push(BOp::CvtFtoB { dst, a: f });
+                    Some(Val {
+                        loc: Loc::LB(dst),
+                        sty: STy::B,
+                        f32v: false,
+                    })
+                }
+                // as_i() of float lanes is not affine.
+                Scalar::I32 | Scalar::U32 => None,
+            },
+            Loc::A(aff) => match ty {
+                Scalar::F32 => {
+                    let t = self.f_slot()?;
+                    self.ops.push(BOp::CvtAtoF { dst: t, a: aff });
+                    let dst = self.f_slot()?;
+                    self.ops.push(BOp::CvtFtoF32 { dst, a: t });
+                    Some(Val {
+                        loc: Loc::LF(dst),
+                        sty: STy::F,
+                        f32v: true,
+                    })
+                }
+                Scalar::F64 => {
+                    let dst = self.f_slot()?;
+                    self.ops.push(BOp::CvtAtoF { dst, a: aff });
+                    Some(Val {
+                        loc: Loc::LF(dst),
+                        sty: STy::F,
+                        f32v: false,
+                    })
+                }
+                Scalar::Bool => {
+                    let dst = self.b_slot()?;
+                    self.ops.push(BOp::CvtAtoB { dst, a: aff });
+                    Some(Val {
+                        loc: Loc::LB(dst),
+                        sty: STy::B,
+                        f32v: false,
+                    })
+                }
+                // I32/U32 casts wrap through 32 bits — not affine.
+                Scalar::I32 | Scalar::U32 => None,
+            },
+            Loc::LB(b) => match ty {
+                Scalar::F32 | Scalar::F64 => {
+                    let dst = self.f_slot()?;
+                    self.ops.push(BOp::CvtBtoF { dst, a: b });
+                    Some(Val {
+                        loc: Loc::LF(dst),
+                        sty: STy::F,
+                        f32v: true,
+                    })
+                }
+                Scalar::Bool => Some(a),
+                Scalar::I32 | Scalar::U32 => None,
+            },
+        }
+    }
+
+    fn store(&mut self, space: MemSpace, array: ArrayId, index: &Expr, value: &Expr) -> Option<()> {
+        // Stores inside sequential loops would interleave with other
+        // lanes' loop trips in the tree; keep those on the scalar VM.
+        if space != MemSpace::Global || self.depth > 0 {
+            return None;
+        }
+        let idx = self.expr(index)?;
+        let val = self.expr(value)?;
+        let arr = u16::try_from(array.0).ok()?;
+        let aff = match idx.loc {
+            Loc::A(r) => r,
+            Loc::S(si) => {
+                let dst = self.a_slot()?;
+                self.ops.push(BOp::AFromS { dst, s: si });
+                dst
+            }
+            Loc::LF(_) | Loc::LB(_) => return None,
+        };
+        // The tree stores eval(value).as_f() and lets Buffer::set
+        // narrow per element type; every class converts exactly.
+        let opidx;
+        match val.loc {
+            Loc::LF(src) => {
+                opidx = self.ops.len();
+                self.ops.push(BOp::Scatter {
+                    array: arr,
+                    aff,
+                    src,
+                    guard: u32::MAX,
+                });
+            }
+            Loc::S(s) => {
+                opidx = self.ops.len();
+                self.ops.push(BOp::ScatterS {
+                    array: arr,
+                    aff,
+                    s,
+                    guard: u32::MAX,
+                });
+            }
+            Loc::A(r) => {
+                let src = self.f_slot()?;
+                self.ops.push(BOp::CvtAtoF { dst: src, a: r });
+                opidx = self.ops.len();
+                self.ops.push(BOp::Scatter {
+                    array: arr,
+                    aff,
+                    src,
+                    guard: u32::MAX,
+                });
+            }
+            Loc::LB(r) => {
+                let src = self.f_slot()?;
+                self.ops.push(BOp::CvtBtoF { dst: src, a: r });
+                opidx = self.ops.len();
+                self.ops.push(BOp::Scatter {
+                    array: arr,
+                    aff,
+                    src,
+                    guard: u32::MAX,
+                });
+            }
+        }
+        let rec = &mut self.acc[array.0 as usize];
+        rec.affs.push(aff);
+        rec.scatter_ops.push(opidx);
+        Some(())
+    }
+}
+
+impl<'a> Bc<'a> {
+    fn assign(&mut self, var: VarId, let_ty: Option<Scalar>, v: Val) -> Option<()> {
+        let vi = var.0 as usize;
+        let vu = u16::try_from(var.0).ok()?;
+        if self.pinned[vi] {
+            return self.assign_pinned(vu, let_ty, v);
+        }
+        match v.loc {
+            Loc::S(src) => {
+                match let_ty {
+                    Some(ty) => {
+                        self.ops.push(BOp::SLet { ty, var: vu, src });
+                        let (sty, f32v) = match ty {
+                            Scalar::F32 => (STy::F, true),
+                            Scalar::F64 => (STy::F, v.f32v),
+                            Scalar::I32 | Scalar::U32 => (STy::I, false),
+                            Scalar::Bool => (STy::B, false),
+                        };
+                        self.env[vi] = Val {
+                            loc: Loc::S(vu),
+                            sty,
+                            f32v,
+                        };
+                    }
+                    None => {
+                        self.ops.push(BOp::SSet { var: vu, src });
+                        self.env[vi] = Val {
+                            loc: Loc::S(vu),
+                            sty: v.sty,
+                            f32v: v.f32v,
+                        };
+                    }
+                }
+                self.sdef[vi] = true;
+                Some(())
+            }
+            _ => {
+                // Lane-valued: the variable's environment entry simply
+                // points at the lanes; runtime definedness is recorded
+                // by DefMark (it matters for zero-trip loop bodies).
+                let nv = match let_ty {
+                    None => v,
+                    Some(ty) => self.coerce_lane(ty, v)?,
+                };
+                let nv = self.unalias_pin(nv)?;
+                self.env[vi] = nv;
+                self.sdef[vi] = true;
+                self.ops.push(BOp::DefMark { var: vu });
+                Some(())
+            }
+        }
+    }
+
+    /// `interp::coerce` applied to a lane-classed value.
+    fn coerce_lane(&mut self, ty: Scalar, v: Val) -> Option<Val> {
+        match (ty, v.loc) {
+            (Scalar::F32, Loc::LF(f)) => {
+                if v.f32v {
+                    return Some(v);
+                }
+                let dst = self.f_slot()?;
+                self.ops.push(BOp::CvtFtoF32 { dst, a: f });
+                Some(Val {
+                    loc: Loc::LF(dst),
+                    sty: STy::F,
+                    f32v: true,
+                })
+            }
+            (Scalar::F64, Loc::LF(_)) => Some(v),
+            (Scalar::Bool, Loc::LF(f)) => {
+                let dst = self.b_slot()?;
+                self.ops.push(BOp::CvtFtoB { dst, a: f });
+                Some(Val {
+                    loc: Loc::LB(dst),
+                    sty: STy::B,
+                    f32v: false,
+                })
+            }
+            // as_i() of float lanes is not affine.
+            (Scalar::I32 | Scalar::U32, Loc::LF(_)) => None,
+            // V::I(as_i()) of an int is the identity.
+            (Scalar::I32 | Scalar::U32, Loc::A(_)) => Some(v),
+            (Scalar::F32, Loc::A(aff)) => {
+                let t = self.f_slot()?;
+                self.ops.push(BOp::CvtAtoF { dst: t, a: aff });
+                let dst = self.f_slot()?;
+                self.ops.push(BOp::CvtFtoF32 { dst, a: t });
+                Some(Val {
+                    loc: Loc::LF(dst),
+                    sty: STy::F,
+                    f32v: true,
+                })
+            }
+            (Scalar::F64, Loc::A(aff)) => {
+                let dst = self.f_slot()?;
+                self.ops.push(BOp::CvtAtoF { dst, a: aff });
+                Some(Val {
+                    loc: Loc::LF(dst),
+                    sty: STy::F,
+                    f32v: false,
+                })
+            }
+            (Scalar::Bool, Loc::A(aff)) => {
+                let dst = self.b_slot()?;
+                self.ops.push(BOp::CvtAtoB { dst, a: aff });
+                Some(Val {
+                    loc: Loc::LB(dst),
+                    sty: STy::B,
+                    f32v: false,
+                })
+            }
+            (Scalar::F32 | Scalar::F64, Loc::LB(b)) => {
+                let dst = self.f_slot()?;
+                self.ops.push(BOp::CvtBtoF { dst, a: b });
+                Some(Val {
+                    loc: Loc::LF(dst),
+                    sty: STy::F,
+                    f32v: true,
+                })
+            }
+            (Scalar::Bool, Loc::LB(_)) => Some(v),
+            (Scalar::I32 | Scalar::U32, Loc::LB(_)) => None,
+            (_, Loc::S(_)) => unreachable!("scalar coercion goes through SLet"),
+        }
+    }
+
+    /// A value living in a pin slot may be overwritten by a later loop
+    /// trip; capturing it in another variable must copy the lanes.
+    fn unalias_pin(&mut self, v: Val) -> Option<Val> {
+        if let Loc::LF(f) = v.loc {
+            if self.pin_slots.contains(&f) {
+                let dst = self.f_slot()?;
+                self.ops.push(BOp::LCopyF { dst, a: f });
+                return Some(Val {
+                    loc: Loc::LF(dst),
+                    ..v
+                });
+            }
+        }
+        Some(v)
+    }
+
+    /// Assignment to a variable pinned to a mutable LF slot by an
+    /// enclosing sequential loop. The pin invariant: the slot holds a
+    /// runtime-`F` value at every program point, so only assignments
+    /// that provably produce `F` compile.
+    fn assign_pinned(&mut self, vu: u16, let_ty: Option<Scalar>, v: Val) -> Option<()> {
+        let vi = vu as usize;
+        let pin = match self.env[vi].loc {
+            Loc::LF(r) => r,
+            _ => return None,
+        };
+        let f32v = match let_ty {
+            Some(Scalar::F32) => {
+                match v.loc {
+                    Loc::S(s) => {
+                        // coerce F32 = as_f as f32 as f64, then broadcast.
+                        let t = self.s_slot()?;
+                        self.ops.push(BOp::SCast {
+                            ty: Scalar::F32,
+                            dst: t,
+                            a: s,
+                        });
+                        self.ops.push(BOp::BcastF { dst: pin, s: t });
+                    }
+                    Loc::LF(f) => {
+                        if v.f32v {
+                            self.redirect_or_copy(f, pin);
+                        } else {
+                            self.ops.push(BOp::CvtFtoF32 { dst: pin, a: f });
+                        }
+                    }
+                    Loc::A(aff) => {
+                        let t = self.f_slot()?;
+                        self.ops.push(BOp::CvtAtoF { dst: t, a: aff });
+                        self.ops.push(BOp::CvtFtoF32 { dst: pin, a: t });
+                    }
+                    Loc::LB(b) => {
+                        self.ops.push(BOp::CvtBtoF { dst: pin, a: b });
+                    }
+                }
+                true
+            }
+            Some(Scalar::F64) => {
+                // coerce F64 = V::F(as_f) — total for every class.
+                match v.loc {
+                    Loc::S(s) => self.ops.push(BOp::BcastF { dst: pin, s }),
+                    Loc::LF(f) => self.redirect_or_copy(f, pin),
+                    Loc::A(aff) => self.ops.push(BOp::CvtAtoF { dst: pin, a: aff }),
+                    Loc::LB(b) => self.ops.push(BOp::CvtBtoF { dst: pin, a: b }),
+                }
+                matches!(v.loc, Loc::LF(_) | Loc::LB(_)) && v.f32v
+            }
+            // An I32/U32/Bool Let would give the variable a non-F tag.
+            Some(Scalar::I32 | Scalar::U32 | Scalar::Bool) => return None,
+            None => {
+                // Raw Assign stores the value verbatim: it must be
+                // guaranteed runtime-F already.
+                match v.loc {
+                    Loc::S(s) if v.sty == STy::F => self.ops.push(BOp::BcastF { dst: pin, s }),
+                    Loc::LF(f) => self.redirect_or_copy(f, pin),
+                    _ => return None,
+                }
+                v.f32v
+            }
+        };
+        self.env[vi] = Val {
+            loc: Loc::LF(pin),
+            sty: STy::F,
+            f32v,
+        };
+        self.sdef[vi] = true;
+        // No DefMark: a pin requires the variable to be defined at
+        // loop entry, so runtime definedness is already recorded.
+        Some(())
+    }
+
+    /// Move freshly produced lanes into a pin slot — by retargeting
+    /// the producing op when the source is a throwaway temp, else by
+    /// an explicit copy.
+    fn redirect_or_copy(&mut self, src: u16, pin: u16) {
+        if src == pin {
+            return; // e.g. `x = cast(F64, x)` — already in place
+        }
+        let fresh =
+            !self.pin_slots.contains(&src) && !self.env.iter().any(|v| v.loc == Loc::LF(src));
+        if fresh {
+            if let Some(op) = self.ops.last_mut() {
+                if let Some(d) = lane_f_dst_mut(op) {
+                    if *d == src {
+                        *d = pin;
+                        return;
+                    }
+                }
+            }
+        }
+        self.ops.push(BOp::LCopyF { dst: pin, a: src });
+    }
+
+    fn for_loop(
+        &mut self,
+        var: VarId,
+        lo: &Expr,
+        hi: &Expr,
+        step: i64,
+        body: &Block,
+    ) -> Option<()> {
+        let vlo = self.expr(lo)?;
+        let vhi = self.expr(hi)?;
+        let (slo, shi) = match (vlo.loc, vhi.loc) {
+            (Loc::S(a), Loc::S(b)) => (a, b),
+            _ => return None, // lane-varying trip counts stay on the VM
+        };
+        // A `for` shadowing a lane-valued variable would need a
+        // per-lane zero-trip story; reject that degenerate shape.
+        if !matches!(self.env[var.0 as usize].loc, Loc::S(_)) {
+            return None;
+        }
+        let vu = u16::try_from(var.0).ok()?;
+        let cnt = self.s_slot()?;
+        let hii = self.s_slot()?;
+        self.ops.push(BOp::SToInt { dst: cnt, a: slo });
+        self.ops.push(BOp::SToInt { dst: hii, a: shi });
+
+        let mut w: Vec<VarId> = Vec::new();
+        super::compile::collect_assigned(body, &mut w);
+        w.sort_unstable();
+        w.dedup();
+
+        self.depth += 1;
+        let outer = self.snap();
+        // Pin fixpoint: find the variables that must live in a mutable
+        // lane slot across trips (a pin can force another variable
+        // lane-ward, hence the loop; |w| bounds the rounds, 4 is
+        // plenty for real kernels and property-sized programs).
+        let mut pins: Vec<u32> = Vec::new();
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if rounds > 4 {
+                self.restore(&outer);
+                self.depth -= 1;
+                return None;
+            }
+            // Promote the pinned variables. The entry value must be
+            // guaranteed runtime-F or the pin invariant cannot hold
+            // (and, for a zero-trip loop, the broadcast entry value
+            // must already be what the tree would leave behind).
+            let mut pin_fail = false;
+            for &pv in &pins {
+                let i = pv as usize;
+                let promo_ok = matches!(self.env[i].loc, Loc::LF(_))
+                    || (matches!(self.env[i].loc, Loc::S(_)) && self.env[i].sty == STy::F);
+                if !promo_ok {
+                    pin_fail = true;
+                    break;
+                }
+                let pf = match self.f_slot() {
+                    Some(r) => r,
+                    None => {
+                        pin_fail = true;
+                        break;
+                    }
+                };
+                match self.env[i].loc {
+                    Loc::S(s) => self.ops.push(BOp::BcastF { dst: pf, s }),
+                    Loc::LF(t) => self.ops.push(BOp::LCopyF { dst: pf, a: t }),
+                    _ => unreachable!(),
+                }
+                self.env[i] = Val {
+                    loc: Loc::LF(pf),
+                    sty: STy::F,
+                    f32v: false,
+                };
+                self.pinned[i] = true;
+                self.pin_slots.push(pf);
+            }
+            if pin_fail {
+                self.restore(&outer);
+                self.depth -= 1;
+                return None;
+            }
+            // Scalar variables assigned in the body have no reliable
+            // static type at the (second and later) trip entry.
+            for &wv in &w {
+                let i = wv.0 as usize;
+                if !self.pinned[i] {
+                    if let Loc::S(_) = self.env[i].loc {
+                        self.env[i].sty = STy::Unk;
+                        self.env[i].f32v = false;
+                    }
+                }
+            }
+            let pre_sdef = self.sdef.clone();
+            let entry_env = self.env.clone();
+            self.env[var.0 as usize] = Val {
+                loc: Loc::S(vu),
+                sty: STy::I,
+                f32v: false,
+            };
+            self.sdef[var.0 as usize] = true;
+
+            let head = u32::try_from(self.ops.len()).ok()?;
+            self.ops.push(BOp::ForHead {
+                cnt,
+                hi: hii,
+                exit: 0,
+            });
+            let fh = self.ops.len() - 1;
+            self.ops.push(BOp::SSet { var: vu, src: cnt });
+            if self.block(body).is_none() {
+                self.restore(&outer);
+                self.depth -= 1;
+                return None;
+            }
+            self.ops.push(BOp::ForStep {
+                cnt,
+                step,
+                back: head,
+            });
+            let exit = u32::try_from(self.ops.len()).ok()?;
+            if let BOp::ForHead { exit: e, .. } = &mut self.ops[fh] {
+                *e = exit;
+            }
+
+            // Classify: any body-assigned variable that ended up (or
+            // started) lane-float without a pin becomes one; other
+            // loop-carried lane classes are unsupported.
+            let mut grew = false;
+            let mut reject = false;
+            for &wv in &w {
+                let i = wv.0 as usize;
+                if self.pinned[i] {
+                    continue;
+                }
+                match (entry_env[i].loc, self.env[i].loc) {
+                    (Loc::S(_), Loc::S(_)) => {}
+                    (Loc::LF(_), _) | (_, Loc::LF(_)) => {
+                        if !pins.contains(&wv.0) {
+                            pins.push(wv.0);
+                            grew = true;
+                        }
+                    }
+                    _ => {
+                        reject = true;
+                        break;
+                    }
+                }
+            }
+            if reject {
+                self.restore(&outer);
+                self.depth -= 1;
+                return None;
+            }
+            if grew {
+                pins.sort_unstable();
+                self.restore(&outer);
+                continue;
+            }
+
+            // Stable: the compiled loop stands. Post-loop state is the
+            // conservative meet of entry and exit (trip count is a
+            // runtime quantity; zero trips leave the entry state).
+            for (cur, entry) in self.env.iter_mut().zip(&entry_env) {
+                if entry.loc == cur.loc {
+                    if entry.sty != cur.sty {
+                        cur.sty = STy::Unk;
+                    }
+                    cur.f32v &= entry.f32v;
+                }
+            }
+            self.sdef.clone_from(&pre_sdef);
+            // This level's pins stay materialized (their slots hold
+            // the correct value on every path, including zero-trip),
+            // but stop routing new assignments through them.
+            for &pv in &pins {
+                self.pinned[pv as usize] = false;
+            }
+            self.depth -= 1;
+            return Some(());
+        }
+    }
+}
+
+fn lane_f_dst_mut(op: &mut BOp) -> Option<&mut u16> {
+    match op {
+        BOp::BcastF { dst, .. }
+        | BOp::CvtAtoF { dst, .. }
+        | BOp::CvtBtoF { dst, .. }
+        | BOp::CvtFtoF32 { dst, .. }
+        | BOp::LCopyF { dst, .. }
+        | BOp::FBinLL { dst, .. }
+        | BOp::FBinLS { dst, .. }
+        | BOp::FBinSL { dst, .. }
+        | BOp::FFma { dst, .. }
+        | BOp::UnF { dst, .. }
+        | BOp::SelF { dst, .. }
+        | BOp::GatherF { dst, .. } => Some(dst),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{exec_kernel, fresh_vars, KernelFidelity};
+    use paccport_ir::builder::ProgramBuilder;
+    use paccport_ir::{assign, for_, if_, ld, let_, st, HostStmt, Intent, ParallelLoop, E};
+
+    /// `c[i*n + j] = Σ_k a[i*n+k]·b[k*n+j]` — the matmul shape: a
+    /// pinned For accumulator, a scalar-indexed load, and a strided
+    /// gather.
+    fn matmul_like() -> (Program, Vec<V>, Vec<Buffer>) {
+        let n: i64 = 5;
+        let mut b = ProgramBuilder::new("batch_matmul");
+        let np = b.iparam("n");
+        let aa = b.array("a", Scalar::F32, E::from(np) * E::from(np), Intent::In);
+        let ba = b.array("b", Scalar::F32, E::from(np) * E::from(np), Intent::In);
+        let ca = b.array("c", Scalar::F32, E::from(np) * E::from(np), Intent::Out);
+        let iv = b.var("i");
+        let jv = b.var("j");
+        let kv = b.var("k");
+        let acc = b.var("acc");
+        let body = vec![
+            let_(acc, Scalar::F32, 0.0f64),
+            for_(
+                kv,
+                0i64,
+                np,
+                vec![assign(
+                    acc,
+                    E::from(Expr::var(acc))
+                        + ld(
+                            aa,
+                            E::from(Expr::var(iv)) * E::from(np) + E::from(Expr::var(kv)),
+                        ) * ld(
+                            ba,
+                            E::from(Expr::var(kv)) * E::from(np) + E::from(Expr::var(jv)),
+                        ),
+                )],
+            ),
+            st(
+                ca,
+                E::from(Expr::var(iv)) * E::from(np) + E::from(Expr::var(jv)),
+                E::from(Expr::var(acc)),
+            ),
+        ];
+        let k = Kernel::simple(
+            "mm",
+            vec![
+                ParallelLoop::new(iv, Expr::iconst(0), Expr::param(np)),
+                ParallelLoop::new(jv, Expr::iconst(0), Expr::param(np)),
+            ],
+            Block::new(body),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let len = (n * n) as usize;
+        let af: Vec<f32> = (0..len).map(|i| (i as f32) * 0.25 - 2.0).collect();
+        let bf: Vec<f32> = (0..len).map(|i| 1.5 - (i as f32) * 0.125).collect();
+        let bufs = vec![
+            Buffer::F32(af),
+            Buffer::F32(bf),
+            Buffer::zeroed(Scalar::F32, len),
+        ];
+        (p, vec![V::I(n)], bufs)
+    }
+
+    /// `rho[i] = rho[i] + f·rho[i]` — gather and scatter of the same
+    /// array at the same affine index, the guarded shape.
+    fn rmw_like() -> (Program, Vec<V>, Vec<Buffer>) {
+        let n: i64 = 17;
+        let mut b = ProgramBuilder::new("batch_rmw");
+        let np = b.iparam("n");
+        let rho = b.array("rho", Scalar::F64, E::from(np), Intent::InOut);
+        let iv = b.var("i");
+        let body = vec![st(
+            rho,
+            E::from(Expr::var(iv)),
+            ld(rho, E::from(Expr::var(iv))) + ld(rho, E::from(Expr::var(iv))) * 0.5f64,
+        )];
+        let k = Kernel::simple(
+            "rmw",
+            vec![ParallelLoop::new(iv, Expr::iconst(0), Expr::param(np))],
+            Block::new(body),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let rf: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        (p, vec![V::I(n)], vec![Buffer::F64(rf)])
+    }
+
+    fn run_both(p: &Program, params: &[V], bufs: &[Buffer]) -> (Vec<Buffer>, Vec<Buffer>) {
+        let k = &p.kernels()[0];
+        let mut tree_bufs = bufs.to_vec();
+        let mut vars = fresh_vars(p);
+        exec_kernel(
+            p,
+            params,
+            k,
+            &mut vars,
+            &mut tree_bufs,
+            KernelFidelity::Exact,
+        );
+        let code = super::super::compile::compile_kernel(p, k);
+        assert!(code.batch.is_some(), "kernel failed to batch-compile");
+        let mut bc_bufs = bufs.to_vec();
+        let mut vars = fresh_vars(p);
+        super::super::vm::exec_kernel_bc(
+            &code,
+            params,
+            k,
+            &mut vars,
+            &mut bc_bufs,
+            KernelFidelity::Exact,
+            None,
+        );
+        (tree_bufs, bc_bufs)
+    }
+
+    #[test]
+    fn matmul_shape_batches_and_matches_tree() {
+        let (p, params, bufs) = matmul_like();
+        let k = &p.kernels()[0];
+        let plan = build(&p, k).expect("matmul shape must batch-compile");
+        // The For accumulator forces a pin: a loop back-edge and at
+        // least one lane-float op inside the loop.
+        assert!(plan.ops.iter().any(|o| matches!(o, BOp::ForHead { .. })));
+        assert!(plan.guards.is_empty(), "sole scatter needs no guard");
+        let (t, b) = run_both(&p, &params, &bufs);
+        assert_eq!(t, b, "matmul tiers diverged");
+    }
+
+    #[test]
+    fn read_modify_write_is_guarded_and_matches_tree() {
+        let (p, params, bufs) = rmw_like();
+        let k = &p.kernels()[0];
+        let plan = build(&p, k).expect("rmw shape must batch-compile");
+        assert_eq!(
+            plan.guards.len(),
+            1,
+            "gather+scatter of one array needs a guard"
+        );
+        assert!(
+            plan.guards[0].len() >= 3,
+            "all three accesses join the guard"
+        );
+        let (t, b) = run_both(&p, &params, &bufs);
+        assert_eq!(t, b, "rmw tiers diverged");
+    }
+
+    #[test]
+    fn if_statement_rejects() {
+        let mut b = ProgramBuilder::new("batch_if");
+        let np = b.iparam("n");
+        let o = b.array("o", Scalar::F32, E::from(np), Intent::Out);
+        let iv = b.var("i");
+        let body = vec![if_(
+            E::from(Expr::var(iv)).lt(E::from(2i64)),
+            vec![st(o, E::from(Expr::var(iv)), 1.0f64)],
+        )];
+        let k = Kernel::simple(
+            "ifk",
+            vec![ParallelLoop::new(iv, Expr::iconst(0), Expr::param(np))],
+            Block::new(body),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        assert!(build(&p, &p.kernels()[0]).is_none());
+    }
+
+    #[test]
+    fn region_reduction_compiles_to_fold() {
+        let mut b = ProgramBuilder::new("batch_rr");
+        let np = b.iparam("n");
+        let a = b.array("a", Scalar::F64, E::from(np), Intent::In);
+        let red = b.array("red", Scalar::F64, 1i64, Intent::Out);
+        let iv = b.var("i");
+        let vv = b.var("v");
+        let body = vec![let_(
+            vv,
+            Scalar::F64,
+            ld(a, E::from(Expr::var(iv))) * 2.0f64,
+        )];
+        let mut k = Kernel::simple(
+            "rr",
+            vec![ParallelLoop::new(iv, Expr::iconst(0), Expr::param(np))],
+            Block::new(body),
+        );
+        k.region_reduction = Some(paccport_ir::RegionReduction {
+            op: ReduceOp::Max,
+            value: Expr::var(vv),
+            dest: red,
+        });
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let plan = build(&p, &p.kernels()[0]).expect("reduction shape must batch-compile");
+        assert!(matches!(plan.reduce, Some((Loc::LF(_), ReduceOp::Max))));
+        let n = 9i64;
+        let af: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 1.5).collect();
+        let bufs = vec![Buffer::F64(af), Buffer::zeroed(Scalar::F64, 1)];
+        let (t, b) = run_both(&p, &[V::I(n)], &bufs);
+        assert_eq!(t, b, "reduction tiers diverged");
+    }
+
+    #[test]
+    fn zero_trip_inner_loop_preserves_undefinedness() {
+        // A variable first assigned inside a zero-trip sequential loop
+        // must stay undefined after the batch, exactly like the tree.
+        let mut b = ProgramBuilder::new("batch_zerotrip");
+        let np = b.iparam("n");
+        let o = b.array("o", Scalar::F64, E::from(np), Intent::Out);
+        let iv = b.var("i");
+        let jv = b.var("j");
+        let tv = b.var("t");
+        let body = vec![
+            for_(jv, 0i64, 0i64, vec![let_(tv, Scalar::F64, 1.25f64)]),
+            st(o, E::from(Expr::var(iv)), E::from(3.5f64)),
+        ];
+        let k = Kernel::simple(
+            "zt",
+            vec![ParallelLoop::new(iv, Expr::iconst(0), Expr::param(np))],
+            Block::new(body),
+        );
+        let p = b.finish(vec![HostStmt::Launch(k)]);
+        let k = &p.kernels()[0];
+        assert!(build(&p, k).is_some());
+        let n = 4i64;
+        let bufs = vec![Buffer::zeroed(Scalar::F64, n as usize)];
+        let params = [V::I(n)];
+        let mut tree_bufs = bufs.clone();
+        let mut tree_vars = fresh_vars(&p);
+        exec_kernel(
+            &p,
+            &params,
+            k,
+            &mut tree_vars,
+            &mut tree_bufs,
+            KernelFidelity::Exact,
+        );
+        let code = super::super::compile::compile_kernel(&p, k);
+        let mut bc_bufs = bufs;
+        let mut bc_vars = fresh_vars(&p);
+        super::super::vm::exec_kernel_bc(
+            &code,
+            &params,
+            k,
+            &mut bc_vars,
+            &mut bc_bufs,
+            KernelFidelity::Exact,
+            None,
+        );
+        assert_eq!(tree_bufs, bc_bufs);
+        assert_eq!(tree_vars, bc_vars, "variable environments diverged");
+        assert_eq!(tree_vars[tv.0 as usize], None, "t must stay undefined");
+    }
+}

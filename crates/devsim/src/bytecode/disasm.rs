@@ -1,0 +1,540 @@
+//! Textual disassembly of [`KernelCode`] and the inverse parser.
+//!
+//! The format is line-based: `.`-prefixed section directives, one
+//! instruction per line. It exists for debugging shrunk tier
+//! counterexamples (`reproduce`'s conformance output names the kernel;
+//! disassembling it shows exactly what the VM will run) and to state a
+//! machine-checkable round-trip law: `parse(disassemble(c)) == c` for
+//! every compiled kernel (see `crates/devsim/tests/bytecode_props.rs`).
+//! Charge-stripped twin streams are *derived* (re-computed by
+//! [`CodeBlock::new`] on parse), so the text carries only the full
+//! streams.
+
+use super::compile::{BodyCode, CodeBlock, ExprFrag, Instr, KernelCode, LoopBounds};
+use paccport_ir::expr::{BinOp, CmpOp, UnOp};
+use paccport_ir::kernel::ReduceOp;
+use paccport_ir::types::{MemSpace, Scalar};
+use std::fmt::Write as _;
+
+fn un_op(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::Abs => "abs",
+        UnOp::Rcp => "rcp",
+        UnOp::Sqrt => "sqrt",
+        UnOp::Not => "not",
+        UnOp::Exp => "exp",
+    }
+}
+
+fn parse_un(s: &str) -> Option<UnOp> {
+    Some(match s {
+        "neg" => UnOp::Neg,
+        "abs" => UnOp::Abs,
+        "rcp" => UnOp::Rcp,
+        "sqrt" => UnOp::Sqrt,
+        "not" => UnOp::Not,
+        "exp" => UnOp::Exp,
+        _ => return None,
+    })
+}
+
+fn bin_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+    }
+}
+
+fn parse_bin(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "min" => BinOp::Min,
+        "max" => BinOp::Max,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+fn cmp_op(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn parse_cmp(s: &str) -> Option<CmpOp> {
+    Some(match s {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn scalar(s: Scalar) -> &'static str {
+    match s {
+        Scalar::F32 => "f32",
+        Scalar::F64 => "f64",
+        Scalar::I32 => "i32",
+        Scalar::U32 => "u32",
+        Scalar::Bool => "bool",
+    }
+}
+
+fn parse_scalar(s: &str) -> Option<Scalar> {
+    Some(match s {
+        "f32" => Scalar::F32,
+        "f64" => Scalar::F64,
+        "i32" => Scalar::I32,
+        "u32" => Scalar::U32,
+        "bool" => Scalar::Bool,
+        _ => return None,
+    })
+}
+
+fn space(s: MemSpace) -> &'static str {
+    match s {
+        MemSpace::Global => "g",
+        MemSpace::Local => "l",
+    }
+}
+
+fn parse_space(s: &str) -> Option<MemSpace> {
+    Some(match s {
+        "g" => MemSpace::Global,
+        "l" => MemSpace::Local,
+        _ => return None,
+    })
+}
+
+fn red_op(op: ReduceOp) -> &'static str {
+    match op {
+        ReduceOp::Add => "add",
+        ReduceOp::Max => "max",
+        ReduceOp::Min => "min",
+    }
+}
+
+fn parse_red(s: &str) -> Option<ReduceOp> {
+    Some(match s {
+        "add" => ReduceOp::Add,
+        "max" => ReduceOp::Max,
+        "min" => ReduceOp::Min,
+        _ => return None,
+    })
+}
+
+fn fmt_instr(out: &mut String, i: &Instr) {
+    match *i {
+        Instr::ConstF { dst, bits } => _ = writeln!(out, "constf {dst} {bits:#018x}"),
+        Instr::ConstI { dst, v } => _ = writeln!(out, "consti {dst} {v}"),
+        Instr::ConstB { dst, v } => _ = writeln!(out, "constb {dst} {}", v as u8),
+        Instr::Param { dst, p } => _ = writeln!(out, "param {dst} {p}"),
+        Instr::Copy { dst, src } => _ = writeln!(out, "copy {dst} {src}"),
+        Instr::Special { dst, which } => _ = writeln!(out, "special {dst} {which}"),
+        Instr::CheckDef { var } => _ = writeln!(out, "checkdef {var}"),
+        Instr::Un { op, dst, a } => _ = writeln!(out, "un {} {dst} {a}", un_op(op)),
+        Instr::Bin { op, dst, a, b } => _ = writeln!(out, "bin {} {dst} {a} {b}", bin_op(op)),
+        Instr::BinFF { op, dst, a, b } => {
+            _ = writeln!(out, "binff {} {dst} {a} {b}", bin_op(op));
+        }
+        Instr::BinII { op, dst, a, b } => {
+            _ = writeln!(out, "binii {} {dst} {a} {b}", bin_op(op));
+        }
+        Instr::Cmp { op, dst, a, b } => _ = writeln!(out, "cmp {} {dst} {a} {b}", cmp_op(op)),
+        Instr::Fma { dst, a, b, c } => _ = writeln!(out, "fma {dst} {a} {b} {c}"),
+        Instr::Cast { ty, dst, a } => _ = writeln!(out, "cast {} {dst} {a}", scalar(ty)),
+        Instr::LetVar { ty, var, src } => {
+            _ = writeln!(out, "letvar {} {var} {src}", scalar(ty));
+        }
+        Instr::SetVar { var, src } => _ = writeln!(out, "setvar {var} {src}"),
+        Instr::ToInt { dst, src } => _ = writeln!(out, "toint {dst} {src}"),
+        Instr::Load {
+            space: sp,
+            array,
+            idx,
+            dst,
+        } => _ = writeln!(out, "load {} {array} {idx} {dst}", space(sp)),
+        Instr::Store {
+            space: sp,
+            array,
+            idx,
+            val,
+        } => _ = writeln!(out, "store {} {array} {idx} {val}", space(sp)),
+        Instr::Atomic {
+            op,
+            array,
+            idx,
+            val,
+        } => _ = writeln!(out, "atomic {} {array} {idx} {val}", red_op(op)),
+        Instr::Jump { to } => _ = writeln!(out, "jump {to}"),
+        Instr::JumpIfFalse { cond, to } => _ = writeln!(out, "jumpf {cond} {to}"),
+        Instr::ForHead { cnt, hi, exit } => _ = writeln!(out, "forhead {cnt} {hi} {exit}"),
+        Instr::ForStep { cnt, step, back } => _ = writeln!(out, "forstep {cnt} {step} {back}"),
+        Instr::Charge => _ = writeln!(out, "charge"),
+    }
+}
+
+/// Render a compiled kernel as stable, diffable text.
+pub fn disassemble(c: &KernelCode) -> String {
+    let mut out = String::new();
+    _ = writeln!(out, ".kernel {}", c.kernel);
+    _ = writeln!(out, ".nregs {}", c.n_regs);
+    _ = writeln!(out, ".nvars {}", c.n_vars);
+    _ = writeln!(out, ".prelude");
+    for i in &c.prelude.code {
+        fmt_instr(&mut out, i);
+    }
+    for (d, b) in c.bounds.iter().enumerate() {
+        _ = writeln!(out, ".bounds {d} lo {}", b.lo.out);
+        for i in &b.lo.block.code {
+            fmt_instr(&mut out, i);
+        }
+        _ = writeln!(out, ".bounds {d} hi {}", b.hi.out);
+        for i in &b.hi.block.code {
+            fmt_instr(&mut out, i);
+        }
+    }
+    match &c.body {
+        BodyCode::Simple { block, reduce } => {
+            _ = writeln!(out, ".simple");
+            for i in &block.code {
+                fmt_instr(&mut out, i);
+            }
+            if let Some(r) = reduce {
+                _ = writeln!(out, ".reduce {}", r.out);
+                for i in &r.block.code {
+                    fmt_instr(&mut out, i);
+                }
+            }
+        }
+        BodyCode::Grouped { phases } => {
+            _ = writeln!(out, ".grouped {}", phases.len());
+            for (pi, ph) in phases.iter().enumerate() {
+                _ = writeln!(out, ".phase {pi}");
+                for i in &ph.code {
+                    fmt_instr(&mut out, i);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse_instr(line: &str) -> Result<Instr, String> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let err = || format!("bad instruction: {line:?}");
+    let int = |s: &str| -> Result<i64, String> { s.parse().map_err(|_| err()) };
+    let reg = |s: &str| -> Result<u16, String> { s.parse().map_err(|_| err()) };
+    let pc = |s: &str| -> Result<u32, String> { s.parse().map_err(|_| err()) };
+    let t = |i: usize| -> Result<&str, String> { toks.get(i).copied().ok_or_else(err) };
+    Ok(match *toks.first().ok_or_else(err)? {
+        "constf" => {
+            let bits = t(2)?
+                .strip_prefix("0x")
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .ok_or_else(err)?;
+            Instr::ConstF {
+                dst: reg(t(1)?)?,
+                bits,
+            }
+        }
+        "consti" => Instr::ConstI {
+            dst: reg(t(1)?)?,
+            v: int(t(2)?)?,
+        },
+        "constb" => Instr::ConstB {
+            dst: reg(t(1)?)?,
+            v: int(t(2)?)? != 0,
+        },
+        "param" => Instr::Param {
+            dst: reg(t(1)?)?,
+            p: reg(t(2)?)?,
+        },
+        "copy" => Instr::Copy {
+            dst: reg(t(1)?)?,
+            src: reg(t(2)?)?,
+        },
+        "special" => Instr::Special {
+            dst: reg(t(1)?)?,
+            which: int(t(2)?)? as u8,
+        },
+        "checkdef" => Instr::CheckDef { var: reg(t(1)?)? },
+        "un" => Instr::Un {
+            op: parse_un(t(1)?).ok_or_else(err)?,
+            dst: reg(t(2)?)?,
+            a: reg(t(3)?)?,
+        },
+        "bin" => Instr::Bin {
+            op: parse_bin(t(1)?).ok_or_else(err)?,
+            dst: reg(t(2)?)?,
+            a: reg(t(3)?)?,
+            b: reg(t(4)?)?,
+        },
+        "binff" => Instr::BinFF {
+            op: parse_bin(t(1)?).ok_or_else(err)?,
+            dst: reg(t(2)?)?,
+            a: reg(t(3)?)?,
+            b: reg(t(4)?)?,
+        },
+        "binii" => Instr::BinII {
+            op: parse_bin(t(1)?).ok_or_else(err)?,
+            dst: reg(t(2)?)?,
+            a: reg(t(3)?)?,
+            b: reg(t(4)?)?,
+        },
+        "cmp" => Instr::Cmp {
+            op: parse_cmp(t(1)?).ok_or_else(err)?,
+            dst: reg(t(2)?)?,
+            a: reg(t(3)?)?,
+            b: reg(t(4)?)?,
+        },
+        "fma" => Instr::Fma {
+            dst: reg(t(1)?)?,
+            a: reg(t(2)?)?,
+            b: reg(t(3)?)?,
+            c: reg(t(4)?)?,
+        },
+        "cast" => Instr::Cast {
+            ty: parse_scalar(t(1)?).ok_or_else(err)?,
+            dst: reg(t(2)?)?,
+            a: reg(t(3)?)?,
+        },
+        "letvar" => Instr::LetVar {
+            ty: parse_scalar(t(1)?).ok_or_else(err)?,
+            var: reg(t(2)?)?,
+            src: reg(t(3)?)?,
+        },
+        "setvar" => Instr::SetVar {
+            var: reg(t(1)?)?,
+            src: reg(t(2)?)?,
+        },
+        "toint" => Instr::ToInt {
+            dst: reg(t(1)?)?,
+            src: reg(t(2)?)?,
+        },
+        "load" => Instr::Load {
+            space: parse_space(t(1)?).ok_or_else(err)?,
+            array: reg(t(2)?)?,
+            idx: reg(t(3)?)?,
+            dst: reg(t(4)?)?,
+        },
+        "store" => Instr::Store {
+            space: parse_space(t(1)?).ok_or_else(err)?,
+            array: reg(t(2)?)?,
+            idx: reg(t(3)?)?,
+            val: reg(t(4)?)?,
+        },
+        "atomic" => Instr::Atomic {
+            op: parse_red(t(1)?).ok_or_else(err)?,
+            array: reg(t(2)?)?,
+            idx: reg(t(3)?)?,
+            val: reg(t(4)?)?,
+        },
+        "jump" => Instr::Jump { to: pc(t(1)?)? },
+        "jumpf" => Instr::JumpIfFalse {
+            cond: reg(t(1)?)?,
+            to: pc(t(2)?)?,
+        },
+        "forhead" => Instr::ForHead {
+            cnt: reg(t(1)?)?,
+            hi: reg(t(2)?)?,
+            exit: pc(t(3)?)?,
+        },
+        "forstep" => Instr::ForStep {
+            cnt: reg(t(1)?)?,
+            step: int(t(2)?)?,
+            back: pc(t(3)?)?,
+        },
+        "charge" => Instr::Charge,
+        _ => return Err(err()),
+    })
+}
+
+/// Which section of the disassembly the parser is inside.
+enum Sect {
+    None,
+    Prelude,
+    BoundsLo(usize),
+    BoundsHi(usize),
+    Simple,
+    Reduce,
+    Phase(usize),
+}
+
+/// Parse a disassembly back into a [`KernelCode`]. Stripped streams
+/// are re-derived, so `parse(disassemble(c)) == c`.
+pub fn parse(text: &str) -> Result<KernelCode, String> {
+    let mut kernel: Option<String> = None;
+    let mut n_regs: Option<u16> = None;
+    let mut n_vars: Option<u16> = None;
+    let mut prelude: Vec<Instr> = Vec::new();
+    // (lo_out, lo_code, hi_out, hi_code) per nest level.
+    let mut bounds: Vec<(u16, Vec<Instr>, u16, Vec<Instr>)> = Vec::new();
+    let mut simple: Option<Vec<Instr>> = None;
+    let mut reduce: Option<(u16, Vec<Instr>)> = None;
+    let mut phases: Option<Vec<Vec<Instr>>> = None;
+    let mut sect = Sect::None;
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            match *toks.first().unwrap_or(&"") {
+                "kernel" => {
+                    kernel = Some(rest.strip_prefix("kernel").unwrap_or("").trim().to_string());
+                }
+                "nregs" => {
+                    n_regs = Some(
+                        toks.get(1)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("bad .nregs")?,
+                    );
+                }
+                "nvars" => {
+                    n_vars = Some(
+                        toks.get(1)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("bad .nvars")?,
+                    );
+                }
+                "prelude" => sect = Sect::Prelude,
+                "bounds" => {
+                    let d: usize = toks
+                        .get(1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad .bounds depth")?;
+                    let out: u16 = toks
+                        .get(3)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad .bounds out")?;
+                    match toks.get(2).copied() {
+                        Some("lo") => {
+                            if d != bounds.len() {
+                                return Err(format!("out-of-order .bounds {d} lo"));
+                            }
+                            bounds.push((out, Vec::new(), 0, Vec::new()));
+                            sect = Sect::BoundsLo(d);
+                        }
+                        Some("hi") => {
+                            let slot = bounds
+                                .get_mut(d)
+                                .ok_or(format!(".bounds {d} hi before lo"))?;
+                            slot.2 = out;
+                            sect = Sect::BoundsHi(d);
+                        }
+                        _ => return Err(format!("bad .bounds line: {line:?}")),
+                    }
+                }
+                "simple" => {
+                    simple = Some(Vec::new());
+                    sect = Sect::Simple;
+                }
+                "reduce" => {
+                    let out: u16 = toks
+                        .get(1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad .reduce out")?;
+                    reduce = Some((out, Vec::new()));
+                    sect = Sect::Reduce;
+                }
+                "grouped" => {
+                    let n: usize = toks
+                        .get(1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad .grouped count")?;
+                    phases = Some(Vec::with_capacity(n));
+                    sect = Sect::None;
+                }
+                "phase" => {
+                    let pi: usize = toks
+                        .get(1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad .phase index")?;
+                    let ps = phases.as_mut().ok_or(".phase before .grouped")?;
+                    if pi != ps.len() {
+                        return Err(format!("out-of-order .phase {pi}"));
+                    }
+                    ps.push(Vec::new());
+                    sect = Sect::Phase(pi);
+                }
+                other => return Err(format!("unknown directive .{other}")),
+            }
+            continue;
+        }
+        let ins = parse_instr(line)?;
+        match sect {
+            Sect::None => return Err(format!("instruction outside a section: {line:?}")),
+            Sect::Prelude => prelude.push(ins),
+            Sect::BoundsLo(d) => bounds[d].1.push(ins),
+            Sect::BoundsHi(d) => bounds[d].3.push(ins),
+            Sect::Simple => simple.as_mut().unwrap().push(ins),
+            Sect::Reduce => reduce.as_mut().unwrap().1.push(ins),
+            Sect::Phase(pi) => phases.as_mut().unwrap()[pi].push(ins),
+        }
+    }
+
+    let body = match (simple, phases) {
+        (Some(block), None) => BodyCode::Simple {
+            block: CodeBlock::new(block),
+            reduce: reduce.map(|(out, code)| ExprFrag {
+                block: CodeBlock::new(code),
+                out,
+            }),
+        },
+        (None, Some(ps)) => BodyCode::Grouped {
+            phases: ps.into_iter().map(CodeBlock::new).collect(),
+        },
+        _ => return Err("expected exactly one of .simple / .grouped".into()),
+    };
+    Ok(KernelCode {
+        kernel: kernel.ok_or("missing .kernel")?,
+        n_regs: n_regs.ok_or("missing .nregs")?,
+        n_vars: n_vars.ok_or("missing .nvars")?,
+        prelude: CodeBlock::new(prelude),
+        bounds: bounds
+            .into_iter()
+            .map(|(lo_out, lo_code, hi_out, hi_code)| LoopBounds {
+                lo: ExprFrag {
+                    block: CodeBlock::new(lo_code),
+                    out: lo_out,
+                },
+                hi: ExprFrag {
+                    block: CodeBlock::new(hi_code),
+                    out: hi_out,
+                },
+            })
+            .collect(),
+        body,
+        // The batch plan is a derived artifact, not part of the
+        // textual format; equality ignores it.
+        batch: None,
+    })
+}

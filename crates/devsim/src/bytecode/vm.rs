@@ -1,0 +1,555 @@
+//! The bytecode VM: executes [`KernelCode`] bit-identically to the
+//! tree-walker.
+//!
+//! Values live in a flat register arena (`Vec<V>`), with the program's
+//! variables occupying the low registers — one bounds-checked index
+//! per access instead of the tree-walker's `Vec<Option<V>>` scope
+//! lookups. Every arithmetic helper is *shared* with the tree-walker
+//! ([`interp::bin`], [`interp::cmp`], [`interp::coerce`]), so the two
+//! tiers cannot drift: the VM only changes how operands are fetched,
+//! never what is computed.
+//!
+//! The watchdog stream is chosen once per kernel execution: if this
+//! thread has no armed budget, `charge()` is observably a no-op (the
+//! budget cell is thread-local), so the VM runs the charge-stripped
+//! twin stream and pays nothing per statement. With a watchdog armed
+//! it runs the full stream, charging exactly where the tree-walker
+//! does, so timeout budgets trip at the same statement.
+//!
+//! [`interp::bin`]: crate::interp
+//! [`interp::cmp`]: crate::interp
+//! [`interp::coerce`]: crate::interp
+
+use super::batch;
+use super::compile::{BodyCode, CodeBlock, Instr, KernelCode};
+use crate::interp::{self, GroupCtx, KernelFidelity, V};
+use crate::memory::{Buffer, MemLoc};
+use crate::race::{RaceTracker, ThreadId};
+use paccport_ir::expr::{BinOp, UnOp};
+use paccport_ir::kernel::{Kernel, KernelBody};
+use paccport_ir::types::{MemSpace, Scalar};
+
+/// Everything an instruction can touch — the VM's analogue of
+/// [`interp::Scope`].
+///
+/// [`interp::Scope`]: crate::interp::Scope
+struct Ctx<'a> {
+    params: &'a [V],
+    bufs: &'a mut [Buffer],
+    locals: Option<&'a mut Vec<Buffer>>,
+    group: GroupCtx,
+    tracker: Option<&'a RaceTracker>,
+}
+
+impl Ctx<'_> {
+    fn mem_loc(&self, space: MemSpace, array: u32, index: i64) -> MemLoc {
+        match space {
+            MemSpace::Global => MemLoc::global(array, index),
+            MemSpace::Local => MemLoc::local(array, self.group.group_id, index),
+        }
+    }
+}
+
+/// Pick the full or charge-stripped stream, decided once per exec.
+fn sel(cb: &CodeBlock, charging: bool) -> &[Instr] {
+    if charging {
+        &cb.code
+    } else {
+        &cb.stripped
+    }
+}
+
+/// Execute one instruction stream to completion.
+fn run_code(code: &[Instr], regs: &mut [V], defined: &mut [bool], ctx: &mut Ctx<'_>) {
+    let mut pc = 0usize;
+    while let Some(&ins) = code.get(pc) {
+        pc += 1;
+        match ins {
+            Instr::ConstF { dst, bits } => regs[dst as usize] = V::F(f64::from_bits(bits)),
+            Instr::ConstI { dst, v } => regs[dst as usize] = V::I(v),
+            Instr::ConstB { dst, v } => regs[dst as usize] = V::B(v),
+            Instr::Param { dst, p } => regs[dst as usize] = ctx.params[p as usize],
+            Instr::Copy { dst, src } => regs[dst as usize] = regs[src as usize],
+            Instr::Special { dst, which } => {
+                regs[dst as usize] = V::I(match which {
+                    0 => ctx.group.local_id,
+                    1 => ctx.group.group_id,
+                    2 => ctx.group.local_size,
+                    _ => ctx.group.num_groups,
+                });
+            }
+            Instr::CheckDef { var } => {
+                if !defined[var as usize] {
+                    panic!("read of undefined variable v{var}");
+                }
+            }
+            Instr::Un { op, dst, a } => {
+                let va = regs[a as usize];
+                regs[dst as usize] = match op {
+                    UnOp::Neg => match va {
+                        V::I(v) => V::I(-v),
+                        other => V::F(-other.as_f()),
+                    },
+                    UnOp::Abs => match va {
+                        V::I(v) => V::I(v.abs()),
+                        other => V::F(other.as_f().abs()),
+                    },
+                    UnOp::Rcp => V::F(1.0 / va.as_f()),
+                    UnOp::Sqrt => V::F(va.as_f().sqrt()),
+                    UnOp::Not => V::B(!va.as_b()),
+                    UnOp::Exp => V::F(va.as_f().exp()),
+                };
+            }
+            Instr::Bin { op, dst, a, b } => {
+                regs[dst as usize] = interp::bin(op, regs[a as usize], regs[b as usize]);
+            }
+            Instr::BinFF { op, dst, a, b } => {
+                let (va, vb) = (regs[a as usize], regs[b as usize]);
+                regs[dst as usize] = if let (V::F(x), V::F(y)) = (va, vb) {
+                    let (x, y) = (x as f32, y as f32);
+                    let r = match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => x / y,
+                        BinOp::Rem => x % y,
+                        BinOp::Min => x.min(y),
+                        BinOp::Max => x.max(y),
+                        _ => unreachable!("BinFF is arithmetic-only"),
+                    };
+                    V::F(r as f64)
+                } else {
+                    interp::bin(op, va, vb)
+                };
+            }
+            Instr::BinII { op, dst, a, b } => {
+                let (va, vb) = (regs[a as usize], regs[b as usize]);
+                regs[dst as usize] = if let (V::I(x), V::I(y)) = (va, vb) {
+                    V::I(match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => {
+                            assert!(y != 0, "integer division by zero");
+                            x / y
+                        }
+                        BinOp::Rem => {
+                            assert!(y != 0, "integer remainder by zero");
+                            x % y
+                        }
+                        BinOp::Min => x.min(y),
+                        BinOp::Max => x.max(y),
+                        _ => unreachable!("BinII is arithmetic-only"),
+                    })
+                } else {
+                    interp::bin(op, va, vb)
+                };
+            }
+            Instr::Cmp { op, dst, a, b } => {
+                regs[dst as usize] = V::B(interp::cmp(op, regs[a as usize], regs[b as usize]));
+            }
+            Instr::Fma { dst, a, b, c } => {
+                let va = regs[a as usize].as_f();
+                let vb = regs[b as usize].as_f();
+                let vc = regs[c as usize].as_f();
+                // f32 semantics, like the devices' fma.f32.
+                regs[dst as usize] = V::F(((va as f32).mul_add(vb as f32, vc as f32)) as f64);
+            }
+            Instr::Cast { ty, dst, a } => {
+                let v = regs[a as usize];
+                regs[dst as usize] = match ty {
+                    Scalar::F32 => V::F(v.as_f() as f32 as f64),
+                    Scalar::F64 => V::F(v.as_f()),
+                    Scalar::I32 => V::I(v.as_i() as i32 as i64),
+                    Scalar::U32 => V::I(v.as_i() as u32 as i64),
+                    Scalar::Bool => V::B(v.as_b()),
+                };
+            }
+            Instr::LetVar { ty, var, src } => {
+                regs[var as usize] = interp::coerce(regs[src as usize], ty);
+                defined[var as usize] = true;
+            }
+            Instr::SetVar { var, src } => {
+                regs[var as usize] = regs[src as usize];
+                defined[var as usize] = true;
+            }
+            Instr::ToInt { dst, src } => {
+                regs[dst as usize] = V::I(regs[src as usize].as_i());
+            }
+            Instr::Load {
+                space,
+                array,
+                idx,
+                dst,
+            } => {
+                let i = regs[idx as usize].as_i();
+                if let Some(t) = ctx.tracker {
+                    t.log_read(ctx.mem_loc(space, array as u32, i));
+                }
+                let buf = match space {
+                    MemSpace::Global => &ctx.bufs[array as usize],
+                    MemSpace::Local => {
+                        &ctx.locals.as_ref().expect("local access outside group")[array as usize]
+                    }
+                };
+                assert!(
+                    (i as usize) < buf.len(),
+                    "index {i} out of bounds for array of length {} ({:?})",
+                    buf.len(),
+                    space
+                );
+                regs[dst as usize] = match buf.elem() {
+                    Scalar::F32 | Scalar::F64 => V::F(buf.get(i as usize)),
+                    Scalar::Bool => V::B(buf.get(i as usize) != 0.0),
+                    _ => V::I(buf.get(i as usize) as i64),
+                };
+            }
+            Instr::Store {
+                space,
+                array,
+                idx,
+                val,
+            } => {
+                let i = regs[idx as usize].as_i();
+                let v = regs[val as usize].as_f();
+                if let Some(t) = ctx.tracker {
+                    t.log_write(ctx.mem_loc(space, array as u32, i), false);
+                }
+                let buf = match space {
+                    MemSpace::Global => &mut ctx.bufs[array as usize],
+                    MemSpace::Local => {
+                        &mut ctx.locals.as_mut().expect("local store outside group")[array as usize]
+                    }
+                };
+                assert!(
+                    (i as usize) < buf.len(),
+                    "store index {i} out of bounds for array of length {}",
+                    buf.len()
+                );
+                buf.set(i as usize, v);
+            }
+            Instr::Atomic {
+                op,
+                array,
+                idx,
+                val,
+            } => {
+                // Sequential interpretation makes the read-modify-write
+                // trivially atomic.
+                let i = regs[idx as usize].as_i() as usize;
+                let v = regs[val as usize].as_f();
+                if let Some(t) = ctx.tracker {
+                    t.log_write(ctx.mem_loc(MemSpace::Global, array as u32, i as i64), true);
+                }
+                let buf = &mut ctx.bufs[array as usize];
+                let old = buf.get(i);
+                buf.set(i, op.combine(old, v));
+            }
+            Instr::Jump { to } => pc = to as usize,
+            Instr::JumpIfFalse { cond, to } => {
+                if !regs[cond as usize].as_b() {
+                    pc = to as usize;
+                }
+            }
+            Instr::ForHead { cnt, hi, exit } => {
+                if regs[cnt as usize].as_i() >= regs[hi as usize].as_i() {
+                    pc = exit as usize;
+                }
+            }
+            Instr::ForStep { cnt, step, back } => {
+                regs[cnt as usize] = V::I(regs[cnt as usize].as_i() + step);
+                pc = back as usize;
+            }
+            Instr::Charge => paccport_faults::charge(1),
+        }
+    }
+}
+
+/// Execute one kernel over its full iteration space against `bufs`,
+/// exactly like [`interp::exec_kernel_traced`] but from compiled code.
+///
+/// `vars` is the runner's scalar environment; for simple kernels the
+/// defined-set and values are written back on exit (the tree-walker
+/// mutates the environment in place), for grouped kernels the outer
+/// environment is left untouched, also like the tree-walker.
+///
+/// [`interp::exec_kernel_traced`]: crate::interp::exec_kernel_traced
+pub fn exec_kernel_bc(
+    code: &KernelCode,
+    params: &[V],
+    k: &Kernel,
+    vars: &mut [Option<V>],
+    bufs: &mut [Buffer],
+    fidelity: KernelFidelity,
+    tracker: Option<&RaceTracker>,
+) {
+    // Constant for the whole exec: the budget cell is thread-local and
+    // nothing inside a kernel arms or disarms it. When unarmed,
+    // `charge()` is a no-op, so the stripped stream is observationally
+    // identical and we skip the per-statement call entirely.
+    let charging = paccport_faults::watchdog_armed();
+    let mut regs = vec![V::I(0); code.n_regs as usize];
+    let mut defined = vec![false; code.n_vars as usize];
+    for (i, v) in vars.iter().enumerate() {
+        if let Some(v) = *v {
+            regs[i] = v;
+            defined[i] = true;
+        }
+    }
+    {
+        let mut ctx = Ctx {
+            params,
+            bufs: &mut *bufs,
+            locals: None,
+            group: GroupCtx::default(),
+            tracker: None,
+        };
+        run_code(
+            sel(&code.prelude, charging),
+            &mut regs,
+            &mut defined,
+            &mut ctx,
+        );
+    }
+
+    match &k.body {
+        KernelBody::Simple(_) => {
+            let mut acc = k.region_reduction.as_ref().map(|rr| rr.op.identity());
+            let mut iter = Vec::with_capacity(k.loops.len());
+            let mut bstate = None;
+            nest(
+                code,
+                k,
+                0,
+                &mut regs,
+                &mut defined,
+                params,
+                bufs,
+                &mut acc,
+                tracker,
+                &mut iter,
+                charging,
+                &mut bstate,
+            );
+            if let Some(t) = tracker {
+                // The combined reduction store is a synchronization
+                // point, not a per-iteration access.
+                t.set_thread(None);
+            }
+            if let (Some(rr), Some(total)) = (&k.region_reduction, acc) {
+                bufs[rr.dest.0 as usize].set(0, total);
+            }
+            // Write the environment back: values for everything
+            // defined, None for everything still unset — the exact
+            // state the tree-walker leaves `vars` in.
+            for (i, d) in defined.iter().enumerate() {
+                vars[i] = if *d { Some(regs[i]) } else { None };
+            }
+        }
+        KernelBody::Grouped(g) => {
+            let phases = match &code.body {
+                BodyCode::Grouped { phases } => phases,
+                BodyCode::Simple { .. } => unreachable!("kernel/code shape mismatch"),
+            };
+            // Grouped kernels have one parallel loop; each group of
+            // `group_size` threads cooperates on one iteration of it.
+            assert_eq!(k.loops.len(), 1, "grouped kernels are rank-1");
+            let lp = &k.loops[0];
+            let b = &code.bounds[0];
+            let (lo, hi) = {
+                let mut ctx = Ctx {
+                    params,
+                    bufs: &mut *bufs,
+                    locals: None,
+                    group: GroupCtx::default(),
+                    // Loop bounds are evaluated once, before the
+                    // parallel region: not per-iteration accesses.
+                    tracker: None,
+                };
+                run_code(
+                    sel(&b.lo.block, charging),
+                    &mut regs,
+                    &mut defined,
+                    &mut ctx,
+                );
+                let lo = regs[b.lo.out as usize].as_i();
+                run_code(
+                    sel(&b.hi.block, charging),
+                    &mut regs,
+                    &mut defined,
+                    &mut ctx,
+                );
+                (lo, regs[b.hi.out as usize].as_i())
+            };
+            let n_groups = (hi - lo).max(0);
+            let gsz = g.group_size as i64;
+            for grp in 0..n_groups {
+                let mut locals: Vec<Buffer> = g
+                    .locals
+                    .iter()
+                    .map(|l| Buffer::zeroed(l.elem, l.len))
+                    .collect();
+                // Per-thread register files persist across phases.
+                let mut thread_regs: Vec<Vec<V>> = vec![regs.clone(); g.group_size as usize];
+                let mut thread_def: Vec<Vec<bool>> = vec![defined.clone(); g.group_size as usize];
+                for (pi, phase) in phases.iter().enumerate() {
+                    let skip = fidelity == KernelFidelity::DropTreePhases
+                        && pi > 0
+                        && pi + 1 < phases.len();
+                    if skip {
+                        continue;
+                    }
+                    if let Some(tr) = tracker {
+                        // Phases are separated by implicit barriers;
+                        // the phase index is the tracker's epoch.
+                        tr.set_epoch(pi as u32);
+                    }
+                    let pcode = sel(phase, charging);
+                    for t in 0..gsz {
+                        let tr_regs = &mut thread_regs[t as usize];
+                        let tdef = &mut thread_def[t as usize];
+                        tr_regs[lp.var.0 as usize] = V::I(lo + grp);
+                        tdef[lp.var.0 as usize] = true;
+                        if let Some(trk) = tracker {
+                            trk.set_thread(Some(ThreadId::Lane {
+                                group: grp,
+                                lane: t,
+                            }));
+                        }
+                        let mut ctx = Ctx {
+                            params,
+                            bufs: &mut *bufs,
+                            locals: Some(&mut locals),
+                            group: GroupCtx {
+                                local_id: t,
+                                group_id: grp,
+                                local_size: gsz,
+                                num_groups: n_groups,
+                            },
+                            tracker,
+                        };
+                        run_code(pcode, tr_regs, tdef, &mut ctx);
+                    }
+                }
+            }
+            if let Some(tr) = tracker {
+                tr.set_thread(None);
+            }
+        }
+    }
+}
+
+/// Recursively iterate the parallel loop nest of a simple kernel,
+/// mirroring the tree-walker's `exec_nest` (per-depth bounds
+/// re-evaluation handles triangular nests).
+#[allow(clippy::too_many_arguments)]
+fn nest(
+    code: &KernelCode,
+    k: &Kernel,
+    depth: usize,
+    regs: &mut [V],
+    defined: &mut [bool],
+    params: &[V],
+    bufs: &mut [Buffer],
+    acc: &mut Option<f64>,
+    tracker: Option<&RaceTracker>,
+    iter: &mut Vec<i64>,
+    charging: bool,
+    bstate: &mut Option<Box<batch::BatchState>>,
+) {
+    let (block, reduce) = match &code.body {
+        BodyCode::Simple { block, reduce } => (block, reduce.as_ref()),
+        BodyCode::Grouped { .. } => unreachable!("kernel/code shape mismatch"),
+    };
+    if depth == k.loops.len() {
+        if let Some(t) = tracker {
+            t.set_thread(Some(ThreadId::Iter(iter.clone())));
+        }
+        let mut ctx = Ctx {
+            params,
+            bufs,
+            locals: None,
+            group: GroupCtx::default(),
+            tracker,
+        };
+        run_code(sel(block, charging), regs, defined, &mut ctx);
+        if let (Some(rr), Some(frag)) = (&k.region_reduction, reduce) {
+            run_code(sel(&frag.block, charging), regs, defined, &mut ctx);
+            let v = regs[frag.out as usize].as_f();
+            if let Some(total) = acc.as_mut() {
+                *total = rr.op.combine(*total, v);
+            }
+        }
+        return;
+    }
+    let b = &code.bounds[depth];
+    let (lo, hi) = {
+        let mut ctx = Ctx {
+            params,
+            bufs: &mut *bufs,
+            locals: None,
+            group: GroupCtx::default(),
+            // Loop bounds are evaluated before the parallel region at
+            // this depth: not per-iteration accesses.
+            tracker: None,
+        };
+        // The two fragments share temp registers: read `lo` before
+        // running `hi`.
+        run_code(sel(&b.lo.block, charging), regs, defined, &mut ctx);
+        let lo = regs[b.lo.out as usize].as_i();
+        run_code(sel(&b.hi.block, charging), regs, defined, &mut ctx);
+        (lo, regs[b.hi.out as usize].as_i())
+    };
+    let var = k.loops[depth].var.0 as usize;
+    if tracker.is_none() && !charging && depth + 1 == k.loops.len() {
+        // Batched innermost loop: one pass over the whole lane range
+        // with loop-invariant operands resolved once. Shadow logging
+        // and watchdog charging need per-lane dispatch, so the batch
+        // only runs without them; `run_batch` returns `false` (having
+        // touched nothing) on any hazard, falling through to the
+        // scalar paths below.
+        if let Some(plan) = &code.batch {
+            if batch::run_batch(plan, bstate, lo, hi, regs, defined, params, bufs, acc) {
+                return;
+            }
+        }
+    }
+    if tracker.is_none() && depth + 1 == k.loops.len() && k.region_reduction.is_none() {
+        // Innermost fast path: no thread-id bookkeeping, no reduction
+        // accumulation — a flat dispatch loop over the body stream.
+        let body = sel(block, charging);
+        let mut ctx = Ctx {
+            params,
+            bufs,
+            locals: None,
+            group: GroupCtx::default(),
+            tracker: None,
+        };
+        for i in lo..hi {
+            regs[var] = V::I(i);
+            defined[var] = true;
+            run_code(body, regs, defined, &mut ctx);
+        }
+        return;
+    }
+    for i in lo..hi {
+        regs[var] = V::I(i);
+        defined[var] = true;
+        iter.push(i);
+        nest(
+            code,
+            k,
+            depth + 1,
+            regs,
+            defined,
+            params,
+            bufs,
+            acc,
+            tracker,
+            iter,
+            charging,
+            bstate,
+        );
+        iter.pop();
+    }
+}

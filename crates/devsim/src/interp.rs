@@ -55,7 +55,7 @@ impl V {
         }
     }
 
-    fn is_float(self) -> bool {
+    pub(crate) fn is_float(self) -> bool {
         matches!(self, V::F(_))
     }
 }
@@ -71,8 +71,9 @@ pub struct GroupCtx {
 
 /// Everything an expression evaluation can touch.
 pub struct Scope<'a> {
-    /// Scalar variables, indexed by `VarId`.
-    pub vars: &'a mut Vec<Option<V>>,
+    /// Scalar variables, indexed by `VarId`. A flat slice — one
+    /// bounds-checked index per access, no `Vec` header indirection.
+    pub vars: &'a mut [Option<V>],
     /// Global (device or host, depending on caller) arrays.
     pub bufs: &'a mut [Buffer],
     /// Work-group local arrays (grouped kernels only).
@@ -201,7 +202,10 @@ pub fn eval(p: &Program, params: &[V], e: &Expr, s: &Scope<'_>) -> V {
     }
 }
 
-fn bin(op: BinOp, a: V, b: V) -> V {
+/// Shared by the tree-walker and the bytecode VM (`crate::bytecode`):
+/// both tiers funnel every binary operation through this one function,
+/// so their f32-narrowed arithmetic is bit-identical by construction.
+pub(crate) fn bin(op: BinOp, a: V, b: V) -> V {
     use BinOp::*;
     let float = a.is_float() || b.is_float();
     match op {
@@ -250,7 +254,7 @@ fn bin(op: BinOp, a: V, b: V) -> V {
     }
 }
 
-fn cmp(op: CmpOp, a: V, b: V) -> bool {
+pub(crate) fn cmp(op: CmpOp, a: V, b: V) -> bool {
     let float = a.is_float() || b.is_float();
     if float {
         let x = a.as_f();
@@ -375,7 +379,7 @@ fn exec_stmt(p: &Program, params: &[V], stmt: &Stmt, s: &mut Scope<'_>) {
     }
 }
 
-fn coerce(v: V, ty: Scalar) -> V {
+pub(crate) fn coerce(v: V, ty: Scalar) -> V {
     match ty {
         Scalar::F32 => V::F(v.as_f() as f32 as f64),
         Scalar::F64 => V::F(v.as_f()),
@@ -404,7 +408,7 @@ pub fn exec_kernel(
     p: &Program,
     params: &[V],
     k: &Kernel,
-    vars: &mut Vec<Option<V>>,
+    vars: &mut [Option<V>],
     bufs: &mut [Buffer],
     fidelity: KernelFidelity,
 ) {
@@ -419,7 +423,7 @@ pub fn exec_kernel_traced(
     p: &Program,
     params: &[V],
     k: &Kernel,
-    vars: &mut Vec<Option<V>>,
+    vars: &mut [Option<V>],
     bufs: &mut [Buffer],
     fidelity: KernelFidelity,
     tracker: Option<&RaceTracker>,
@@ -444,7 +448,7 @@ pub fn exec_kernel_traced(
             assert_eq!(k.loops.len(), 1, "grouped kernels are rank-1");
             let lp = &k.loops[0];
             let scope_ro = Scope {
-                vars,
+                vars: &mut *vars,
                 bufs,
                 locals: None,
                 group: GroupCtx::default(),
@@ -462,7 +466,7 @@ pub fn exec_kernel_traced(
                     .collect();
                 // Per-thread scalar environments persist across phases.
                 let mut thread_vars: Vec<Vec<Option<V>>> =
-                    vec![vars.clone(); g.group_size as usize];
+                    vec![vars.to_vec(); g.group_size as usize];
                 for (pi, phase) in g.phases.iter().enumerate() {
                     let skip = fidelity == KernelFidelity::DropTreePhases
                         && pi > 0
@@ -514,7 +518,7 @@ fn exec_nest(
     params: &[V],
     k: &Kernel,
     depth: usize,
-    vars: &mut Vec<Option<V>>,
+    vars: &mut [Option<V>],
     bufs: &mut [Buffer],
     acc: &mut Option<f64>,
     tracker: Option<&RaceTracker>,
@@ -526,7 +530,7 @@ fn exec_nest(
         }
         let body = k.simple_body().expect("simple kernel");
         let mut s = Scope {
-            vars,
+            vars: &mut *vars,
             bufs,
             locals: None,
             group: GroupCtx::default(),
@@ -542,7 +546,7 @@ fn exec_nest(
     let lp = &k.loops[depth];
     let (lo, hi) = {
         let s = Scope {
-            vars,
+            vars: &mut *vars,
             bufs,
             locals: None,
             group: GroupCtx::default(),

@@ -45,6 +45,7 @@
 //! assert!(result.elapsed > 0.0);
 //! ```
 
+pub mod bytecode;
 pub mod device;
 pub mod dyncost;
 pub mod heatmap;
@@ -53,8 +54,10 @@ pub mod memory;
 pub mod profile;
 pub mod race;
 pub mod runner;
+pub mod tier;
 pub mod timing;
 
+pub use bytecode::{compile_kernel, exec_kernel_bc, exec_kernel_tiered, KernelCode};
 pub use device::{amd_firepro, host_cpu, k40, phi5110p, spec_for, DeviceSpec, ParallelUnit};
 pub use dyncost::{kernel_dyn_cost, CostHints, DynCost};
 pub use heatmap::{sweep, HeatMap};
@@ -63,4 +66,5 @@ pub use memory::{Buffer, MemLoc, TransferLedger};
 pub use profile::render_profile;
 pub use race::{Race, RaceKind, RaceTracker, ThreadId};
 pub use runner::{run, Fidelity, KernelStat, RunConfig, RunResult};
+pub use tier::{default_tier, set_default_tier, ExecTier};
 pub use timing::{bw_fraction, compute_rate, kernel_launch_time, transfer_time, warp_efficiency};

@@ -8,6 +8,7 @@ use crate::dyncost::{kernel_dyn_cost, CostHints, DynCost};
 use crate::interp::{exec_kernel_traced, fresh_vars, KernelFidelity, V};
 use crate::memory::{Buffer, TransferLedger};
 use crate::race::{Race, RaceTracker};
+use crate::tier::ExecTier;
 use crate::timing::{kernel_launch_time, transfer_time};
 use paccport_compilers::common::dist_rank_of;
 use paccport_compilers::lower::used_arrays;
@@ -46,6 +47,11 @@ pub struct RunConfig {
     /// cell label). `None` falls back to the program name, so direct
     /// `run` callers still get per-program fault determinism.
     pub fault_scope: Option<String>,
+    /// Which interpreter executes kernels during functional runs.
+    /// Constructors pick up [`crate::tier::default_tier`], so a CLI
+    /// `--tier` flag reaches every internal construction site; use
+    /// [`RunConfig::with_tier`] to pin a tier explicitly.
+    pub tier: ExecTier,
 }
 
 impl RunConfig {
@@ -57,6 +63,7 @@ impl RunConfig {
             hints: CostHints::default(),
             race_check: false,
             fault_scope: None,
+            tier: crate::tier::default_tier(),
         }
     }
 
@@ -68,6 +75,7 @@ impl RunConfig {
             hints: CostHints::default(),
             race_check: false,
             fault_scope: None,
+            tier: crate::tier::default_tier(),
         }
     }
 
@@ -88,6 +96,11 @@ impl RunConfig {
 
     pub fn with_fault_scope(mut self, scope: impl Into<String>) -> Self {
         self.fault_scope = Some(scope.into());
+        self
+    }
+
+    pub fn with_tier(mut self, tier: ExecTier) -> Self {
+        self.tier = tier;
         self
     }
 }
@@ -221,6 +234,10 @@ struct Runner<'a> {
     /// programmer omits `#pragma acc data` (the motivation for the
     /// paper's future-work Step 5).
     region_cover: Vec<u32>,
+    /// Compile-once bytecode cache by kernel name (bytecode tier
+    /// only): a kernel relaunched every while-loop iteration is
+    /// lowered exactly once per run.
+    bc: BTreeMap<String, crate::bytecode::KernelCode>,
 }
 
 impl<'a> Runner<'a> {
@@ -336,6 +353,7 @@ impl<'a> Runner<'a> {
             race_accesses: 0,
             device_active,
             region_cover: vec![0; p.arrays.len()],
+            bc: BTreeMap::new(),
         })
     }
 
@@ -721,15 +739,32 @@ impl<'a> Runner<'a> {
             } else {
                 &mut self.host
             };
-            exec_kernel_traced(
-                p,
-                &self.params,
-                k,
-                &mut self.vars,
-                bufs,
-                fidelity,
-                tracker.as_ref(),
-            );
+            match self.cfg.tier {
+                ExecTier::Tree => exec_kernel_traced(
+                    p,
+                    &self.params,
+                    k,
+                    &mut self.vars,
+                    bufs,
+                    fidelity,
+                    tracker.as_ref(),
+                ),
+                ExecTier::Bytecode => {
+                    if !self.bc.contains_key(&k.name) {
+                        self.bc
+                            .insert(k.name.clone(), crate::bytecode::compile_kernel(p, k));
+                    }
+                    crate::bytecode::exec_kernel_bc(
+                        &self.bc[&k.name],
+                        &self.params,
+                        k,
+                        &mut self.vars,
+                        bufs,
+                        fidelity,
+                        tracker.as_ref(),
+                    );
+                }
+            }
             if let Some(t) = tracker {
                 self.race_accesses += t.accesses();
                 paccport_trace::add("race.accesses", t.accesses());

@@ -1,0 +1,62 @@
+//! Workspace-level gate: the bytecode execution tier is bitwise
+//! interchangeable with the tree-walking reference interpreter.
+//!
+//! Two angles of attack:
+//!
+//! 1. The full soundness matrix (every compiler personality × device
+//!    × program cell that `reproduce --check` sweeps) is run under
+//!    both tiers and the complete observable run state — host buffer
+//!    bit patterns, race sets, shadow-log access counts, transfer
+//!    ledgers, while-loop iteration counts, kernel launch stats —
+//!    must agree exactly. This runs twice: once with the race
+//!    tracker on (scalar bytecode dispatch) and once with it off
+//!    (tracker-less batched dispatch), so both VM paths are covered.
+//! 2. The pinned conformance corpus — the regression cases fished out
+//!    by the differential fuzzer — is replayed through the driver's
+//!    `tier/bytecode` leg, which cross-checks the tiers including
+//!    panic messages.
+
+use paccport::compilers::ArtifactCache;
+use paccport::conformance::corpus::corpus;
+use paccport::conformance::{check_case, Outcome};
+use paccport::core::study::Scale;
+use paccport::core::tierdiff::{tier_equivalence, tier_equivalence_with};
+
+#[test]
+fn soundness_matrix_is_tier_equivalent() {
+    let report = tier_equivalence(&Scale::smoke());
+    assert_eq!(
+        report.cells.len(),
+        59,
+        "smoke soundness matrix changed size; update this pin deliberately"
+    );
+    assert!(report.ok(), "{}", report.render());
+    assert!(report.render().contains("tier mismatches: 0"));
+}
+
+#[test]
+fn soundness_matrix_is_tier_equivalent_without_race_tracking() {
+    // With shadow-logging off the bytecode VM takes its batched
+    // innermost-loop dispatch; the tree-walker is unaffected, so any
+    // batching bug shows up here as a bitwise mismatch.
+    let report = tier_equivalence_with(&ArtifactCache::new(), &Scale::smoke(), false);
+    assert_eq!(report.cells.len(), 59);
+    assert!(report.ok(), "{}", report.render());
+}
+
+#[test]
+fn pinned_corpus_replays_on_bytecode_tier() {
+    let mut tier_legs = 0;
+    for (name, case) in corpus() {
+        for leg in check_case(&case) {
+            if leg.label != "tier/bytecode" {
+                continue;
+            }
+            tier_legs += 1;
+            if let Outcome::Mismatch { kind, detail } = &leg.outcome {
+                panic!("corpus case `{name}` diverged across tiers: {kind:?}: {detail}");
+            }
+        }
+    }
+    assert!(tier_legs > 0, "corpus produced no tier/bytecode legs");
+}
