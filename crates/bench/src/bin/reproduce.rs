@@ -4,7 +4,7 @@
 //! ```text
 //! reproduce [--check] [--scale smoke|quick|paper] [--quick]
 //!           [--jobs N] [--trace] [--profile] [--exp <id>]...
-//!           [--tier tree|bytecode|both]
+//!           [--tier tree|bytecode|both] [--passes LIST]
 //!           [--inject SPEC] [--fault-seed N]
 //!           [--trace-out FILE] [--trace-format chrome|jsonl|folded]
 //!           [--metrics-out FILE]
@@ -29,6 +29,16 @@
 //! fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16, plus the future-work
 //! extensions ext1 (OpenARC auto-tuning) and ext2 (data-region
 //! insertion).
+//!
+//! `--passes LIST` runs the middle-end pass pipeline over every
+//! program before it reaches a compiler personality: a comma-
+//! separated list of pass names, where `default` expands to
+//! `mem2reg,constfold,licm,cse,dse` and `ptx-peephole` additionally
+//! cleans dead `mov`/`cvt` debris from the lowered modules. Every
+//! pass preserves bitwise-exact observables (the `conform`
+//! subcommand checks each one, and each prefix of the default
+//! pipeline, as its own leg); what changes are the static instruction
+//! counts (Table V) and the modeled timings derived from them.
 //!
 //! `--check` runs the soundness cross-check instead of the figures:
 //! every benchmark variant × target executes *functionally* (at
@@ -257,6 +267,14 @@ fn main() {
                 .next()
                 .cloned()
                 .unwrap_or_else(|| die("--scale requires smoke|quick|paper"));
+        } else if a == "--passes" {
+            let spec = it.next().cloned().unwrap_or_else(|| {
+                die("--passes requires a comma-separated pass list (try `default`)")
+            });
+            match paccport_compilers::passes::Pipeline::parse(&spec) {
+                Ok(pl) => paccport_compilers::passes::set_global_pipeline(Some(pl)),
+                Err(e) => die(&e),
+            }
         }
     }
     let all = wanted.is_empty();

@@ -59,6 +59,7 @@ pub fn compile(
     // Outcome log lines, appended to the diagnostics after assembly
     // (the "fake successful message" of Section V-B3 lives here).
     let mut transform_diags: Vec<crate::artifact::Diagnostic> = Vec::new();
+    let kinds = paccport_ir::KindEnv::for_program(&prog);
     let mut names = std::mem::take(&mut prog.var_names);
     {
         let mut va = VarAlloc::new(&mut names);
@@ -71,7 +72,7 @@ pub fn compile(
                 let applied = if q.caps_tile_silent_on_nested && nested {
                     false
                 } else {
-                    strip_mine(k, t, &mut va)
+                    strip_mine(k, t, &mut va, &kinds)
                 };
                 // Either way the compiler reports success; the PTX
                 // comparison is how the paper catches the no-op.
@@ -86,9 +87,9 @@ pub fn compile(
                     KernelBody::Grouped(_) => {
                         let allowed = options.backend == Backend::OpenCl
                             || !q.caps_cuda_unroll_fails_on_accum;
-                        allowed && unroll_grouped_phases(k, f)
+                        allowed && unroll_grouped_phases(k, f, &kinds)
                     }
-                    KernelBody::Simple(_) => unroll_inner_loops(k, f),
+                    KernelBody::Simple(_) => unroll_inner_loops(k, f, &kinds),
                 };
                 let message = if applied || q.caps_fake_unroll_success {
                     // Lying on failure is the quirk.

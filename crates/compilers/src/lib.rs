@@ -44,6 +44,7 @@ pub mod mapping;
 pub mod openarc;
 pub mod opencl;
 pub mod options;
+pub mod passes;
 pub mod pgi;
 pub mod transforms;
 
@@ -73,10 +74,27 @@ pub fn compile(
     if paccport_trace::metrics::metrics_enabled() {
         paccport_trace::metrics::counter_add("compile_total", &[("compiler", id.label())], 1);
     }
-    match id {
+    // The session-global middle-end pipeline (set via
+    // `reproduce --passes`, or programmatically) rewrites a copy of
+    // the IR before the personality sees it; `None` (the default)
+    // keeps compilation byte-for-byte as it always was.
+    let pipeline = passes::global_pipeline();
+    let optimized = pipeline.as_ref().map(|pl| {
+        let mut q = program.clone();
+        pl.run(&mut q);
+        q
+    });
+    let program = optimized.as_ref().unwrap_or(program);
+    let mut out = match id {
         CompilerId::Caps => caps::compile(program, options),
         CompilerId::Pgi => pgi::compile(program, options),
         CompilerId::OpenClHand => opencl::compile(program, options),
         CompilerId::OpenArc => openarc::compile(program, options),
+    }?;
+    if pipeline.as_ref().is_some_and(|pl| pl.peephole)
+        && paccport_ptx::peephole::run_module(&mut out.module)
+    {
+        paccport_trace::add("passes.ptx-peephole", 1);
     }
+    Ok(out)
 }

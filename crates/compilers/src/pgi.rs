@@ -189,6 +189,7 @@ pub fn compile(
 
     // ---------------- Pass B: transforms matching the decisions -----
     let munroll = options.munroll();
+    let kinds = paccport_ir::KindEnv::for_program(&prog);
     let mut names = std::mem::take(&mut prog.var_names);
     {
         let mut va = VarAlloc::new(&mut names);
@@ -203,7 +204,7 @@ pub fn compile(
                 serialize_inner_loops(k, 1);
             }
             if munroll && matches!(k.body, KernelBody::Simple(_)) {
-                unroll_inner_loops_filtered(k, 2, true);
+                unroll_inner_loops_filtered(k, 2, true, &kinds);
             }
         });
     }

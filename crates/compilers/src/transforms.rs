@@ -10,7 +10,7 @@ use paccport_ir::expr::{BinOp, CmpOp, Expr};
 use paccport_ir::kernel::{GroupedBody, Kernel, KernelBody, ParallelLoop};
 use paccport_ir::stmt::{Block, Stmt};
 use paccport_ir::types::{ArrayId, LocalArrayDecl, Scalar, VarId};
-use paccport_ir::SpecialVar;
+use paccport_ir::{simplify_kernel_in, KindEnv, SpecialVar};
 
 /// Fresh-variable allocator backed by the program's name table.
 pub struct VarAlloc<'a> {
@@ -80,20 +80,21 @@ impl TransformVariant {
     /// (e.g. strip-mining a rank-2 nest) skip it, exactly as the
     /// simulated compilers do.
     pub fn apply(&self, p: &mut paccport_ir::Program) -> bool {
+        let env = KindEnv::for_program(p);
         let mut names = std::mem::take(&mut p.var_names);
         let mut changed = false;
         {
             let mut va = VarAlloc::new(&mut names);
             p.map_kernels(|k| {
                 changed |= match self {
-                    TransformVariant::Unroll(f) => unroll_inner_loops(k, *f),
-                    TransformVariant::UnrollGrouped(f) => unroll_grouped_phases(k, *f),
-                    TransformVariant::StripMine(t) => strip_mine(k, *t, &mut va),
+                    TransformVariant::Unroll(f) => unroll_inner_loops(k, *f, &env),
+                    TransformVariant::UnrollGrouped(f) => unroll_grouped_phases(k, *f, &env),
+                    TransformVariant::StripMine(t) => strip_mine(k, *t, &mut va, &env),
                     TransformVariant::SerializeInner => serialize_inner_loops(k, 1),
                     TransformVariant::ReductionToGrouped(g) => reduction_to_grouped(k, *g, &mut va),
                     TransformVariant::Simplify => {
                         let before = k.clone();
-                        paccport_ir::simplify_kernel(k);
+                        simplify_kernel_in(k, &env);
                         *k != before
                     }
                 };
@@ -137,15 +138,20 @@ pub fn has_scalar_accumulation(b: &Block) -> bool {
 /// Unroll every innermost sequential loop of a simple kernel body by
 /// `factor`, with an epilogue loop for the remainder. Returns whether
 /// any loop was transformed.
-pub fn unroll_inner_loops(k: &mut Kernel, factor: u32) -> bool {
-    unroll_inner_loops_filtered(k, factor, false)
+pub fn unroll_inner_loops(k: &mut Kernel, factor: u32, env: &KindEnv) -> bool {
+    unroll_inner_loops_filtered(k, factor, false, env)
 }
 
 /// Like [`unroll_inner_loops`], but with `skip_accum = true` loops
 /// that accumulate into a scalar (`acc = acc + e`) are left alone —
 /// PGI's `-Munroll` behaviour, which explains why LUD's PTX did not
 /// change under PGI while Gaussian elimination's nearly doubled.
-pub fn unroll_inner_loops_filtered(k: &mut Kernel, factor: u32, skip_accum: bool) -> bool {
+pub fn unroll_inner_loops_filtered(
+    k: &mut Kernel,
+    factor: u32,
+    skip_accum: bool,
+    env: &KindEnv,
+) -> bool {
     assert!(factor >= 2);
     let KernelBody::Simple(body) = &mut k.body else {
         return false;
@@ -155,7 +161,7 @@ pub fn unroll_inner_loops_filtered(k: &mut Kernel, factor: u32, skip_accum: bool
     if changed {
         // Fold the `i + 0` / `(n / F) * F` debris a real
         // source-to-source compiler would never emit.
-        paccport_ir::simplify_kernel(k);
+        simplify_kernel_in(k, env);
         paccport_trace::add("transforms.unroll_inner_loops", 1);
     }
     changed
@@ -302,7 +308,7 @@ pub fn serialize_inner_loops(k: &mut Kernel, keep: usize) -> bool {
 /// Unroll the strided accumulation loops inside a grouped (reduction)
 /// body — what CAPS's OpenCL back end managed on Back Propagation
 /// while its CUDA back end did not (Section V-D1).
-pub fn unroll_grouped_phases(k: &mut Kernel, factor: u32) -> bool {
+pub fn unroll_grouped_phases(k: &mut Kernel, factor: u32, env: &KindEnv) -> bool {
     let KernelBody::Grouped(g) = &mut k.body else {
         return false;
     };
@@ -311,7 +317,7 @@ pub fn unroll_grouped_phases(k: &mut Kernel, factor: u32) -> bool {
         *phase = unroll_block(phase, factor, &mut changed);
     }
     if changed {
-        paccport_ir::simplify_kernel(k);
+        simplify_kernel_in(k, env);
         paccport_trace::add("transforms.unroll_grouped_phases", 1);
     }
     changed
@@ -324,7 +330,7 @@ pub fn unroll_grouped_phases(k: &mut Kernel, factor: u32) -> bool {
 /// ld.shared or st.shared instructions have been found").
 ///
 /// Returns whether the kernel was transformed.
-pub fn strip_mine(k: &mut Kernel, tile: u32, va: &mut VarAlloc<'_>) -> bool {
+pub fn strip_mine(k: &mut Kernel, tile: u32, va: &mut VarAlloc<'_>, env: &KindEnv) -> bool {
     if k.loops.len() != 1 {
         return false;
     }
@@ -378,7 +384,7 @@ pub fn strip_mine(k: &mut Kernel, tile: u32, va: &mut VarAlloc<'_>) -> bool {
     inner.clauses.independent = old.clauses.independent;
     k.loops = vec![outer, inner];
     k.body = KernelBody::Simple(guarded);
-    paccport_ir::simplify_kernel(k);
+    simplify_kernel_in(k, env);
     paccport_trace::add("transforms.strip_mine", 1);
     true
 }
@@ -515,7 +521,10 @@ pub fn reduction_to_grouped(k: &mut Kernel, group_size: u32, va: &mut VarAlloc<'
         group_size,
         locals: vec![LocalArrayDecl {
             name: "sdata".into(),
-            elem: Scalar::F32,
+            // The shared buffer must carry the accumulator's type: an
+            // F32 buffer under an I32 (or F64) accumulator silently
+            // coerces every partial sum.
+            elem: acc_ty,
             len: group_size as usize,
         }],
         phases,
@@ -565,7 +574,7 @@ mod tests {
     #[test]
     fn unroll_duplicates_innermost_body() {
         let (_p, mut k) = accum_kernel();
-        assert!(unroll_inner_loops(&mut k, 4));
+        assert!(unroll_inner_loops(&mut k, 4, &KindEnv::new()));
         let body = k.simple_body().unwrap();
         // Two loops now: main (step 4) and remainder (step 1).
         let fors: Vec<_> = body
@@ -592,7 +601,7 @@ mod tests {
             vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
             Block::new(vec![st(a, i, ld(a, i) + 1.0)]),
         );
-        assert!(!unroll_inner_loops(&mut k, 8));
+        assert!(!unroll_inner_loops(&mut k, 8, &KindEnv::new()));
     }
 
     #[test]
@@ -608,7 +617,7 @@ mod tests {
         );
         let mut p = b.finish(vec![]);
         let mut va = VarAlloc::new(&mut p.var_names);
-        assert!(strip_mine(&mut k, 32, &mut va));
+        assert!(strip_mine(&mut k, 32, &mut va, &KindEnv::new()));
         assert_eq!(k.loops.len(), 2);
         // Guard present.
         let body = k.simple_body().unwrap();
@@ -626,7 +635,7 @@ mod tests {
             Expr::iconst(0),
             Expr::param(ParamId(0)),
         ));
-        assert!(!strip_mine(&mut k, 32, &mut va));
+        assert!(!strip_mine(&mut k, 32, &mut va, &KindEnv::new()));
     }
 
     #[test]
@@ -641,6 +650,44 @@ mod tests {
                 assert_eq!(g.phases.len(), 1 + 7 + 1);
                 assert_eq!(g.locals.len(), 1);
                 assert_eq!(g.locals[0].len, 128);
+            }
+            _ => panic!("expected grouped body"),
+        }
+    }
+
+    #[test]
+    fn reduction_transform_keeps_accumulator_type_for_sdata() {
+        // Regression: the shared buffer was hardcoded to F32, so an
+        // I32 accumulator had its partial sums coerced through float
+        // on every round trip to local memory.
+        let mut b = ProgramBuilder::new("p");
+        let n = b.iparam("n");
+        let m = b.iparam("m");
+        let input = b.array("in", Scalar::I32, n, Intent::In);
+        let out = b.array("out", Scalar::I32, m, Intent::Out);
+        let j = b.var("j");
+        let kv = b.var("k");
+        let sum = b.var("sum");
+        let mut k = Kernel::simple(
+            "count",
+            vec![ParallelLoop::new(j, Expr::iconst(0), Expr::param(m))],
+            Block::new(vec![
+                let_(sum, Scalar::I32, 0i64),
+                for_(
+                    kv,
+                    0i64,
+                    E::from(n),
+                    vec![assign(sum, E::from(sum) + ld(input, kv))],
+                ),
+                st(out, j, E::from(sum)),
+            ]),
+        );
+        let mut p = b.finish(vec![HostStmt::Launch(k.clone())]);
+        let mut va = VarAlloc::new(&mut p.var_names);
+        assert!(reduction_to_grouped(&mut k, 8, &mut va));
+        match &k.body {
+            KernelBody::Grouped(g) => {
+                assert_eq!(g.locals[0].elem, Scalar::I32, "sdata must carry acc_ty");
             }
             _ => panic!("expected grouped body"),
         }

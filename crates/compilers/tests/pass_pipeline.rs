@@ -1,0 +1,413 @@
+//! Structural unit tests for the middle-end pass pipeline.
+//!
+//! These assert *shape*: that each pass performs its signature
+//! rewrite on a hand-built kernel, keeps the program valid, and is
+//! idempotent. Bitwise semantic preservation is enforced separately
+//! by the conformance harness, which runs every pass (and every
+//! prefix of the default pipeline) as its own differential leg.
+
+use paccport_compilers::passes::{self, Pipeline, DEFAULT_PASSES};
+use paccport_compilers::{compile, CompileOptions, CompilerId};
+use paccport_ir::{
+    assign, for_, ld, let_, st, validate, Block, Expr, Intent, Kernel, KernelBody, ParallelLoop,
+    Program, ProgramBuilder, Scalar, Stmt, E,
+};
+
+/// `out[i] = f(x[i])` with a reassigned scalar in the middle.
+fn program_with_assign() -> Program {
+    let mut b = ProgramBuilder::new("p");
+    let n = b.iparam("n");
+    let x = b.array("x", Scalar::F32, n, Intent::In);
+    let out = b.array("out", Scalar::F32, n, Intent::Out);
+    let i = b.var("i");
+    let t = b.var("t");
+    let k = Kernel::simple(
+        "k",
+        vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+        Block::new(vec![
+            let_(t, Scalar::F32, ld(x, i)),
+            assign(t, E::from(t) * 2.0),
+            st(out, i, E::from(t) + 1.0),
+        ]),
+    );
+    b.finish(vec![paccport_ir::HostStmt::Launch(k)])
+}
+
+fn body(p: &Program) -> &Vec<Stmt> {
+    let paccport_ir::HostStmt::Launch(k) = &p.body[0] else {
+        panic!("launch");
+    };
+    let KernelBody::Simple(b) = &k.body else {
+        panic!("simple");
+    };
+    &b.0
+}
+
+#[test]
+fn mem2reg_rewrites_assign_to_ssa_let() {
+    let mut p = program_with_assign();
+    assert!(passes::mem2reg::run(&mut p));
+    validate(&p).unwrap();
+    let stmts = body(&p);
+    assert_eq!(stmts.len(), 3);
+    // The Assign became a Let of a fresh variable with the identity
+    // type for floats (F64 — no narrowing on rebind)...
+    let Stmt::Let { var: ssa, ty, .. } = &stmts[1] else {
+        panic!("assign not promoted: {:?}", stmts[1]);
+    };
+    assert_eq!(*ty, Scalar::F64);
+    // ...and the store reads the new binding.
+    let Stmt::Store { value, .. } = &stmts[2] else {
+        panic!("store");
+    };
+    let mut reads_ssa = false;
+    value.walk(&mut |e| {
+        if let Expr::Var(v) = e {
+            if v == ssa {
+                reads_ssa = true;
+            }
+        }
+    });
+    assert!(reads_ssa, "store still reads the old slot: {value:?}");
+    // Idempotent: nothing left to promote.
+    assert!(!passes::mem2reg::run(&mut p));
+}
+
+#[test]
+fn mem2reg_skips_conditionally_assigned_vars() {
+    let mut b = ProgramBuilder::new("p");
+    let n = b.iparam("n");
+    let x = b.array("x", Scalar::F32, n, Intent::In);
+    let out = b.array("out", Scalar::F32, n, Intent::Out);
+    let i = b.var("i");
+    let t = b.var("t");
+    let k = Kernel::simple(
+        "k",
+        vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+        Block::new(vec![
+            let_(t, Scalar::F32, 0.0),
+            paccport_ir::if_(E::from(i).lt(E::from(4i64)), vec![assign(t, ld(x, i))]),
+            st(out, i, E::from(t)),
+        ]),
+    );
+    let mut p = b.finish(vec![paccport_ir::HostStmt::Launch(k)]);
+    // The assignment is control-dependent: promotion would need a phi.
+    assert!(!passes::mem2reg::run(&mut p));
+}
+
+#[test]
+fn constfold_propagates_coerced_let_constants() {
+    let mut b = ProgramBuilder::new("p");
+    let n = b.iparam("n");
+    let out = b.array("out", Scalar::I32, n, Intent::Out);
+    let i = b.var("i");
+    let c = b.var("c");
+    let k = Kernel::simple(
+        "k",
+        vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+        Block::new(vec![
+            let_(c, Scalar::I32, 3i64),
+            st(out, i, E::from(c) * 2i64),
+        ]),
+    );
+    let mut p = b.finish(vec![paccport_ir::HostStmt::Launch(k)]);
+    assert!(passes::constfold::run(&mut p));
+    validate(&p).unwrap();
+    let stmts = body(&p);
+    let Stmt::Store { value, .. } = &stmts[1] else {
+        panic!("store");
+    };
+    assert_eq!(*value, Expr::IConst(6), "c * 2 should fold to 6");
+}
+
+#[test]
+fn constfold_distrusts_shadowed_lets() {
+    // let c = 3; if (i < 4) { let c: f64 = 0.5; }  out[i] = c * 2
+    // The branch's Let writes the same slot, so `c` after the If is
+    // not the constant 3 on every path — no propagation.
+    let mut b = ProgramBuilder::new("p");
+    let n = b.iparam("n");
+    let out = b.array("out", Scalar::F32, n, Intent::Out);
+    let i = b.var("i");
+    let c = b.var("c");
+    let k = Kernel::simple(
+        "k",
+        vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+        Block::new(vec![
+            let_(c, Scalar::I32, 3i64),
+            paccport_ir::if_(
+                E::from(i).lt(E::from(4i64)),
+                vec![let_(c, Scalar::F64, 0.5)],
+            ),
+            st(out, i, E::from(c) * 2i64),
+        ]),
+    );
+    let mut p = b.finish(vec![paccport_ir::HostStmt::Launch(k)]);
+    passes::constfold::run(&mut p);
+    let stmts = body(&p);
+    let Stmt::Store { value, .. } = &stmts[2] else {
+        panic!("store");
+    };
+    let mut still_reads_c = false;
+    value.walk(&mut |e| {
+        if *e == Expr::Var(c) {
+            still_reads_c = true;
+        }
+    });
+    assert!(still_reads_c, "shadowed constant was propagated: {value:?}");
+}
+
+#[test]
+fn licm_hoists_invariant_let_out_of_innermost_for() {
+    let mut b = ProgramBuilder::new("p");
+    let n = b.iparam("n");
+    let out = b.array("out", Scalar::F32, n, Intent::Out);
+    let i = b.var("i");
+    let j = b.var("j");
+    let x = b.var("x");
+    let t = b.var("t");
+    let k = Kernel::simple(
+        "k",
+        vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+        Block::new(vec![
+            let_(x, Scalar::F64, 1.5),
+            for_(
+                j,
+                0i64,
+                Expr::param(n),
+                vec![
+                    let_(t, Scalar::F64, E::from(x) * 2.0),
+                    st(out, j, E::from(t)),
+                ],
+            ),
+        ]),
+    );
+    let mut p = b.finish(vec![paccport_ir::HostStmt::Launch(k)]);
+    assert!(passes::licm::run(&mut p));
+    validate(&p).unwrap();
+    let stmts = body(&p);
+    assert_eq!(stmts.len(), 3, "t hoisted before the loop: {stmts:?}");
+    assert!(matches!(&stmts[1], Stmt::Let { var, .. } if *var == t));
+    let Stmt::For { body: fb, .. } = &stmts[2] else {
+        panic!("for");
+    };
+    assert_eq!(fb.0.len(), 1, "loop body keeps only the store");
+    assert!(!passes::licm::run(&mut p));
+}
+
+#[test]
+fn licm_keeps_variant_and_trapping_lets() {
+    let mut b = ProgramBuilder::new("p");
+    let n = b.iparam("n");
+    let out = b.array("out", Scalar::I32, n, Intent::Out);
+    let i = b.var("i");
+    let j = b.var("j");
+    let t = b.var("t");
+    let u = b.var("u");
+    let k = Kernel::simple(
+        "k",
+        vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+        Block::new(vec![for_(
+            j,
+            0i64,
+            Expr::param(n),
+            vec![
+                // Depends on the loop variable: must stay.
+                let_(t, Scalar::I32, E::from(j) + 1i64),
+                // Integer add can overflow-panic; hoisting would make
+                // a zero-trip loop trap. Must stay.
+                let_(u, Scalar::I32, E::from(n) + 1i64),
+                st(out, j, E::from(t) + E::from(u)),
+            ],
+        )]),
+    );
+    let mut p = b.finish(vec![paccport_ir::HostStmt::Launch(k)]);
+    assert!(!passes::licm::run(&mut p));
+}
+
+#[test]
+fn cse_shares_repeated_pure_subtrees() {
+    let mut b = ProgramBuilder::new("p");
+    let n = b.iparam("n");
+    let out = b.array("out", Scalar::F32, n, Intent::Out);
+    let i = b.var("i");
+    let x = b.var("x");
+    let k = Kernel::simple(
+        "k",
+        vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+        Block::new(vec![
+            let_(x, Scalar::F64, 1.5),
+            st(out, i, (E::from(x) + 2.0) * (E::from(x) + 2.0)),
+        ]),
+    );
+    let mut p = b.finish(vec![paccport_ir::HostStmt::Launch(k)]);
+    assert!(passes::cse::run(&mut p));
+    validate(&p).unwrap();
+    let stmts = body(&p);
+    assert_eq!(stmts.len(), 3);
+    let Stmt::Let { var: t, ty, .. } = &stmts[1] else {
+        panic!("cse temp: {:?}", stmts[1]);
+    };
+    assert_eq!(*ty, Scalar::F64);
+    let Stmt::Store { value, .. } = &stmts[2] else {
+        panic!("store");
+    };
+    assert_eq!(
+        *value,
+        Expr::bin(paccport_ir::BinOp::Mul, Expr::Var(*t), Expr::Var(*t))
+    );
+    assert!(!passes::cse::run(&mut p));
+}
+
+#[test]
+fn dse_removes_overwritten_and_unobservable_stores() {
+    let mut b = ProgramBuilder::new("p");
+    let n = b.iparam("n");
+    let scratch = b.array("scratch", Scalar::F32, n, Intent::In);
+    let out = b.array("out", Scalar::F32, n, Intent::Out);
+    let i = b.var("i");
+    let k = Kernel::simple(
+        "k",
+        vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+        Block::new(vec![
+            // Overwritten before anything reads it.
+            st(out, i, 1.0),
+            st(out, i, 2.0),
+            // `scratch` has intent In and is read nowhere: the store
+            // can never be observed.
+            st(scratch, i, 3.0),
+        ]),
+    );
+    let mut p = b.finish(vec![paccport_ir::HostStmt::Launch(k)]);
+    assert!(passes::dse::run(&mut p));
+    validate(&p).unwrap();
+    let stmts = body(&p);
+    assert_eq!(stmts.len(), 1, "one live store remains: {stmts:?}");
+    let Stmt::Store { value, .. } = &stmts[0] else {
+        panic!("store");
+    };
+    assert_eq!(*value, Expr::FConst(2.0));
+}
+
+#[test]
+fn dse_keeps_store_when_overwrite_reads_the_location() {
+    // out[i] = 1.0; out[i] = out[i] + 1.0  — the second store reads
+    // what the first wrote; removing the first would change it.
+    // (Regression: found by the conformance pass legs on generated
+    // program seed=1234 index=3.)
+    let mut b = ProgramBuilder::new("p");
+    let n = b.iparam("n");
+    let out = b.array("out", Scalar::F32, n, Intent::Out);
+    let i = b.var("i");
+    let k = Kernel::simple(
+        "k",
+        vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+        Block::new(vec![st(out, i, 1.0), st(out, i, ld(out, i) + 1.0)]),
+    );
+    let mut p = b.finish(vec![paccport_ir::HostStmt::Launch(k)]);
+    assert!(!passes::dse::run(&mut p));
+    assert_eq!(body(&p).len(), 2);
+}
+
+#[test]
+fn dse_sweeps_dead_lets() {
+    let mut b = ProgramBuilder::new("p");
+    let n = b.iparam("n");
+    let out = b.array("out", Scalar::F32, n, Intent::Out);
+    let i = b.var("i");
+    let dead = b.var("dead");
+    let k = Kernel::simple(
+        "k",
+        vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+        Block::new(vec![let_(dead, Scalar::F64, 1.5), st(out, i, 2.0)]),
+    );
+    let mut p = b.finish(vec![paccport_ir::HostStmt::Launch(k)]);
+    assert!(passes::dse::run(&mut p));
+    assert_eq!(body(&p).len(), 1);
+}
+
+#[test]
+fn pipeline_parse_expands_default_and_rejects_unknown() {
+    let pl = Pipeline::default_pipeline();
+    let names: Vec<&str> = pl.passes.iter().map(|p| p.name).collect();
+    assert_eq!(names, DEFAULT_PASSES);
+    assert!(!pl.peephole);
+
+    let pl = Pipeline::parse("default,ptx-peephole").unwrap();
+    assert_eq!(pl.passes.len(), DEFAULT_PASSES.len());
+    assert!(pl.peephole);
+    assert_eq!(pl.label(), "mem2reg,constfold,licm,cse,dse,ptx-peephole");
+
+    let err = Pipeline::parse("mem2reg,frobnicate").unwrap_err();
+    assert!(
+        err.contains("frobnicate") && err.contains("mem2reg"),
+        "{err}"
+    );
+}
+
+#[test]
+fn registry_covers_required_passes() {
+    let reg = passes::registry();
+    for required in [
+        "mem2reg",
+        "constfold",
+        "licm",
+        "cse",
+        "dse",
+        "simplify",
+        "unroll2",
+    ] {
+        assert!(
+            reg.iter().any(|p| p.name == required),
+            "missing pass {required}"
+        );
+    }
+    // Structural transforms must not re-run under the fixpoint.
+    assert!(reg.iter().filter(|p| p.fixpoint).count() >= 6);
+    assert!(!reg.iter().find(|p| p.name == "unroll2").unwrap().fixpoint);
+}
+
+#[test]
+fn default_pipeline_reaches_fixpoint_and_reports_passes() {
+    let mut p = program_with_assign();
+    let stats = Pipeline::default_pipeline().run(&mut p);
+    assert!(stats.changed());
+    assert!(stats.applied.iter().any(|(n, _)| *n == "mem2reg"));
+    assert!(stats.sweeps < 8, "did not converge: {stats:?}");
+    validate(&p).unwrap();
+    // A second full run is a no-op.
+    let again = Pipeline::default_pipeline().run(&mut p);
+    assert!(!again.changed(), "not idempotent: {:?}", again.applied);
+}
+
+#[test]
+fn peephole_cleans_pgi_param_mov_debris() {
+    // The PGI personality emits bookkeeping `mov`s whose results are
+    // never read (Table V's register-pressure debris). The peephole
+    // must remove them — and only data movement, never memory ops.
+    let p = program_with_assign();
+    let cp = compile(CompilerId::Pgi, &p, &CompileOptions::gpu()).unwrap();
+    let before = cp.module.counts();
+    let mut m = cp.module.clone();
+    assert!(paccport_ptx::peephole::run_module(&mut m));
+    let after = m.counts();
+    use paccport_ptx::Category;
+    assert!(
+        after.get(Category::DataMovement) < before.get(Category::DataMovement),
+        "no movs removed: {before:?} -> {after:?}"
+    );
+    assert_eq!(
+        after.get(Category::GlobalMemory),
+        before.get(Category::GlobalMemory)
+    );
+    assert_eq!(after.get(Category::Sync), before.get(Category::Sync));
+}
+
+#[test]
+fn global_pipeline_hook_is_off_by_default_and_restorable() {
+    assert!(passes::global_pipeline().is_none());
+    passes::set_global_pipeline(Some(Pipeline::default_pipeline()));
+    assert!(passes::global_pipeline().is_some());
+    passes::set_global_pipeline(None);
+    assert!(passes::global_pipeline().is_none());
+}

@@ -14,7 +14,12 @@
 //!   corpus test fails — silent passes are regressions too);
 //! * `saxpy_update_sandwich` — `update host`/`update device` inside a
 //!   data region, the Table VII transfer pattern;
-//! * `whileflag_countdown` — the BFS-style dynamic convergence loop.
+//! * `whileflag_countdown` — the BFS-style dynamic convergence loop;
+//! * `neg_zero_identity` — `-0.0` through the float-zero identities
+//!   that `simplify` used to fold inexactly;
+//! * `grouped_i32_reduction` — an `I32` accumulator through
+//!   `reduction_to_grouped`, whose shared buffer used to be hardcoded
+//!   to `F32`.
 
 use crate::generate::Case;
 use paccport_devsim::Buffer;
@@ -33,6 +38,8 @@ pub fn corpus() -> Vec<(&'static str, Case)> {
         ("grouped_tree_sum", grouped_tree_sum()),
         ("saxpy_update_sandwich", saxpy_update_sandwich()),
         ("whileflag_countdown", whileflag_countdown()),
+        ("neg_zero_identity", neg_zero_identity()),
+        ("grouped_i32_reduction", grouped_i32_reduction()),
     ]
 }
 
@@ -304,6 +311,86 @@ fn whileflag_countdown() -> Case {
     }
 }
 
+/// `-0.0` flowing through the float-zero identities. `simplify` used
+/// to fold `x + 0.0 → x`, which keeps `-0.0` where IEEE-754 produces
+/// `+0.0` — a bit-level divergence on the `transform/simplify` leg.
+/// Only `x - (+0.0)` may fold.
+fn neg_zero_identity() -> Case {
+    let mut b = ProgramBuilder::new("neg_zero_identity");
+    let n = b.iparam("n");
+    let x = b.array("x", Scalar::F32, n, Intent::In);
+    let y = b.array("y", Scalar::F32, n, Intent::InOut);
+    let i = b.var("i");
+    let t = b.var("t");
+    let k = Kernel::simple(
+        "wash",
+        vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+        Block::new(vec![
+            // `+ 0.0` must survive simplification: it maps -0.0 → +0.0.
+            let_(t, Scalar::F32, ld(x, i) + E::from(0.0)),
+            // `- 0.0` is the exact identity and is free to fold.
+            st(y, i, E::from(t) - E::from(0.0)),
+        ]),
+    );
+    let program = b.finish(vec![HostStmt::Launch(k)]);
+    Case {
+        seed: 0,
+        index: 6,
+        program,
+        params: vec![("n".to_string(), 6.0)],
+        inputs: vec![
+            (
+                "x".to_string(),
+                Buffer::F32(vec![-0.0, 0.0, 1.5, -2.0, -0.0, 3.25]),
+            ),
+            ("y".to_string(), Buffer::F32(vec![1.0; 6])),
+        ],
+    }
+}
+
+/// An `I32`-accumulator reduction through the grouped rewrite. The
+/// shared `sdata` buffer used to be hardcoded to `F32`, so partial
+/// sums above 2^24 lost their low bits on the round trip through
+/// local memory; values of 2^24 + 1 pin the divergence.
+fn grouped_i32_reduction() -> Case {
+    let mut b = ProgramBuilder::new("grouped_i32_reduction");
+    let n = b.iparam("n");
+    let x = b.array("x", Scalar::I32, n, Intent::In);
+    let y = b.array("y", Scalar::I32, n, Intent::InOut);
+    let i = b.var("i");
+    let acc = b.var("acc");
+    let kv = b.var("kv");
+    let mut k = Kernel::simple(
+        "isum",
+        vec![ParallelLoop::new(i, Expr::iconst(0), Expr::param(n))],
+        Block::new(vec![
+            let_(acc, Scalar::I32, 0i64),
+            for_(
+                kv,
+                0i64,
+                E::from(n),
+                vec![paccport_ir::assign(acc, E::from(acc) + ld(x, kv))],
+            ),
+            st(y, i, acc),
+        ]),
+    );
+    k.reduction = Some(Reduction {
+        op: ReduceOp::Add,
+        acc,
+    });
+    let program = b.finish(vec![HostStmt::Launch(k)]);
+    Case {
+        seed: 0,
+        index: 7,
+        program,
+        params: vec![("n".to_string(), 6.0)],
+        inputs: vec![
+            ("x".to_string(), Buffer::I32(vec![(1 << 24) + 1; 6])),
+            ("y".to_string(), Buffer::I32(vec![0; 6])),
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +421,32 @@ mod tests {
             mic.outcome
         );
         let gpu = legs.iter().find(|l| l.label == "caps/K40").unwrap();
+        assert_eq!(gpu.outcome, Outcome::Match, "got {:?}", gpu.outcome);
+    }
+
+    /// The `-0.0` case must stay an exact match on the `simplify`
+    /// transform leg — the pre-fix fold turned it into a bit-level
+    /// mismatch there.
+    #[test]
+    fn neg_zero_identity_survives_simplify_leg() {
+        let legs = check_case(&neg_zero_identity());
+        let leg = legs
+            .iter()
+            .find(|l| l.label == "transform/simplify")
+            .expect("transform/simplify leg must run");
+        assert_eq!(leg.outcome, Outcome::Match, "got {:?}", leg.outcome);
+    }
+
+    /// The I32 reduction must match bit-exactly on the GPU leg, where
+    /// the grouped rewrite applies — the pre-fix F32 `sdata` lost the
+    /// low bits of every 2^24 + 1 partial.
+    #[test]
+    fn grouped_i32_reduction_is_exact_on_gpu_legs() {
+        let legs = check_case(&grouped_i32_reduction());
+        let gpu = legs
+            .iter()
+            .find(|l| l.label == "caps/K40")
+            .expect("caps/K40 leg must run");
         assert_eq!(gpu.outcome, Outcome::Match, "got {:?}", gpu.outcome);
     }
 

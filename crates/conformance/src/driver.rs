@@ -28,6 +28,7 @@ use crate::generate::{generate, Case};
 use crate::oracle::run_oracle;
 use crate::printer::case_to_test;
 use crate::shrink::shrink;
+use paccport_compilers::passes::Pipeline;
 use paccport_compilers::transforms::TransformVariant;
 use paccport_compilers::{compile, CompileOptions, CompiledProgram, CompilerId};
 use paccport_devsim::{run, ExecTier, RunConfig, RunResult};
@@ -140,11 +141,35 @@ pub fn check_case(case: &Case) -> Vec<Leg> {
             outcome,
         });
     }
+    for (label, pl) in pass_pipelines() {
+        let outcome = pass_leg(case, &pl, &want);
+        legs.push(Leg { label, outcome });
+    }
     legs.push(Leg {
         label: "tier/bytecode".into(),
         outcome: tier_leg(case),
     });
     legs
+}
+
+/// The middle-end pass legs: every optimization pass of the default
+/// pipeline alone, then each prefix of the pipeline (so an
+/// interaction bug between passes is pinned to the first prefix that
+/// exposes it).
+fn pass_pipelines() -> Vec<(String, Pipeline)> {
+    let defaults = paccport_compilers::passes::DEFAULT_PASSES;
+    let mut out = Vec::new();
+    for name in defaults {
+        out.push((format!("pass/{name}"), Pipeline::parse(name).unwrap()));
+    }
+    for n in 2..=defaults.len() {
+        let spec = defaults[..n].join(",");
+        out.push((
+            format!("pass/default[..{n}]"),
+            Pipeline::parse(&spec).unwrap(),
+        ));
+    }
+    out
 }
 
 /// The tenth leg: execute the CAPS/K40 compilation of the case under
@@ -351,6 +376,42 @@ fn transform_leg(case: &Case, v: TransformVariant, want: &[(String, Vec<u64>)]) 
     }
 }
 
+/// A pass pipeline is held to the same contract as a transform
+/// variant: (a) keep the program valid, (b) preserve big-step
+/// semantics under the oracle, (c) still compile and run bitwise-
+/// identically through CAPS on the K40.
+fn pass_leg(case: &Case, pl: &Pipeline, want: &[(String, Vec<u64>)]) -> Outcome {
+    let mut p = case.program.clone();
+    if !pl.run(&mut p).changed() {
+        return Outcome::SkippedTransform;
+    }
+    if let Err(e) = paccport_ir::validate(&p) {
+        return Outcome::Mismatch {
+            kind: FailKind::TransformInvalid,
+            detail: format!("passes `{}` broke validation: {e:?}", pl.label()),
+        };
+    }
+    let t = match run_oracle(&p, &case.params, &case.inputs) {
+        Ok(o) => o,
+        Err(e) => {
+            return Outcome::Mismatch {
+                kind: FailKind::OracleError,
+                detail: format!("oracle failed on pass-optimized program: {e}"),
+            }
+        }
+    };
+    if let Some(d) = diff_observables(want, &t.observable(&p)) {
+        return Outcome::Mismatch {
+            kind: FailKind::Diverged,
+            detail: format!("oracle-vs-oracle after passes `{}`: {d}", pl.label()),
+        };
+    }
+    match compile(CompilerId::Caps, &p, &CompileOptions::gpu()) {
+        Ok(cp) => exec_and_compare(&cp, case, want),
+        Err(e) => Outcome::CompileRejected(e.message),
+    }
+}
+
 fn exec_and_compare(cp: &CompiledProgram, case: &Case, want: &[(String, Vec<u64>)]) -> Outcome {
     let mut cfg = RunConfig::functional(case.params.clone());
     for (name, buf) in &case.inputs {
@@ -525,9 +586,10 @@ impl Report {
             self.programs, self.seed
         ));
         s.push_str(&format!(
-            "  legs: {} compiler targets + {} transform variants + 1 tier-equivalence leg per program\n",
+            "  legs: {} compiler targets + {} transform variants + {} pass pipelines + 1 tier-equivalence leg per program\n",
             matrix().len(),
-            TransformVariant::all().len()
+            TransformVariant::all().len(),
+            pass_pipelines().len()
         ));
         s.push_str(&format!("  match              : {}\n", self.matches));
         s.push_str(&format!(
@@ -595,7 +657,8 @@ pub fn run_conformance(programs: u64, seed: u64) -> Report {
             paccport_trace::span_attrs("conform.case", vec![("index".into(), index.to_string())]);
         let case = generate(seed, index);
         for leg in check_case(&case) {
-            let is_transform = leg.label.starts_with("transform/");
+            let is_transform =
+                leg.label.starts_with("transform/") || leg.label.starts_with("pass/");
             if paccport_trace::metrics::metrics_enabled() {
                 paccport_trace::metrics::counter_add(
                     "conformance_legs_total",
@@ -670,5 +733,30 @@ mod tests {
         let a = run_conformance(4, 42).render();
         let b = run_conformance(4, 42).render();
         assert_eq!(a, b);
+    }
+
+    /// The default pass pipeline is idempotent over generated
+    /// programs: once it reaches fixpoint, a second run finds nothing
+    /// left to rewrite and leaves the program byte-identical.
+    #[test]
+    fn default_pipeline_is_idempotent_on_generated_programs() {
+        let pl = Pipeline::default_pipeline();
+        for index in 0..12 {
+            let case = generate(42, index);
+            let mut p = case.program.clone();
+            pl.run(&mut p);
+            let after_first = format!("{p:?}");
+            let stats = pl.run(&mut p);
+            assert!(
+                !stats.changed(),
+                "second pipeline run still rewrites program {index}: {:?}",
+                stats.applied
+            );
+            assert_eq!(
+                after_first,
+                format!("{p:?}"),
+                "program {index} not stable after fixpoint"
+            );
+        }
     }
 }

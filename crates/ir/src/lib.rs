@@ -68,7 +68,10 @@ pub use kernel::{
     ParallelLoop, ReduceOp, Reduction, RegionReduction,
 };
 pub use program::{Dir, HostStmt, Program};
-pub use simplify::{simplify, simplify_block, simplify_kernel};
+pub use simplify::{
+    narrowed_float, scalar_kind, simplify, simplify_block, simplify_block_in, simplify_in,
+    simplify_kernel, simplify_kernel_in, value_kind, KindEnv, ValueKind,
+};
 pub use stmt::{Block, Stmt};
 pub use types::{
     ArrayDecl, ArrayId, Intent, LocalArrayDecl, MemSpace, ParamDecl, ParamId, Scalar, VarId,

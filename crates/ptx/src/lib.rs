@@ -40,6 +40,7 @@ pub mod instr;
 pub mod isa;
 pub mod kernel;
 pub mod parse;
+pub mod peephole;
 
 pub use builder::Emitter;
 pub use count::{CategoryCounts, ModuleCounts};

@@ -1,0 +1,139 @@
+//! A post-lowering peephole over the PTX-like ISA: forward-propagate
+//! register copies and delete `mov`/`cvt` instructions whose result
+//! is never read.
+//!
+//! The simulated toolchains intentionally emit the register-pressure
+//! debris their real counterparts did — e.g. the PGI personality's
+//! per-parameter bookkeeping `mov`s whose results nothing ever reads
+//! (they exist to reproduce the instruction-count gap of Table V).
+//! This pass is the "what if the compiler cleaned up after itself"
+//! counterfactual: it must not change behavior, only counts.
+//!
+//! Two rewrites, alternated to a fixpoint:
+//!
+//! * **copy propagation** — after `mov d, s` (unpredicated,
+//!   register-to-register), later reads of `d` become reads of `s`,
+//!   until either register is redefined. Strictly block-local: the
+//!   alias map is cleared at labels, branches, barriers and returns,
+//!   so control flow can never resurrect a stale alias.
+//! * **dead-copy sweep** — an unpredicated `mov`/`cvt` *with* a
+//!   destination that no instruction in the kernel reads (as source
+//!   or predicate) computes an unobservable value and is dropped.
+//!   `mov`s with *no* destination are stub markers emitted by
+//!   `Emitter::emit_void` and are kept.
+
+use crate::instr::{Instruction, Item, Operand, Reg};
+use crate::isa::Opcode;
+use crate::kernel::{PtxKernel, PtxModule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Registers read anywhere in the kernel (sources and predicates).
+fn used_regs(k: &PtxKernel) -> BTreeSet<Reg> {
+    let mut used = BTreeSet::new();
+    for item in &k.body {
+        let Item::Inst(i) = item else { continue };
+        for s in &i.srcs {
+            if let Operand::Reg(r) = s {
+                used.insert(*r);
+            }
+        }
+        if let Some(p) = i.pred {
+            used.insert(p);
+        }
+    }
+    used
+}
+
+fn is_copy_like(i: &Instruction) -> bool {
+    matches!(i.op, Opcode::Mov | Opcode::Cvt)
+}
+
+/// Remove unpredicated `mov`/`cvt` whose destination is never read.
+/// Iterates internally: deleting one copy can strand another.
+fn sweep_dead(k: &mut PtxKernel) -> bool {
+    let mut changed = false;
+    loop {
+        let used = used_regs(k);
+        let n0 = k.body.len();
+        k.body.retain(|item| {
+            let Item::Inst(i) = item else { return true };
+            !(is_copy_like(i) && i.pred.is_none() && i.dst.is_some_and(|d| !used.contains(&d)))
+        });
+        if k.body.len() == n0 {
+            return changed;
+        }
+        changed = true;
+    }
+}
+
+/// Block-local forward copy propagation through unpredicated
+/// register-to-register `mov`s.
+fn copy_propagate(k: &mut PtxKernel) -> bool {
+    let mut changed = false;
+    let mut alias: BTreeMap<Reg, Reg> = BTreeMap::new();
+    for item in &mut k.body {
+        let i = match item {
+            Item::Label(_) => {
+                alias.clear();
+                continue;
+            }
+            Item::Inst(i) => i,
+        };
+        // Rewrite reads first (this also makes chains transitive:
+        // the alias target was itself rewritten when recorded).
+        for s in &mut i.srcs {
+            if let Operand::Reg(r) = s {
+                if let Some(a) = alias.get(r) {
+                    *s = Operand::Reg(*a);
+                    changed = true;
+                }
+            }
+        }
+        if let Some(p) = &mut i.pred {
+            if let Some(a) = alias.get(p) {
+                *p = *a;
+                changed = true;
+            }
+        }
+        // Control-flow / synchronization edges invalidate everything.
+        if matches!(i.op, Opcode::Bra | Opcode::Ret | Opcode::BarSync) {
+            alias.clear();
+            continue;
+        }
+        // Then account for the write.
+        if let Some(d) = i.dst {
+            alias.remove(&d);
+            alias.retain(|_, v| *v != d);
+            if i.op == Opcode::Mov && i.pred.is_none() {
+                if let [Operand::Reg(s)] = i.srcs[..] {
+                    if s != d {
+                        alias.insert(d, s);
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Clean one kernel. Returns whether anything changed.
+pub fn run_kernel(k: &mut PtxKernel) -> bool {
+    let mut changed = false;
+    for _ in 0..8 {
+        let step = copy_propagate(k) | sweep_dead(k);
+        changed |= step;
+        if !step {
+            break;
+        }
+    }
+    changed
+}
+
+/// Clean every kernel of a module. Returns whether anything changed.
+pub fn run_module(m: &mut PtxModule) -> bool {
+    let mut changed = false;
+    for k in &mut m.kernels {
+        changed |= run_kernel(k);
+    }
+    changed
+}

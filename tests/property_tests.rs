@@ -8,8 +8,8 @@ use paccport::compilers::transforms::{
 use paccport::compilers::DistSpec;
 use paccport::devsim::{exec_kernel, fresh_vars, Buffer, KernelFidelity, V};
 use paccport::ir::{
-    analyze_block, assign, for_, ld, let_, st, Block, Expr, HostStmt, Intent, Kernel, ParallelLoop,
-    Program, ProgramBuilder, Scalar, E,
+    analyze_block, assign, for_, ld, let_, st, Block, Expr, HostStmt, Intent, Kernel, KindEnv,
+    ParallelLoop, Program, ProgramBuilder, Scalar, E,
 };
 use proptest::prelude::*;
 
@@ -97,7 +97,7 @@ proptest! {
         run_kernel(&p, &k, &params, &mut bufs_a);
 
         let mut k2 = k.clone();
-        prop_assert!(unroll_inner_loops(&mut k2, factor));
+        prop_assert!(unroll_inner_loops(&mut k2, factor, &KindEnv::for_program(&p)));
         let mut bufs_b = vec![Buffer::F32(input), Buffer::zeroed(Scalar::F32, n)];
         run_kernel(&p, &k2, &params, &mut bufs_b);
 
@@ -124,10 +124,11 @@ proptest! {
         run_kernel(&p, &k, &params, &mut bufs_a);
 
         let mut k2 = k.clone();
+        let kinds = KindEnv::for_program(&p);
         let mut names = std::mem::take(&mut p.var_names);
         {
             let mut va = VarAlloc::new(&mut names);
-            prop_assert!(strip_mine(&mut k2, tile, &mut va));
+            prop_assert!(strip_mine(&mut k2, tile, &mut va, &kinds));
         }
         p.var_names = names;
         let mut bufs_b = vec![Buffer::F32(input)];
