@@ -6,6 +6,7 @@
 //!           [--jobs N] [--trace] [--profile] [--exp <id>]...
 //!           [--tier tree|bytecode|both] [--passes LIST]
 //!           [--inject SPEC] [--fault-seed N]
+//!           [--state-dir DIR] [--resume]
 //!           [--trace-out FILE] [--trace-format chrome|jsonl|folded]
 //!           [--metrics-out FILE]
 //! reproduce conform [--programs N] [--seed S] [--tier tree|bytecode|both]
@@ -14,6 +15,7 @@
 //!                   [--fault-seed N] [telemetry flags]
 //! reproduce bench-devsim [--seed S] [--samples N] [--json FILE]
 //!                        [--against FILE]
+//! reproduce fsck DIR
 //! ```
 //!
 //! With no `--exp`, all experiments run. `--scale` picks the input
@@ -102,13 +104,39 @@
 //! `--inject SPEC` turns on deterministic fault injection (chaos
 //! testing): `SPEC` is a comma-separated list of
 //! `kind[:target][:rate]` clauses — kinds `compile`, `slow`, `device`,
-//! `hang`, `corrupt-cache` — or the `chaos` preset. `--fault-seed N`
-//! (default 0) seeds the pure decision hash, so a given (spec, seed)
-//! injects exactly the same faults every run. The engine retries
-//! injected faults with exponential backoff on a virtual clock and
-//! quarantines cells that exhaust their attempts; the run completes
-//! with partial results, prints a fault ledger, and exits nonzero only
-//! if a cell failed for a reason that was *not* injected.
+//! `hang`, `corrupt-cache`, `crash`, `torn-write` — or the `chaos`
+//! preset. `--fault-seed N` (default 0) seeds the pure decision hash,
+//! so a given (spec, seed) injects exactly the same faults every run.
+//! The engine retries injected faults with exponential backoff on a
+//! virtual clock and quarantines cells that exhaust their attempts;
+//! the run completes with partial results, prints a fault ledger, and
+//! exits nonzero only if a cell failed for a reason that was *not*
+//! injected.
+//!
+//! `--state-dir DIR` makes the run durable: compiled artifacts persist
+//! in a checksummed on-disk store under `DIR/cache`, and every
+//! completed experiment cell (and injected fault event) is appended to
+//! the run journal `DIR/journal.log` the moment it finishes. Without
+//! the flag nothing is ever written to disk and the run is exactly the
+//! pre-durability CLI. `--resume` (requires `--state-dir`) replays the
+//! journal of a previous — possibly killed — run: journaled cells are
+//! *not* recomputed, restored fault events rebuild the fault ledger,
+//! and stdout is byte-identical to what one uninterrupted run would
+//! have printed, at any `--jobs`. Resume bookkeeping goes to stderr
+//! only. The `crash` and `torn-write` fault kinds have their sites in
+//! this durability layer (they only fire under `--state-dir`): `crash`
+//! aborts the process with exit code 75 right after journal step *k*
+//! becomes durable, `torn-write` leaves a half-written record or cache
+//! entry behind and then aborts — the supervisor protocol is "exit 75
+//! means restart with `--resume`".
+//!
+//! `reproduce fsck DIR` verifies and repairs a state directory
+//! offline: the journal is truncated back to its last durable record,
+//! store entries whose checksum does not verify are evicted, and
+//! leftover temp files from interrupted writes are removed. Exit
+//! codes: 0 — the directory was already consistent; 1 — repairs were
+//! performed and the directory is now consistent; 2 — usage error;
+//! 3 — the directory cannot be inspected at all.
 
 use paccport_core::engine::Engine;
 use paccport_core::experiments as exp;
@@ -117,75 +145,99 @@ use paccport_core::study::Scale;
 use paccport_trace::export::TraceFormat;
 
 /// Telemetry sinks shared by every subcommand: where to write the
-/// event-stream export and the metrics exposition, if anywhere.
-#[derive(Default)]
+/// event-stream export and the metrics exposition, if anywhere. Held
+/// in a process global so *every* exit path — normal completion,
+/// usage errors via [`die`], and injected crashes via the
+/// `paccport_faults::on_crash` hook — can flush whatever has been
+/// recorded so far.
 struct Telemetry {
     trace_out: Option<String>,
     trace_format: Option<TraceFormat>,
     metrics_out: Option<String>,
 }
 
-impl Telemetry {
-    /// Consume `a` (and its value from `it`) if it is a telemetry
-    /// flag; `false` means the flag belongs to someone else.
-    fn consume(&mut self, a: &str, it: &mut std::slice::Iter<String>) -> bool {
-        match a {
-            "--trace-out" => {
-                self.trace_out = Some(
-                    it.next()
-                        .cloned()
-                        .unwrap_or_else(|| die("--trace-out requires a file path")),
-                );
-            }
-            "--trace-format" => {
-                let name = it
-                    .next()
-                    .cloned()
-                    .unwrap_or_else(|| die("--trace-format requires chrome|jsonl|folded"));
-                self.trace_format = Some(TraceFormat::parse(&name).unwrap_or_else(|e| die(&e)));
-            }
-            "--metrics-out" => {
-                self.metrics_out = Some(
-                    it.next()
-                        .cloned()
-                        .unwrap_or_else(|| die("--metrics-out requires a file path")),
-                );
-            }
-            _ => return false,
-        }
-        true
-    }
+static TELEMETRY: std::sync::Mutex<Telemetry> = std::sync::Mutex::new(Telemetry {
+    trace_out: None,
+    trace_format: None,
+    metrics_out: None,
+});
 
-    /// Validate the combination and switch on the recorders. Must run
-    /// before the engine does any work.
-    fn arm(&self) {
-        if self.trace_format.is_some() && self.trace_out.is_none() {
-            die("--trace-format requires --trace-out");
-        }
-        if self.trace_out.is_some() {
+/// Consume `a` (and its value from `it`) if it is a telemetry flag;
+/// `false` means the flag belongs to someone else. Recording switches
+/// on the moment the flag is parsed — before any validation of later
+/// flags — so even a run that dies on a usage error leaves a
+/// parseable (if near-empty) export behind.
+fn tele_consume(a: &str, it: &mut std::slice::Iter<String>) -> bool {
+    match a {
+        "--trace-out" => {
+            let path = it
+                .next()
+                .cloned()
+                .unwrap_or_else(|| die("--trace-out requires a file path"));
             paccport_trace::set_events_enabled(true);
+            TELEMETRY.lock().unwrap().trace_out = Some(path);
         }
-        if self.metrics_out.is_some() {
+        "--trace-format" => {
+            let name = it
+                .next()
+                .cloned()
+                .unwrap_or_else(|| die("--trace-format requires chrome|jsonl|folded"));
+            let format = TraceFormat::parse(&name).unwrap_or_else(|e| die(&e));
+            TELEMETRY.lock().unwrap().trace_format = Some(format);
+        }
+        "--metrics-out" => {
+            let path = it
+                .next()
+                .cloned()
+                .unwrap_or_else(|| die("--metrics-out requires a file path"));
             paccport_trace::metrics::set_metrics_enabled(true);
+            TELEMETRY.lock().unwrap().metrics_out = Some(path);
         }
+        _ => return false,
     }
+    true
+}
 
-    /// Write the configured exports after the run.
-    fn flush(&self) {
-        if let Some(path) = &self.trace_out {
-            let format = self.trace_format.unwrap_or(TraceFormat::Chrome);
-            let text = paccport_trace::export::render(
-                format,
-                &paccport_trace::events(),
-                &paccport_trace::summary(),
-            );
-            std::fs::write(path, text)
-                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+/// Validate the telemetry flag combination after parsing.
+fn tele_validate() {
+    let dangling_format = {
+        let t = TELEMETRY.lock().unwrap();
+        t.trace_format.is_some() && t.trace_out.is_none()
+    };
+    if dangling_format {
+        die("--trace-format requires --trace-out");
+    }
+}
+
+/// Write the configured exports. The happy path (`quiet = false`)
+/// dies on an I/O failure; the abort paths — usage errors, injected
+/// crashes — pass `quiet = true` so a flush problem can never mask
+/// the exit code the caller is about to report.
+fn tele_flush(quiet: bool) {
+    let (trace_out, trace_format, metrics_out) = {
+        let Ok(t) = TELEMETRY.lock() else { return };
+        (t.trace_out.clone(), t.trace_format, t.metrics_out.clone())
+    };
+    let write = |path: &str, text: String| {
+        if let Err(e) = std::fs::write(path, text) {
+            if quiet {
+                eprintln!("reproduce: cannot write {path}: {e}");
+            } else {
+                die(&format!("cannot write {path}: {e}"));
+            }
         }
-        if let Some(path) = &self.metrics_out {
-            std::fs::write(path, paccport_trace::metrics::render_prometheus())
-                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-        }
+    };
+    if let Some(path) = &trace_out {
+        let format = trace_format.unwrap_or(TraceFormat::Chrome);
+        let text = paccport_trace::export::render(
+            format,
+            &paccport_trace::events(),
+            &paccport_trace::summary(),
+        );
+        write(path, text);
+    }
+    if let Some(path) = &metrics_out {
+        write(path, paccport_trace::metrics::render_prometheus());
     }
 }
 
@@ -204,6 +256,10 @@ impl Drop for TraceFlushGuard {
 }
 
 fn main() {
+    // Even a run killed by an injected crash must leave parseable
+    // telemetry behind: flush from the crash hook, quietly, so exit
+    // code 75 survives.
+    paccport_faults::on_crash(|| tele_flush(true));
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("conform") {
         conform(&args[1..]);
@@ -215,6 +271,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("bench-devsim") {
         bench_devsim(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("fsck") {
+        fsck_cmd(&args[1..]);
         return;
     }
     let check = args.iter().any(|a| a == "--check");
@@ -230,10 +290,19 @@ fn main() {
     let mut inject: Option<String> = None;
     let mut fault_seed: u64 = 0;
     let mut tier_name = "tree".to_string();
-    let mut tele = Telemetry::default();
+    let mut state_dir: Option<String> = None;
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if tele.consume(a, &mut it) {
+        if tele_consume(a, &mut it) {
+        } else if a == "--state-dir" {
+            state_dir = Some(
+                it.next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--state-dir requires a directory path")),
+            );
+        } else if a == "--resume" {
+            resume = true;
         } else if a == "--tier" {
             tier_name = it
                 .next()
@@ -290,14 +359,51 @@ fn main() {
     if trace {
         paccport_trace::set_enabled(true);
     }
-    tele.arm();
+    tele_validate();
+    if resume && state_dir.is_none() {
+        die("--resume requires --state-dir");
+    }
     let _flush_guard = TraceFlushGuard;
     if let Some(spec) = &inject {
         let spec = paccport_faults::FaultSpec::parse(spec)
             .unwrap_or_else(|e| die(&format!("--inject: {e}")));
         paccport_faults::configure(spec, fault_seed);
     }
-    let eng = Engine::new(jobs);
+
+    // Durable state, when asked for. Opened after fault configuration
+    // so `restore_fault_events` can filter on the active kinds, and
+    // before the engine so journaled cells replay. All resume
+    // bookkeeping goes to stderr: stdout must stay byte-identical to
+    // an uninterrupted (or stateless) run.
+    let state = state_dir.as_ref().map(|dir| {
+        let dir = std::path::Path::new(dir);
+        let journal = std::sync::Arc::new(
+            paccport_core::CellJournal::open(dir, resume)
+                .unwrap_or_else(|e| die(&format!("--state-dir {}: {e}", dir.display()))),
+        );
+        let store = paccport_core::DiskArtifactStore::open(dir)
+            .unwrap_or_else(|e| die(&format!("--state-dir {}: {e}", dir.display())));
+        if resume {
+            let restored = journal.restore_fault_events();
+            eprintln!(
+                "reproduce: resuming from {} — {} journaled cells, {} fault events restored",
+                dir.display(),
+                journal.replayable(),
+                restored
+            );
+        }
+        let sink = std::sync::Arc::clone(&journal);
+        paccport_faults::set_event_sink(move |kind, site, attempt| {
+            sink.record_event(kind.tag(), site, attempt)
+        });
+        (journal, store)
+    });
+    let mut eng = Engine::new(jobs);
+    if let Some((journal, store)) = state {
+        eng.cache().set_store(std::sync::Arc::new(store));
+        eng = eng.with_journal(journal);
+    }
+    let eng = eng;
 
     if check {
         let report = exp::check_soundness_on(&eng, &scale);
@@ -318,7 +424,7 @@ fn main() {
             );
             eprint!("{}", paccport_trace::summary().render());
         }
-        tele.flush();
+        tele_flush(false);
         if !report.all_consistent() || !report.lost_update_caught() {
             eprintln!("reproduce --check: soundness invariant violated");
             std::process::exit(1);
@@ -524,7 +630,7 @@ fn main() {
         );
         eprint!("{}", paccport_trace::summary().render());
     }
-    tele.flush();
+    tele_flush(false);
 
     // Partial results are fine under chaos, but a cell that failed for
     // a reason we did NOT inject is a real bug: exit nonzero.
@@ -566,10 +672,9 @@ fn apply_tier(name: &str) -> bool {
 fn conform(args: &[String]) {
     let mut programs: u64 = 50;
     let mut seed: u64 = 42;
-    let mut tele = Telemetry::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if tele.consume(a, &mut it) {
+        if tele_consume(a, &mut it) {
         } else if a == "--programs" {
             programs = it
                 .next()
@@ -592,10 +697,10 @@ fn conform(args: &[String]) {
             die(&format!("conform: unknown argument `{a}`"));
         }
     }
-    tele.arm();
+    tele_validate();
     let report = paccport_conformance::run_conformance(programs, seed);
     print!("{}", report.render());
-    tele.flush();
+    tele_flush(false);
     if !report.ok() {
         std::process::exit(1);
     }
@@ -609,10 +714,9 @@ fn profile_cmd(args: &[String]) {
     let mut jobs: usize = 1;
     let mut inject: Option<String> = None;
     let mut fault_seed: u64 = 0;
-    let mut tele = Telemetry::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if tele.consume(a, &mut it) {
+        if tele_consume(a, &mut it) {
         } else if a == "--scale" {
             scale_name = it
                 .next()
@@ -647,7 +751,7 @@ fn profile_cmd(args: &[String]) {
         "paper" => Scale::paper(),
         _ => die("--scale requires smoke|quick|paper"),
     };
-    tele.arm();
+    tele_validate();
     let _flush_guard = TraceFlushGuard;
     if let Some(spec) = &inject {
         let spec = paccport_faults::FaultSpec::parse(spec)
@@ -658,7 +762,7 @@ fn profile_cmd(args: &[String]) {
     let report = paccport_core::profile::profile_matrix_on(&eng, &scale);
     print!("{}", report.render());
     print!("{}", report::render_fault_ledger(&eng.quarantined()));
-    tele.flush();
+    tele_flush(false);
     if !eng.uninjected_failures().is_empty() || !report.uninjected_failures().is_empty() {
         eprintln!("reproduce profile: genuine failures occurred");
         std::process::exit(1);
@@ -736,7 +840,64 @@ fn bench_devsim(args: &[String]) {
     }
 }
 
+/// `reproduce fsck DIR` — verify and repair a `--state-dir` offline.
+///
+/// Exit codes: 0 — already consistent; 1 — repairs were performed and
+/// the directory is now consistent; 2 — usage error; 3 — the
+/// directory cannot be inspected at all.
+fn fsck_cmd(args: &[String]) {
+    let mut dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if tele_consume(a, &mut it) {
+        } else if a.starts_with("--") {
+            die(&format!("fsck: unknown argument `{a}`"));
+        } else if dir.is_none() {
+            dir = Some(a.clone());
+        } else {
+            die("fsck: exactly one state directory expected");
+        }
+    }
+    let Some(dir) = dir else {
+        die("fsck: a state directory is required");
+    };
+    tele_validate();
+    let report = match paccport_persist::fsck(std::path::Path::new(&dir)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("reproduce fsck: {e}");
+            tele_flush(true);
+            std::process::exit(3);
+        }
+    };
+    println!("fsck {dir}");
+    println!(
+        "  journal: {} records intact, {} bytes of torn tail truncated",
+        report.journal_records, report.journal_truncated_bytes
+    );
+    println!(
+        "  cache:   {} entries intact, {} evicted, {} temp files removed",
+        report.cache_entries,
+        report.cache_evicted.len(),
+        report.temp_files_removed
+    );
+    for name in &report.cache_evicted {
+        println!("           evicted {name}");
+    }
+    println!(
+        "  {}",
+        if report.is_clean() {
+            "clean".to_string()
+        } else {
+            format!("{} repairs performed", report.repairs())
+        }
+    );
+    tele_flush(false);
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("reproduce: {msg}");
+    tele_flush(true);
     std::process::exit(2);
 }

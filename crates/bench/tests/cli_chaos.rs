@@ -75,3 +75,48 @@ fn bad_inject_spec_is_a_usage_error() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("--inject"), "{err}");
 }
+
+#[test]
+fn duplicate_fault_kinds_are_rejected_with_an_actionable_error() {
+    let out = reproduce(&["--inject", "crash:step,crash:journal"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(err.lines().count(), 1, "one-line error expected: {err}");
+    assert!(
+        err.contains("more than one clause") && err.contains("crash"),
+        "{err}"
+    );
+}
+
+#[test]
+fn unknown_inject_targets_are_rejected_with_an_actionable_error() {
+    let out = reproduce(&["--inject", "compile:no-such-site"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(err.lines().count(), 1, "one-line error expected: {err}");
+    assert!(
+        err.contains("unknown target `no-such-site`") && err.contains("substring-match"),
+        "{err}"
+    );
+}
+
+#[test]
+fn usage_errors_still_flush_requested_telemetry() {
+    let path = std::env::temp_dir().join(format!(
+        "paccport-chaos-usage-metrics-{}.prom",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let out = reproduce(&[
+        "--metrics-out",
+        path.to_str().unwrap(),
+        "--inject",
+        "gremlins",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        path.exists(),
+        "metrics file must be flushed on usage errors"
+    );
+    let _ = std::fs::remove_file(&path);
+}

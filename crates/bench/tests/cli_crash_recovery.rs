@@ -1,0 +1,350 @@
+//! Supervisor-style crash-recovery checks on the `reproduce` binary.
+//!
+//! The durability contract under test: a run with `--state-dir` that
+//! dies at *any* journal step (injected `crash` / `torn-write` faults,
+//! exit code 75) can be restarted with `--resume` and the final stdout
+//! is byte-identical to one uninterrupted run — at any `--jobs` — and
+//! `reproduce fsck` detects every torn write while never flagging a
+//! clean directory.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("run reproduce")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).unwrap()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("paccport-crashrec-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// The cheap experiment the crash matrix sweeps: one LUD elapsed
+/// figure at smoke scale.
+const EXP: &[&str] = &["--exp", "fig3", "--scale", "smoke"];
+
+fn dir_arg(d: &Path) -> &str {
+    d.to_str().unwrap()
+}
+
+/// The tentpole matrix: for both `--jobs 1` and `--jobs 4`, crash at
+/// every journal step; each crashed run exits 75 and the `--resume`
+/// restart reproduces the clean baseline byte-for-byte.
+#[test]
+fn crash_at_every_journal_step_resumes_to_identical_output() {
+    for jobs in ["1", "4"] {
+        let baseline = reproduce(&[EXP, &["--jobs", jobs]].concat());
+        assert!(baseline.status.success());
+
+        // One complete durable run tells us how many journal steps
+        // there are to crash at.
+        let probe = tmp(&format!("probe-{jobs}"));
+        let full = reproduce(&[EXP, &["--jobs", jobs, "--state-dir", dir_arg(&probe)]].concat());
+        assert!(full.status.success());
+        assert_eq!(
+            stdout(&full),
+            stdout(&baseline),
+            "--state-dir must not change stdout"
+        );
+        let steps = std::fs::read_to_string(probe.join("journal.log"))
+            .unwrap()
+            .lines()
+            .count();
+        assert!(steps > 2, "expected a multi-record journal, got {steps}");
+        let _ = std::fs::remove_dir_all(&probe);
+
+        // Sweep one past the end: a crash step the run never reaches
+        // must leave it completing normally.
+        for k in 0..=steps {
+            let d = tmp(&format!("step-{jobs}-{k}"));
+            let spec = format!("crash:step-{k:06}");
+            let crashed = reproduce(
+                &[
+                    EXP,
+                    &[
+                        "--jobs",
+                        jobs,
+                        "--state-dir",
+                        dir_arg(&d),
+                        "--inject",
+                        &spec,
+                    ],
+                ]
+                .concat(),
+            );
+            match crashed.status.code() {
+                Some(75) => {
+                    let resumed = reproduce(
+                        &[
+                            EXP,
+                            &["--jobs", jobs, "--state-dir", dir_arg(&d), "--resume"],
+                        ]
+                        .concat(),
+                    );
+                    assert!(
+                        resumed.status.success(),
+                        "resume after crash at step {k} (jobs {jobs}): {}",
+                        String::from_utf8_lossy(&resumed.stderr)
+                    );
+                    assert_eq!(
+                        stdout(&resumed),
+                        stdout(&baseline),
+                        "resumed stdout diverged (crash step {k}, jobs {jobs})"
+                    );
+                }
+                Some(0) => {
+                    // Step k was never rolled (the unrolled meta/event
+                    // records, or past the end): the run finished —
+                    // with an empty fault-ledger section appended,
+                    // since injection was configured.
+                    let text = stdout(&crashed);
+                    let report = text.split("== Fault ledger").next().unwrap();
+                    assert_eq!(report, stdout(&baseline));
+                }
+                other => panic!("crash step {k} (jobs {jobs}): unexpected exit {other:?}"),
+            }
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+}
+
+/// The same protocol through `--check`: crash mid-soundness-matrix,
+/// resume, and the report is byte-identical to an undisturbed check.
+#[test]
+fn check_crash_and_resume_matches_clean_baseline() {
+    let baseline = reproduce(&["--check", "--scale", "smoke", "--jobs", "4"]);
+    assert!(baseline.status.success());
+
+    let d = tmp("check");
+    let crashed = reproduce(&[
+        "--check",
+        "--scale",
+        "smoke",
+        "--jobs",
+        "4",
+        "--state-dir",
+        dir_arg(&d),
+        "--inject",
+        "crash:step-000003",
+    ]);
+    assert_eq!(
+        crashed.status.code(),
+        Some(75),
+        "expected the injected crash"
+    );
+
+    let resumed = reproduce(&[
+        "--check",
+        "--scale",
+        "smoke",
+        "--jobs",
+        "4",
+        "--state-dir",
+        dir_arg(&d),
+        "--resume",
+    ]);
+    assert!(resumed.status.success());
+    assert_eq!(stdout(&resumed), stdout(&baseline));
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// Torn journal writes under supervision: keep restarting with the
+/// same chaos spec until the run survives. Every life makes progress
+/// (the tear is at-most-once per record payload), the final ledger is
+/// the union of every life's events, and the report itself matches
+/// the clean baseline.
+#[test]
+fn torn_write_chaos_converges_under_supervision() {
+    let baseline = reproduce(EXP);
+    assert!(baseline.status.success());
+
+    let d = tmp("torn");
+    let spec = ["--inject", "torn-write:journal:0.5"];
+    let mut crashes = 0;
+    let final_out = loop {
+        let mut args = [EXP, &["--state-dir", dir_arg(&d)], &spec[..]].concat();
+        if crashes > 0 {
+            args.push("--resume");
+        }
+        let out = reproduce(&args);
+        match out.status.code() {
+            Some(75) => {
+                crashes += 1;
+                assert!(crashes < 100, "supervision did not converge");
+            }
+            Some(0) => break out,
+            other => panic!("unexpected exit {other:?}"),
+        }
+    };
+    assert!(crashes > 0, "rate 0.5 should have torn at least one record");
+
+    // Everything before the fault ledger is the clean baseline.
+    let text = stdout(&final_out);
+    let (report, ledger) = text
+        .split_once("== Fault ledger")
+        .expect("chaos run must print a fault ledger");
+    assert_eq!(report, stdout(&baseline));
+    // The ledger lists exactly one torn-write event per crash.
+    assert_eq!(
+        ledger.matches("torn-write").count(),
+        crashes + 1, // one per event line, one in the spec echo
+        "ledger must be the union of every life's events"
+    );
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// A torn artifact-store write is (a) detected and repaired by fsck,
+/// and (b) survivable without fsck: the resumed run evicts the
+/// corrupt entry on read and recompiles.
+#[test]
+fn torn_cache_writes_are_detected_by_fsck_and_survivable() {
+    let baseline = reproduce(EXP);
+
+    let d = tmp("torncache");
+    let crashed = reproduce(
+        &[
+            EXP,
+            &[
+                "--state-dir",
+                dir_arg(&d),
+                "--inject",
+                "torn-write:cache-file",
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(crashed.status.code(), Some(75));
+
+    // fsck: detects the torn entry (exit 1), is idempotent (exit 0),
+    // and never flags the directory again.
+    let repair = reproduce(&["fsck", dir_arg(&d)]);
+    assert_eq!(repair.status.code(), Some(1), "{}", stdout(&repair));
+    let repair_text = stdout(&repair);
+    assert!(repair_text.contains("evicted"), "{repair_text}");
+    let clean = reproduce(&["fsck", dir_arg(&d)]);
+    assert_eq!(clean.status.code(), Some(0), "{}", stdout(&clean));
+
+    // And the resumed run completes to the baseline.
+    let resumed = reproduce(&[EXP, &["--state-dir", dir_arg(&d), "--resume"]].concat());
+    assert!(resumed.status.success());
+    assert_eq!(stdout(&resumed), stdout(&baseline));
+    let _ = std::fs::remove_dir_all(&d);
+
+    // Zero false positives: fsck on a state dir left by an
+    // *uninterrupted* run reports clean.
+    let d2 = tmp("cleandir");
+    assert!(reproduce(&[EXP, &["--state-dir", dir_arg(&d2)]].concat())
+        .status
+        .success());
+    let verdict = reproduce(&["fsck", dir_arg(&d2)]);
+    assert_eq!(verdict.status.code(), Some(0), "{}", stdout(&verdict));
+    let _ = std::fs::remove_dir_all(&d2);
+}
+
+/// fsck's exit-code discipline: 2 for usage errors, 3 for a directory
+/// that cannot be inspected.
+#[test]
+fn fsck_exit_codes_distinguish_usage_from_unreadable() {
+    let usage = reproduce(&["fsck"]);
+    assert_eq!(usage.status.code(), Some(2));
+    let two = reproduce(&["fsck", "a", "b"]);
+    assert_eq!(two.status.code(), Some(2));
+    let missing = reproduce(&["fsck", "/nonexistent/paccport-state"]);
+    assert_eq!(missing.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("not a directory"));
+}
+
+/// A run killed by an injected crash still flushes its telemetry:
+/// the partial trace and metrics files exist and are parseable.
+#[test]
+fn crashed_run_leaves_parseable_partial_telemetry() {
+    let d = tmp("tele");
+    let trace = d.join("trace.jsonl");
+    let metrics = d.join("metrics.prom");
+    let state = d.join("state");
+    let out = reproduce(
+        &[
+            EXP,
+            &[
+                "--state-dir",
+                state.to_str().unwrap(),
+                "--inject",
+                "crash:step-000002",
+                "--trace-out",
+                trace.to_str().unwrap(),
+                "--trace-format",
+                "jsonl",
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(out.status.code(), Some(75));
+    let trace_text = std::fs::read_to_string(&trace).expect("trace flushed on crash");
+    assert!(
+        trace_text
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')),
+        "jsonl trace must be one JSON object per line"
+    );
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics flushed on crash");
+    assert!(
+        metrics_text.contains("journal_appends_total"),
+        "partial metrics must include the journal counter"
+    );
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// A resumed run reports replay through the metrics registry.
+#[test]
+fn resume_counts_replayed_cells_and_disk_cache_hits() {
+    let d = tmp("metrics");
+    let state = d.join("state");
+    assert!(
+        reproduce(&[EXP, &["--state-dir", state.to_str().unwrap()]].concat())
+            .status
+            .success()
+    );
+    let m = d.join("m.prom");
+    let resumed = reproduce(
+        &[
+            EXP,
+            &[
+                "--state-dir",
+                state.to_str().unwrap(),
+                "--resume",
+                "--metrics-out",
+                m.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert!(resumed.status.success());
+    let text = std::fs::read_to_string(&m).unwrap();
+    let replayed: u64 = text
+        .lines()
+        .find(|l| l.starts_with("cells_replayed_total"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .expect("cells_replayed_total exported");
+    assert!(replayed > 0, "resume must replay journaled cells");
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// `--resume` without `--state-dir` is a usage error, as is a
+/// `--state-dir` pointing at an unusable path.
+#[test]
+fn resume_requires_a_state_dir() {
+    let out = reproduce(&[EXP, &["--resume"]].concat());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--resume requires --state-dir"));
+}

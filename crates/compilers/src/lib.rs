@@ -38,6 +38,7 @@ pub mod artifact;
 pub mod cache;
 pub mod caps;
 pub mod common;
+pub mod diskfmt;
 pub mod flags;
 pub mod lower;
 pub mod mapping;
@@ -52,7 +53,8 @@ pub use artifact::{
     CompileError, CompiledProgram, Correctness, CostNode, CostTree, Diagnostic, DistSpec,
     ExecStrategy, KernelPlan, LaunchDims, TransferPolicy,
 };
-pub use cache::{fingerprint, ArtifactCache, CacheKey};
+pub use cache::{fingerprint, ArtifactCache, ArtifactStore, CacheKey};
+pub use diskfmt::{decode_artifact, encode_artifact};
 pub use lower::{lower_kernel, lower_stub, LoweredKernel, LoweringStyle};
 pub use options::{Backend, CompileOptions, CompilerId, DeviceKind, Flag, HostCompiler, QuirkSet};
 

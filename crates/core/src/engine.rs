@@ -23,10 +23,13 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use paccport_compilers::ArtifactCache;
+use paccport_persist::wire::{Reader, Writer};
 
+use crate::durable::{CellJournal, DurableResult};
 use crate::study::{measure_cached, CellFailure, CellSpec, Measured};
 
 /// How the engine retries failing jobs.
@@ -92,6 +95,13 @@ pub struct Engine {
     cache: Arc<ArtifactCache>,
     policy: RetryPolicy,
     quarantine: Mutex<Vec<QuarantineRecord>>,
+    /// Run journal for `--state-dir` runs: completed cells replay
+    /// instead of recomputing (see [`crate::durable`]).
+    journal: Option<Arc<CellJournal>>,
+    /// Ordinal of the next journaled matrix, so every
+    /// `measure_matrix_detailed` call gets a distinct key prefix in
+    /// submission order.
+    matrix_seq: AtomicU64,
 }
 
 impl Default for Engine {
@@ -108,7 +118,16 @@ impl Engine {
             cache: Arc::new(ArtifactCache::new()),
             policy: RetryPolicy::default(),
             quarantine: Mutex::new(Vec::new()),
+            journal: None,
+            matrix_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a run journal (builder style): matrix and soundness
+    /// cells journal their outcomes and replay on resume.
+    pub fn with_journal(mut self, journal: Arc<CellJournal>) -> Self {
+        self.journal = Some(journal);
+        self
     }
 
     /// Replace the retry policy (builder style).
@@ -236,6 +255,89 @@ impl Engine {
         self.run_batch(tasks)
     }
 
+    /// [`Engine::run_resilient`] with a write-ahead of results into
+    /// the engine's journal (a no-op without one). Each job carries a
+    /// content fingerprint; the `i`-th job's journal key is
+    /// `<prefix>/c<i>`. Outcomes journaled by a previous process life
+    /// replay — successes decode without recomputation, quarantines
+    /// re-enter the quarantine ledger — as long as the fingerprint
+    /// still matches; any mismatch recomputes. Replay is per-cell, so
+    /// a run that died mid-matrix resumes exactly at the first
+    /// unjournaled cell.
+    pub fn run_resilient_journaled<T, F>(
+        &self,
+        prefix: &str,
+        jobs: Vec<(String, u128, F)>,
+    ) -> Vec<Result<T, JobFailure>>
+    where
+        T: DurableResult + Send,
+        F: Fn() -> Result<T, String> + Send,
+    {
+        let Some(journal) = self.journal.as_ref().map(Arc::clone) else {
+            return self.run_resilient(jobs.into_iter().map(|(l, _, f)| (l, f)).collect());
+        };
+        paccport_faults::install_quiet_panic_hook();
+        let policy = self.policy;
+        let quarantine = &self.quarantine;
+        let tasks: Vec<_> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (label, fp, f))| {
+                let journal = Arc::clone(&journal);
+                move || {
+                    let key = format!("{prefix}/c{i}");
+                    match journal.replay(&key, fp) {
+                        Some(Ok(tokens)) => {
+                            let mut r = Reader::new(tokens);
+                            if let Ok(v) = T::decode(&mut r) {
+                                paccport_trace::metrics::counter_add(
+                                    "cells_replayed_total",
+                                    &[],
+                                    1,
+                                );
+                                return Ok(v);
+                            }
+                            // An undecodable journaled success means
+                            // the journal predates a codec change the
+                            // version guard missed; fall through and
+                            // recompute (the re-journal is suppressed
+                            // by the duplicate-key guard).
+                        }
+                        Some(Err(jf)) => {
+                            paccport_trace::metrics::counter_add("cells_replayed_total", &[], 1);
+                            quarantine.lock().unwrap().push(QuarantineRecord {
+                                label: label.clone(),
+                                reason: jf.reason.clone(),
+                                attempts: jf.attempts,
+                                injected: jf.injected,
+                            });
+                            return Err(JobFailure {
+                                label,
+                                reason: jf.reason.clone(),
+                                attempts: jf.attempts,
+                                injected: jf.injected,
+                            });
+                        }
+                        None => {}
+                    }
+                    let res = run_with_retry(label, f, policy, quarantine);
+                    match &res {
+                        Ok(v) => {
+                            let mut w = Writer::new();
+                            v.encode(&mut w);
+                            journal.record_ok(&key, fp, &w.finish());
+                        }
+                        Err(jf) => {
+                            journal.record_err(&key, fp, &jf.reason, jf.attempts, jf.injected)
+                        }
+                    }
+                    res
+                }
+            })
+            .collect();
+        self.run_batch(tasks)
+    }
+
     /// Jobs quarantined by [`Engine::run_resilient`] so far, sorted by
     /// label (deterministic regardless of worker scheduling).
     pub fn quarantined(&self) -> Vec<QuarantineRecord> {
@@ -274,6 +376,7 @@ impl Engine {
     ) -> Vec<Result<Measured, CellFailure>> {
         let _span = paccport_trace::span("engine.measure_matrix");
         let cache = &self.cache;
+        let prefix = format!("m{}", self.matrix_seq.fetch_add(1, Ordering::Relaxed));
         let names: Vec<(String, String)> = cells
             .iter()
             .map(|c| (c.series.clone(), c.variant.clone()))
@@ -286,6 +389,18 @@ impl Engine {
                 if cfg.fault_scope.is_none() {
                     cfg.fault_scope = Some(label.clone());
                 }
+                // The replay gate: everything that shapes this cell's
+                // result. The program contributes its compile-cache
+                // fingerprint rather than its (large) Debug form.
+                let fp = cell_fingerprint(&format!(
+                    "{:?} {:?} {:?} {:?} {:032x} {:?}",
+                    cell.series,
+                    cell.variant,
+                    cell.compiler,
+                    cell.options,
+                    paccport_compilers::fingerprint(&cell.program),
+                    cfg
+                ));
                 let task = move || {
                     measure_cached(
                         cache,
@@ -297,10 +412,10 @@ impl Engine {
                         &cfg,
                     )
                 };
-                (label, task)
+                (label, fp, task)
             })
             .collect();
-        self.run_resilient(jobs)
+        self.run_resilient_journaled(&prefix, jobs)
             .into_iter()
             .zip(names)
             .map(|(r, (series, variant))| {
@@ -343,6 +458,24 @@ impl Engine {
         }
         Err(last)
     }
+}
+
+/// 128-bit content fingerprint for journal replay gates: two
+/// independent 64-bit FNV-1a passes over the same bytes. Not
+/// cryptographic — it only has to make "the cell spec changed between
+/// runs" overwhelmingly unlikely to collide.
+pub fn cell_fingerprint(spec: &str) -> u128 {
+    fn fnv(bytes: &[u8], basis: u64) -> u64 {
+        let mut h = basis;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+    let lo = fnv(spec.as_bytes(), 0xcbf2_9ce4_8422_2325);
+    let hi = fnv(spec.as_bytes(), 0x6c62_272e_07bb_0142);
+    ((hi as u128) << 64) | lo as u128
 }
 
 /// One job's attempt loop: watchdog + `catch_unwind` around every
@@ -498,6 +631,79 @@ mod tests {
         let f = results[0].as_ref().unwrap_err();
         assert!(f.reason.contains("kaboom"), "{}", f.reason);
         assert_eq!(results[1], Ok(1));
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Val(u64);
+
+    impl DurableResult for Val {
+        fn encode(&self, w: &mut Writer) {
+            w.u64(self.0);
+        }
+        fn decode(r: &mut Reader) -> Result<Self, String> {
+            Ok(Val(r.u64()?))
+        }
+    }
+
+    #[test]
+    fn journaled_jobs_replay_across_engine_lives() {
+        let dir =
+            std::env::temp_dir().join(format!("paccport-engine-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        type Job<'a> = Box<dyn Fn() -> Result<Val, String> + Send + 'a>;
+        fn jobs(ran: &AtomicUsize) -> Vec<(String, u128, Job<'_>)> {
+            let a: Job<'_> = Box::new(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                Ok(Val(40))
+            });
+            let b: Job<'_> = Box::new(|| Err("deliberate breakage".to_string()));
+            vec![
+                ("good".into(), cell_fingerprint("good"), a),
+                ("bad".into(), cell_fingerprint("bad"), b),
+            ]
+        }
+        let ran = AtomicUsize::new(0);
+
+        // First life: both outcomes computed and journaled.
+        {
+            let j = Arc::new(crate::durable::CellJournal::open(&dir, false).unwrap());
+            let eng = Engine::new(2).with_journal(j);
+            let res = eng.run_resilient_journaled("t", jobs(&ran));
+            assert_eq!(res[0], Ok(Val(40)));
+            assert!(res[1].is_err());
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+
+        // Second life: both replay — no recomputation, and the
+        // quarantine ledger is rebuilt from the journal.
+        {
+            let j = Arc::new(crate::durable::CellJournal::open(&dir, true).unwrap());
+            let eng = Engine::new(2).with_journal(j);
+            let res = eng.run_resilient_journaled("t", jobs(&ran));
+            assert_eq!(res[0], Ok(Val(40)));
+            let f = res[1].as_ref().unwrap_err();
+            assert_eq!(f.reason, "deliberate breakage");
+            assert_eq!(f.attempts, eng.policy().max_attempts);
+            let q = eng.quarantined();
+            assert_eq!(q.len(), 1);
+            assert_eq!(q[0].label, "bad");
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "replay must not recompute");
+
+        // A changed fingerprint recomputes rather than misreplaying.
+        {
+            let j = Arc::new(crate::durable::CellJournal::open(&dir, true).unwrap());
+            let eng = Engine::serial().with_journal(j);
+            let mut js = jobs(&ran);
+            js.truncate(1);
+            js[0].1 = cell_fingerprint("good-but-different");
+            let res = eng.run_resilient_journaled("t", js);
+            assert_eq!(res[0], Ok(Val(40)));
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1196,10 +1196,20 @@ pub fn check_soundness_on(eng: &Engine, scale: &Scale) -> SoundnessReport {
             if cell.cfg.fault_scope.is_none() {
                 cell.cfg.fault_scope = Some(label.clone());
             }
-            (label, move || check_cell(cache, &cell))
+            let fp = crate::engine::cell_fingerprint(&format!(
+                "{:?} {:?} {:?} {:?} {:?} {:032x} {:?}",
+                cell.benchmark,
+                cell.series,
+                cell.variant,
+                cell.compiler,
+                cell.options,
+                paccport_compilers::fingerprint(&cell.program),
+                cell.cfg
+            ));
+            (label, fp, move || check_cell(cache, &cell))
         })
         .collect();
-    for res in eng.run_resilient(jobs) {
+    for res in eng.run_resilient_journaled("check", jobs) {
         match res {
             Ok(cc) => {
                 report.rows.extend(cc.rows);

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod autotune;
+pub mod durable;
 pub mod engine;
 pub mod experiments;
 pub mod method;
@@ -45,6 +46,7 @@ pub mod study;
 pub mod tierdiff;
 
 pub use autotune::{autotune_distribution, default_candidates, Candidate, TuneOutcome};
+pub use durable::{CellJournal, DiskArtifactStore, DurableResult};
 pub use engine::Engine;
 pub use method::{
     apply_method, dep_reason, select_portable_distribution, MethodOptions, OptimizationOutcome,

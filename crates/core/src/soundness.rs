@@ -83,7 +83,7 @@ pub struct SoundnessRow {
 }
 
 /// What [`check_cell`] returns for one cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellCheck {
     pub rows: Vec<SoundnessRow>,
     /// Shadow-logged memory accesses during the cell's run.

@@ -68,6 +68,15 @@ pub enum FaultKind {
     KernelHang,
     /// A cached artifact is corrupted in place (`cache.rs`).
     CorruptCache,
+    /// The whole process aborts right after a journal record becomes
+    /// durable (`paccport-persist`). Unlike every other kind this one
+    /// does not unwind — the site calls [`crash_exit`], and recovery
+    /// is proven by restarting with `--resume`.
+    Crash,
+    /// An in-flight journal or cache-store write is truncated or
+    /// garbled mid-write, then the process aborts — the on-disk state
+    /// a real power cut leaves behind (`paccport-persist`).
+    TornWrite,
 }
 
 impl FaultKind {
@@ -79,19 +88,93 @@ impl FaultKind {
             FaultKind::DeviceFault => "device",
             FaultKind::KernelHang => "hang",
             FaultKind::CorruptCache => "corrupt-cache",
+            FaultKind::Crash => "crash",
+            FaultKind::TornWrite => "torn-write",
         }
     }
 
-    fn from_tag(s: &str) -> Option<Self> {
+    /// Inverse of [`FaultKind::tag`] (journal event records persist
+    /// faults by tag and decode through this).
+    pub fn from_tag(s: &str) -> Option<Self> {
         Some(match s {
             "compile" => FaultKind::CompileFail,
             "slow" => FaultKind::CompileSlow,
             "device" => FaultKind::DeviceFault,
             "hang" => FaultKind::KernelHang,
             "corrupt-cache" => FaultKind::CorruptCache,
+            "crash" => FaultKind::Crash,
+            "torn-write" => FaultKind::TornWrite,
             _ => return None,
         })
     }
+}
+
+/// The site-key vocabulary `--inject` targets are validated against.
+/// A target is accepted when it is a substring of a vocabulary word or
+/// a vocabulary word is a substring of it, so both `caps` and a full
+/// structured key like `journal:step-000004` pass while a typo like
+/// `pgl` is rejected up front instead of silently matching nothing.
+const KNOWN_SITE_VOCABULARY: &[&str] = &[
+    // Compiler personalities and backends.
+    "caps",
+    "pgi",
+    "openarc",
+    "opencl",
+    "hand-written",
+    "cuda",
+    "ocl",
+    "acc",
+    "gcc",
+    "icc",
+    // Devices.
+    "k40",
+    "5110p",
+    "firepro",
+    "amd",
+    "mic",
+    "gpu",
+    "cpu",
+    "host",
+    // Benchmarks and their kernels.
+    "lud",
+    "gaussian",
+    "bfs",
+    "backprop",
+    "hydro",
+    "fan1",
+    "fan2",
+    "kernel",
+    "layer_forward",
+    "adjust_weights",
+    // Variant / series label fragments.
+    "base",
+    "indep",
+    "dist",
+    "tile",
+    "unroll",
+    "reduction",
+    "reorg",
+    "advanced",
+    "tuned",
+    "fig",
+    "ext",
+    "check",
+    "cell",
+    // Structured site prefixes: compile lowering, artifact cache, and
+    // the persist layer's journal/store write sites.
+    "lower:",
+    "cache:",
+    "gen",
+    "journal:",
+    "step-",
+    "rec-",
+    "cache-file:",
+];
+
+fn target_in_vocabulary(target: &str) -> bool {
+    KNOWN_SITE_VOCABULARY
+        .iter()
+        .any(|v| v.contains(target) || target.contains(v))
 }
 
 /// One clause of an inject spec: `kind[:target][:rate]`.
@@ -124,9 +207,13 @@ impl FaultSpec {
     /// Parse a comma-separated list of `kind[:target][:rate]` clauses.
     ///
     /// `kind` is one of `compile`, `slow`, `device`, `hang`,
-    /// `corrupt-cache`; `target` is a case-insensitive substring of
-    /// the site key (`*` or empty for all sites); `rate` is a
-    /// probability in `[0, 1]` (default 1). The single word `chaos`
+    /// `corrupt-cache`, `crash`, `torn-write`; `target` is a
+    /// case-insensitive substring of the site key (`*` or empty for
+    /// all sites), validated against the known site vocabulary so a
+    /// typo fails up front instead of silently matching nothing;
+    /// `rate` is a probability in `[0, 1]` (default 1). Each kind may
+    /// appear at most once — duplicate clauses would silently shadow
+    /// each other via the max-rate merge. The single word `chaos`
     /// expands to [`FaultSpec::chaos`].
     ///
     /// ```
@@ -153,10 +240,16 @@ impl FaultSpec {
             }
             let kind = FaultKind::from_tag(parts[0]).ok_or_else(|| {
                 format!(
-                    "unknown fault kind `{}` (expected compile|slow|device|hang|corrupt-cache, or the preset `chaos`)",
+                    "unknown fault kind `{}` (expected compile|slow|device|hang|corrupt-cache|crash|torn-write, or the preset `chaos`)",
                     parts[0]
                 )
             })?;
+            if rules.iter().any(|r: &FaultRule| r.kind == kind) {
+                return Err(format!(
+                    "inject clause `{clause}`: fault kind `{}` appears in more than one clause — merge them into one `kind[:target][:rate]` clause",
+                    kind.tag()
+                ));
+            }
             // Two-field form: the second field is a rate if it parses
             // as one, a target otherwise (`hang:bfs` vs `hang:0.2`).
             let (target, rate_text) = match parts.len() {
@@ -178,11 +271,13 @@ impl FaultSpec {
                     })?,
             };
             let target = if target == "*" { "" } else { target };
-            rules.push(FaultRule {
-                kind,
-                target: target.to_ascii_lowercase(),
-                rate,
-            });
+            let target = target.to_ascii_lowercase();
+            if !target.is_empty() && !target_in_vocabulary(&target) {
+                return Err(format!(
+                    "inject clause `{clause}`: unknown target `{target}` — targets substring-match site keys (compilers like `caps`/`pgi`, benchmarks like `lud`/`bfs`, variants like `tile`, or persist sites like `journal:`/`step-000004`); use `*` for all sites"
+                ));
+            }
+            rules.push(FaultRule { kind, target, rate });
         }
         if rules.is_empty() {
             return Err("inject spec is empty".into());
@@ -385,10 +480,21 @@ pub fn record(kind: FaultKind, key: &str) {
     if paccport_trace::metrics::metrics_enabled() {
         paccport_trace::metrics::counter_add("faults_injected_total", &[("kind", kind.tag())], 1);
     }
-    ledger_set()
+    let attempt = current_attempt();
+    let fresh = ledger_set()
         .lock()
         .unwrap()
-        .insert((kind.tag(), key.to_string(), current_attempt()));
+        .insert((kind.tag(), key.to_string(), attempt));
+    // Notify the sink only for first sightings, and only after the
+    // ledger lock is released: the sink may itself take locks (the run
+    // journal appends the event durably) and must never nest inside
+    // ours.
+    if fresh {
+        let guard = event_sink().lock().unwrap();
+        if let Some(sink) = guard.as_ref() {
+            sink(kind, key, attempt);
+        }
+    }
 }
 
 /// Every fault injected since [`configure`], sorted.
@@ -403,6 +509,99 @@ pub fn ledger() -> Vec<FaultEvent> {
             attempt: *attempt,
         })
         .collect()
+}
+
+/// Whether a fault of `kind` was already recorded at site `key` on
+/// *any* attempt. Persist sites use this as an at-most-once guard:
+/// a torn write replayed after a crash-and-resume must not tear the
+/// same bytes again, or recovery would livelock.
+pub fn already_injected(kind: FaultKind, key: &str) -> bool {
+    let lo = (kind.tag(), key.to_string(), 0u32);
+    let hi = (kind.tag(), key.to_string(), u32::MAX);
+    ledger_set().lock().unwrap().range(lo..=hi).next().is_some()
+}
+
+/// Whether the installed spec gives `kind` a nonzero rate anywhere.
+pub fn kind_active(kind: FaultKind) -> bool {
+    config()
+        .lock()
+        .unwrap()
+        .as_ref()
+        .is_some_and(|c| c.spec.rules.iter().any(|r| r.kind == kind && r.rate > 0.0))
+}
+
+// ===================================================================
+// Event sink + restore (durability hooks)
+// ===================================================================
+
+type EventSink = Box<dyn Fn(FaultKind, &str, u32) + Send + Sync>;
+
+fn event_sink() -> &'static Mutex<Option<EventSink>> {
+    static SINK: OnceLock<Mutex<Option<EventSink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Install a process-wide observer called once per *new* ledger entry
+/// (deduplicated exactly like the ledger itself), outside the ledger
+/// lock. The persist layer uses this to journal fault events durably
+/// so a resumed run can rebuild the same ledger. The sink must not
+/// call [`record`] (it would recurse through its own trigger) and must
+/// not panic.
+pub fn set_event_sink(sink: impl Fn(FaultKind, &str, u32) + Send + Sync + 'static) {
+    *event_sink().lock().unwrap() = Some(Box::new(sink));
+}
+
+/// Remove the event sink installed by [`set_event_sink`].
+pub fn clear_event_sink() {
+    *event_sink().lock().unwrap() = None;
+}
+
+/// Re-insert a fault event recorded by an earlier process life (read
+/// back from the run journal) into the ledger. Bypasses telemetry and
+/// the event sink: the event already happened and is already durable —
+/// this only rebuilds in-memory state so a resumed run renders the
+/// same fault ledger as an uninterrupted one.
+pub fn restore_event(kind: FaultKind, key: &str, attempt: u32) {
+    ledger_set()
+        .lock()
+        .unwrap()
+        .insert((kind.tag(), key.to_string(), attempt));
+}
+
+// ===================================================================
+// Crash exit
+// ===================================================================
+
+/// Process exit code for an injected crash (EX_TEMPFAIL from
+/// sysexits.h: "try again later" — which is literally the protocol;
+/// the supervisor restarts with `--resume`). Distinct from every exit
+/// code the CLI uses for real outcomes.
+pub const CRASH_EXIT_CODE: i32 = 75;
+
+type CrashHook = Box<dyn Fn() + Send + Sync>;
+
+fn crash_hooks() -> &'static Mutex<Vec<CrashHook>> {
+    static HOOKS: OnceLock<Mutex<Vec<CrashHook>>> = OnceLock::new();
+    HOOKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register a hook run by [`crash_exit`] just before the process
+/// aborts. The CLI registers its telemetry flush here so even a
+/// crashed run leaves a parseable partial trace.
+pub fn on_crash(hook: impl Fn() + Send + Sync + 'static) {
+    crash_hooks().lock().unwrap().push(Box::new(hook));
+}
+
+/// Abort the process with [`CRASH_EXIT_CODE`], running the [`on_crash`]
+/// hooks first. `std::process::exit` (not `abort`) so the hooks'
+/// flushed output survives; no destructors beyond the hooks run, which
+/// is the point — everything not already durable is lost.
+pub fn crash_exit(site: &str) -> ! {
+    eprintln!("{INJECTED} crash at {site}");
+    for hook in crash_hooks().lock().unwrap().iter() {
+        hook();
+    }
+    std::process::exit(CRASH_EXIT_CODE);
 }
 
 // ===================================================================
@@ -843,5 +1042,103 @@ mod tests {
     fn injected_marker_protocol() {
         assert!(is_injected("[injected] transient device fault"));
         assert!(!is_injected("store index 9 out of bounds"));
+    }
+
+    #[test]
+    fn parse_accepts_persist_kinds() {
+        let s = FaultSpec::parse("crash:step-000004,torn-write:journal").unwrap();
+        assert_eq!(s.rules[0].kind, FaultKind::Crash);
+        assert_eq!(s.rules[0].target, "step-000004");
+        assert_eq!(s.rules[1].kind, FaultKind::TornWrite);
+        assert_eq!(s.rules[1].target, "journal");
+        let s = FaultSpec::parse("crash:0.25").unwrap();
+        assert_eq!(s.rules[0].rate, 0.25);
+        assert_eq!(s.rules[0].target, "");
+        assert_eq!(
+            FaultKind::from_tag("torn-write"),
+            Some(FaultKind::TornWrite)
+        );
+        assert_eq!(FaultKind::from_tag("crash"), Some(FaultKind::Crash));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_kinds() {
+        let err = FaultSpec::parse("compile:caps,compile:pgi").unwrap_err();
+        assert!(err.contains("more than one clause"), "{err}");
+        let err = FaultSpec::parse("crash,crash:0.5").unwrap_err();
+        assert!(err.contains("`crash`"), "{err}");
+        // Distinct kinds still compose.
+        assert!(FaultSpec::parse("compile:caps,device:lud").is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_targets() {
+        let err = FaultSpec::parse("hang:zzzqqq").unwrap_err();
+        assert!(err.contains("unknown target `zzzqqq`"), "{err}");
+        assert!(err.contains("`*`"), "actionable: {err}");
+        // Known vocabulary, case-insensitively, still passes.
+        for ok in [
+            "hang:LUD",
+            "compile:caps",
+            "device:fig",
+            "crash:step-000123",
+            "torn-write:cache-file",
+        ] {
+            assert!(FaultSpec::parse(ok).is_ok(), "{ok} should parse");
+        }
+    }
+
+    #[test]
+    fn already_injected_restore_and_kind_active() {
+        let _g = lock();
+        configure(FaultSpec::parse("device:lud").unwrap(), 1);
+        assert!(kind_active(FaultKind::DeviceFault));
+        assert!(!kind_active(FaultKind::Crash));
+        assert!(!already_injected(FaultKind::DeviceFault, "lud#k"));
+        record(FaultKind::DeviceFault, "lud#k");
+        assert!(already_injected(FaultKind::DeviceFault, "lud#k"));
+        assert!(
+            !already_injected(FaultKind::KernelHang, "lud#k"),
+            "kind is part of the key"
+        );
+
+        // Restoring a journaled event rebuilds the ledger entry without
+        // re-counting it as a new injection.
+        restore_event(FaultKind::TornWrite, "journal:rec-1234", 2);
+        let l = ledger();
+        assert!(l.iter().any(|e| e.kind == FaultKind::TornWrite
+            && e.key == "journal:rec-1234"
+            && e.attempt == 2));
+        deconfigure();
+    }
+
+    #[test]
+    fn event_sink_fires_once_per_new_entry() {
+        let _g = lock();
+        use std::sync::Arc;
+        let seen: Arc<Mutex<Vec<(String, String, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        configure(FaultSpec::parse("device:lud").unwrap(), 1);
+        set_event_sink(move |kind, key, attempt| {
+            seen2
+                .lock()
+                .unwrap()
+                .push((kind.tag().into(), key.into(), attempt));
+        });
+        record(FaultKind::DeviceFault, "lud#a");
+        record(FaultKind::DeviceFault, "lud#a"); // dedup: no second event
+        record(FaultKind::DeviceFault, "lud#b");
+        restore_event(FaultKind::DeviceFault, "lud#c", 0); // restore: silent
+        clear_event_sink();
+        record(FaultKind::DeviceFault, "lud#d"); // sink removed
+        let events = seen.lock().unwrap().clone();
+        assert_eq!(
+            events,
+            vec![
+                ("device".to_string(), "lud#a".to_string(), 0),
+                ("device".to_string(), "lud#b".to_string(), 0),
+            ]
+        );
+        deconfigure();
     }
 }
