@@ -16,6 +16,13 @@
 //! reproduce bench-devsim [--seed S] [--samples N] [--json FILE]
 //!                        [--against FILE]
 //! reproduce fsck DIR
+//! reproduce serve [--addr HOST:PORT] [--jobs N] [--workers N]
+//!                 [--queue-cap N] [--cache-bytes N] [--tenant-quota N]
+//!                 [--port-file FILE] [--inject SPEC] [--fault-seed N]
+//! reproduce loadgen --addr HOST:PORT [--rps N] [--duration-steps K]
+//!                   [--seed S] [--dup-ratio R] [--scale ...]
+//!                   [--tenants N] [--slo-ms MS] [--json FILE]
+//!                   [--scrape-metrics] [--shutdown]
 //! ```
 //!
 //! With no `--exp`, all experiments run. `--scale` picks the input
@@ -137,6 +144,26 @@
 //! codes: 0 — the directory was already consistent; 1 — repairs were
 //! performed and the directory is now consistent; 2 — usage error;
 //! 3 — the directory cannot be inspected at all.
+//!
+//! `serve` exposes the experiment matrix over HTTP (see the
+//! `paccport-server` crate): `POST /run` executes a
+//! `(benchmark × variant × target × scale × seed)` slice on the shared
+//! engine behind a bounded admission queue (429 + `Retry-After` when
+//! full), coalescing identical concurrent requests into one execution;
+//! `POST /stream` emits one chunk per cell; `GET /metrics` is the
+//! Prometheus exposition. `--cache-bytes` caps the artifact cache (LRU
+//! eviction) and `--tenant-quota` bounds each `X-Tenant`'s share.
+//! The bound address goes to stdout and `--port-file`; the process
+//! runs until SIGTERM or `POST /shutdown`, then drains in-flight work
+//! and exits 0. Response bodies are deterministic per
+//! `(request, seed)` — byte-identical across `--jobs` levels.
+//!
+//! `loadgen` drives a running server with a seeded, deterministic
+//! request schedule (`--dup-ratio` controls how often a request
+//! repeats its predecessor, exercising coalescing) and prints a JSON
+//! latency/throughput/SLO report computed on a virtual clock from the
+//! server's *modeled* timings — two runs with the same seed against
+//! fresh servers are byte-identical.
 
 use paccport_core::engine::Engine;
 use paccport_core::experiments as exp;
@@ -275,6 +302,14 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("fsck") {
         fsck_cmd(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_cmd(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("loadgen") {
+        loadgen_cmd(&args[1..]);
         return;
     }
     let check = args.iter().any(|a| a == "--check");
@@ -894,6 +929,159 @@ fn fsck_cmd(args: &[String]) {
     );
     tele_flush(false);
     std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
+/// `reproduce serve` — stand up the experiment server on `--addr` and
+/// block until it drains (SIGTERM or `POST /shutdown`). Metrics are
+/// always on so `GET /metrics` has something to say.
+fn serve_cmd(args: &[String]) {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut cfg = paccport_server::ServerConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut inject: Option<String> = None;
+    let mut fault_seed: u64 = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("serve: {a} requires {what}")))
+        };
+        match a.as_str() {
+            "--addr" => addr = val("HOST:PORT"),
+            "--jobs" => {
+                cfg.jobs = val("a positive integer")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("serve: --jobs requires a positive integer"))
+            }
+            "--workers" => {
+                cfg.workers = val("a positive integer")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("serve: --workers requires a positive integer"))
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = val("a positive integer")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("serve: --queue-cap requires a positive integer"))
+            }
+            "--cache-bytes" => {
+                cfg.cache_bytes = Some(
+                    val("a byte count")
+                        .parse()
+                        .unwrap_or_else(|_| die("serve: --cache-bytes requires a byte count")),
+                )
+            }
+            "--tenant-quota" => {
+                cfg.tenant_quota = Some(
+                    val("a byte count")
+                        .parse()
+                        .unwrap_or_else(|_| die("serve: --tenant-quota requires a byte count")),
+                )
+            }
+            "--port-file" => port_file = Some(val("a file path")),
+            "--inject" => inject = Some(val("a fault spec (try `chaos`)")),
+            "--fault-seed" => {
+                fault_seed = val("an unsigned integer")
+                    .parse()
+                    .unwrap_or_else(|_| die("serve: --fault-seed requires an unsigned integer"))
+            }
+            other => die(&format!("serve: unknown argument `{other}`")),
+        }
+    }
+    if let Some(spec) = &inject {
+        let spec = paccport_faults::FaultSpec::parse(spec)
+            .unwrap_or_else(|e| die(&format!("serve: --inject: {e}")));
+        paccport_faults::configure(spec, fault_seed);
+    }
+    paccport_trace::metrics::set_metrics_enabled(true);
+    paccport_server::install_sigterm_drain();
+    let server = paccport_server::Server::start(&addr, cfg)
+        .unwrap_or_else(|e| die(&format!("serve: cannot bind {addr}: {e}")));
+    let bound = server.addr().to_string();
+    if let Some(path) = &port_file {
+        std::fs::write(path, &bound)
+            .unwrap_or_else(|e| die(&format!("serve: cannot write {path}: {e}")));
+    }
+    println!("serving on {bound}");
+    server.join();
+    println!("drained");
+}
+
+/// `reproduce loadgen` — deterministic load against a running server;
+/// the SLO report goes to stdout (and `--json FILE`, when given).
+fn loadgen_cmd(args: &[String]) {
+    let mut cfg = paccport_server::loadgen::LoadgenConfig::default();
+    let mut json_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("loadgen: {a} requires {what}")))
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = val("HOST:PORT"),
+            "--rps" => {
+                cfg.rps = val("a positive integer")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("loadgen: --rps requires a positive integer"))
+            }
+            "--duration-steps" => {
+                cfg.steps = val("a positive integer")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("loadgen: --duration-steps requires a positive integer"))
+            }
+            "--seed" => {
+                cfg.seed = val("an unsigned integer")
+                    .parse()
+                    .unwrap_or_else(|_| die("loadgen: --seed requires an unsigned integer"))
+            }
+            "--dup-ratio" => {
+                cfg.dup_ratio = val("a ratio in [0,1]")
+                    .parse()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| die("loadgen: --dup-ratio requires a ratio in [0,1]"))
+            }
+            "--scale" => cfg.scale = val("smoke|quick|paper"),
+            "--tenants" => {
+                cfg.tenants = val("an unsigned integer")
+                    .parse()
+                    .unwrap_or_else(|_| die("loadgen: --tenants requires an unsigned integer"))
+            }
+            "--slo-ms" => {
+                cfg.slo_ms = val("a positive number")
+                    .parse()
+                    .ok()
+                    .filter(|&ms: &f64| ms > 0.0)
+                    .unwrap_or_else(|| die("loadgen: --slo-ms requires a positive number"))
+            }
+            "--json" => json_out = Some(val("a file path")),
+            "--scrape-metrics" => cfg.scrape_metrics = true,
+            "--shutdown" => cfg.shutdown_after = true,
+            other => die(&format!("loadgen: unknown argument `{other}`")),
+        }
+    }
+    if cfg.addr.is_empty() {
+        die("loadgen: --addr HOST:PORT is required");
+    }
+    let report =
+        paccport_server::loadgen::run(&cfg).unwrap_or_else(|e| die(&format!("loadgen: {e}")));
+    if let Some(path) = &json_out {
+        std::fs::write(path, &report)
+            .unwrap_or_else(|e| die(&format!("loadgen: cannot write {path}: {e}")));
+    }
+    print!("{report}");
 }
 
 fn die(msg: &str) -> ! {

@@ -19,8 +19,9 @@
 //! misses are counted and mirrored to `paccport-trace` counters
 //! (`cache.hit` / `cache.miss`) when tracing is on.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use paccport_ir::Program;
@@ -119,6 +120,18 @@ struct Entry {
     /// because the counter is per key rather than global, the decision
     /// sequence is identical no matter how worker threads interleave.
     generation: u64,
+    /// Resident size (the artifact's durable encoding length); written
+    /// inside the slot initializer, `0` for error entries.
+    bytes: AtomicU64,
+    /// LRU stamp from the cache's use-clock, refreshed on every lookup.
+    last_use: AtomicU64,
+    /// Whether this entry's bytes are currently counted against the
+    /// cache totals (set once on insert, cleared once on eviction —
+    /// guards against double accounting under racing evictors).
+    accounted: AtomicBool,
+    /// The tenant whose compile inserted the entry (see
+    /// [`tenant_scope`]); its bytes count against that tenant's quota.
+    tenant: Mutex<Option<String>>,
 }
 
 impl Entry {
@@ -127,8 +140,58 @@ impl Entry {
             slot: OnceLock::new(),
             stored_sum: AtomicU64::new(0),
             generation,
+            bytes: AtomicU64::new(0),
+            last_use: AtomicU64::new(0),
+            accounted: AtomicBool::new(false),
+            tenant: Mutex::new(None),
         }
     }
+}
+
+thread_local! {
+    static CURRENT_TENANT: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// The tenant new cache entries are attributed to on this thread
+/// (`None` — the default — is the anonymous tenant, exempt from
+/// quotas). The serving layer sets it per request from the `X-Tenant`
+/// header via [`tenant_scope`].
+pub fn current_tenant() -> Option<String> {
+    CURRENT_TENANT.with(|c| c.borrow().clone())
+}
+
+/// Attribute cache inserts on this thread to `tenant` until the
+/// returned guard drops (which restores the previous attribution).
+pub fn tenant_scope(tenant: Option<String>) -> TenantScope {
+    let prev = CURRENT_TENANT.with(|c| c.replace(tenant));
+    TenantScope { prev }
+}
+
+/// Guard from [`tenant_scope`]; restores the prior tenant on drop.
+pub struct TenantScope {
+    prev: Option<String>,
+}
+
+impl Drop for TenantScope {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT_TENANT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Capacity limits, both off by default. `byte_cap` bounds the whole
+/// cache; `tenant_quota` bounds each named tenant's share.
+#[derive(Default, Clone, Copy)]
+struct Limits {
+    byte_cap: Option<u64>,
+    tenant_quota: Option<u64>,
+}
+
+/// Byte accounting: resident total plus each named tenant's share.
+#[derive(Default)]
+struct Acct {
+    total: u64,
+    tenants: HashMap<String, u64>,
 }
 
 /// Bounded evict-and-recompile rounds before a persistently faulty
@@ -151,6 +214,11 @@ pub struct ArtifactCache {
     disk: Mutex<Option<Arc<dyn ArtifactStore>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Monotone use-clock behind the entries' LRU stamps.
+    clock: AtomicU64,
+    limits: Mutex<Limits>,
+    acct: Mutex<Acct>,
+    lru_evictions: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -232,6 +300,8 @@ impl ArtifactCache {
                                 entry
                                     .stored_sum
                                     .store(artifact_checksum(&c), Ordering::Relaxed);
+                                entry.bytes.store(payload.len() as u64, Ordering::Relaxed);
+                                *entry.tenant.lock().unwrap() = current_tenant();
                                 return Ok(c);
                             }
                             Err(_) => {
@@ -264,21 +334,32 @@ impl ArtifactCache {
                         sum = !sum;
                     }
                     entry.stored_sum.store(sum, Ordering::Relaxed);
+                    let encoded = crate::diskfmt::encode_artifact(c);
+                    entry.bytes.store(encoded.len() as u64, Ordering::Relaxed);
+                    *entry.tenant.lock().unwrap() = current_tenant();
                     // Publish clean builds to the durable tier. A
                     // corrupt-cache generation is not published: the
                     // in-memory evict-and-recompile round must play
                     // out exactly as without a store.
                     if !corrupted {
                         if let Some(store) = &disk {
-                            store.store(&key.storage_name(), &crate::diskfmt::encode_artifact(c));
+                            store.store(&key.storage_name(), &encoded);
                         }
                     }
                 }
                 r
             });
+            entry.last_use.store(
+                self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+                Ordering::Relaxed,
+            );
             if fresh {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 paccport_trace::add("cache.miss", 1);
+                if result.is_ok() {
+                    self.account_insert(&entry);
+                    self.enforce_caps();
+                }
             } else {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 paccport_trace::add("cache.hit", 1);
@@ -328,10 +409,146 @@ impl ArtifactCache {
     /// Remove `key` iff it still maps to this exact entry (a racing
     /// evictor may already have replaced it).
     fn evict(&self, key: &CacheKey, entry: &Arc<Entry>) {
-        let mut entries = self.entries.lock().unwrap();
-        if entries.get(key).is_some_and(|cur| Arc::ptr_eq(cur, entry)) {
-            entries.remove(key);
+        {
+            let mut entries = self.entries.lock().unwrap();
+            if entries.get(key).is_some_and(|cur| Arc::ptr_eq(cur, entry)) {
+                entries.remove(key);
+            }
         }
+        self.deduct(entry);
+    }
+
+    /// Count a freshly built entry's bytes against the cache totals
+    /// (once — the `accounted` flag makes this idempotent).
+    fn account_insert(&self, entry: &Arc<Entry>) {
+        let bytes = entry.bytes.load(Ordering::Relaxed);
+        if bytes == 0 || entry.accounted.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let tenant = entry.tenant.lock().unwrap().clone();
+        let mut acct = self.acct.lock().unwrap();
+        acct.total += bytes;
+        if let Some(t) = tenant {
+            *acct.tenants.entry(t).or_insert(0) += bytes;
+        }
+    }
+
+    /// Undo [`Self::account_insert`] for an entry leaving the map.
+    fn deduct(&self, entry: &Entry) {
+        if !entry.accounted.swap(false, Ordering::Relaxed) {
+            return;
+        }
+        let bytes = entry.bytes.load(Ordering::Relaxed);
+        let tenant = entry.tenant.lock().unwrap().clone();
+        let mut acct = self.acct.lock().unwrap();
+        acct.total = acct.total.saturating_sub(bytes);
+        if let Some(t) = tenant {
+            if let Some(b) = acct.tenants.get_mut(&t) {
+                *b = b.saturating_sub(bytes);
+                if *b == 0 {
+                    acct.tenants.remove(&t);
+                }
+            }
+        }
+    }
+
+    /// Evict least-recently-used entries until the resident total is
+    /// within the byte cap and every tenant within its quota. The
+    /// just-inserted entry is eligible too (it carries the newest LRU
+    /// stamp, so it only goes when it is the last one standing — i.e.
+    /// when it alone exceeds the cap): `total_bytes() <= cap` holds
+    /// unconditionally after every insert.
+    fn enforce_caps(&self) {
+        let limits = *self.limits.lock().unwrap();
+        if limits.byte_cap.is_none() && limits.tenant_quota.is_none() {
+            return;
+        }
+        loop {
+            let (reason, tenant_filter): (&'static str, Option<String>) = {
+                let acct = self.acct.lock().unwrap();
+                let over_cap = limits.byte_cap.is_some_and(|cap| acct.total > cap);
+                // Deterministic tenant pick: the lexicographically
+                // first tenant over quota.
+                let over_tenant: Option<String> = limits.tenant_quota.and_then(|q| {
+                    acct.tenants
+                        .iter()
+                        .filter(|(_, b)| **b > q)
+                        .map(|(t, _)| t.clone())
+                        .min()
+                });
+                if over_cap {
+                    ("byte-cap", None)
+                } else if let Some(t) = over_tenant {
+                    ("tenant-quota", Some(t))
+                } else {
+                    break;
+                }
+            };
+            let victim: Option<(CacheKey, Arc<Entry>, &'static str)> = {
+                let entries = self.entries.lock().unwrap();
+                entries
+                    .iter()
+                    .filter(|(_, e)| e.accounted.load(Ordering::Relaxed))
+                    .filter(|(_, e)| match &tenant_filter {
+                        Some(t) => e.tenant.lock().unwrap().as_deref() == Some(t.as_str()),
+                        None => true,
+                    })
+                    .min_by_key(|(_, e)| e.last_use.load(Ordering::Relaxed))
+                    .map(|(k, e)| (k.clone(), Arc::clone(e), reason))
+            };
+            match victim {
+                Some((key, entry, reason)) => {
+                    self.lru_evictions.fetch_add(1, Ordering::Relaxed);
+                    paccport_trace::metrics::counter_add(
+                        "cache_evict_total",
+                        &[("reason", reason)],
+                        1,
+                    );
+                    paccport_trace::add("cache.lru_evicted", 1);
+                    self.evict(&key, &entry);
+                }
+                // Over budget but nothing accounted is left to shed —
+                // cannot happen while the invariants hold, but never
+                // spin on it.
+                None => break,
+            }
+        }
+    }
+
+    /// Bound the cache's resident bytes (`None` lifts the bound).
+    /// Enforced eagerly: setting a smaller cap evicts immediately.
+    pub fn set_byte_cap(&self, cap: Option<u64>) {
+        self.limits.lock().unwrap().byte_cap = cap;
+        self.enforce_caps();
+    }
+
+    /// Bound each named tenant's resident bytes (`None` lifts it).
+    /// Anonymous inserts (no [`tenant_scope`]) are exempt.
+    pub fn set_tenant_quota(&self, quota: Option<u64>) {
+        self.limits.lock().unwrap().tenant_quota = quota;
+        self.enforce_caps();
+    }
+
+    /// Resident bytes across all cached artifacts.
+    pub fn total_bytes(&self) -> u64 {
+        self.acct.lock().unwrap().total
+    }
+
+    /// Resident bytes attributed to `tenant`.
+    pub fn tenant_bytes(&self, tenant: &str) -> u64 {
+        self.acct
+            .lock()
+            .unwrap()
+            .tenants
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Entries evicted by the byte cap or a tenant quota (not counting
+    /// integrity evictions).
+    pub fn lru_evictions(&self) -> u64 {
+        self.lru_evictions.load(Ordering::Relaxed)
     }
 
     /// Flip the stored checksum of an existing entry — the test
@@ -373,11 +590,14 @@ impl ArtifactCache {
         self.entries.lock().unwrap().is_empty()
     }
 
-    /// Drop all entries and zero the counters.
+    /// Drop all entries and zero the counters and byte accounting.
     pub fn clear(&self) {
         self.entries.lock().unwrap().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        let mut acct = self.acct.lock().unwrap();
+        acct.total = 0;
+        acct.tenants.clear();
     }
 }
 
@@ -577,6 +797,96 @@ mod tests {
         let b = crate::compile(CompilerId::Caps, &saxpy("b"), &opts).unwrap();
         assert_eq!(artifact_checksum(&a), artifact_checksum(&a));
         assert_ne!(artifact_checksum(&a), artifact_checksum(&b));
+    }
+
+    #[test]
+    fn byte_cap_evicts_least_recently_used_first() {
+        let cache = ArtifactCache::new();
+        let opts = CompileOptions::gpu();
+        let a = saxpy("a");
+        let b = saxpy("b");
+        cache.compile(CompilerId::Caps, &a, &opts).unwrap();
+        let per_entry = cache.total_bytes();
+        assert!(per_entry > 0, "entries are sized");
+        cache.compile(CompilerId::Caps, &b, &opts).unwrap();
+        // Touch `a` so `b` is the LRU entry, then cap to one entry.
+        cache.compile(CompilerId::Caps, &a, &opts).unwrap();
+        cache.set_byte_cap(Some(per_entry + per_entry / 2));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.total_bytes() <= per_entry + per_entry / 2);
+        assert_eq!(cache.lru_evictions(), 1);
+        // `a` survived: compiling it again is a hit, `b` a miss.
+        let hits = cache.hits();
+        cache.compile(CompilerId::Caps, &a, &opts).unwrap();
+        assert_eq!(cache.hits(), hits + 1, "the recently used entry survived");
+        let misses = cache.misses();
+        let b1 = cache.compile(CompilerId::Caps, &b, &opts).unwrap();
+        assert_eq!(cache.misses(), misses + 1, "the LRU entry was evicted");
+        // Evict→recompile round-trips bitwise.
+        cache.set_byte_cap(None);
+        let b2 = crate::compile(CompilerId::Caps, &b, &opts).unwrap();
+        assert_eq!(*b1, b2);
+    }
+
+    #[test]
+    fn an_entry_larger_than_the_cap_is_not_retained() {
+        let cache = ArtifactCache::new();
+        cache.set_byte_cap(Some(1));
+        let p = saxpy("saxpy");
+        let opts = CompileOptions::gpu();
+        // Still served to the caller…
+        cache.compile(CompilerId::Caps, &p, &opts).unwrap();
+        // …but not kept resident: the invariant holds even then.
+        assert_eq!(cache.total_bytes(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn tenant_quota_isolates_tenants() {
+        let cache = ArtifactCache::new();
+        let opts = CompileOptions::gpu();
+        let probe = {
+            let c = ArtifactCache::new();
+            c.compile(CompilerId::Caps, &saxpy("a"), &opts).unwrap();
+            c.total_bytes()
+        };
+        // Quota admits one entry per tenant but not two.
+        cache.set_tenant_quota(Some(probe + probe / 2));
+        {
+            let _t = tenant_scope(Some("alice".into()));
+            cache.compile(CompilerId::Caps, &saxpy("a"), &opts).unwrap();
+            cache.compile(CompilerId::Caps, &saxpy("b"), &opts).unwrap();
+        }
+        {
+            let _t = tenant_scope(Some("bob".into()));
+            cache.compile(CompilerId::Caps, &saxpy("c"), &opts).unwrap();
+        }
+        assert!(cache.tenant_bytes("alice") <= probe + probe / 2);
+        assert_eq!(
+            cache.tenant_bytes("bob"),
+            probe,
+            "bob is untouched by alice's overflow"
+        );
+        assert_eq!(cache.lru_evictions(), 1);
+        // Anonymous inserts are quota-exempt.
+        cache.compile(CompilerId::Caps, &saxpy("d"), &opts).unwrap();
+        cache.compile(CompilerId::Caps, &saxpy("e"), &opts).unwrap();
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn tenant_scope_nests_and_restores() {
+        assert_eq!(current_tenant(), None);
+        {
+            let _a = tenant_scope(Some("outer".into()));
+            assert_eq!(current_tenant().as_deref(), Some("outer"));
+            {
+                let _b = tenant_scope(Some("inner".into()));
+                assert_eq!(current_tenant().as_deref(), Some("inner"));
+            }
+            assert_eq!(current_tenant().as_deref(), Some("outer"));
+        }
+        assert_eq!(current_tenant(), None);
     }
 
     #[test]

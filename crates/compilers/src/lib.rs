@@ -53,7 +53,9 @@ pub use artifact::{
     CompileError, CompiledProgram, Correctness, CostNode, CostTree, Diagnostic, DistSpec,
     ExecStrategy, KernelPlan, LaunchDims, TransferPolicy,
 };
-pub use cache::{fingerprint, ArtifactCache, ArtifactStore, CacheKey};
+pub use cache::{
+    current_tenant, fingerprint, tenant_scope, ArtifactCache, ArtifactStore, CacheKey, TenantScope,
+};
 pub use diskfmt::{decode_artifact, encode_artifact};
 pub use lower::{lower_kernel, lower_stub, LoweredKernel, LoweringStyle};
 pub use options::{Backend, CompileOptions, CompilerId, DeviceKind, Flag, HostCompiler, QuirkSet};

@@ -1,0 +1,332 @@
+//! Request coalescing primitives for the experiment server.
+//!
+//! [`Singleflight`] is keyed in-flight deduplication: when N callers
+//! ask for the same key concurrently, exactly one (the *leader*) runs
+//! the computation and every other caller (*followers*) blocks until
+//! the leader publishes its result, then shares it. Unlike the
+//! [`paccport_compilers::ArtifactCache`] — which memoizes forever —
+//! a flight lives only while its computation is running: once the
+//! leader finishes, the key is vacant again and the next request for
+//! it starts a fresh flight. That is exactly the semantics a serving
+//! layer wants on top of a cache: the cache makes *repeated* work
+//! cheap, the singleflight makes *concurrent duplicate* work free.
+//!
+//! [`Gate`] is a test-only rendezvous: threads park on [`Gate::pass`]
+//! until somebody calls [`Gate::open`]. The server threads it through
+//! its request and run paths so integration tests can hold requests
+//! mid-flight deterministically (fill the admission queue, pile
+//! followers onto a flight) instead of racing against the scheduler.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The state a flight can be in, as seen by followers.
+enum FlightState<V> {
+    Pending,
+    Ready(Arc<V>),
+    /// The leader panicked out of the computation; followers must
+    /// retry as fresh flights rather than wait forever.
+    Abandoned,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+    /// Followers currently blocked on this flight (for observability;
+    /// tests poll this through [`Singleflight::waiting`]).
+    waiters: AtomicU64,
+}
+
+/// Keyed in-flight computation deduplication (see module docs).
+pub struct Singleflight<V> {
+    inflight: Mutex<HashMap<String, Arc<Flight<V>>>>,
+    coalesced: AtomicU64,
+    led: AtomicU64,
+}
+
+impl<V> Default for Singleflight<V> {
+    fn default() -> Self {
+        Singleflight {
+            inflight: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
+            led: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Removes the flight and wakes followers if the leader unwinds
+/// without publishing (panic inside the computation).
+struct LeaderGuard<'a, V> {
+    sf: &'a Singleflight<V>,
+    key: &'a str,
+    flight: &'a Arc<Flight<V>>,
+    done: bool,
+}
+
+impl<V> Drop for LeaderGuard<'_, V> {
+    fn drop(&mut self) {
+        if !self.done {
+            let mut map = self.sf.inflight.lock().unwrap();
+            if map
+                .get(self.key)
+                .is_some_and(|cur| Arc::ptr_eq(cur, self.flight))
+            {
+                map.remove(self.key);
+            }
+            *self.flight.state.lock().unwrap() = FlightState::Abandoned;
+            self.flight.cv.notify_all();
+        }
+    }
+}
+
+impl<V> Singleflight<V> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f` under `key`, coalescing with any in-flight computation
+    /// for the same key. Returns the (shared) value and whether this
+    /// caller led the flight (`true`) or coalesced onto another
+    /// caller's (`false`).
+    pub fn run(&self, key: &str, f: impl FnOnce() -> V) -> (Arc<V>, bool) {
+        // `f` is FnOnce, so if we lose the leadership race we cannot
+        // re-run it — but then we never needed to: a follower never
+        // calls its closure.
+        let mut f = Some(f);
+        loop {
+            let (flight, leader) = {
+                let mut map = self.inflight.lock().unwrap();
+                match map.get(key) {
+                    Some(fl) => (Arc::clone(fl), false),
+                    None => {
+                        let fl = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Pending),
+                            cv: Condvar::new(),
+                            waiters: AtomicU64::new(0),
+                        });
+                        map.insert(key.to_string(), Arc::clone(&fl));
+                        (fl, true)
+                    }
+                }
+            };
+            if leader {
+                self.led.fetch_add(1, Ordering::Relaxed);
+                let mut guard = LeaderGuard {
+                    sf: self,
+                    key,
+                    flight: &flight,
+                    done: false,
+                };
+                let v = Arc::new(f.take().expect("leader runs the closure once")());
+                // Publish, then vacate the key: later requests start a
+                // fresh flight (this is coalescing, not memoization).
+                {
+                    let mut map = self.inflight.lock().unwrap();
+                    if map.get(key).is_some_and(|cur| Arc::ptr_eq(cur, &flight)) {
+                        map.remove(key);
+                    }
+                }
+                *flight.state.lock().unwrap() = FlightState::Ready(Arc::clone(&v));
+                flight.cv.notify_all();
+                guard.done = true;
+                return (v, true);
+            }
+            // Follower: count ourselves in (observable while blocked),
+            // wait for the leader, and share its value.
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            paccport_trace::metrics::counter_add("coalesce_waits_total", &[], 1);
+            flight.waiters.fetch_add(1, Ordering::Relaxed);
+            let mut st = flight.state.lock().unwrap();
+            loop {
+                match &*st {
+                    FlightState::Pending => st = flight.cv.wait(st).unwrap(),
+                    FlightState::Ready(v) => {
+                        let v = Arc::clone(v);
+                        flight.waiters.fetch_sub(1, Ordering::Relaxed);
+                        return (v, false);
+                    }
+                    FlightState::Abandoned => break,
+                }
+            }
+            flight.waiters.fetch_sub(1, Ordering::Relaxed);
+            // Leader died without publishing: retry as a fresh flight.
+        }
+    }
+
+    /// Followers currently blocked across all flights.
+    pub fn waiting(&self) -> u64 {
+        self.inflight
+            .lock()
+            .unwrap()
+            .values()
+            .map(|fl| fl.waiters.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total callers that coalesced onto another caller's flight.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Total flights led (computations actually run).
+    pub fn led(&self) -> u64 {
+        self.led.load(Ordering::Relaxed)
+    }
+}
+
+/// A reusable test rendezvous: [`Gate::pass`] parks until
+/// [`Gate::open`]; [`Gate::wait_parked`] lets the controlling thread
+/// wait until `n` threads are parked before opening.
+pub struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    open: bool,
+    parked: usize,
+}
+
+impl Default for Gate {
+    fn default() -> Self {
+        Gate {
+            state: Mutex::new(GateState {
+                open: false,
+                parked: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl Gate {
+    pub fn new() -> Arc<Gate> {
+        Arc::new(Gate::default())
+    }
+
+    /// Park until the gate is opened (a no-op once open).
+    pub fn pass(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.parked += 1;
+        self.cv.notify_all();
+        while !st.open {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.parked -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Open the gate, releasing every parked (and future) passer.
+    pub fn open(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.open = true;
+        self.cv.notify_all();
+    }
+
+    /// Block until at least `n` threads are parked on the gate.
+    pub fn wait_parked(&self, n: usize) {
+        let mut st = self.state.lock().unwrap();
+        while st.parked < n {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sequential_runs_each_lead() {
+        let sf: Singleflight<u32> = Singleflight::new();
+        let (a, led_a) = sf.run("k", || 1);
+        let (b, led_b) = sf.run("k", || 2);
+        assert!(led_a && led_b, "non-overlapping flights both lead");
+        assert_eq!((*a, *b), (1, 2), "no memoization across flights");
+        assert_eq!(sf.coalesced(), 0);
+        assert_eq!(sf.led(), 2);
+    }
+
+    #[test]
+    fn concurrent_identical_keys_run_once() {
+        let sf: Arc<Singleflight<u64>> = Arc::new(Singleflight::new());
+        let runs = AtomicUsize::new(0);
+        let gate = Gate::new();
+        let runs = &runs;
+        let results: Vec<(Arc<u64>, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let sf = Arc::clone(&sf);
+                    let gate = Arc::clone(&gate);
+                    s.spawn(move || {
+                        sf.run("same", || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open until every other
+                            // thread has had a chance to pile on.
+                            gate.pass();
+                            42u64
+                        })
+                    })
+                })
+                .collect();
+            // One thread leads and parks inside the computation; wait
+            // for the other 7 to block on the flight, then release.
+            gate.wait_parked(1);
+            while sf.waiting() < 7 {
+                std::thread::yield_now();
+            }
+            gate.open();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one leader ran");
+        assert_eq!(results.iter().filter(|(_, led)| *led).count(), 1);
+        assert!(results.iter().all(|(v, _)| **v == 42));
+        assert_eq!(sf.coalesced(), 7);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sf: Singleflight<String> = Singleflight::new();
+        let (a, _) = sf.run("x", || "ax".to_string());
+        let (b, _) = sf.run("y", || "by".to_string());
+        assert_ne!(*a, *b);
+        assert_eq!(sf.coalesced(), 0);
+    }
+
+    #[test]
+    fn leader_panic_releases_followers_to_retry() {
+        let sf: Arc<Singleflight<u32>> = Arc::new(Singleflight::new());
+        let gate = Gate::new();
+        let done = std::thread::scope(|s| {
+            let leader = {
+                let sf = Arc::clone(&sf);
+                let gate = Arc::clone(&gate);
+                s.spawn(move || {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        sf.run("k", || {
+                            gate.pass();
+                            panic!("leader dies");
+                        })
+                    }));
+                    assert!(r.is_err());
+                })
+            };
+            gate.wait_parked(1);
+            let follower = {
+                let sf = Arc::clone(&sf);
+                s.spawn(move || sf.run("k", || 7u32))
+            };
+            while sf.waiting() < 1 {
+                std::thread::yield_now();
+            }
+            gate.open();
+            leader.join().unwrap();
+            follower.join().unwrap()
+        });
+        let (v, led) = done;
+        assert_eq!(*v, 7, "follower retried and computed its own value");
+        assert!(led, "the retry leads a fresh flight");
+    }
+}

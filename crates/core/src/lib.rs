@@ -32,6 +32,7 @@
 //! ```
 
 pub mod autotune;
+pub mod coalesce;
 pub mod durable;
 pub mod engine;
 pub mod experiments;
@@ -40,12 +41,14 @@ pub mod ppr;
 pub mod profile;
 pub mod ptxcmp;
 pub mod report;
+pub mod serve;
 pub mod soundness;
 pub mod step5;
 pub mod study;
 pub mod tierdiff;
 
 pub use autotune::{autotune_distribution, default_candidates, Candidate, TuneOutcome};
+pub use coalesce::{Gate, Singleflight};
 pub use durable::{CellJournal, DiskArtifactStore, DurableResult};
 pub use engine::Engine;
 pub use method::{

@@ -1,0 +1,506 @@
+//! # paccport-server — the experiment matrix as a persistent service
+//!
+//! `reproduce serve` turns the one-shot batch CLI into a resident
+//! experiment server (ROADMAP open item 3): a hand-rolled HTTP/1.1 +
+//! JSON service over `std::net::TcpListener` that accepts requests
+//! naming a slice of the paper's benchmark matrix —
+//! `(benchmark × variant × target × scale × seed)` — and executes
+//! them on the shared work-stealing [`Engine`] against the shared
+//! [`ArtifactCache`].
+//!
+//! The serving layer adds what a batch run never needed:
+//!
+//! * **admission control** — a bounded queue; when it is full the
+//!   server answers `429 Too Many Requests` with `Retry-After`
+//!   instead of queueing unboundedly;
+//! * **request coalescing** — N identical concurrent requests run
+//!   once ([`Singleflight`]) and share one byte-identical body, on
+//!   top of the cache's compile-level singleflight;
+//! * **capacity policy** — the artifact cache gains an LRU byte cap
+//!   and per-tenant quotas keyed by the `X-Tenant` header;
+//! * **streaming** — `/stream` emits one chunked progress event per
+//!   cell as it completes;
+//! * **graceful drain** — SIGTERM or `POST /shutdown` stops
+//!   admission, finishes everything in flight, then exits;
+//! * **live metrics** — `GET /metrics` renders the PR-5 registry in
+//!   Prometheus text format, including the fault-injection ledger.
+//!
+//! Every response body is a pure function of `(request, seed)`:
+//! byte-identical across `--jobs` levels, across repeated requests,
+//! and across server restarts. [`loadgen`] leans on that to produce
+//! deterministic latency/SLO reports from a virtual-clock model.
+
+pub mod http;
+pub mod loadgen;
+pub mod protocol;
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use paccport_compilers::ArtifactCache;
+use paccport_core::coalesce::{Gate, Singleflight};
+use paccport_core::serve::{self, CellOutcome};
+use paccport_core::soundness::CheckCell;
+use paccport_core::Engine;
+use paccport_trace::metrics::counter_add;
+
+use protocol::{CellReport, RunRequest};
+
+/// Tuning and test hooks for [`Server::start`].
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Engine parallelism inside one request (cells fan out over
+    /// this many workers; results keep submission order).
+    pub jobs: usize,
+    /// Concurrent request handlers.
+    pub workers: usize,
+    /// Admission queue bound; one more request than this answers 429.
+    pub queue_cap: usize,
+    /// LRU byte cap for the artifact cache (`None` = unbounded).
+    pub cache_bytes: Option<u64>,
+    /// Per-tenant cache quota (`None` = unbounded).
+    pub tenant_quota: Option<u64>,
+    /// Test hook: every request handler passes this gate before
+    /// reading the request, so tests can park workers and fill the
+    /// admission queue deterministically.
+    pub request_gate: Option<Arc<Gate>>,
+    /// Test hook: the coalescing leader passes this gate inside its
+    /// flight, so tests can pile followers onto it deterministically.
+    pub run_gate: Option<Arc<Gate>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            jobs: 1,
+            workers: 4,
+            queue_cap: 64,
+            cache_bytes: None,
+            tenant_quota: None,
+            request_gate: None,
+            run_gate: None,
+        }
+    }
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    engine: Engine,
+    cache: ArtifactCache,
+    flights: Singleflight<(u16, String)>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    in_flight: AtomicUsize,
+}
+
+/// A running experiment server; dropping the handle does not stop it
+/// — call [`Server::shutdown`] (or hit `/shutdown`, or SIGTERM) and
+/// then [`Server::join`] for a graceful drain.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGTERM to a graceful drain of every [`Server`] in this
+/// process. Installed by `reproduce serve`; a no-op off Unix.
+pub fn install_sigterm_drain() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM_NO: i32 = 15;
+        unsafe {
+            signal(SIGTERM_NO, on_sigterm as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// Test handle: simulate SIGTERM delivery without a signal.
+pub fn trigger_sigterm_for_tests() {
+    on_sigterm(15);
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port, then read
+    /// [`Server::addr`]) and start accepting.
+    pub fn start(addr: &str, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            engine: Engine::new(cfg.jobs),
+            cache: ArtifactCache::new(),
+            flights: Singleflight::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            cfg,
+        });
+        inner.cache.set_byte_cap(inner.cfg.cache_bytes);
+        inner.cache.set_tenant_quota(inner.cfg.tenant_quota);
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&inner, listener))
+        };
+        Ok(Server {
+            inner,
+            addr: local,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop admitting requests; everything already admitted finishes.
+    pub fn shutdown(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+    }
+
+    /// Whether a drain has been requested (by [`Server::shutdown`],
+    /// `/shutdown`, or SIGTERM).
+    pub fn draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Block until the server has drained and every thread exited.
+    /// Returns the number of requests still served during the drain.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// The shared artifact cache (test observability).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.inner.cache
+    }
+
+    /// The request-coalescing layer (test observability).
+    pub fn flights(&self) -> &Singleflight<(u16, String)> {
+        &self.inner.flights
+    }
+
+    /// Connections currently parked in the admission queue (test
+    /// observability — lets tests fill the queue deterministically).
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().unwrap().len()
+    }
+}
+
+fn accept_loop(inner: &Inner, listener: TcpListener) {
+    loop {
+        if SIGTERM.swap(false, Ordering::SeqCst) {
+            inner.draining.store(true, Ordering::SeqCst);
+            inner.queue_cv.notify_all();
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if inner.draining.load(Ordering::SeqCst) {
+                    counter_add("serve_rejected_total", &[("reason", "draining")], 1);
+                    let _ = http::respond_error(&mut stream, 503, "server is draining");
+                    continue;
+                }
+                let mut queue = inner.queue.lock().unwrap();
+                if queue.len() >= inner.cfg.queue_cap {
+                    drop(queue);
+                    counter_add("serve_429_total", &[], 1);
+                    let _ = http::respond(
+                        &mut stream,
+                        429,
+                        "application/json",
+                        &[("Retry-After", "1".to_string())],
+                        &http::error_body(&format!(
+                            "admission queue full (cap {}); retry after 1s",
+                            inner.cfg.queue_cap
+                        )),
+                    );
+                    continue;
+                }
+                queue.push_back(stream);
+                drop(queue);
+                inner.queue_cv.notify_one();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if inner.draining.load(Ordering::SeqCst) {
+                    let idle = inner.queue.lock().unwrap().is_empty()
+                        && inner.in_flight.load(Ordering::SeqCst) == 0;
+                    if idle {
+                        // Drained: wake any parked workers so they exit.
+                        inner.queue_cv.notify_all();
+                        return;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let stream = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break s;
+                }
+                if inner.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner.queue_cv.wait(queue).unwrap();
+            }
+        };
+        inner.in_flight.fetch_add(1, Ordering::SeqCst);
+        handle_connection(inner, stream);
+        inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(inner: &Inner, mut stream: TcpStream) {
+    if let Some(gate) = &inner.cfg.request_gate {
+        gate.pass();
+    }
+    let req = match http::read_request(&mut stream) {
+        Ok(Ok(req)) => req,
+        Ok(Err(refusal)) => {
+            counter_add("serve_requests_total", &[("route", "malformed")], 1);
+            let _ = http::respond_error(&mut stream, refusal.status, &refusal.message);
+            return;
+        }
+        Err(_) => return, // peer vanished mid-request
+    };
+    let route: &str = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("POST", "/run") => "run",
+        ("POST", "/stream") => "stream",
+        ("POST", "/shutdown") => "shutdown",
+        _ => "unknown",
+    };
+    counter_add("serve_requests_total", &[("route", route)], 1);
+    let r = match route {
+        "healthz" => http::respond(&mut stream, 200, "application/json", &[], "{\"ok\":true}\n"),
+        "metrics" => http::respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4",
+            &[],
+            &paccport_trace::metrics::render_prometheus(),
+        ),
+        "shutdown" => {
+            inner.draining.store(true, Ordering::SeqCst);
+            inner.queue_cv.notify_all();
+            http::respond(
+                &mut stream,
+                200,
+                "application/json",
+                &[],
+                "{\"draining\":true}\n",
+            )
+        }
+        "run" => handle_run(inner, &mut stream, &req),
+        "stream" => handle_stream(inner, &mut stream, &req),
+        _ => {
+            let msg = format!(
+                "no route `{} {}`; try GET /healthz, GET /metrics, POST /run, POST /stream, POST /shutdown",
+                req.method, req.path
+            );
+            let status = if req.path == "/run" || req.path == "/stream" {
+                405
+            } else {
+                404
+            };
+            http::respond_error(&mut stream, status, &msg)
+        }
+    };
+    let _ = r;
+}
+
+/// Validate an `X-Tenant` value: short, filesystem/metrics-safe.
+fn parse_tenant(req: &http::Request) -> Result<Option<String>, String> {
+    match req.header("x-tenant") {
+        None => Ok(None),
+        Some(t) => {
+            if t.is_empty()
+                || t.len() > 64
+                || !t
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "-_".contains(c))
+            {
+                return Err(format!(
+                    "invalid X-Tenant `{t}`: expected 1-64 chars of [A-Za-z0-9_-]"
+                ));
+            }
+            Ok(Some(t.to_string()))
+        }
+    }
+}
+
+/// Resolve a request to its matched cells, or a one-line 400 naming
+/// the offending coordinate with the known vocabulary.
+fn resolve(rr: &RunRequest) -> Result<(paccport_core::study::Scale, Vec<CheckCell>), String> {
+    let scale = serve::scale_by_name(&rr.scale)
+        .ok_or_else(|| format!("unknown scale `{}`; known: smoke, quick, paper", rr.scale))?;
+    let cells = serve::expand(&scale, &rr.benchmark, &rr.variant, &rr.target);
+    if !cells.is_empty() {
+        return Ok((scale, cells));
+    }
+    // Name the coordinate that matched nothing, with its vocabulary.
+    type Pick = fn(&CheckCell) -> &String;
+    let checks: [(&str, &str, Pick); 3] = [
+        ("benchmark", &rr.benchmark, |c| &c.benchmark),
+        ("variant", &rr.variant, |c| &c.variant),
+        ("target", &rr.target, |c| &c.series),
+    ];
+    for (what, asked, pick) in checks {
+        let known = serve::coordinate_values(&scale, pick);
+        let wildcard = asked == "*" || asked.is_empty();
+        if !wildcard && !known.iter().any(|k| k.eq_ignore_ascii_case(asked)) {
+            return Err(format!(
+                "unknown {what} `{asked}`; known: {}",
+                known.join(", ")
+            ));
+        }
+    }
+    Err("no cell matches that (benchmark, variant, target) combination".to_string())
+}
+
+/// Execute `cells` on the engine (resilient path: retries, watchdog,
+/// quarantine) and pair every result back with its cell identity.
+fn run_cells(
+    inner: &Inner,
+    cells: &[CheckCell],
+    seed: u64,
+    tenant: &Option<String>,
+) -> Vec<CellReport> {
+    let jobs: Vec<(String, _)> = cells
+        .iter()
+        .map(|cell| {
+            let cell = cell.clone();
+            let tenant = tenant.clone();
+            let cache = &inner.cache;
+            (
+                format!("serve/{}", cell.label()),
+                move || -> Result<CellOutcome, String> {
+                    let _t = paccport_compilers::tenant_scope(tenant.clone());
+                    serve::run_cell(cache, &cell, seed)
+                },
+            )
+        })
+        .collect();
+    let results = inner.engine.run_resilient(jobs);
+    cells
+        .iter()
+        .zip(results)
+        .map(|(cell, r)| match r {
+            Ok(outcome) => {
+                counter_add("serve_cells_total", &[("status", "ok")], 1);
+                CellReport::Ok(outcome)
+            }
+            Err(f) => {
+                counter_add("serve_cells_total", &[("status", "failed")], 1);
+                CellReport::Failed {
+                    benchmark: cell.benchmark.clone(),
+                    variant: cell.variant.clone(),
+                    target: cell.series.clone(),
+                    reason: f.reason,
+                    attempts: f.attempts,
+                    injected: f.injected,
+                }
+            }
+        })
+        .collect()
+}
+
+fn handle_run(inner: &Inner, stream: &mut TcpStream, req: &http::Request) -> io::Result<()> {
+    let tenant = match parse_tenant(req) {
+        Ok(t) => t,
+        Err(e) => return http::respond_error(stream, 400, &e),
+    };
+    let rr = match RunRequest::parse(&req.body) {
+        Ok(rr) => rr,
+        Err(e) => return http::respond_error(stream, 400, &e),
+    };
+    let cells = match resolve(&rr) {
+        Ok((_, cells)) => cells,
+        Err(e) => return http::respond_error(stream, 400, &e),
+    };
+    // Coalesce identical concurrent requests into one execution. The
+    // tenant is part of the key so quota attribution stays honest.
+    let flight_key = format!("{}|{}", tenant.as_deref().unwrap_or(""), rr.key());
+    let (result, led) = inner.flights.run(&flight_key, || {
+        if let Some(gate) = &inner.cfg.run_gate {
+            gate.pass();
+        }
+        counter_add("serve_runs_total", &[], 1);
+        let reports = run_cells(inner, &cells, rr.seed, &tenant);
+        protocol::render_response(&rr, &reports)
+    });
+    let _ = led;
+    let (status, body) = &*result;
+    http::respond(stream, *status, "application/json", &[], body)
+}
+
+fn handle_stream(inner: &Inner, stream: &mut TcpStream, req: &http::Request) -> io::Result<()> {
+    let tenant = match parse_tenant(req) {
+        Ok(t) => t,
+        Err(e) => return http::respond_error(stream, 400, &e),
+    };
+    let rr = match RunRequest::parse(&req.body) {
+        Ok(rr) => rr,
+        Err(e) => return http::respond_error(stream, 400, &e),
+    };
+    let cells = match resolve(&rr) {
+        Ok((_, cells)) => cells,
+        Err(e) => return http::respond_error(stream, 400, &e),
+    };
+    // Streaming runs cells one at a time in matrix order so each
+    // progress event is emitted the moment its cell settles; the
+    // event sequence stays deterministic because the order is the
+    // submission order, not completion order.
+    http::start_chunked(stream, 200, "application/x-ndjson")?;
+    http::write_chunk(stream, &protocol::event_start(&rr, cells.len()))?;
+    let (mut ok, mut failed) = (0usize, 0usize);
+    for (i, cell) in cells.iter().enumerate() {
+        let reports = run_cells(inner, std::slice::from_ref(cell), rr.seed, &tenant);
+        let report = &reports[0];
+        if report.is_ok() {
+            ok += 1;
+        } else {
+            failed += 1;
+        }
+        http::write_chunk(stream, &protocol::event_cell(i, report))?;
+    }
+    http::write_chunk(stream, &protocol::event_done(ok, failed))?;
+    http::finish_chunked(stream)
+}

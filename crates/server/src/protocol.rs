@@ -1,0 +1,274 @@
+//! The experiment-request wire protocol: JSON in, deterministic JSON
+//! out.
+//!
+//! A request names a slice of the experiment matrix —
+//! `(benchmark × variant × target × scale × seed)`, with `*`
+//! wildcards — and the response reports one entry per matched cell in
+//! matrix submission order. Everything rendered here is a pure
+//! function of `(request, seed)`: modeled timings, transfer counts
+//! and buffer checksums come from the deterministic simulator, float
+//! formatting uses Rust's shortest-round-trip rendering, and no
+//! wall-clock, thread or scheduling detail ever reaches the body.
+//! That is the property the snapshot tests and the loadgen
+//! determinism proof lean on.
+
+use paccport_core::serve::CellOutcome;
+use paccport_trace::json::{escape, Json};
+
+/// A parsed `/run` / `/stream` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    pub benchmark: String,
+    pub variant: String,
+    pub target: String,
+    pub scale: String,
+    pub seed: u64,
+}
+
+fn field(obj: &Json, key: &str, default: &str) -> Result<String, String> {
+    match obj.get(key) {
+        None => Ok(default.to_string()),
+        Some(v) => v
+            .as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("field `{key}` must be a JSON string")),
+    }
+}
+
+impl RunRequest {
+    /// Parse a request body. Coordinates default to `*` (the whole
+    /// matrix), `scale` to `smoke`, `seed` to 0; errors are one-line
+    /// and name the offending field.
+    pub fn parse(body: &str) -> Result<RunRequest, String> {
+        if body.trim().is_empty() {
+            return Err("empty body; expected a JSON object like \
+                 {\"benchmark\":\"LUD\",\"variant\":\"Base\",\"target\":\"CAPS-CUDA-K40\"}"
+                .to_string());
+        }
+        let v = paccport_trace::json::parse(body).map_err(|e| format!("malformed JSON: {e}"))?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err("body must be a JSON object".to_string());
+        }
+        let seed = match v.get("seed") {
+            None => 0,
+            Some(s) => {
+                let f = s
+                    .as_f64()
+                    .ok_or_else(|| "field `seed` must be a non-negative integer".to_string())?;
+                if f < 0.0 || f.fract() != 0.0 || f > 2f64.powi(53) {
+                    return Err("field `seed` must be a non-negative integer".to_string());
+                }
+                f as u64
+            }
+        };
+        Ok(RunRequest {
+            benchmark: field(&v, "benchmark", "*")?,
+            variant: field(&v, "variant", "*")?,
+            target: field(&v, "target", "*")?,
+            scale: field(&v, "scale", "smoke")?,
+            seed,
+        })
+    }
+
+    /// Canonical coalescing key: two requests with the same key are
+    /// guaranteed the same response body, so concurrent duplicates
+    /// can share one execution.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.benchmark.to_ascii_lowercase(),
+            self.variant.to_ascii_lowercase(),
+            self.target.to_ascii_lowercase(),
+            self.scale,
+            self.seed
+        )
+    }
+
+    /// The request echo embedded in every response body.
+    pub fn echo(&self) -> String {
+        format!(
+            "\"benchmark\":\"{}\",\"variant\":\"{}\",\"target\":\"{}\",\"scale\":\"{}\",\"seed\":{}",
+            escape(&self.benchmark),
+            escape(&self.variant),
+            escape(&self.target),
+            escape(&self.scale),
+            self.seed
+        )
+    }
+}
+
+/// One cell's entry in a response: either its deterministic outcome
+/// or a typed failure (quarantined under fault injection).
+pub enum CellReport {
+    Ok(CellOutcome),
+    Failed {
+        benchmark: String,
+        variant: String,
+        target: String,
+        reason: String,
+        attempts: u32,
+        injected: bool,
+    },
+}
+
+impl CellReport {
+    pub fn render(&self) -> String {
+        match self {
+            CellReport::Ok(o) => format!(
+                "{{\"benchmark\":\"{}\",\"variant\":\"{}\",\"target\":\"{}\",\"status\":\"ok\",\
+                 \"seconds\":{},\"kernel_seconds\":{},\"transfer_seconds\":{},\
+                 \"launches\":{},\"h2d\":{},\"d2h\":{},\"on_device\":{},\
+                 \"while_iterations\":{},\"checksum\":\"{:016x}\"}}",
+                escape(&o.benchmark),
+                escape(&o.variant),
+                escape(&o.target),
+                o.seconds,
+                o.kernel_seconds,
+                o.transfer_seconds,
+                o.launches,
+                o.h2d,
+                o.d2h,
+                o.on_device,
+                o.while_iterations,
+                o.checksum
+            ),
+            CellReport::Failed {
+                benchmark,
+                variant,
+                target,
+                reason,
+                attempts,
+                injected,
+            } => format!(
+                "{{\"benchmark\":\"{}\",\"variant\":\"{}\",\"target\":\"{}\",\
+                 \"status\":\"failed\",\"error\":\"{}\",\"attempts\":{},\"injected\":{}}}",
+                escape(benchmark),
+                escape(variant),
+                escape(target),
+                escape(reason),
+                attempts,
+                injected
+            ),
+        }
+    }
+
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellReport::Ok(_))
+    }
+}
+
+/// Assemble the full (non-streaming) response body for a request.
+/// Returns `(http_status, body)`: 200 while at least one cell
+/// succeeded, 500 when every matched cell failed (the typed-error
+/// shape a single-cell request surfaces under quarantine).
+pub fn render_response(req: &RunRequest, cells: &[CellReport]) -> (u16, String) {
+    let ok = cells.iter().filter(|c| c.is_ok()).count();
+    let failed = cells.len() - ok;
+    let status_word = if failed == 0 {
+        "ok"
+    } else if ok == 0 {
+        "failed"
+    } else {
+        "degraded"
+    };
+    let http = if ok == 0 && failed > 0 { 500 } else { 200 };
+    let rendered: Vec<String> = cells.iter().map(|c| c.render()).collect();
+    let body = format!(
+        "{{\"status\":\"{status_word}\",{},\"cells\":[{}],\"ok\":{ok},\"failed\":{failed}}}\n",
+        req.echo(),
+        rendered.join(",")
+    );
+    (http, body)
+}
+
+/// One streamed progress event per line (the chunked route emits one
+/// chunk per event).
+pub fn event_start(req: &RunRequest, cells: usize) -> String {
+    format!("{{\"event\":\"start\",{},\"cells\":{cells}}}\n", req.echo())
+}
+
+pub fn event_cell(index: usize, report: &CellReport) -> String {
+    format!(
+        "{{\"event\":\"cell\",\"index\":{index},\"cell\":{}}}\n",
+        report.render()
+    )
+}
+
+pub fn event_done(ok: usize, failed: usize) -> String {
+    format!("{{\"event\":\"done\",\"ok\":{ok},\"failed\":{failed}}}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let r = RunRequest::parse(
+            "{\"benchmark\":\"LUD\",\"variant\":\"Base\",\"target\":\"CAPS-CUDA-K40\",\
+             \"scale\":\"smoke\",\"seed\":7}",
+        )
+        .unwrap();
+        assert_eq!(r.benchmark, "LUD");
+        assert_eq!(r.seed, 7);
+        assert_eq!(r.key(), "lud|base|caps-cuda-k40|smoke|7");
+    }
+
+    #[test]
+    fn defaults_are_wildcards_smoke_and_seed_zero() {
+        let r = RunRequest::parse("{}").unwrap();
+        assert_eq!(
+            r,
+            RunRequest {
+                benchmark: "*".into(),
+                variant: "*".into(),
+                target: "*".into(),
+                scale: "smoke".into(),
+                seed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn key_is_case_insensitive_on_coordinates() {
+        let a = RunRequest::parse("{\"benchmark\":\"LUD\"}").unwrap();
+        let b = RunRequest::parse("{\"benchmark\":\"lud\"}").unwrap();
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn errors_are_one_line_and_actionable() {
+        for (body, want) in [
+            ("", "empty body"),
+            ("{not json", "malformed JSON"),
+            ("{\"seed\":-1}", "`seed` must be a non-negative integer"),
+            ("{\"seed\":1.5}", "`seed` must be a non-negative integer"),
+            ("{\"benchmark\":7}", "`benchmark` must be a JSON string"),
+        ] {
+            let err = RunRequest::parse(body).unwrap_err();
+            assert!(err.contains(want), "{body:?} => {err}");
+            assert!(!err.contains('\n'), "one-line: {err}");
+        }
+    }
+
+    #[test]
+    fn failed_only_responses_are_500_with_typed_cells() {
+        let req = RunRequest::parse("{\"benchmark\":\"LUD\"}").unwrap();
+        let cells = vec![CellReport::Failed {
+            benchmark: "LUD".into(),
+            variant: "Base".into(),
+            target: "CAPS-CUDA-K40".into(),
+            reason: "[injected] device fault".into(),
+            attempts: 3,
+            injected: true,
+        }];
+        let (status, body) = render_response(&req, &cells);
+        assert_eq!(status, 500);
+        assert!(body.contains("\"status\":\"failed\""));
+        assert!(body.contains("\"attempts\":3"));
+        assert!(body.contains("\"injected\":true"));
+        assert!(body.ends_with('\n'));
+        // The body itself is valid JSON.
+        paccport_trace::json::parse(&body).unwrap();
+    }
+}

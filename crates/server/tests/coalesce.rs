@@ -1,0 +1,158 @@
+//! Coalescing proof (ISSUE 9): N identical concurrent requests yield
+//! byte-identical bodies while the computation — and the compile
+//! underneath it — runs exactly once.
+//!
+//! Scheduling is made deterministic with the server's test gates: the
+//! flight leader parks inside its computation on `run_gate`, the test
+//! waits until every other request has piled onto the flight
+//! (observable via [`Singleflight::waiting`]), and only then releases
+//! the leader. No sleeps, no races.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use paccport_core::coalesce::Gate;
+use paccport_server::{http, Server, ServerConfig};
+
+/// The metrics registry is process-global; serialize the tests that
+/// read counter deltas.
+static METRICS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+const BODY: &str = "{\"benchmark\":\"LUD\",\"variant\":\"Base\",\
+                    \"target\":\"CAPS-CUDA-K40\",\"scale\":\"smoke\",\"seed\":7}";
+
+#[test]
+fn identical_concurrent_requests_run_once_and_share_bytes() {
+    let _m = METRICS_LOCK.lock().unwrap();
+    paccport_trace::metrics::set_metrics_enabled(true);
+    let compile_label: &[(&str, &str)] = &[("compiler", "CAPS 3.4.1")];
+    let compiles_before = paccport_trace::metrics::counter_value("compile_total", compile_label);
+
+    let run_gate = Gate::new();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 8,
+            run_gate: Some(run_gate.clone()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    const N: usize = 6;
+    let released = AtomicBool::new(false);
+    let bodies: Vec<(u16, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let r = http::request(&addr, "POST", "/run", &[], BODY).unwrap();
+                    (r.status, r.body)
+                })
+            })
+            .collect();
+        // Exactly one request leads and parks inside the flight…
+        run_gate.wait_parked(1);
+        // …and the other five pile on as followers before any result
+        // exists. `waiting()` counts followers blocked on the flight.
+        while server.flights().waiting() < (N - 1) as u64 {
+            std::thread::yield_now();
+        }
+        released.store(true, Ordering::SeqCst);
+        run_gate.open();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(released.load(Ordering::SeqCst));
+
+    // All six bodies byte-identical, all 200.
+    for (status, body) in &bodies {
+        assert_eq!(*status, 200);
+        assert_eq!(
+            body, &bodies[0].1,
+            "duplicate responses must be byte-identical"
+        );
+        assert!(body.contains("\"status\":\"ok\""));
+    }
+
+    // One flight led, five coalesced, one compile.
+    assert_eq!(server.flights().led(), 1, "the computation ran once");
+    assert_eq!(server.flights().coalesced(), 5);
+    assert_eq!(
+        server.cache().misses(),
+        1,
+        "one unique (compiler, options, IR) triple -> one compile"
+    );
+    let compiles_after = paccport_trace::metrics::counter_value("compile_total", compile_label);
+    assert_eq!(
+        compiles_after - compiles_before,
+        1,
+        "compile_total grew by exactly the one unique triple"
+    );
+
+    // A later identical request is NOT coalesced (the flight is gone)
+    // but hits the artifact cache and returns the same bytes.
+    let again = http::request(&addr, "POST", "/run", &[], BODY).unwrap();
+    assert_eq!(again.body, bodies[0].1, "repeat requests are byte-stable");
+    assert_eq!(server.flights().led(), 2);
+    assert_eq!(server.cache().misses(), 1, "no recompile on repeat");
+    assert_eq!(
+        paccport_trace::metrics::counter_value("compile_total", compile_label),
+        compiles_after,
+        "repeat request compiled nothing"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn distinct_requests_do_not_coalesce_and_share_the_cache() {
+    let _m = METRICS_LOCK.lock().unwrap();
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    // Same cell, two different seeds: different flight keys (bodies
+    // embed the seed), same compiled artifact.
+    let a = http::request(&addr, "POST", "/run", &[], BODY).unwrap();
+    let b = http::request(
+        &addr,
+        "POST",
+        "/run",
+        &[],
+        &BODY.replace("\"seed\":7", "\"seed\":8"),
+    )
+    .unwrap();
+    assert_eq!((a.status, b.status), (200, 200));
+    assert_ne!(a.body, b.body, "the seed is echoed in the body");
+    assert_eq!(server.flights().coalesced(), 0);
+    assert_eq!(
+        server.cache().misses(),
+        1,
+        "both seeds share one compiled artifact"
+    );
+    assert_eq!(server.cache().hits(), 1);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn tenant_header_keys_cache_attribution() {
+    let _m = METRICS_LOCK.lock().unwrap();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            tenant_quota: Some(1 << 20),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let r = http::request(&addr, "POST", "/run", &[("X-Tenant", "alice")], BODY).unwrap();
+    assert_eq!(r.status, 200);
+    assert!(
+        server.cache().tenant_bytes("alice") > 0,
+        "alice's compile counts against alice's quota"
+    );
+    assert_eq!(server.cache().tenant_bytes("bob"), 0);
+    server.shutdown();
+    server.join();
+}

@@ -5,6 +5,7 @@
 //! * `proptest! { #![proptest_config(ProptestConfig::with_cases(N))]
 //!   #[test] fn name(x in lo..hi, ...) { ... } }`
 //! * integer and float [`Range`]/[`RangeInclusive`] strategies,
+//! * tuples of strategies and [`collection::vec`] for sequences,
 //! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`.
 //!
 //! Sampling is deterministic: the RNG is seeded from the test name,
@@ -119,6 +120,44 @@ impl Strategy for Range<f32> {
     fn sample_value(&self, rng: &mut TestRng) -> f32 {
         let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         (self.start as f64 + u * (self.end as f64 - self.start as f64)) as f32
+    }
+}
+
+/// Tuples of strategies sample componentwise, left to right.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3));
+
+/// Sequence strategies, mirroring proptest's `collection` module.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// The strategy behind [`vec`]: a length drawn from `len`, then
+    /// that many independent draws from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().sample_value(rng);
+            (0..n).map(|_| self.elem.sample_value(rng)).collect()
+        }
     }
 }
 
@@ -256,6 +295,16 @@ mod tests {
             prop_assert!((-1.5..1.5).contains(&f), "f out of range: {f}");
             prop_assert_eq!(a, a);
             prop_assert_ne!(a + 1, a);
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            pair in (0u8..4, 10u32..20),
+            seq in crate::collection::vec((0u8..4, 0i16..3), 1..9),
+        ) {
+            prop_assert!(pair.0 < 4 && (10..20).contains(&pair.1));
+            prop_assert!((1..9).contains(&seq.len()));
+            prop_assert!(seq.iter().all(|(a, b)| *a < 4 && (0..3).contains(b)));
         }
     }
 
