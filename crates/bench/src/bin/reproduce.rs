@@ -19,10 +19,12 @@
 //! reproduce serve [--addr HOST:PORT] [--jobs N] [--workers N]
 //!                 [--queue-cap N] [--cache-bytes N] [--tenant-quota N]
 //!                 [--port-file FILE] [--inject SPEC] [--fault-seed N]
+//!                 [--access-log FILE] [--recorder-cap N]
 //! reproduce loadgen --addr HOST:PORT [--rps N] [--duration-steps K]
 //!                   [--seed S] [--dup-ratio R] [--scale ...]
 //!                   [--tenants N] [--slo-ms MS] [--json FILE]
 //!                   [--scrape-metrics] [--shutdown]
+//!                   [--sample-traces N] [--trace-dir DIR]
 //! ```
 //!
 //! With no `--exp`, all experiments run. `--scale` picks the input
@@ -985,6 +987,14 @@ fn serve_cmd(args: &[String]) {
                 )
             }
             "--port-file" => port_file = Some(val("a file path")),
+            "--access-log" => cfg.access_log = Some(val("a file path").into()),
+            "--recorder-cap" => {
+                cfg.recorder_cap = val("a positive integer")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("serve: --recorder-cap requires a positive integer"))
+            }
             "--inject" => inject = Some(val("a fault spec (try `chaos`)")),
             "--fault-seed" => {
                 fault_seed = val("an unsigned integer")
@@ -1068,6 +1078,12 @@ fn loadgen_cmd(args: &[String]) {
             }
             "--json" => json_out = Some(val("a file path")),
             "--scrape-metrics" => cfg.scrape_metrics = true,
+            "--sample-traces" => {
+                cfg.sample_traces = val("an unsigned integer").parse().unwrap_or_else(|_| {
+                    die("loadgen: --sample-traces requires an unsigned integer")
+                })
+            }
+            "--trace-dir" => cfg.trace_dir = Some(val("a directory path")),
             "--shutdown" => cfg.shutdown_after = true,
             other => die(&format!("loadgen: unknown argument `{other}`")),
         }

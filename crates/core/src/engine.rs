@@ -177,6 +177,11 @@ impl Engine {
         // so the telemetry lane/task layout is a pure function of
         // submission order — not of which worker steals which job.
         let task_base = paccport_trace::alloc_tasks(n as u64);
+        // The submitter's request context rides along: worker threads
+        // are fresh per batch, so without re-entering the scope here
+        // a server request's engine spans would lose their request
+        // attribution the moment the batch goes parallel.
+        let ctx = paccport_trace::current_ctx();
         let queues: Vec<Mutex<VecDeque<(usize, F)>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (i, f) in tasks.into_iter().enumerate() {
@@ -189,6 +194,7 @@ impl Engine {
         std::thread::scope(|s| {
             for w in 0..workers {
                 s.spawn(move || {
+                    let _req = paccport_trace::request_scope(ctx);
                     loop {
                         // Own work first (front: preserves submission
                         // locality), then steal from the back of the

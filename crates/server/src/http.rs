@@ -201,11 +201,20 @@ pub fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::
 
 /// Open a chunked response; follow with [`write_chunk`] calls and a
 /// final [`finish_chunked`].
-pub fn start_chunked(stream: &mut TcpStream, status: u16, content_type: &str) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+pub fn start_chunked(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
         reason(status)
     );
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())
 }
 
@@ -399,7 +408,7 @@ mod tests {
     fn chunked_responses_preserve_framing() {
         let (addr, h) = one_shot(|stream| {
             let _ = read_request(stream).unwrap().unwrap();
-            start_chunked(stream, 200, "application/x-ndjson").unwrap();
+            start_chunked(stream, 200, "application/x-ndjson", &[]).unwrap();
             write_chunk(stream, "{\"event\":\"start\"}\n").unwrap();
             write_chunk(stream, "{\"event\":\"cell\"}\n").unwrap();
             write_chunk(stream, "{\"event\":\"done\"}\n").unwrap();

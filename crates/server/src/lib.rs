@@ -23,21 +23,31 @@
 //! * **graceful drain** — SIGTERM or `POST /shutdown` stops
 //!   admission, finishes everything in flight, then exits;
 //! * **live metrics** — `GET /metrics` renders the PR-5 registry in
-//!   Prometheus text format, including the fault-injection ledger.
+//!   Prometheus text format, including the fault-injection ledger;
+//! * **request-scoped tracing** — every request carries a trace id
+//!   (a pure function of `(request fingerprint, seed)`, or the
+//!   client's `traceparent`/`X-Request-Id` when supplied), runs its
+//!   engine work under a [`paccport_trace::request_scope`], and
+//!   leaves a normalized span tree in the [`recorder::FlightRecorder`]
+//!   — queryable via `GET /trace/<id>` and indexed by `GET /traces`.
+//!   Coalesced followers share the leader's trace id, so a duplicate
+//!   request's response names the trace that actually executed.
 //!
 //! Every response body is a pure function of `(request, seed)`:
 //! byte-identical across `--jobs` levels, across repeated requests,
-//! and across server restarts. [`loadgen`] leans on that to produce
-//! deterministic latency/SLO reports from a virtual-clock model.
+//! and across server restarts — and so is every recorded trace body.
+//! [`loadgen`] leans on that to produce deterministic latency/SLO
+//! reports from a virtual-clock model.
 
 pub mod http;
 pub mod loadgen;
 pub mod protocol;
+pub mod recorder;
 
 use std::collections::VecDeque;
-use std::io;
+use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -47,9 +57,12 @@ use paccport_core::coalesce::{Gate, Singleflight};
 use paccport_core::serve::{self, CellOutcome};
 use paccport_core::soundness::CheckCell;
 use paccport_core::Engine;
-use paccport_trace::metrics::counter_add;
+use paccport_trace::context;
+use paccport_trace::export::TraceFormat;
+use paccport_trace::metrics::{counter_add, observe, observe_exemplar};
 
 use protocol::{CellReport, RunRequest};
+use recorder::{FlightRecorder, RequestTrace};
 
 /// Tuning and test hooks for [`Server::start`].
 #[derive(Clone)]
@@ -72,6 +85,13 @@ pub struct ServerConfig {
     /// Test hook: the coalescing leader passes this gate inside its
     /// flight, so tests can pile followers onto it deterministically.
     pub run_gate: Option<Arc<Gate>>,
+    /// How many completed request traces the flight recorder retains
+    /// (ring buffer; clamped to >= 1).
+    pub recorder_cap: usize,
+    /// Structured JSONL access log: one line per handled request
+    /// (route, tenant, trace id, queue depth at admission, coalesced
+    /// or led, modeled service seconds, status).
+    pub access_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -84,19 +104,41 @@ impl Default for ServerConfig {
             tenant_quota: None,
             request_gate: None,
             run_gate: None,
+            recorder_cap: 64,
+            access_log: None,
         }
     }
+}
+
+/// The shared outcome of one coalesced `/run` execution: what every
+/// rider on the flight answers with, plus the trace identity of the
+/// execution that produced it.
+pub struct Flight {
+    pub status: u16,
+    pub body: String,
+    pub trace_id: String,
+    /// Modeled service seconds (sum over response cells) — what the
+    /// latency histograms observe and loadgen's queue model consumes.
+    pub service_s: f64,
 }
 
 struct Inner {
     cfg: ServerConfig,
     engine: Engine,
     cache: ArtifactCache,
-    flights: Singleflight<(u16, String)>,
-    queue: Mutex<VecDeque<TcpStream>>,
+    flights: Singleflight<Flight>,
+    /// Admitted connections, each with the queue depth it saw at
+    /// admission (surfaced in the access log).
+    queue: Mutex<VecDeque<(TcpStream, usize)>>,
     queue_cv: Condvar,
     draining: AtomicBool,
     in_flight: AtomicUsize,
+    recorder: FlightRecorder,
+    access: Option<Mutex<std::fs::File>>,
+    served: AtomicU64,
+    /// Request-context ordinals for [`paccport_trace::request_scope`];
+    /// 0 is reserved for "outside any request".
+    next_ctx: AtomicU64,
 }
 
 /// A running experiment server; dropping the handle does not stop it
@@ -142,6 +184,15 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let access = match &cfg.access_log {
+            Some(path) => Some(Mutex::new(std::fs::File::create(path)?)),
+            None => None,
+        };
+        // The flight recorder drains span events per request context,
+        // and `/metrics` renders the registry — both collectors must
+        // be on for those routes to have anything to say.
+        paccport_trace::set_events_enabled(true);
+        paccport_trace::metrics::set_metrics_enabled(true);
         let inner = Arc::new(Inner {
             engine: Engine::new(cfg.jobs),
             cache: ArtifactCache::new(),
@@ -150,6 +201,10 @@ impl Server {
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
+            recorder: FlightRecorder::new(cfg.recorder_cap),
+            access,
+            served: AtomicU64::new(0),
+            next_ctx: AtomicU64::new(1),
             cfg,
         });
         inner.cache.set_byte_cap(inner.cfg.cache_bytes);
@@ -205,8 +260,13 @@ impl Server {
     }
 
     /// The request-coalescing layer (test observability).
-    pub fn flights(&self) -> &Singleflight<(u16, String)> {
+    pub fn flights(&self) -> &Singleflight<Flight> {
         &self.inner.flights
+    }
+
+    /// The flight recorder (test observability).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
     }
 
     /// Connections currently parked in the admission queue (test
@@ -245,7 +305,8 @@ fn accept_loop(inner: &Inner, listener: TcpListener) {
                     );
                     continue;
                 }
-                queue.push_back(stream);
+                let depth = queue.len();
+                queue.push_back((stream, depth));
                 drop(queue);
                 inner.queue_cv.notify_one();
             }
@@ -268,7 +329,7 @@ fn accept_loop(inner: &Inner, listener: TcpListener) {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        let stream = {
+        let (stream, depth) = {
             let mut queue = inner.queue.lock().unwrap();
             loop {
                 if let Some(s) = queue.pop_front() {
@@ -281,69 +342,264 @@ fn worker_loop(inner: &Inner) {
             }
         };
         inner.in_flight.fetch_add(1, Ordering::SeqCst);
-        handle_connection(inner, stream);
+        handle_connection(inner, stream, depth);
         inner.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-fn handle_connection(inner: &Inner, mut stream: TcpStream) {
+/// What one handled request contributes to the access log and the
+/// latency histograms once its response is on the wire.
+struct Handled {
+    status: u16,
+    tenant: Option<String>,
+    trace_id: Option<String>,
+    /// `led`/`coalesced` on the coalescing route, absent elsewhere.
+    role: Option<&'static str>,
+    service_s: f64,
+}
+
+impl Handled {
+    fn plain(status: u16) -> Handled {
+        Handled {
+            status,
+            tenant: None,
+            trace_id: None,
+            role: None,
+            service_s: 0.0,
+        }
+    }
+}
+
+/// JSON rendering of an optional string field.
+fn json_opt(v: &Option<impl AsRef<str>>) -> String {
+    match v {
+        Some(s) => format!("\"{}\"", paccport_trace::json::escape(s.as_ref())),
+        None => "null".to_string(),
+    }
+}
+
+fn handle_connection(inner: &Inner, mut stream: TcpStream, depth: usize) {
     if let Some(gate) = &inner.cfg.request_gate {
         gate.pass();
     }
-    let req = match http::read_request(&mut stream) {
-        Ok(Ok(req)) => req,
+    let (route, handled) = match http::read_request(&mut stream) {
+        Ok(Ok(req)) => {
+            let route: &str = match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/healthz") => "healthz",
+                ("GET", "/metrics") => "metrics",
+                ("GET", "/traces") => "traces",
+                ("GET", p) if p.starts_with("/trace/") => "trace",
+                ("POST", "/run") => "run",
+                ("POST", "/stream") => "stream",
+                ("POST", "/shutdown") => "shutdown",
+                _ => "unknown",
+            };
+            counter_add("serve_requests_total", &[("route", route)], 1);
+            let handled = match route {
+                "healthz" => {
+                    let body = format!(
+                        "{{\"ok\":true,\"queue_depth\":{},\"in_flight\":{},\
+                         \"recorder\":{{\"occupancy\":{},\"cap\":{}}},\"requests_served\":{}}}\n",
+                        inner.queue.lock().unwrap().len(),
+                        inner.in_flight.load(Ordering::SeqCst),
+                        inner.recorder.occupancy(),
+                        inner.recorder.cap(),
+                        inner.served.load(Ordering::SeqCst),
+                    );
+                    let _ = http::respond(&mut stream, 200, "application/json", &[], &body);
+                    Handled::plain(200)
+                }
+                "metrics" => {
+                    let _ = http::respond(
+                        &mut stream,
+                        200,
+                        "text/plain; version=0.0.4",
+                        &[],
+                        &paccport_trace::metrics::render_prometheus(),
+                    );
+                    Handled::plain(200)
+                }
+                "traces" => {
+                    let _ = http::respond(
+                        &mut stream,
+                        200,
+                        "application/json",
+                        &[],
+                        &inner.recorder.render_index(),
+                    );
+                    Handled::plain(200)
+                }
+                "trace" => handle_trace(inner, &mut stream, &req.path),
+                "shutdown" => {
+                    inner.draining.store(true, Ordering::SeqCst);
+                    inner.queue_cv.notify_all();
+                    let _ = http::respond(
+                        &mut stream,
+                        200,
+                        "application/json",
+                        &[],
+                        "{\"draining\":true}\n",
+                    );
+                    Handled::plain(200)
+                }
+                "run" => handle_run(inner, &mut stream, &req),
+                "stream" => handle_stream(inner, &mut stream, &req),
+                _ => {
+                    let msg = format!(
+                        "no route `{} {}`; try GET /healthz, GET /metrics, GET /traces, \
+                         GET /trace/<id>, POST /run, POST /stream, POST /shutdown",
+                        req.method, req.path
+                    );
+                    let status = if req.path == "/run" || req.path == "/stream" {
+                        405
+                    } else {
+                        404
+                    };
+                    let _ = http::respond_error(&mut stream, status, &msg);
+                    Handled::plain(status)
+                }
+            };
+            (route, handled)
+        }
         Ok(Err(refusal)) => {
             counter_add("serve_requests_total", &[("route", "malformed")], 1);
             let _ = http::respond_error(&mut stream, refusal.status, &refusal.message);
-            return;
+            ("malformed", Handled::plain(refusal.status))
         }
         Err(_) => return, // peer vanished mid-request
     };
-    let route: &str = match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => "healthz",
-        ("GET", "/metrics") => "metrics",
-        ("POST", "/run") => "run",
-        ("POST", "/stream") => "stream",
-        ("POST", "/shutdown") => "shutdown",
-        _ => "unknown",
-    };
-    counter_add("serve_requests_total", &[("route", route)], 1);
-    let r = match route {
-        "healthz" => http::respond(&mut stream, 200, "application/json", &[], "{\"ok\":true}\n"),
-        "metrics" => http::respond(
-            &mut stream,
-            200,
-            "text/plain; version=0.0.4",
-            &[],
-            &paccport_trace::metrics::render_prometheus(),
+    inner.served.fetch_add(1, Ordering::SeqCst);
+    let status_label = handled.status.to_string();
+    let labels: [(&str, &str); 2] = [("route", route), ("status", status_label.as_str())];
+    match &handled.trace_id {
+        Some(id) => observe_exemplar(
+            "serve_request_seconds",
+            &labels,
+            handled.service_s,
+            &[("trace_id", id.as_str())],
         ),
-        "shutdown" => {
-            inner.draining.store(true, Ordering::SeqCst);
-            inner.queue_cv.notify_all();
-            http::respond(
-                &mut stream,
-                200,
-                "application/json",
-                &[],
-                "{\"draining\":true}\n",
-            )
+        None => observe("serve_request_seconds", &labels, handled.service_s),
+    }
+    if let Some(access) = &inner.access {
+        let line = format!(
+            "{{\"ts\":{},\"route\":\"{route}\",\"status\":{},\"tenant\":{},\"trace_id\":{},\
+             \"queue_depth\":{depth},\"role\":{},\"service_s\":{}}}\n",
+            paccport_trace::now_ns(),
+            handled.status,
+            json_opt(&handled.tenant),
+            json_opt(&handled.trace_id),
+            json_opt(&handled.role),
+            handled.service_s,
+        );
+        // One write per line, flushed, so the log is complete even if
+        // the process is killed rather than drained.
+        let mut f = access.lock().unwrap();
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.flush();
+    }
+}
+
+/// Resolve the trace id a request runs under: a valid client
+/// `traceparent` wins, then a well-formed `X-Request-Id`, otherwise
+/// the id is *derived* — a pure function of the request fingerprint
+/// and seed, so repeats, restarts and any `--jobs` level agree on it.
+fn request_trace_id(
+    req: &http::Request,
+    route: &str,
+    tenant: &Option<String>,
+    rr: &RunRequest,
+) -> String {
+    if let Some(id) = req
+        .header("traceparent")
+        .and_then(context::parse_traceparent)
+    {
+        return id;
+    }
+    if let Some(id) = req.header("x-request-id") {
+        let id = id.to_ascii_lowercase();
+        if context::valid_trace_id(&id) {
+            return id;
         }
-        "run" => handle_run(inner, &mut stream, &req),
-        "stream" => handle_stream(inner, &mut stream, &req),
-        _ => {
-            let msg = format!(
-                "no route `{} {}`; try GET /healthz, GET /metrics, POST /run, POST /stream, POST /shutdown",
-                req.method, req.path
-            );
-            let status = if req.path == "/run" || req.path == "/stream" {
-                405
-            } else {
-                404
-            };
-            http::respond_error(&mut stream, status, &msg)
+    }
+    let fingerprint = format!("{route}|{}|{}", tenant.as_deref().unwrap_or(""), rr.key());
+    context::derive_trace_id(&fingerprint, rr.seed)
+}
+
+/// The response headers that propagate a request's trace identity.
+fn trace_headers(trace_id: &str) -> [(&'static str, String); 2] {
+    [
+        ("X-Request-Id", trace_id.to_string()),
+        ("traceparent", context::render_traceparent(trace_id)),
+    ]
+}
+
+/// Modeled service seconds of a response: the sum of its cells'
+/// modeled seconds, with a fixed 1 ms charge per failed cell — the
+/// *same* accumulation (order and all) loadgen's `parse_service`
+/// performs on the rendered body, so client- and server-side latency
+/// histograms agree bucket for bucket.
+fn modeled_service_seconds(reports: &[CellReport]) -> f64 {
+    let mut s = 0.0f64;
+    for r in reports {
+        match r {
+            CellReport::Ok(o) => s += o.seconds,
+            CellReport::Failed { .. } => s += 0.001,
         }
+    }
+    s
+}
+
+/// `GET /trace/<id>[?format=chrome|jsonl|folded]` — serve one
+/// recorded trace: the nested span-tree JSON by default, or any of
+/// the standard exporter formats rendered from the same normalized
+/// events.
+fn handle_trace(inner: &Inner, stream: &mut TcpStream, path: &str) -> Handled {
+    let rest = &path["/trace/".len()..];
+    let (id, query) = match rest.split_once('?') {
+        Some((id, q)) => (id, Some(q)),
+        None => (rest, None),
     };
-    let _ = r;
+    let mut format = None;
+    for pair in query.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+        let Some(v) = pair.strip_prefix("format=") else {
+            let _ = http::respond_error(
+                stream,
+                400,
+                &format!("unknown query parameter `{pair}`; supported: format=chrome|jsonl|folded"),
+            );
+            return Handled::plain(400);
+        };
+        match TraceFormat::parse(v) {
+            Ok(f) => format = Some(f),
+            Err(e) => {
+                let _ = http::respond_error(stream, 400, &e);
+                return Handled::plain(400);
+            }
+        }
+    }
+    let Some(trace) = inner.recorder.get(id) else {
+        let _ = http::respond_error(
+            stream,
+            404,
+            &format!(
+                "no recorded trace `{id}`; the flight recorder keeps the last {} completed \
+                 requests (see GET /traces)",
+                inner.recorder.cap()
+            ),
+        );
+        return Handled::plain(404);
+    };
+    let (content_type, body) = match format {
+        None => ("application/json", trace.render_json()),
+        Some(TraceFormat::Chrome) => ("application/json", trace.render_export(TraceFormat::Chrome)),
+        Some(TraceFormat::Jsonl) => (
+            "application/x-ndjson",
+            trace.render_export(TraceFormat::Jsonl),
+        ),
+        Some(TraceFormat::Folded) => ("text/plain", trace.render_export(TraceFormat::Folded)),
+    };
+    let _ = http::respond(stream, 200, content_type, &[], &body);
+    Handled::plain(200)
 }
 
 /// Validate an `X-Tenant` value: short, filesystem/metrics-safe.
@@ -442,65 +698,171 @@ fn run_cells(
         .collect()
 }
 
-fn handle_run(inner: &Inner, stream: &mut TcpStream, req: &http::Request) -> io::Result<()> {
+fn handle_run(inner: &Inner, stream: &mut TcpStream, req: &http::Request) -> Handled {
     let tenant = match parse_tenant(req) {
         Ok(t) => t,
-        Err(e) => return http::respond_error(stream, 400, &e),
+        Err(e) => {
+            let _ = http::respond_error(stream, 400, &e);
+            return Handled::plain(400);
+        }
     };
     let rr = match RunRequest::parse(&req.body) {
         Ok(rr) => rr,
-        Err(e) => return http::respond_error(stream, 400, &e),
+        Err(e) => {
+            let _ = http::respond_error(stream, 400, &e);
+            return Handled::plain(400);
+        }
     };
     let cells = match resolve(&rr) {
         Ok((_, cells)) => cells,
-        Err(e) => return http::respond_error(stream, 400, &e),
+        Err(e) => {
+            let _ = http::respond_error(stream, 400, &e);
+            return Handled {
+                tenant,
+                ..Handled::plain(400)
+            };
+        }
     };
+    let trace_id = request_trace_id(req, "run", &tenant, &rr);
     // Coalesce identical concurrent requests into one execution. The
     // tenant is part of the key so quota attribution stays honest.
+    // The trace id deliberately is NOT: followers answer with the
+    // leader's trace, because that is the execution their bytes came
+    // from.
     let flight_key = format!("{}|{}", tenant.as_deref().unwrap_or(""), rr.key());
     let (result, led) = inner.flights.run(&flight_key, || {
         if let Some(gate) = &inner.cfg.run_gate {
             gate.pass();
         }
         counter_add("serve_runs_total", &[], 1);
-        let reports = run_cells(inner, &cells, rr.seed, &tenant);
-        protocol::render_response(&rr, &reports)
+        // Everything this request's engine work records — including
+        // on the engine's worker threads — carries this context, so
+        // the shared event stream partitions cleanly per request.
+        let ctx = inner.next_ctx.fetch_add(1, Ordering::Relaxed);
+        let reports = {
+            let _request = paccport_trace::request_scope(ctx);
+            // A fresh (lane 0, task 0) scope per request: resets the
+            // handler thread's span sequence so the inline (jobs=1)
+            // event layout is identical no matter how many requests
+            // this thread served before.
+            let _scope = paccport_trace::task_scope(0, 0);
+            run_cells(inner, &cells, rr.seed, &tenant)
+        };
+        let (status, body) = protocol::render_response(&rr, &reports);
+        let service_s = modeled_service_seconds(&reports);
+        let events = paccport_trace::take_request_events(ctx);
+        inner.recorder.record(RequestTrace::build(
+            trace_id.clone(),
+            "run",
+            &rr,
+            &tenant,
+            status,
+            &reports,
+            service_s,
+            events,
+        ));
+        Flight {
+            status,
+            body,
+            trace_id: trace_id.clone(),
+            service_s,
+        }
     });
-    let _ = led;
-    let (status, body) = &*result;
-    http::respond(stream, *status, "application/json", &[], body)
+    let flight = &*result;
+    let _ = http::respond(
+        stream,
+        flight.status,
+        "application/json",
+        &trace_headers(&flight.trace_id),
+        &flight.body,
+    );
+    Handled {
+        status: flight.status,
+        tenant,
+        trace_id: Some(flight.trace_id.clone()),
+        role: Some(if led { "led" } else { "coalesced" }),
+        service_s: flight.service_s,
+    }
 }
 
-fn handle_stream(inner: &Inner, stream: &mut TcpStream, req: &http::Request) -> io::Result<()> {
+fn handle_stream(inner: &Inner, stream: &mut TcpStream, req: &http::Request) -> Handled {
     let tenant = match parse_tenant(req) {
         Ok(t) => t,
-        Err(e) => return http::respond_error(stream, 400, &e),
+        Err(e) => {
+            let _ = http::respond_error(stream, 400, &e);
+            return Handled::plain(400);
+        }
     };
     let rr = match RunRequest::parse(&req.body) {
         Ok(rr) => rr,
-        Err(e) => return http::respond_error(stream, 400, &e),
+        Err(e) => {
+            let _ = http::respond_error(stream, 400, &e);
+            return Handled::plain(400);
+        }
     };
     let cells = match resolve(&rr) {
         Ok((_, cells)) => cells,
-        Err(e) => return http::respond_error(stream, 400, &e),
+        Err(e) => {
+            let _ = http::respond_error(stream, 400, &e);
+            return Handled {
+                tenant,
+                ..Handled::plain(400)
+            };
+        }
     };
+    let trace_id = request_trace_id(req, "stream", &tenant, &rr);
+    let ctx = inner.next_ctx.fetch_add(1, Ordering::Relaxed);
     // Streaming runs cells one at a time in matrix order so each
     // progress event is emitted the moment its cell settles; the
     // event sequence stays deterministic because the order is the
-    // submission order, not completion order.
-    http::start_chunked(stream, 200, "application/x-ndjson")?;
-    http::write_chunk(stream, &protocol::event_start(&rr, cells.len()))?;
-    let (mut ok, mut failed) = (0usize, 0usize);
-    for (i, cell) in cells.iter().enumerate() {
-        let reports = run_cells(inner, std::slice::from_ref(cell), rr.seed, &tenant);
-        let report = &reports[0];
-        if report.is_ok() {
-            ok += 1;
-        } else {
-            failed += 1;
-        }
-        http::write_chunk(stream, &protocol::event_cell(i, report))?;
+    // submission order, not completion order. Wire failures stop the
+    // writes but never the drain below — a vanished client must not
+    // leave this request's events stranded in the buffers.
+    let mut reports: Vec<CellReport> = Vec::with_capacity(cells.len());
+    let io_result = {
+        let _request = paccport_trace::request_scope(ctx);
+        let _scope = paccport_trace::task_scope(0, 0);
+        let mut emit = || -> io::Result<()> {
+            http::start_chunked(
+                stream,
+                200,
+                "application/x-ndjson",
+                &trace_headers(&trace_id),
+            )?;
+            http::write_chunk(stream, &protocol::event_start(&rr, cells.len()))?;
+            for (i, cell) in cells.iter().enumerate() {
+                let cell_reports = run_cells(inner, std::slice::from_ref(cell), rr.seed, &tenant);
+                let report = cell_reports
+                    .into_iter()
+                    .next()
+                    .expect("one report per cell");
+                http::write_chunk(stream, &protocol::event_cell(i, &report))?;
+                reports.push(report);
+            }
+            let ok = reports.iter().filter(|r| r.is_ok()).count();
+            http::write_chunk(stream, &protocol::event_done(ok, reports.len() - ok))?;
+            http::finish_chunked(stream)
+        };
+        emit()
+    };
+    let _ = io_result;
+    let service_s = modeled_service_seconds(&reports);
+    let events = paccport_trace::take_request_events(ctx);
+    inner.recorder.record(RequestTrace::build(
+        trace_id.clone(),
+        "stream",
+        &rr,
+        &tenant,
+        200,
+        &reports,
+        service_s,
+        events,
+    ));
+    Handled {
+        status: 200,
+        tenant,
+        trace_id: Some(trace_id),
+        role: None,
+        service_s,
     }
-    http::write_chunk(stream, &protocol::event_done(ok, failed))?;
-    http::finish_chunked(stream)
 }

@@ -24,6 +24,7 @@
 //! report also *proves* duplicate responses were byte-identical.
 
 use paccport_trace::json::{escape, Json};
+use paccport_trace::metrics::{bucket_bound, Histogram};
 
 use crate::http;
 
@@ -51,6 +52,12 @@ pub struct LoadgenConfig {
     /// Scrape /metrics after the run and embed deterministic
     /// counters (compile_total, serve_requests_total) in the report.
     pub scrape_metrics: bool,
+    /// Fetch `GET /trace/<id>` for the first N distinct trace ids
+    /// (in schedule order) and embed their body checksums.
+    pub sample_traces: u32,
+    /// Where to write sampled trace bodies as `<id>.json`; without a
+    /// directory the bodies are fetched and checksummed only.
+    pub trace_dir: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -67,6 +74,8 @@ impl Default for LoadgenConfig {
             model_servers: 2,
             shutdown_after: false,
             scrape_metrics: false,
+            sample_traces: 0,
+            trace_dir: None,
         }
     }
 }
@@ -118,6 +127,10 @@ struct Served {
     /// Modeled service seconds summed over the response's cells.
     service_s: f64,
     failed_cells: u64,
+    /// The `X-Request-Id` the server answered with: names the flight
+    /// recorder entry this response came from (coalesced duplicates
+    /// share the leader's id).
+    trace_id: String,
 }
 
 /// Build the deterministic request schedule for `cfg`.
@@ -176,7 +189,7 @@ fn plan(cfg: &LoadgenConfig) -> Result<Vec<Planned>, String> {
 /// Issue one planned request, retrying 429 backpressure (the retry
 /// count deliberately stays out of the report — backpressure timing
 /// is scheduling-dependent; the final response is not).
-fn issue(addr: &str, p: &Planned) -> Result<(u16, String), String> {
+fn issue(addr: &str, p: &Planned) -> Result<(u16, String, String), String> {
     for _ in 0..200 {
         let headers: Vec<(&str, &str)> = match &p.tenant {
             Some(t) => vec![("X-Tenant", t.as_str())],
@@ -188,7 +201,8 @@ fn issue(addr: &str, p: &Planned) -> Result<(u16, String), String> {
             std::thread::sleep(std::time::Duration::from_millis(5));
             continue;
         }
-        return Ok((resp.status, resp.body));
+        let trace_id = resp.header("x-request-id").unwrap_or("").to_string();
+        return Ok((resp.status, resp.body, trace_id));
     }
     Err("server kept answering 429 for 200 attempts".to_string())
 }
@@ -271,6 +285,94 @@ fn scrape(addr: &str) -> Result<String, String> {
     ))
 }
 
+/// Per-status service-time histograms over the run's requests, built
+/// with the *same* log₂ buckets the server feeds `/metrics`. The
+/// server observes the identical modeled seconds per request, so
+/// against a fresh server the cumulative bucket counts here match a
+/// `serve_request_seconds_bucket{route="run",…}` scrape line for
+/// line — the trace integration tests cross-check exactly that.
+fn service_hist_json(served: &[Served]) -> String {
+    let mut by_status: std::collections::BTreeMap<u16, Histogram> = Default::default();
+    for s in served {
+        by_status.entry(s.status).or_default().observe(s.service_s);
+    }
+    let statuses: Vec<String> = by_status
+        .iter()
+        .map(|(status, h)| {
+            // Cumulative counts at each occupied bucket bound, keyed
+            // by the same `le` strings the Prometheus renderer emits.
+            let mut cum = 0u64;
+            let mut buckets: Vec<String> = Vec::new();
+            for (i, n) in h.buckets.iter().enumerate() {
+                cum += n;
+                if *n == 0 {
+                    continue;
+                }
+                let le = match bucket_bound(i) {
+                    Some(b) => format!("{b}"),
+                    None => "+Inf".to_string(),
+                };
+                buckets.push(format!("{{\"le\":\"{le}\",\"cum\":{cum}}}"));
+            }
+            format!(
+                "\"{status}\":{{\"count\":{},\"p50_s\":{},\"p90_s\":{},\"p99_s\":{},\
+                 \"buckets\":[{}]}}",
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                buckets.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"route\":\"run\",\"by_status\":{{{}}}}}",
+        statuses.join(",")
+    )
+}
+
+/// Fetch the first `n` distinct trace ids (schedule order) from the
+/// server's flight recorder; bodies are checksummed into the report
+/// and optionally written to `dir` as `<id>.json`.
+fn sample_traces(
+    addr: &str,
+    served: &[Served],
+    n: u32,
+    dir: &Option<String>,
+) -> Result<String, String> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut entries: Vec<String> = Vec::new();
+    for s in served {
+        if (entries.len() as u32) >= n {
+            break;
+        }
+        if s.trace_id.is_empty() || !seen.insert(s.trace_id.as_str()) {
+            continue;
+        }
+        let resp = http::request(addr, "GET", &format!("/trace/{}", s.trace_id), &[], "")
+            .map_err(|e| format!("trace fetch failed: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "trace `{}` not in the flight recorder (HTTP {}); \
+                 raise --recorder-cap or sample fewer traces",
+                s.trace_id, resp.status
+            ));
+        }
+        if let Some(dir) = dir {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+            let path = std::path::Path::new(dir).join(format!("{}.json", s.trace_id));
+            std::fs::write(&path, &resp.body)
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+        entries.push(format!(
+            "{{\"trace_id\":\"{}\",\"body_fnv\":\"{:016x}\"}}",
+            s.trace_id,
+            fnv1a64(resp.body.as_bytes())
+        ));
+    }
+    Ok(format!("[{}]", entries.join(",")))
+}
+
 /// Run the load, model the latencies, and render the SLO report —
 /// a single deterministic JSON document.
 pub fn run(cfg: &LoadgenConfig) -> Result<String, String> {
@@ -285,7 +387,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<String, String> {
         by_step.entry(p.step).or_default().push(p);
     }
     for (_, batch) in by_step {
-        let outcomes: Vec<Result<(u16, String), String>> = std::thread::scope(|s| {
+        let outcomes: Vec<Result<(u16, String, String), String>> = std::thread::scope(|s| {
             let handles: Vec<_> = batch
                 .iter()
                 .map(|p| s.spawn(|| issue(&cfg.addr, p)))
@@ -293,7 +395,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<String, String> {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         for (p, outcome) in batch.into_iter().zip(outcomes) {
-            let (status, body) = outcome?;
+            let (status, body, trace_id) = outcome?;
             let (service_s, failed_cells) = parse_service(&body);
             served.push(Served {
                 plan: p,
@@ -301,6 +403,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<String, String> {
                 body_fnv: fnv1a64(body.as_bytes()),
                 service_s,
                 failed_cells,
+                trace_id,
             });
         }
     }
@@ -332,7 +435,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<String, String> {
         .map(|s| {
             format!(
                 "{{\"step\":{},\"slot\":{},\"benchmark\":\"{}\",\"variant\":\"{}\",\
-                 \"target\":\"{}\",{}\"dup\":{},\"status\":{},\"body_fnv\":\"{:016x}\"}}",
+                 \"target\":\"{}\",{}\"dup\":{},\"status\":{},\"body_fnv\":\"{:016x}\",\
+                 \"trace_id\":\"{}\"}}",
                 s.plan.step,
                 s.plan.slot,
                 escape(&s.plan.benchmark),
@@ -344,12 +448,21 @@ pub fn run(cfg: &LoadgenConfig) -> Result<String, String> {
                 },
                 s.plan.dup,
                 s.status,
-                s.body_fnv
+                s.body_fnv,
+                escape(&s.trace_id)
             )
         })
         .collect();
     let metrics = if cfg.scrape_metrics {
         format!(",\"metrics\":{}", scrape(&cfg.addr)?)
+    } else {
+        String::new()
+    };
+    let sampled = if cfg.sample_traces > 0 {
+        format!(
+            ",\"sampled_traces\":{}",
+            sample_traces(&cfg.addr, &served, cfg.sample_traces, &cfg.trace_dir)?
+        )
     } else {
         String::new()
     };
@@ -363,7 +476,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<String, String> {
          \"http_ok\":{ok},\"http_error\":{},\"failed_cells\":{failed_cells},\
          \"latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},\
          \"throughput_rps\":{throughput},\
-         \"slo\":{{\"threshold_ms\":{},\"violations\":{violations},\"met\":{}}}{metrics},\
+         \"slo\":{{\"threshold_ms\":{},\"violations\":{violations},\"met\":{}}},\
+         \"service_hist\":{}{metrics}{sampled},\
          \"per_request\":[{}]}}\n",
         cfg.seed,
         cfg.rps,
@@ -379,6 +493,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<String, String> {
         sorted.last().copied().unwrap_or(0),
         cfg.slo_ms,
         violations == 0,
+        service_hist_json(&served),
         requests.join(",")
     ))
 }
@@ -461,6 +576,7 @@ mod tests {
             body_fnv: 0,
             service_s,
             failed_cells: 0,
+            trace_id: String::new(),
         };
         // Slot 0 occupies the single server for 0.75 vs; slot 1
         // arrives at 0.5 vs and must queue for 0.25 vs.
@@ -468,6 +584,50 @@ mod tests {
         let lat = model_latencies(&cfg, &served);
         assert_eq!(lat[0], 750_000_000);
         assert_eq!(lat[1], 500_000_000, "0.25s queueing + 0.25s service");
+    }
+
+    #[test]
+    fn service_hist_uses_metrics_buckets_and_quantiles() {
+        let mk = |status, service_s| Served {
+            plan: Planned {
+                step: 0,
+                slot: 0,
+                body: String::new(),
+                benchmark: String::new(),
+                variant: String::new(),
+                target: String::new(),
+                tenant: None,
+                dup: false,
+            },
+            status,
+            body_fnv: 0,
+            service_s,
+            failed_cells: 0,
+            trace_id: String::new(),
+        };
+        // 0.3 and 0.4 land in the [0.25, 0.5) bucket, 0.7 in
+        // [0.5, 1); the 400 goes to its own status series.
+        let served = vec![mk(200, 0.3), mk(200, 0.7), mk(200, 0.4), mk(400, 0.001)];
+        let text = service_hist_json(&served);
+        let v = paccport_trace::json::parse(&text).expect("section is JSON");
+        assert_eq!(v.get("route").and_then(Json::as_str), Some("run"));
+        let s200 = v.get("by_status").and_then(|s| s.get("200")).unwrap();
+        assert_eq!(s200.get("count").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(s200.get("p50_s").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(s200.get("p99_s").and_then(Json::as_f64), Some(1.0));
+        let buckets = s200.get("buckets").and_then(Json::as_arr).unwrap();
+        let pairs: Vec<(&str, f64)> = buckets
+            .iter()
+            .map(|b| {
+                (
+                    b.get("le").and_then(Json::as_str).unwrap(),
+                    b.get("cum").and_then(Json::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(pairs, vec![("0.5", 2.0), ("1", 3.0)], "cumulative counts");
+        let s400 = v.get("by_status").and_then(|s| s.get("400")).unwrap();
+        assert_eq!(s400.get("count").and_then(Json::as_f64), Some(1.0));
     }
 
     #[test]

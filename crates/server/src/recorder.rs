@@ -1,0 +1,665 @@
+//! The flight recorder: bounded in-memory storage of the last N
+//! completed request traces, each a *normalized* span tree drained
+//! from the shared telemetry stream ([`paccport_trace::take_request_events`]).
+//!
+//! ## Why normalize
+//!
+//! The raw event stream is deterministic in *structure* but not in
+//! *identity*: task ordinals are process-global (they grow across
+//! requests and differ across restarts), lanes depend on `--jobs`,
+//! timestamps are wall-clock, and cache-warmth decides whether a
+//! `compilers.compile` span exists at all (the first request compiles,
+//! the second hits the cache). A trace body built naively from the raw
+//! stream would differ across `--jobs` levels, repeats and restarts —
+//! exactly the properties `GET /trace/<id>` promises to hold.
+//!
+//! Normalization makes the body a pure function of `(request, seed)`:
+//!
+//! * only schedule-independent span names are kept (the
+//!   [`KEEP`] allowlist — one `engine.job` per cell wrapping its
+//!   attempts, the cell execution, and the simulator run);
+//! * events sort by `(task, seq)` — submission order — then lanes and
+//!   tasks are renumbered per cell (cell *i* becomes lane/task `i+1`),
+//!   erasing the process-global ordinals;
+//! * timestamps are replaced by virtual ticks (1 µs per tree edge,
+//!   depth-first), erasing the wall clock while keeping strict
+//!   parent-contains-child nesting for Chrome/Perfetto.
+//!
+//! The recorder itself is a ring: completed traces push in, the
+//! oldest falls out past the cap, and an id that is re-run replaces
+//! its previous entry (the trace bytes are identical anyway).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use paccport_trace::export::{self, TraceFormat};
+use paccport_trace::json::escape;
+use paccport_trace::{SpanEvent, Summary};
+
+use crate::protocol::{CellReport, RunRequest};
+
+/// Span names that survive normalization. Everything else —
+/// `compilers.compile` and below — is cache-warmth- or
+/// schedule-dependent and would break trace byte-identity.
+pub const KEEP: [&str; 4] = [
+    "engine.job",
+    "engine.attempt",
+    "serve.run_cell",
+    "devsim.run",
+];
+
+/// One span in a normalized trace tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    /// Virtual open time: 1000 ns per depth-first tree edge.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub children: Vec<SpanNode>,
+}
+
+/// One cell's span forest (in practice a single `engine.job` root).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTrace {
+    /// The engine job label (`serve/<benchmark>/<variant>/<target>`).
+    pub label: String,
+    pub spans: Vec<SpanNode>,
+}
+
+/// A quarantined cell, as the trace remembers it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    pub benchmark: String,
+    pub variant: String,
+    pub target: String,
+    pub reason: String,
+    pub attempts: u32,
+    pub injected: bool,
+}
+
+/// One completed request, end to end: identity, outcome, the metric
+/// deltas its cells contributed, its fault-ledger slice, and the
+/// normalized span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    pub trace_id: String,
+    pub route: &'static str,
+    /// The request echo (`{"benchmark":…,"seed":…}`) as a JSON object.
+    pub request_json: String,
+    pub tenant: Option<String>,
+    pub status: u16,
+    pub ok: usize,
+    pub failed: usize,
+    /// Modeled service seconds — the same value the latency
+    /// histograms observe and loadgen's model consumes.
+    pub service_seconds: f64,
+    pub launches: u64,
+    pub h2d: u64,
+    pub d2h: u64,
+    pub while_iterations: u64,
+    pub ledger: Vec<LedgerEntry>,
+    pub cells: Vec<CellTrace>,
+}
+
+/// Effective depth of an event: how many of its enclosing spans
+/// survive the allowlist. (Parents of kept spans are always kept —
+/// `devsim.run` sits under `serve.run_cell` under `engine.attempt`
+/// under `engine.job` — so kept depths are contiguous.)
+fn eff_depth(e: &SpanEvent) -> usize {
+    e.stack
+        .iter()
+        .filter(|s| KEEP.contains(&s.as_str()))
+        .count()
+}
+
+/// Recursive preorder tree build: events arrive in span-*open* order
+/// (seq is assigned at open) with effective depths; a node's subtree
+/// is the run of following events at greater depth.
+fn build_forest(events: &[&SpanEvent], depth: usize, i: &mut usize) -> Vec<SpanNode> {
+    let mut out = Vec::new();
+    while *i < events.len() {
+        let e = events[*i];
+        let d = eff_depth(e);
+        if d < depth {
+            break;
+        }
+        *i += 1;
+        let children = build_forest(events, d + 1, i);
+        out.push(SpanNode {
+            name: e.name.clone(),
+            attrs: e.attrs.clone(),
+            start_ns: 0,
+            dur_ns: 0,
+            children,
+        });
+    }
+    out
+}
+
+/// Depth-first virtual timestamps: opening a span and closing it each
+/// consume one tick (1 tick = 1000 ns), so children nest strictly
+/// inside parents and siblings never overlap.
+fn stamp(node: &mut SpanNode, tick: &mut u64) {
+    node.start_ns = *tick * 1000;
+    *tick += 1;
+    for c in &mut node.children {
+        stamp(c, tick);
+    }
+    node.dur_ns = *tick * 1000 - node.start_ns;
+    *tick += 1;
+}
+
+/// Normalize one request's drained events into per-cell span trees.
+///
+/// The result is identical whatever `--jobs` level, worker schedule,
+/// task-ordinal base or wall clock produced the raw events.
+pub fn normalize(mut events: Vec<SpanEvent>) -> Vec<CellTrace> {
+    events.retain(|e| KEEP.contains(&e.name.as_str()));
+    // Submission order: tasks are allocated at submission (or all 0 on
+    // the inline path, where seq alone carries the order).
+    events.sort_by_key(|e| (e.task, e.seq));
+    // A depth-0 kept event is an `engine.job` — one per cell.
+    let mut cells: Vec<Vec<&SpanEvent>> = Vec::new();
+    for e in &events {
+        if eff_depth(e) == 0 {
+            cells.push(Vec::new());
+        }
+        if let Some(cell) = cells.last_mut() {
+            cell.push(e);
+        }
+    }
+    let mut tick: u64 = 0;
+    cells
+        .into_iter()
+        .map(|cell| {
+            let mut i = 0;
+            let mut spans = build_forest(&cell, 0, &mut i);
+            for s in &mut spans {
+                stamp(s, &mut tick);
+            }
+            let label = spans
+                .first()
+                .and_then(|s| {
+                    s.attrs
+                        .iter()
+                        .find(|(k, _)| k == "label")
+                        .map(|(_, v)| v.clone())
+                })
+                .unwrap_or_default();
+            CellTrace { label, spans }
+        })
+        .collect()
+}
+
+impl RequestTrace {
+    /// Assemble a trace from a handled request's pieces. `events` is
+    /// the raw drain of the request's context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        trace_id: String,
+        route: &'static str,
+        rr: &RunRequest,
+        tenant: &Option<String>,
+        status: u16,
+        reports: &[CellReport],
+        service_seconds: f64,
+        events: Vec<SpanEvent>,
+    ) -> RequestTrace {
+        let ok = reports.iter().filter(|r| r.is_ok()).count();
+        let (mut launches, mut h2d, mut d2h, mut while_iterations) = (0u64, 0u64, 0u64, 0u64);
+        let mut ledger = Vec::new();
+        for r in reports {
+            match r {
+                CellReport::Ok(o) => {
+                    launches += o.launches;
+                    h2d += o.h2d;
+                    d2h += o.d2h;
+                    while_iterations += o.while_iterations;
+                }
+                CellReport::Failed {
+                    benchmark,
+                    variant,
+                    target,
+                    reason,
+                    attempts,
+                    injected,
+                } => ledger.push(LedgerEntry {
+                    benchmark: benchmark.clone(),
+                    variant: variant.clone(),
+                    target: target.clone(),
+                    reason: reason.clone(),
+                    attempts: *attempts,
+                    injected: *injected,
+                }),
+            }
+        }
+        RequestTrace {
+            trace_id,
+            route,
+            request_json: format!("{{{}}}", rr.echo()),
+            tenant: tenant.clone(),
+            status,
+            ok,
+            failed: reports.len() - ok,
+            service_seconds,
+            launches,
+            h2d,
+            d2h,
+            while_iterations,
+            ledger,
+            cells: normalize(events),
+        }
+    }
+
+    fn render_span(out: &mut String, s: &SpanNode) {
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"attrs\":{{",
+            escape(&s.name),
+            s.start_ns,
+            s.dur_ns
+        );
+        for (i, (k, v)) in s.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape(k), escape(v));
+        }
+        out.push_str("},\"children\":[");
+        for (i, c) in s.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            Self::render_span(out, c);
+        }
+        out.push_str("]}");
+    }
+
+    /// The default `GET /trace/<id>` body: the full request record
+    /// with its nested span tree, one line, valid JSON.
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\"trace_id\":\"{}\",\"route\":\"{}\",\"request\":{},\"tenant\":{},\
+             \"status\":{},\"ok\":{},\"failed\":{},\"service_seconds\":{},\
+             \"counters\":{{\"launches\":{},\"h2d\":{},\"d2h\":{},\"while_iterations\":{}}},\
+             \"ledger\":[",
+            escape(&self.trace_id),
+            self.route,
+            self.request_json,
+            match &self.tenant {
+                Some(t) => format!("\"{}\"", escape(t)),
+                None => "null".to_string(),
+            },
+            self.status,
+            self.ok,
+            self.failed,
+            self.service_seconds,
+            self.launches,
+            self.h2d,
+            self.d2h,
+            self.while_iterations,
+        );
+        for (i, l) in self.ledger.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"benchmark\":\"{}\",\"variant\":\"{}\",\"target\":\"{}\",\
+                 \"reason\":\"{}\",\"attempts\":{},\"injected\":{}}}",
+                escape(&l.benchmark),
+                escape(&l.variant),
+                escape(&l.target),
+                escape(&l.reason),
+                l.attempts,
+                l.injected
+            );
+        }
+        out.push_str("],\"cells\":[");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"label\":\"{}\",\"spans\":[", escape(&cell.label));
+            for (j, s) in cell.spans.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                Self::render_span(&mut out, s);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Flatten the normalized tree back into [`SpanEvent`]s so the
+    /// standard exporters can render it (`?format=chrome|jsonl|folded`).
+    /// Cell *i* occupies lane/task `i+1`; seq is preorder within the
+    /// cell; everything is virtual-timestamped.
+    pub fn normalized_events(&self) -> Vec<SpanEvent> {
+        fn walk(
+            out: &mut Vec<SpanEvent>,
+            node: &SpanNode,
+            stack: &mut Vec<String>,
+            lane_task: u64,
+            seq: &mut u64,
+        ) {
+            out.push(SpanEvent {
+                name: node.name.clone(),
+                lane: lane_task as u32,
+                task: lane_task,
+                seq: *seq,
+                depth: stack.len() as u32,
+                stack: stack.clone(),
+                thread: 0,
+                ctx: 0,
+                start_ns: node.start_ns,
+                dur_ns: node.dur_ns,
+                attrs: node.attrs.clone(),
+            });
+            *seq += 1;
+            stack.push(node.name.clone());
+            for c in &node.children {
+                walk(out, c, stack, lane_task, seq);
+            }
+            stack.pop();
+        }
+        let mut out = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            let mut seq = 0;
+            let mut stack = Vec::new();
+            for s in &cell.spans {
+                walk(&mut out, s, &mut stack, i as u64 + 1, &mut seq);
+            }
+        }
+        out
+    }
+
+    /// Render in an alternate export format via [`export::render`].
+    pub fn render_export(&self, format: TraceFormat) -> String {
+        let summary = Summary {
+            spans: Vec::new(),
+            counters: vec![
+                ("serve.cells_ok".to_string(), self.ok as u64),
+                ("serve.cells_failed".to_string(), self.failed as u64),
+                ("serve.launches".to_string(), self.launches),
+                ("serve.h2d".to_string(), self.h2d),
+                ("serve.d2h".to_string(), self.d2h),
+                ("serve.while_iterations".to_string(), self.while_iterations),
+            ],
+        };
+        export::render(format, &self.normalized_events(), &summary)
+    }
+
+    /// One entry in the `GET /traces` index.
+    pub fn index_entry(&self) -> String {
+        format!(
+            "{{\"trace_id\":\"{}\",\"route\":\"{}\",\"status\":{},\"ok\":{},\"failed\":{},\
+             \"cells\":{},\"service_seconds\":{}}}",
+            escape(&self.trace_id),
+            self.route,
+            self.status,
+            self.ok,
+            self.failed,
+            self.cells.len(),
+            self.service_seconds
+        )
+    }
+}
+
+/// Ring buffer of the last `cap` completed request traces.
+pub struct FlightRecorder {
+    cap: usize,
+    ring: Mutex<VecDeque<Arc<RequestTrace>>>,
+}
+
+impl FlightRecorder {
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap: cap.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    pub fn occupancy(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// Record a completed trace. A repeated trace id replaces its
+    /// previous entry (re-running a request reproduces the same bytes,
+    /// so duplicates would only waste ring slots).
+    pub fn record(&self, trace: RequestTrace) {
+        let mut ring = self.ring.lock().unwrap();
+        ring.retain(|t| t.trace_id != trace.trace_id);
+        ring.push_back(Arc::new(trace));
+        while ring.len() > self.cap {
+            ring.pop_front();
+        }
+    }
+
+    pub fn get(&self, trace_id: &str) -> Option<Arc<RequestTrace>> {
+        self.ring
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// The `GET /traces` body: occupancy, cap, and one index line per
+    /// retained trace, most recent last.
+    pub fn render_index(&self) -> String {
+        let ring = self.ring.lock().unwrap();
+        let entries: Vec<String> = ring.iter().map(|t| t.index_entry()).collect();
+        format!(
+            "{{\"cap\":{},\"occupancy\":{},\"traces\":[{}]}}\n",
+            self.cap,
+            ring.len(),
+            entries.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic raw event as the engine would record it: `task` and
+    /// `lane` carry whatever ordinals the schedule produced.
+    fn raw(name: &str, stack: &[&str], lane: u32, task: u64, seq: u64, thread: u32) -> SpanEvent {
+        SpanEvent {
+            name: name.into(),
+            lane,
+            task,
+            seq,
+            depth: stack.len() as u32,
+            stack: stack.iter().map(|s| s.to_string()).collect(),
+            thread,
+            ctx: 42,
+            start_ns: 123_456 + seq * 7,
+            dur_ns: 999,
+            attrs: if name == "engine.job" {
+                vec![("label".into(), format!("serve/cell{task}"))]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Two cells' worth of events, parameterized by the schedule
+    /// identities that must NOT leak into the normalized result.
+    fn two_cells(task_base: u64, lanes: [u32; 2], threads: [u32; 2]) -> Vec<SpanEvent> {
+        let mut ev = Vec::new();
+        for (i, (&lane, &thread)) in lanes.iter().zip(&threads).enumerate() {
+            let t = task_base + i as u64;
+            // Span-open order (seq): job, attempt, run_cell, compile,
+            // devsim — compile only on the "cold" first cell, which is
+            // exactly the warmth asymmetry normalization must erase.
+            ev.push(raw("engine.job", &[], lane, t, 0, thread));
+            ev.push(raw("engine.attempt", &["engine.job"], lane, t, 1, thread));
+            ev.push(raw(
+                "serve.run_cell",
+                &["engine.job", "engine.attempt"],
+                lane,
+                t,
+                2,
+                thread,
+            ));
+            if i == 0 {
+                ev.push(raw(
+                    "compilers.compile",
+                    &["engine.job", "engine.attempt", "serve.run_cell"],
+                    lane,
+                    t,
+                    3,
+                    thread,
+                ));
+            }
+            ev.push(raw(
+                "devsim.run",
+                &["engine.job", "engine.attempt", "serve.run_cell"],
+                lane,
+                t,
+                4,
+                thread,
+            ));
+        }
+        ev
+    }
+
+    #[test]
+    fn normalization_erases_schedule_identity_and_cache_warmth() {
+        let a = normalize(two_cells(10, [1, 2], [3, 4]));
+        let mut b_events = two_cells(900, [2, 1], [7, 0]);
+        // Arrival order must not matter either.
+        b_events.reverse();
+        let mut b = normalize(b_events);
+        // The labels embed the raw task ordinal in this fixture; remap
+        // them before comparing the structural content.
+        for (i, c) in b.iter_mut().enumerate() {
+            c.label = format!("serve/cell{}", 10 + i);
+            for s in &mut c.spans {
+                s.attrs = vec![("label".into(), c.label.clone())];
+            }
+        }
+        assert_eq!(a, b, "identity and ordering normalized away");
+        assert_eq!(a.len(), 2);
+        // The compile span is filtered, so warm and cold cells have
+        // identical shape: job -> attempt -> run_cell -> devsim.run.
+        for cell in &a {
+            assert_eq!(cell.spans.len(), 1);
+            let job = &cell.spans[0];
+            assert_eq!(job.name, "engine.job");
+            let attempt = &job.children[0];
+            assert_eq!(attempt.name, "engine.attempt");
+            let run = &attempt.children[0];
+            assert_eq!(run.name, "serve.run_cell");
+            assert_eq!(run.children.len(), 1);
+            assert_eq!(run.children[0].name, "devsim.run");
+        }
+    }
+
+    #[test]
+    fn virtual_timestamps_nest_and_advance_across_cells() {
+        let cells = normalize(two_cells(10, [1, 2], [3, 4]));
+        fn check(node: &SpanNode) {
+            let end = node.start_ns + node.dur_ns;
+            for c in &node.children {
+                assert!(c.start_ns > node.start_ns, "child opens after parent");
+                assert!(c.start_ns + c.dur_ns < end, "child closes before parent");
+                check(c);
+            }
+        }
+        for cell in &cells {
+            check(&cell.spans[0]);
+        }
+        let first_end = cells[0].spans[0].start_ns + cells[0].spans[0].dur_ns;
+        assert!(
+            cells[1].spans[0].start_ns >= first_end,
+            "cells occupy disjoint virtual time"
+        );
+    }
+
+    fn mk_trace(id: &str) -> RequestTrace {
+        let rr = RunRequest::parse("{\"benchmark\":\"LUD\"}").unwrap();
+        RequestTrace::build(
+            id.to_string(),
+            "run",
+            &rr,
+            &Some("alice".to_string()),
+            200,
+            &[],
+            0.25,
+            two_cells(10, [1, 2], [3, 4]),
+        )
+    }
+
+    #[test]
+    fn trace_json_parses_and_round_trips_structure() {
+        let t = mk_trace("00000000000000000000000000000abc");
+        let body = t.render_json();
+        let doc = paccport_trace::json::parse(&body).expect("trace body is valid JSON");
+        assert_eq!(
+            doc.get("trace_id").unwrap().as_str(),
+            Some("00000000000000000000000000000abc")
+        );
+        assert_eq!(
+            doc.get("request")
+                .unwrap()
+                .get("benchmark")
+                .unwrap()
+                .as_str(),
+            Some("LUD")
+        );
+        let cells = doc.get("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells.len(), 2);
+        let job = &cells[0].get("spans").unwrap().as_arr().unwrap()[0];
+        assert_eq!(job.get("name").unwrap().as_str(), Some("engine.job"));
+        let chain = job.get("children").unwrap().as_arr().unwrap()[0]
+            .get("children")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(
+            chain[0].get("name").unwrap().as_str(),
+            Some("serve.run_cell")
+        );
+    }
+
+    #[test]
+    fn export_formats_render_from_the_normalized_tree() {
+        let t = mk_trace("00000000000000000000000000000abc");
+        let chrome = t.render_export(TraceFormat::Chrome);
+        paccport_trace::json::parse(&chrome).expect("chrome export parses");
+        assert!(chrome.contains("\"name\":\"devsim.run\""));
+        let jsonl = t.render_export(TraceFormat::Jsonl);
+        assert!(jsonl.lines().count() >= 8 + 6, "8 spans + 6 counters");
+        let folded = t.render_export(TraceFormat::Folded);
+        assert!(folded.contains("engine.job;engine.attempt;serve.run_cell;devsim.run "));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_replaces_duplicates() {
+        let rec = FlightRecorder::new(2);
+        rec.record(mk_trace("a0000000000000000000000000000000"));
+        rec.record(mk_trace("b0000000000000000000000000000000"));
+        rec.record(mk_trace("c0000000000000000000000000000000"));
+        assert_eq!(rec.occupancy(), 2);
+        assert!(rec.get("a0000000000000000000000000000000").is_none());
+        assert!(rec.get("b0000000000000000000000000000000").is_some());
+        // Re-recording an id replaces instead of double-counting.
+        rec.record(mk_trace("b0000000000000000000000000000000"));
+        assert_eq!(rec.occupancy(), 2);
+        let idx = rec.render_index();
+        paccport_trace::json::parse(&idx).unwrap();
+        assert!(idx.contains("\"cap\":2"));
+        assert!(idx.ends_with("\n"));
+    }
+}

@@ -41,7 +41,24 @@ fn snapshot(name: &str, got: &str) {
 fn health_and_routing() {
     let (server, addr) = start(ServerConfig::default());
     let r = http::request(&addr, "GET", "/healthz", &[], "").unwrap();
-    assert_eq!((r.status, r.body.as_str()), (200, "{\"ok\":true}\n"));
+    assert_eq!(r.status, 200);
+    let v = paccport_trace::json::parse(&r.body).expect("healthz is JSON");
+    assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true));
+    assert_eq!(v.get("queue_depth").and_then(|n| n.as_f64()), Some(0.0));
+    // This very request is the one in flight.
+    assert_eq!(v.get("in_flight").and_then(|n| n.as_f64()), Some(1.0));
+    let rec = v.get("recorder").expect("recorder block");
+    assert_eq!(rec.get("occupancy").and_then(|n| n.as_f64()), Some(0.0));
+    assert_eq!(rec.get("cap").and_then(|n| n.as_f64()), Some(64.0));
+    // `requests_served` counts completed requests; this one hasn't
+    // finished yet, and a second probe sees it counted.
+    assert_eq!(v.get("requests_served").and_then(|n| n.as_f64()), Some(0.0));
+    let r2 = http::request(&addr, "GET", "/healthz", &[], "").unwrap();
+    let v2 = paccport_trace::json::parse(&r2.body).unwrap();
+    assert_eq!(
+        v2.get("requests_served").and_then(|n| n.as_f64()),
+        Some(1.0)
+    );
 
     let r = http::request(&addr, "GET", "/nope", &[], "").unwrap();
     assert_eq!(r.status, 404);

@@ -1,0 +1,338 @@
+//! End-to-end tracing checks (ISSUE 10): a request's trace id is a
+//! pure function of `(request fingerprint, seed)`, `GET /trace/<id>`
+//! bodies are byte-identical across `--jobs` levels, repeats, and
+//! server restarts, coalesced duplicates answer with the leader's
+//! trace, the access log records who led, `/metrics` latency
+//! histograms carry exemplars naming recorded traces, and the loadgen
+//! report's service histogram matches a `/metrics` scrape bucket for
+//! bucket.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use paccport_core::coalesce::Gate;
+use paccport_server::{http, loadgen, Server, ServerConfig};
+use paccport_trace::json::{self, Json};
+
+/// The metrics registry and the trace-event stream are process-global;
+/// every test here issues requests that feed both, so serialize them.
+static GLOBALS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+const MULTI: &str = "{\"benchmark\":\"GE\",\"variant\":\"Base\",\
+                     \"target\":\"*\",\"scale\":\"smoke\",\"seed\":7}";
+
+fn start(cfg: ServerConfig) -> (Server, String) {
+    let server = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+fn stop(server: Server) {
+    server.shutdown();
+    server.join();
+}
+
+/// POST a body to /run and return (trace id, response body).
+fn run_traced(addr: &str, body: &str, headers: &[(&str, &str)]) -> (String, String) {
+    let r = http::request(addr, "POST", "/run", headers, body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let id = r.header("x-request-id").expect("responses carry an id");
+    (id.to_string(), r.body)
+}
+
+fn fetch_trace(addr: &str, id: &str, query: &str) -> (u16, String) {
+    let r = http::request(addr, "GET", &format!("/trace/{id}{query}"), &[], "").unwrap();
+    (r.status, r.body)
+}
+
+#[test]
+fn trace_bodies_are_byte_identical_across_jobs_repeats_and_restarts() {
+    let _g = GLOBALS_LOCK.lock().unwrap();
+    let mut observed: Vec<(String, String)> = Vec::new();
+    for jobs in [1usize, 4] {
+        let (server, addr) = start(ServerConfig {
+            jobs,
+            ..Default::default()
+        });
+        let (id, _) = run_traced(&addr, MULTI, &[]);
+        let (status, trace) = fetch_trace(&addr, &id, "");
+        assert_eq!(status, 200, "{trace}");
+
+        // A repeat of the same request re-records the same trace.
+        let (id2, _) = run_traced(&addr, MULTI, &[]);
+        assert_eq!(id, id2, "trace id is a pure function of the request");
+        let (_, trace2) = fetch_trace(&addr, &id, "");
+        assert_eq!(trace, trace2, "re-recorded trace is byte-stable");
+
+        // Export formats render from the same normalized tree.
+        let (cs, chrome) = fetch_trace(&addr, &id, "?format=chrome");
+        assert_eq!(cs, 200);
+        json::parse(&chrome).expect("chrome export is valid JSON");
+        let (fs, folded) = fetch_trace(&addr, &id, "?format=folded");
+        assert_eq!(fs, 200);
+        assert!(
+            folded.contains("engine.job;engine.attempt;serve.run_cell;devsim.run "),
+            "folded stacks show the span chain:\n{folded}"
+        );
+        observed.push((id, trace));
+        stop(server);
+    }
+    assert_eq!(
+        observed[0], observed[1],
+        "trace id and body are byte-identical at --jobs 1 and --jobs 4 \
+         and across server restarts"
+    );
+
+    // The recorded tree has the documented shape.
+    let v = json::parse(&observed[0].1).unwrap();
+    assert_eq!(v.get("route").and_then(Json::as_str), Some("run"));
+    assert_eq!(v.get("status").and_then(Json::as_f64), Some(200.0));
+    assert_eq!(v.get("ok").and_then(Json::as_f64), Some(3.0));
+    let cells = v.get("cells").and_then(Json::as_arr).unwrap();
+    assert_eq!(cells.len(), 3, "one cell trace per matrix cell");
+    for c in cells {
+        let spans = c.get("spans").and_then(Json::as_arr).unwrap();
+        assert_eq!(spans.len(), 1, "one engine.job root per cell");
+        assert_eq!(
+            spans[0].get("name").and_then(Json::as_str),
+            Some("engine.job")
+        );
+    }
+}
+
+#[test]
+fn coalesced_requests_share_the_leaders_trace_and_the_log_says_who_led() {
+    let _g = GLOBALS_LOCK.lock().unwrap();
+    let log_path = std::env::temp_dir().join(format!(
+        "paccport-access-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&log_path);
+    let run_gate = Gate::new();
+    let (server, addr) = start(ServerConfig {
+        workers: 8,
+        run_gate: Some(run_gate.clone()),
+        access_log: Some(log_path.clone()),
+        ..Default::default()
+    });
+
+    const N: usize = 4;
+    let released = AtomicBool::new(false);
+    let results: Vec<(String, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || run_traced(&addr, MULTI, &[]))
+            })
+            .collect();
+        run_gate.wait_parked(1);
+        while server.flights().waiting() < (N - 1) as u64 {
+            std::thread::yield_now();
+        }
+        released.store(true, Ordering::SeqCst);
+        run_gate.open();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(released.load(Ordering::SeqCst));
+    assert_eq!(server.flights().led(), 1);
+    assert_eq!(server.flights().coalesced(), (N - 1) as u64);
+
+    // Every follower's response names the leader's trace…
+    for (id, body) in &results {
+        assert_eq!(id, &results[0].0, "one flight, one trace id");
+        assert_eq!(body, &results[0].1);
+    }
+    // …and the recorder holds exactly that one execution.
+    assert_eq!(server.recorder().occupancy(), 1);
+    let (status, _) = fetch_trace(&addr, &results[0].0, "");
+    assert_eq!(status, 200);
+
+    stop(server);
+    let log = std::fs::read_to_string(&log_path).unwrap();
+    let _ = std::fs::remove_file(&log_path);
+    let runs: Vec<Json> = log
+        .lines()
+        .map(|l| json::parse(l).expect("access log lines are JSON"))
+        .filter(|v| v.get("route").and_then(Json::as_str) == Some("run"))
+        .collect();
+    assert_eq!(runs.len(), N, "one access-log line per handled request");
+    let led = runs
+        .iter()
+        .filter(|v| v.get("role").and_then(Json::as_str) == Some("led"))
+        .count();
+    let coalesced = runs
+        .iter()
+        .filter(|v| v.get("role").and_then(Json::as_str) == Some("coalesced"))
+        .count();
+    assert_eq!((led, coalesced), (1, N - 1), "the log says which led");
+    for v in &runs {
+        assert_eq!(
+            v.get("trace_id").and_then(Json::as_str),
+            Some(results[0].0.as_str())
+        );
+        assert_eq!(v.get("status").and_then(Json::as_f64), Some(200.0));
+        assert!(v.get("queue_depth").and_then(Json::as_f64).is_some());
+        assert!(v.get("service_s").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn client_supplied_trace_identity_wins_and_is_echoed() {
+    let _g = GLOBALS_LOCK.lock().unwrap();
+    let (server, addr) = start(ServerConfig::default());
+
+    // X-Request-Id (a valid 32-hex id) is adopted verbatim.
+    let custom = "deadbeefdeadbeefdeadbeefdeadbeef";
+    let (id, _) = run_traced(&addr, MULTI, &[("X-Request-Id", custom)]);
+    assert_eq!(id, custom);
+    assert_eq!(fetch_trace(&addr, custom, "").0, 200);
+
+    // A W3C traceparent header outranks X-Request-Id.
+    let parent = "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01";
+    let r = http::request(
+        &addr,
+        "POST",
+        "/run",
+        &[("traceparent", parent), ("X-Request-Id", custom)],
+        MULTI,
+    )
+    .unwrap();
+    assert_eq!(
+        r.header("x-request-id"),
+        Some("0123456789abcdef0123456789abcdef")
+    );
+    let echoed = r.header("traceparent").expect("traceparent echoed");
+    assert!(echoed.starts_with("00-0123456789abcdef0123456789abcdef-"));
+
+    // An invalid X-Request-Id falls back to the derived id — which is
+    // the same id an unadorned request gets.
+    let (derived, _) = run_traced(&addr, MULTI, &[]);
+    let (fallback, _) = run_traced(&addr, MULTI, &[("X-Request-Id", "not hex!")]);
+    assert_eq!(derived, fallback);
+    stop(server);
+}
+
+#[test]
+fn unknown_traces_404_and_the_index_lists_recent_flights() {
+    let _g = GLOBALS_LOCK.lock().unwrap();
+    let (server, addr) = start(ServerConfig {
+        recorder_cap: 2,
+        ..Default::default()
+    });
+    let (status, body) = fetch_trace(&addr, "ffffffffffffffffffffffffffffffff", "");
+    assert_eq!(status, 404);
+    assert!(body.contains("flight recorder keeps the last 2"), "{body}");
+
+    let (id, _) = run_traced(&addr, MULTI, &[]);
+    let r = http::request(&addr, "GET", "/traces", &[], "").unwrap();
+    assert_eq!(r.status, 200);
+    let v = json::parse(&r.body).unwrap();
+    assert_eq!(v.get("cap").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(v.get("occupancy").and_then(Json::as_f64), Some(1.0));
+    let traces = v.get("traces").and_then(Json::as_arr).unwrap();
+    assert_eq!(
+        traces[0].get("trace_id").and_then(Json::as_str),
+        Some(id.as_str())
+    );
+
+    // Bad query parameters are typed 400s, not silent defaults.
+    let (s, b) = fetch_trace(&addr, &id, "?format=svg");
+    assert_eq!(s, 400, "{b}");
+    let (s, b) = fetch_trace(&addr, &id, "?fmt=chrome");
+    assert_eq!(s, 400);
+    assert!(b.contains("unknown query parameter"), "{b}");
+    stop(server);
+}
+
+#[test]
+fn metrics_histograms_carry_exemplars_naming_recorded_traces() {
+    let _g = GLOBALS_LOCK.lock().unwrap();
+    let (server, addr) = start(ServerConfig::default());
+    let (id, _) = run_traced(&addr, MULTI, &[]);
+    let m = http::request(&addr, "GET", "/metrics", &[], "").unwrap();
+    assert_eq!(m.status, 200);
+    let bucket_line = m
+        .body
+        .lines()
+        .find(|l| {
+            l.starts_with("serve_request_seconds_bucket")
+                && l.contains("route=\"run\"")
+                && l.contains(&format!("# {{trace_id=\"{id}\"}}"))
+        })
+        .unwrap_or_else(|| panic!("no exemplar naming trace {id} in:\n{}", m.body));
+    assert!(bucket_line.contains("status=\"200\""), "{bucket_line}");
+    stop(server);
+}
+
+#[test]
+fn loadgen_service_hist_matches_a_metrics_scrape_bucket_for_bucket() {
+    let _g = GLOBALS_LOCK.lock().unwrap();
+    // The registry is process-global and other tests in this binary
+    // also observe serve_request_seconds; reset so the scrape counts
+    // exactly this loadgen run against this fresh server.
+    paccport_trace::metrics::reset_metrics();
+    let (server, addr) = start(ServerConfig::default());
+    let trace_dir = std::env::temp_dir().join(format!(
+        "paccport-traces-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let report = loadgen::run(&loadgen::LoadgenConfig {
+        addr: addr.clone(),
+        rps: 4,
+        steps: 3,
+        seed: 42,
+        sample_traces: 2,
+        trace_dir: Some(trace_dir.display().to_string()),
+        ..Default::default()
+    })
+    .unwrap();
+    let v = json::parse(&report).unwrap();
+
+    // Sampled traces landed on disk and re-fetch byte-identically.
+    let sampled = v.get("sampled_traces").and_then(Json::as_arr).unwrap();
+    assert_eq!(sampled.len(), 2);
+    for s in sampled {
+        let id = s.get("trace_id").and_then(Json::as_str).unwrap();
+        let on_disk = std::fs::read_to_string(trace_dir.join(format!("{id}.json"))).unwrap();
+        let (status, live) = fetch_trace(&addr, id, "");
+        assert_eq!(status, 200);
+        assert_eq!(on_disk, live, "sampled trace file matches the recorder");
+    }
+    let _ = std::fs::remove_dir_all(&trace_dir);
+
+    // Cross-check: the report's cumulative buckets equal the server's
+    // own serve_request_seconds rendering, le for le.
+    let hist = v.get("service_hist").unwrap();
+    let s200 = hist.get("by_status").and_then(|s| s.get("200")).unwrap();
+    let pairs: Vec<(String, u64)> = s200
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|b| {
+            (
+                b.get("le").and_then(Json::as_str).unwrap().to_string(),
+                b.get("cum").and_then(Json::as_f64).unwrap() as u64,
+            )
+        })
+        .collect();
+    assert!(!pairs.is_empty());
+    let m = http::request(&addr, "GET", "/metrics", &[], "").unwrap();
+    for (le, cum) in &pairs {
+        let want = format!(
+            "serve_request_seconds_bucket{{route=\"run\",status=\"200\",le=\"{le}\"}} {cum}"
+        );
+        assert!(
+            m.body.lines().any(|l| l.starts_with(&want)),
+            "scrape disagrees with report at le={le}: wanted `{want}` in:\n{}",
+            m.body
+        );
+    }
+    // Totals agree too.
+    let count = s200.get("count").and_then(Json::as_f64).unwrap() as u64;
+    assert!(m.body.lines().any(|l| l.starts_with(&format!(
+        "serve_request_seconds_count{{route=\"run\",status=\"200\"}} {count}"
+    ))));
+    stop(server);
+}

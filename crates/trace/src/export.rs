@@ -216,6 +216,7 @@ mod tests {
             depth: stack.len() as u32,
             stack: stack.iter().map(|s| s.to_string()).collect(),
             thread: 0,
+            ctx: 0,
             start_ns: start,
             dur_ns: dur,
             attrs: vec![("label".into(), "LUD Base".into())],

@@ -35,6 +35,13 @@ impl Json {
         }
     }
 
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -50,11 +57,21 @@ impl Json {
     }
 }
 
+/// Maximum container nesting [`parse`] accepts. Recursive descent
+/// means nesting consumes call stack; a hostile `[[[[…` would
+/// otherwise overflow it. 128 is far beyond anything the exporters
+/// emit (the trace tree tops out around depth 6).
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a complete JSON document; trailing non-whitespace is an
 /// error.
 pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -67,6 +84,7 @@ pub fn parse(text: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -124,12 +142,25 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -145,6 +176,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -154,10 +186,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -168,6 +202,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -238,9 +273,17 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number `{text}`: {e}"))
+        let n: f64 = text
+            .parse()
+            .map_err(|e| format!("bad number `{text}`: {e}"))?;
+        // RFC 8259 has no NaN/Infinity; `f64::parse` would happily
+        // accept `1e999` as `inf` (and the literal words as NaN/inf),
+        // so reject anything non-finite rather than smuggle it into
+        // a document that could never round-trip.
+        if !n.is_finite() {
+            return Err(format!("number `{text}` is not finite"));
+        }
+        Ok(Json::Num(n))
     }
 }
 
@@ -285,6 +328,35 @@ mod tests {
         for bad in ["{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "{}extra"] {
             assert!(parse(bad).is_err(), "`{bad}` must not parse");
         }
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        for bad in ["1e999", "-1e999", "[1e400]", "{\"v\":2e308}"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("not finite"), "`{bad}` => {err}");
+        }
+        // The largest finite double still parses.
+        let v = parse("1.7976931348623157e308").unwrap();
+        assert_eq!(v.as_f64(), Some(f64::MAX));
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        parse(&deep_ok).expect("exactly MAX_DEPTH parses");
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let over = format!(
+                "{}1{}",
+                open.repeat(MAX_DEPTH + 1),
+                close.repeat(MAX_DEPTH + 1)
+            );
+            let err = parse(&over).unwrap_err();
+            assert!(err.contains("nesting deeper than"), "{err}");
+        }
+        // A hostile unclosed prefix must fail fast, not overflow the
+        // stack.
+        assert!(parse(&"[".repeat(100_000)).is_err());
     }
 
     #[test]

@@ -67,6 +67,7 @@
 //! paccport_trace::set_events_enabled(false);
 //! ```
 
+pub mod context;
 pub mod export;
 pub mod json;
 pub mod metrics;
@@ -181,6 +182,10 @@ pub struct SpanEvent {
     /// Registration ordinal of the OS thread that recorded the span.
     /// Schedule-dependent, so exporters deliberately omit it.
     pub thread: u32,
+    /// Request context of the enclosing [`request_scope`] (0 outside
+    /// any request) — how the server partitions one shared event
+    /// stream into per-request traces.
+    pub ctx: u64,
     /// Clock at open ([`now_ns`]).
     pub start_ns: u64,
     /// Close minus open.
@@ -207,6 +212,7 @@ struct ThreadBuf {
     thread: u32,
     lane: u32,
     task: u64,
+    ctx: u64,
     next_seq: u64,
     open: Vec<OpenSpan>,
     events: Vec<SpanEvent>,
@@ -287,6 +293,110 @@ impl Drop for ScopeGuard {
     }
 }
 
+/// Tag everything this thread records, until the guard drops, with
+/// request context `ctx` ([`SpanEvent::ctx`]). The server opens one
+/// scope per request handler (and the engine re-enters the
+/// submitter's context on its worker threads), so the merged event
+/// stream partitions cleanly by request even while requests run
+/// concurrently. Scopes nest and restore on drop like [`task_scope`].
+#[must_use = "the scope lasts until the guard drops"]
+pub fn request_scope(ctx: u64) -> RequestScopeGuard {
+    if flags() == 0 {
+        return RequestScopeGuard { prev: None };
+    }
+    let prev = with_buf(|b| {
+        let prev = b.ctx;
+        b.ctx = ctx;
+        prev
+    });
+    RequestScopeGuard { prev: Some(prev) }
+}
+
+/// The request context this thread currently records under (0 when
+/// outside any [`request_scope`]) — the engine reads it at batch
+/// submission to re-enter the same context on its workers.
+pub fn current_ctx() -> u64 {
+    if flags() == 0 {
+        return 0;
+    }
+    with_buf(|b| b.ctx)
+}
+
+pub struct RequestScopeGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for RequestScopeGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            with_buf(|b| b.ctx = prev);
+        }
+    }
+}
+
+/// Drain every event recorded under request context `ctx` out of the
+/// per-thread buffers, returning them in canonical `(lane, task,
+/// seq)` order. This is how the server's flight recorder collects one
+/// request's spans without disturbing concurrent requests — and how a
+/// long-lived server keeps the buffers bounded: a request's events
+/// leave the buffers the moment its trace is recorded, and buffers
+/// belonging to exited engine workers are dropped once empty.
+pub fn take_request_events(ctx: u64) -> Vec<SpanEvent> {
+    let mut bufs = all_bufs().lock().unwrap();
+    let mut out: Vec<SpanEvent> = Vec::new();
+    for buf in bufs.iter() {
+        let mut b = buf.lock().unwrap();
+        let mut kept = Vec::with_capacity(b.events.len());
+        for e in b.events.drain(..) {
+            if e.ctx == ctx {
+                out.push(e);
+            } else {
+                kept.push(e);
+            }
+        }
+        b.events = kept;
+    }
+    // Prune buffers whose thread has exited (the registry holds the
+    // only Arc) once their events are drained. Their aggregates move
+    // to the retired store first so `summary` stays complete — the
+    // engine spawns fresh scoped workers per batch, and without this
+    // a long-lived server would grow one dead buffer per worker per
+    // batch.
+    bufs.retain(|buf| {
+        if Arc::strong_count(buf) > 1 {
+            return true;
+        }
+        let mut b = buf.lock().unwrap();
+        if !b.events.is_empty() || !b.open.is_empty() {
+            return true;
+        }
+        let mut retired = retired_aggregates().lock().unwrap();
+        for (k, v) in std::mem::take(&mut b.spans) {
+            let s = retired.spans.entry(k).or_default();
+            s.count += v.count;
+            s.total_ns += v.total_ns;
+        }
+        for (k, v) in std::mem::take(&mut b.counters) {
+            *retired.counters.entry(k).or_default() += v;
+        }
+        false
+    });
+    out.sort_by_key(|e| (e.lane, e.task, e.seq, e.thread));
+    out
+}
+
+/// Aggregates inherited from pruned (dead-thread) buffers.
+#[derive(Default)]
+struct Retired {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+}
+
+fn retired_aggregates() -> &'static Mutex<Retired> {
+    static RETIRED: OnceLock<Mutex<Retired>> = OnceLock::new();
+    RETIRED.get_or_init(|| Mutex::new(Retired::default()))
+}
+
 // ===================================================================
 // Spans and counters
 // ===================================================================
@@ -350,6 +460,7 @@ impl Drop for SpanGuard {
                     depth: b.open.len() as u32,
                     stack: b.open.iter().map(|o| o.name.to_string()).collect(),
                     thread: b.thread,
+                    ctx: b.ctx,
                     start_ns: frame.start_ns,
                     dur_ns,
                     attrs: frame.attrs,
@@ -400,6 +511,9 @@ pub fn reset() {
         // Open frames are left alone: a guard on some thread's stack
         // will still pop its own frame.
     }
+    let mut retired = retired_aggregates().lock().unwrap();
+    retired.spans.clear();
+    retired.counters.clear();
     NEXT_TASK.store(1, Ordering::Relaxed);
 }
 
@@ -485,6 +599,17 @@ pub fn summary() -> Summary {
     let bufs = all_bufs().lock().unwrap();
     let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    {
+        let retired = retired_aggregates().lock().unwrap();
+        for (k, v) in &retired.spans {
+            let s = spans.entry(k.clone()).or_default();
+            s.count += v.count;
+            s.total_ns += v.total_ns;
+        }
+        for (k, v) in &retired.counters {
+            *counters.entry(k.clone()).or_default() += v;
+        }
+    }
     for buf in bufs.iter() {
         let b = buf.lock().unwrap();
         for (k, v) in &b.spans {
@@ -557,6 +682,39 @@ mod tests {
         assert_eq!(outer.depth, 0);
         assert!(outer.seq < inner.seq);
         assert!(outer.dur_ns >= inner.dur_ns);
+        set_events_enabled(false);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn request_scopes_partition_the_event_stream() {
+        set_enabled(true);
+        set_events_enabled(true);
+        {
+            let _r = request_scope(9001);
+            let _s = span("test.ctx.niner");
+        }
+        {
+            let _r = request_scope(9002);
+            let _s = span("test.ctx.other");
+        }
+        {
+            let _s = span("test.ctx.outside");
+        }
+        let mine = take_request_events(9001);
+        assert_eq!(
+            mine.iter().filter(|e| e.name == "test.ctx.niner").count(),
+            1
+        );
+        assert!(mine.iter().all(|e| e.ctx == 9001));
+        // Draining one context leaves the others alone…
+        let ev = events();
+        assert!(ev.iter().any(|e| e.name == "test.ctx.other"));
+        assert!(!ev.iter().any(|e| e.name == "test.ctx.niner"));
+        // …and a second drain of the same context comes back empty.
+        assert!(take_request_events(9001).is_empty());
+        // The aggregates survived the drain.
+        assert!(summary().span_count("test.ctx.niner") >= 1);
         set_events_enabled(false);
         set_enabled(false);
     }

@@ -90,15 +90,49 @@ impl Histogram {
         self.sum += v;
         self.count += 1;
     }
+
+    /// The `q`-quantile (0 < q <= 1) as an order statistic over the
+    /// bucketed observations, reported as the upper bound of the
+    /// bucket the statistic lands in (`2^31` for the overflow
+    /// bucket). Deterministic — no interpolation, no float summation
+    /// order — so a loadgen report and a `/metrics` scrape computed
+    /// from equal bucket counts agree exactly.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_bound(i).unwrap_or_else(|| 2.0f64.powi(31));
+            }
+        }
+        2.0f64.powi(31)
+    }
 }
 
 type Key = (String, Vec<(String, String)>);
+
+/// One OpenMetrics exemplar: the label set (typically a single
+/// `trace_id`) and value of a representative observation, attached to
+/// the histogram bucket that observation landed in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
 
 #[derive(Default)]
 struct Registry {
     counters: BTreeMap<Key, u64>,
     gauges: BTreeMap<Key, f64>,
     histograms: BTreeMap<Key, Histogram>,
+    /// Per-histogram, per-bucket exemplars (kept beside the
+    /// histograms rather than inside [`Histogram`], so the plain
+    /// bucket math stays `PartialEq`-comparable in tests).
+    exemplars: BTreeMap<Key, BTreeMap<usize, Exemplar>>,
 }
 
 fn registry() -> &'static Mutex<Registry> {
@@ -170,6 +204,34 @@ pub fn observe(name: &str, labels: &[(&str, &str)], v: f64) {
         .observe(v);
 }
 
+/// [`observe`] plus an exemplar: the observation is recorded
+/// normally, and `(exemplar_labels, v)` replaces the exemplar of the
+/// bucket it lands in. The server uses this to point every latency
+/// bucket at a flight-recorder trace id.
+pub fn observe_exemplar(
+    name: &str,
+    labels: &[(&str, &str)],
+    v: f64,
+    exemplar_labels: &[(&str, &str)],
+) {
+    if !metrics_enabled() {
+        return;
+    }
+    let k = key(name, labels);
+    let mut r = registry().lock().unwrap();
+    r.histograms.entry(k.clone()).or_default().observe(v);
+    r.exemplars.entry(k).or_default().insert(
+        bucket_index(v),
+        Exemplar {
+            labels: exemplar_labels
+                .iter()
+                .map(|(ek, ev)| (ek.to_string(), ev.to_string()))
+                .collect(),
+            value: v,
+        },
+    );
+}
+
 /// Current value of a counter (0 if never bumped) — for tests and
 /// cross-checks.
 pub fn counter_value(name: &str, labels: &[(&str, &str)]) -> u64 {
@@ -216,6 +278,15 @@ pub fn reset_metrics() {
     r.counters.clear();
     r.gauges.clear();
     r.histograms.clear();
+    r.exemplars.clear();
+}
+
+/// Escape a label value per the Prometheus text format: backslash,
+/// double quote, and line feed (as the two-character sequence `\n`).
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 fn labels_text(ls: &[(String, String)]) -> String {
@@ -224,7 +295,7 @@ fn labels_text(ls: &[(String, String)]) -> String {
     }
     let inner: Vec<String> = ls
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
         .collect();
     format!("{{{}}}", inner.join(","))
 }
@@ -275,6 +346,7 @@ pub fn render_prometheus() -> String {
             let _ = writeln!(out, "# TYPE {name} histogram");
             last_family = name.clone();
         }
+        let exemplars = r.exemplars.get(&(name.clone(), ls.clone()));
         let mut cum = 0u64;
         for (i, n) in h.buckets.iter().enumerate() {
             if *n == 0 {
@@ -285,9 +357,15 @@ pub fn render_prometheus() -> String {
                 Some(b) => format!("{b}"),
                 None => "+Inf".to_string(),
             };
+            // OpenMetrics exemplar suffix: `# {trace_id="…"} value`,
+            // pointing a bucket at one representative observation.
+            let exemplar = exemplars
+                .and_then(|m| m.get(&i))
+                .map(|e| format!(" # {} {}", labels_text(&e.labels), e.value))
+                .unwrap_or_default();
             let _ = writeln!(
                 out,
-                "{name}_bucket{} {cum}",
+                "{name}_bucket{} {cum}{exemplar}",
                 labels_text_with(ls, "le", &le)
             );
         }
@@ -306,6 +384,14 @@ pub fn render_prometheus() -> String {
 mod tests {
     use super::*;
 
+    /// The registry is process-global and
+    /// `exposition_is_cumulative_and_labeled` resets it, so every
+    /// test that writes to the registry serializes on this lock.
+    fn registry_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn bucket_bounds_bracket_values() {
         for v in [1e-9, 0.5, 1.0, 1.5, 2.0, 1000.0, 3e9] {
@@ -321,7 +407,79 @@ mod tests {
     }
 
     #[test]
+    fn hostile_label_values_are_escaped_per_text_format() {
+        let _lock = registry_test_lock();
+        set_metrics_enabled(true);
+        counter_add(
+            "unit_hostile_total",
+            &[("label", "back\\slash \"quoted\"\nnewline")],
+            1,
+        );
+        let text = render_prometheus();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("unit_hostile_total"))
+            .expect("hostile series rendered");
+        assert_eq!(
+            line,
+            "unit_hostile_total{label=\"back\\\\slash \\\"quoted\\\"\\nnewline\"} 1"
+        );
+        assert!(
+            !line.contains('\n') && text.lines().count() > 1,
+            "a raw newline in a label value must not split the series line"
+        );
+        set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn exemplars_attach_to_their_buckets() {
+        let _lock = registry_test_lock();
+        set_metrics_enabled(true);
+        observe_exemplar(
+            "unit_exemplar_seconds",
+            &[("route", "run")],
+            0.25,
+            &[("trace_id", "deadbeefdeadbeefdeadbeefdeadbeef")],
+        );
+        observe("unit_exemplar_seconds", &[("route", "run")], 1000.0);
+        let text = render_prometheus();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("unit_exemplar_seconds_bucket") && l.contains("le=\"0.5\""))
+            .expect("[0.25, 0.5) bucket rendered");
+        assert!(
+            line.ends_with("# {trace_id=\"deadbeefdeadbeefdeadbeefdeadbeef\"} 0.25"),
+            "{line}"
+        );
+        // The plain observation's bucket carries no exemplar.
+        let plain = text
+            .lines()
+            .find(|l| l.starts_with("unit_exemplar_seconds_bucket") && l.contains("le=\"1024\""))
+            .expect("1000.0 bucket rendered");
+        assert!(!plain.contains('#'), "{plain}");
+        set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        for _ in 0..9 {
+            h.observe(0.3); // bucket bound 0.5
+        }
+        h.observe(100.0); // bucket bound 128
+        assert_eq!(h.quantile(0.5), 0.5);
+        assert_eq!(h.quantile(0.9), 0.5);
+        assert_eq!(h.quantile(0.99), 128.0);
+        assert_eq!(h.quantile(1.0), 128.0);
+        let mut over = Histogram::default();
+        over.observe(1e12);
+        assert_eq!(over.quantile(0.5), 2.0f64.powi(31), "overflow bucket");
+    }
+
+    #[test]
     fn exposition_is_cumulative_and_labeled() {
+        let _lock = registry_test_lock();
         set_metrics_enabled(true);
         reset_metrics();
         counter_add("unit_total", &[("leg", "a")], 2);
